@@ -1,0 +1,12 @@
+"""Benchmark harness regenerating every figure and table of the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_*`` module regenerates one paper artifact (Figs. 3-6, the
+model-size and cost comparisons of Sections 3-4) or an ablation the
+paper's text claims (SVD rank, dual subspaces, generalized vs raw
+sensitivities).  The kernels are timed with pytest-benchmark; the
+series/rows are printed to the terminal and shape-asserted.
+"""

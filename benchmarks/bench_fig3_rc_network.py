@@ -1,0 +1,105 @@
+"""Figure 3: RC network transfer function under large parametric variation.
+
+Paper setup (Section 5.1): a 767-unknown RC network with two
+independent variational sources ("we randomly vary the RC values");
+reduced models of size ~37 (low-rank, 4th-order multi-parameter
+moments), ~40 (multi-point, 8 samples) and a nominal-projection model
+(8 s-moments).  Models are evaluated on perturbed networks with up to
+70% parametric variation over 10 MHz - 10 GHz; the plotted quantity is
+the voltage transfer from the driven input to an observation node.
+
+Shape reproduced: the nominal-projection model is the least able to
+capture the variation, while the low-rank and multi-point models stay
+visually indistinguishable from the perturbed full model.  (On our
+synthetic net the nominal baseline degrades by ~2x rather than the
+paper's dramatic miss -- see EXPERIMENTS.md.)
+"""
+
+import numpy as np
+
+from benchmarks.conftest import format_table, series_lines
+from repro.core import LowRankReducer, MultiPointReducer, NominalReducer, factorial_grid
+
+FREQUENCIES = np.logspace(7, 10, 40)
+# Perturbation points spanning the +-70% box of the protocol.
+EVALUATION_POINTS = [
+    [0.7, 0.7],
+    [-0.7, -0.7],
+    [0.7, -0.7],
+    [-0.7, 0.7],
+    [0.5, 0.3],
+]
+PLOT_POINT = [0.7, 0.7]
+
+
+def voltage_transfer(response):
+    """|v(far) / v(in)| from a (nf, 2, 1) response block."""
+    return response[:, 1, 0] / response[:, 0, 0]
+
+
+def build_models(rc767, benchmark=None):
+    build_low_rank = lambda: LowRankReducer(num_moments=4, rank=1).reduce(rc767)  # noqa: E731
+    low_rank = benchmark(build_low_rank) if benchmark is not None else build_low_rank()
+    # 8 samples (paper): the 3x3 grid at +-0.8 minus the center point.
+    grid = factorial_grid(2, 3, 0.8)
+    samples = np.array([point for point in grid if np.any(point != 0.0)])
+    multi_point = MultiPointReducer(samples, num_moments=5).reduce(rc767)
+    nominal = NominalReducer(num_moments=8).reduce(rc767)
+    return low_rank, multi_point, nominal
+
+
+def test_fig3_rc_network(benchmark, report, rc767):
+    low_rank, multi_point, nominal = build_models(rc767, benchmark)
+    models = {
+        "Redu. Pert. Model: Nomi. Proj.": nominal,
+        "Redu. Pert. Model: Low-Rank": low_rank,
+        "Redu. Pert. Model: Multi-point": multi_point,
+    }
+
+    # Worst/average voltage-transfer error over the evaluation box.
+    errors = {label: [] for label in models}
+    for point in EVALUATION_POINTS:
+        full = voltage_transfer(rc767.instantiate(point).frequency_response(FREQUENCIES))
+        for label, model in models.items():
+            reduced = voltage_transfer(model.frequency_response(FREQUENCIES, point))
+            errors[label].append(np.abs(full - reduced).max() / np.abs(full).max())
+
+    rows = [
+        (label, f"{np.mean(errs):.4f}", f"{np.max(errs):.4f}")
+        for label, errs in errors.items()
+    ]
+
+    nominal_curve = np.abs(
+        voltage_transfer(rc767.instantiate([0.0, 0.0]).frequency_response(FREQUENCIES))
+    )
+    perturbed_curve = np.abs(
+        voltage_transfer(rc767.instantiate(PLOT_POINT).frequency_response(FREQUENCIES))
+    )
+    low_rank_curve = np.abs(
+        voltage_transfer(low_rank.frequency_response(FREQUENCIES, PLOT_POINT))
+    )
+
+    report(
+        "=== FIG 3: RC net (767 unknowns), up to 70% variation, 2 sources ===",
+        f"model sizes: low-rank={low_rank.size} (paper 37), "
+        f"multi-point={multi_point.size} (paper 40), nominal={nominal.size}",
+        f"response shift |H_pert - H_nom| at {PLOT_POINT}: "
+        f"{np.abs(perturbed_curve - nominal_curve).max():.3f} (of peak ~1)",
+        *format_table(("model", "avg err", "max err"), rows),
+        "",
+        *series_lines("Nominal full |H|", FREQUENCIES, nominal_curve, 8),
+        *series_lines("Perturbed full |H|", FREQUENCIES, perturbed_curve, 8),
+        *series_lines("Low-rank ROM |H| (perturbed)", FREQUENCIES, low_rank_curve, 8),
+    )
+
+    # Paper's qualitative claims.
+    avg = {label: np.mean(errs) for label, errs in errors.items()}
+    assert avg["Redu. Pert. Model: Low-Rank"] < 0.02
+    assert avg["Redu. Pert. Model: Multi-point"] < 0.02
+    assert avg["Redu. Pert. Model: Nomi. Proj."] > 1.3 * avg["Redu. Pert. Model: Low-Rank"]
+    assert avg["Redu. Pert. Model: Nomi. Proj."] > 1.3 * avg["Redu. Pert. Model: Multi-point"]
+    # The perturbation visibly moves the response (the plot's premise).
+    assert np.abs(perturbed_curve - nominal_curve).max() > 0.05
+    # Model sizes in the paper's ballpark.
+    assert low_rank.size <= 45
+    assert multi_point.size <= 45

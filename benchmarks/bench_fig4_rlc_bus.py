@@ -1,0 +1,91 @@
+"""Figure 4: |Y11(f)| of a coupled 4-port RLC bus under 30% variation.
+
+Paper setup (Section 5.2): a two-bit bus modeled as a coupled 4-port
+RLC network, 180 segments per line, MNA size 1086 (ours: 1082), two
+independent variational sources.  Three reduced models: nominal
+projection (size 52), the proposed low-rank method (size 144, matching
+moments "up to 12th order", 52 of them s-moments), and multi-point
+expansion (3 samples, size 156).  Evaluated on a perturbed system with
+a maximum 30% parametric variation over 5-45 GHz.
+
+Shape reproduced: the RLC response is far more variation-sensitive
+than the RC case; the nominal-projection model is "far from adequate"
+while the low-rank model tracks the perturbed resonances accurately at
+a smaller size than multi-point (whose factorization cost is 3x).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import format_table, series_lines
+from repro.core import LowRankReducer, MultiPointReducer, NominalReducer
+from repro.linalg import factorization_count, reset_factorization_count
+
+FREQUENCIES = np.linspace(5e9, 4.5e10, 60)
+PERTURBATION = [0.3, -0.3]  # maximum 30% parametric variation
+
+
+def y11(model, p=None):
+    if p is None:
+        return model.frequency_response(FREQUENCIES)[:, 0, 0]
+    return model.frequency_response(FREQUENCIES, p)[:, 0, 0]
+
+
+def test_fig4_rlc_bus(benchmark, report, bus_parametric):
+    reset_factorization_count()
+    low_rank = benchmark.pedantic(
+        lambda: LowRankReducer(num_moments=13, rank=1).reduce(bus_parametric),
+        rounds=1,
+        iterations=1,
+    )
+    low_rank_factorizations = reset_factorization_count()
+    samples = np.array([[0.0, 0.0], [0.35, 0.35], [-0.35, -0.35]])
+    multi_point = MultiPointReducer(samples, num_moments=13).reduce(bus_parametric)
+    multi_point_factorizations = reset_factorization_count()
+    nominal = NominalReducer(num_moments=13).reduce(bus_parametric)
+
+    full_nominal = np.abs(y11(bus_parametric.instantiate([0.0, 0.0])))
+    full_perturbed_response = y11(bus_parametric.instantiate(PERTURBATION))
+    full_perturbed = np.abs(full_perturbed_response)
+
+    models = {
+        "Redu. Pert. : Nomi. Proj.": nominal,
+        "Redu. Pert. : Low-Rank": low_rank,
+        "Redu. Pert. : Multi-point": multi_point,
+    }
+    errors = {}
+    for label, model in models.items():
+        reduced = y11(model, PERTURBATION)
+        errors[label] = np.abs(reduced - full_perturbed_response).max() / full_perturbed.max()
+
+    rows = [
+        (label, model.size, f"{errors[label]:.4f}")
+        for label, model in models.items()
+    ]
+    report(
+        "=== FIG 4: coupled 4-port RLC bus (MNA 1082), 30% variation ===",
+        f"factorizations: low-rank={low_rank_factorizations}, "
+        f"multi-point={multi_point_factorizations} (paper: 'three times larger')",
+        *format_table(("model", "size", "linf err"), rows),
+        "",
+        *series_lines("Nominal full |Y11|", FREQUENCIES, full_nominal, 10),
+        *series_lines("Perturbed full |Y11|", FREQUENCIES, full_perturbed, 10),
+        *series_lines(
+            "Low-rank ROM |Y11|", FREQUENCIES, np.abs(y11(low_rank, PERTURBATION)), 10
+        ),
+    )
+
+    # Paper's qualitative claims.
+    # (1) RLC frequency response is sensitive to parametric variation.
+    shift = np.abs(full_perturbed - full_nominal).max() / full_perturbed.max()
+    assert shift > 0.15
+    # (2) Nominal-only information is far from adequate.
+    assert errors["Redu. Pert. : Nomi. Proj."] > 3 * errors["Redu. Pert. : Low-Rank"]
+    # (3) The low-rank model captures the variation accurately.
+    assert errors["Redu. Pert. : Low-Rank"] < 0.05
+    # (4) Cost: multi-point needs one factorization per sample.
+    assert low_rank_factorizations == 1
+    assert multi_point_factorizations == len(samples)
+    # (5) Sizes in the paper's ballpark (paper: 52 / 144 / 156).
+    assert nominal.size <= 60
+    assert low_rank.size <= 170
+    assert multi_point.size <= 170

@@ -1,0 +1,92 @@
+"""Computational-cost claims (Section 4.2).
+
+The paper's cost argument: the dominant cost of Algorithm 1 is ONE
+sparse factorization of ``G0`` -- the same as nominal PRIMA -- because
+the matrix-implicit SVDs and the ``A0^T`` Krylov subspaces reuse the
+factors (transpose solves).  The multi-point method pays one
+factorization per sample; cost is otherwise "linear in both the moment
+matching order k and the number of variational parameters np".
+
+This benchmark measures (a) factorization counts, (b) wall-clock
+scaling of Algorithm 1 in k and np, and asserts monotone, sub-quadratic
+growth plus the factorization counts.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import format_table
+from repro.circuits import rc_tree, with_random_variations
+from repro.core import LowRankReducer, MultiPointReducer, NominalReducer, factorial_grid
+from repro.linalg import reset_factorization_count
+
+
+def timed(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def test_table_cost(benchmark, report, rc767):
+    # -- factorization counts -----------------------------------------
+    benchmark(lambda: LowRankReducer(num_moments=4, rank=1).reduce(rc767))
+    # Count on a single explicit run (benchmark() repeats the kernel).
+    reset_factorization_count()
+    LowRankReducer(num_moments=4, rank=1).reduce(rc767)
+    low_rank_factorizations_per_call = reset_factorization_count()
+
+    NominalReducer(num_moments=8).reduce(rc767)
+    nominal_factorizations = reset_factorization_count()
+
+    grid = factorial_grid(2, 3, 0.5)
+    MultiPointReducer(grid, num_moments=4).reduce(rc767)
+    multi_factorizations = reset_factorization_count()
+
+    # -- scaling in k and np -------------------------------------------
+    k_rows = []
+    k_times = []
+    for k in (2, 4, 8):
+        _, seconds = timed(lambda k=k: LowRankReducer(num_moments=k, rank=1).reduce(rc767))
+        k_rows.append((k, f"{seconds * 1e3:.1f} ms"))
+        k_times.append(seconds)
+
+    np_rows = []
+    np_times = []
+    base_net = rc_tree(400, seed=77, resistance_range=(10.0, 20.0),
+                       capacitance_range=(1e-14, 2e-14))
+    for np_count in (1, 2, 4):
+        parametric = with_random_variations(
+            base_net, np_count, seed=78, relative_spread=0.5
+        )
+        _, seconds = timed(
+            lambda p=parametric: LowRankReducer(num_moments=3, rank=1).reduce(p)
+        )
+        np_rows.append((np_count, f"{seconds * 1e3:.1f} ms"))
+        np_times.append(seconds)
+
+    report(
+        "=== TBL-COST: factorizations and scaling (Section 4.2) ===",
+        *format_table(
+            ("method", "factorizations"),
+            [
+                ("nominal PRIMA", nominal_factorizations),
+                ("low-rank (Algorithm 1)", f"{low_rank_factorizations_per_call:.0f}"),
+                (f"multi-point ({len(grid)} samples)", multi_factorizations),
+            ],
+        ),
+        "",
+        "Algorithm 1 wall clock vs moment order k (rc-767):",
+        *format_table(("k", "time"), k_rows),
+        "",
+        "Algorithm 1 wall clock vs parameter count np (400-node tree):",
+        *format_table(("np", "time"), np_rows),
+    )
+
+    assert low_rank_factorizations_per_call == 1
+    assert nominal_factorizations == 1
+    assert multi_factorizations == len(grid)
+    # Linear-ish scaling: 4x the moment order costs well under 16x.
+    assert k_times[2] < 16 * max(k_times[0], 1e-4)
+    # Linear-ish scaling in np: 4x parameters costs well under 16x.
+    assert np_times[2] < 16 * max(np_times[0], 1e-4)

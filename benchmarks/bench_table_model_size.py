@@ -1,0 +1,93 @@
+"""Model-size comparison (Sections 3.2, 3.3, 4.2).
+
+The paper has no numbered table, but its core quantitative argument is
+a set of model-size formulas:
+
+- single-point multi-parameter matching blows up with cross terms
+  (``(k^2+k+1) m`` already for one first-order parameter; generally
+  ``m * C(k + 2np + 1, 2np + 1)``);
+- multi-point expansion reduces that to ``n_s (k+1) m`` but needs one
+  factorization per sample (``c^np`` on a grid);
+- the low-rank method needs ``(k+1)m + (4k+2) k_svd n_p`` columns and
+  one factorization.
+
+This benchmark prints predicted vs *measured* (post-deflation) sizes on
+a shared workload and asserts the orderings the paper argues from.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import format_table
+from repro.core import (
+    LowRankReducer,
+    MultiPointReducer,
+    SinglePointReducer,
+    factorial_grid,
+    low_rank_size,
+    multi_point_size,
+    single_point_size,
+    single_point_size_first_order_example,
+)
+
+ORDER = 3
+
+
+def test_table_model_size(benchmark, report, rc767):
+    m = rc767.nominal.num_inputs
+    np_count = rc767.num_parameters
+
+    single = benchmark(lambda: SinglePointReducer(total_order=ORDER).reduce(rc767))
+    low_rank = LowRankReducer(num_moments=ORDER, rank=1).reduce(rc767)
+    grid = factorial_grid(np_count, 3, 0.5)
+    multi = MultiPointReducer(grid, num_moments=ORDER + 1).reduce(rc767)
+
+    rows = [
+        (
+            "single-point (Daniel et al.)",
+            single_point_size(ORDER, np_count, m),
+            single.size,
+            1,
+        ),
+        (
+            "multi-point (3/axis grid)",
+            multi_point_size(ORDER, len(grid), m),
+            multi.size,
+            len(grid),
+        ),
+        (
+            "low-rank (Algorithm 1)",
+            low_rank_size(ORDER, np_count, m, rank=1),
+            low_rank.size,
+            1,
+        ),
+    ]
+    report(
+        f"=== TBL-SIZE: predicted vs measured model size (k={ORDER}, "
+        f"np={np_count}, m={m}, rc-767) ===",
+        *format_table(
+            ("method", "predicted size", "measured size", "factorizations"), rows
+        ),
+        "",
+        "Section 3.3 example (np=1, parameter to 1st order):",
+        *format_table(
+            ("k", "single-point (k^2+k+1)m", "multi-point 2(k+1)m"),
+            [
+                (k, single_point_size_first_order_example(k, 1), multi_point_size(k, 2, 1))
+                for k in range(2, 9)
+            ],
+        ),
+    )
+
+    # Measured sizes never exceed the predictions (deflation only shrinks).
+    assert single.size <= single_point_size(ORDER, np_count, m)
+    assert multi.size <= multi_point_size(ORDER, len(grid), m)
+    assert low_rank.size <= low_rank_size(ORDER, np_count, m, rank=1)
+    # The paper's ordering at matched moment order.
+    assert low_rank.size < single.size
+    # Section 3.3: multi-point beats single-point for first-order params.
+    for k in range(2, 9):
+        assert multi_point_size(k, 2, 1) < single_point_size_first_order_example(k, 1)
+    # Section 4.2: low-rank stays linear in np while the grid blows up.
+    for parameters in (3, 4, 5):
+        grid_points = 3 ** parameters
+        assert low_rank_size(4, parameters, 1) < multi_point_size(4, grid_points, 1)

@@ -1,0 +1,75 @@
+"""Shared fixtures and reporting helpers for the figure/table benchmarks.
+
+Every benchmark prints the series/rows the corresponding paper artifact
+reports (through the terminal even under pytest capture), times the
+reduction kernel via pytest-benchmark, and asserts the *shape* of the
+paper's result so regressions fail loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import coupled_rlc_bus, rc_network_767, rcnet_a, rcnet_b, with_random_variations
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a block of text directly to the terminal (bypass capture)."""
+
+    def _print(*lines):
+        with capsys.disabled():
+            print()
+            for line in lines:
+                print(line)
+
+    return _print
+
+
+def format_table(header, rows):
+    """Plain-text table with aligned columns."""
+    table = [header] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(table):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return lines
+
+
+def series_lines(label, frequencies, values, max_rows=12):
+    """Down-sampled (frequency, value) series for terminal display."""
+    indices = np.linspace(0, len(frequencies) - 1, max_rows).astype(int)
+    lines = [f"{label}:"]
+    for i in indices:
+        lines.append(f"  f = {frequencies[i]:.4g} Hz   value = {values[i]:.6g}")
+    return lines
+
+
+@pytest.fixture(scope="session")
+def rc767():
+    """Section 5.1 workload: 767-unknown RC net, two random sources."""
+    return rc_network_767(seed=2005)
+
+
+@pytest.fixture(scope="session")
+def bus_parametric():
+    """Section 5.2 workload: coupled 4-port RLC bus, two random sources."""
+    net = coupled_rlc_bus()
+    # Spread 1.0: at the Fig. 4 operating point |p| = 0.3 element values
+    # change by up to the full 30% ("maximum 30% parametric variation").
+    return with_random_variations(net, 2, seed=42, relative_spread=1.0)
+
+
+@pytest.fixture(scope="session")
+def rcneta():
+    """Section 5.3 workload: RCNetA (78 unknowns, 3 width parameters)."""
+    return rcnet_a()
+
+
+@pytest.fixture(scope="session")
+def rcnetb():
+    """Section 5.3 workload: RCNetB (333 unknowns, 3 width parameters)."""
+    return rcnet_b()

@@ -1,0 +1,86 @@
+"""Coupled-bus frequency response and crosstalk under variation (Section 5.2 style).
+
+A two-bit bus (coupled 4-port RLC network) is reduced with the three
+parametric methods the paper compares -- nominal projection, multi-point
+expansion, and the low-rank Algorithm 1 -- and the models are scored on
+the perturbed self-admittance |Y11| and the near-end crosstalk |Y13|
+across 5-45 GHz.  Reproduces the Fig. 4 story at example scale and
+prints the cost (factorization) ledger.
+
+Run:  python examples/coupled_bus_crosstalk.py
+"""
+
+import numpy as np
+
+from repro import (
+    LowRankReducer,
+    MultiPointReducer,
+    NominalReducer,
+    coupled_rlc_bus,
+    with_random_variations,
+)
+from repro.linalg import reset_factorization_count
+
+FREQUENCIES = np.linspace(5e9, 4.5e10, 40)
+CORNER = [0.3, -0.3]
+
+
+def entry_error(parametric, model, out_index, in_index):
+    full = parametric.instantiate(CORNER).frequency_response(FREQUENCIES)[:, out_index, in_index]
+    red = model.frequency_response(FREQUENCIES, CORNER)[:, out_index, in_index]
+    return np.abs(full - red).max() / np.abs(full).max()
+
+
+def main():
+    netlist = coupled_rlc_bus(num_lines=2, num_segments=60)
+    parametric = with_random_variations(netlist, 2, seed=3, relative_spread=1.0)
+    print(f"coupled bus: {parametric.order} MNA unknowns, 4 ports, "
+          f"{parametric.num_parameters} variational sources\n")
+
+    models = {}
+    costs = {}
+    reset_factorization_count()
+    models["low-rank (Algorithm 1)"] = LowRankReducer(num_moments=13, rank=1).reduce(
+        parametric
+    )
+    costs["low-rank (Algorithm 1)"] = reset_factorization_count()
+    samples = [[0.0, 0.0], [0.35, 0.35], [-0.35, -0.35]]
+    models["multi-point (3 samples)"] = MultiPointReducer(
+        samples, num_moments=13
+    ).reduce(parametric)
+    costs["multi-point (3 samples)"] = reset_factorization_count()
+    models["nominal projection"] = NominalReducer(num_moments=13).reduce(parametric)
+    costs["nominal projection"] = reset_factorization_count()
+
+    print(f"{'model':28s} {'size':>5s} {'factorizations':>15s} "
+          f"{'|Y11| err':>10s} {'|Y13| err':>10s}")
+    for label, model in models.items():
+        err_self = entry_error(parametric, model, 0, 0)
+        err_xtalk = entry_error(parametric, model, 2, 0)  # far line, near end
+        print(f"{label:28s} {model.size:5d} {costs[label]:15d} "
+              f"{err_self:10.2e} {err_xtalk:10.2e}")
+
+    # The paper's Fig. 4 story.
+    assert entry_error(parametric, models["low-rank (Algorithm 1)"], 0, 0) < 0.05
+    assert costs["low-rank (Algorithm 1)"] == 1
+    assert costs["multi-point (3 samples)"] == 3
+
+    # Crosstalk peak movement under variation -- why parametric models
+    # matter for signal integrity sign-off.
+    y13_nominal = np.abs(
+        parametric.instantiate([0.0, 0.0]).frequency_response(FREQUENCIES)[:, 2, 0]
+    )
+    y13_corner = np.abs(
+        parametric.instantiate(CORNER).frequency_response(FREQUENCIES)[:, 2, 0]
+    )
+    f_peak_nominal = FREQUENCIES[np.argmax(y13_nominal)]
+    f_peak_corner = FREQUENCIES[np.argmax(y13_corner)]
+    print(f"\ncrosstalk |Y13| peak: nominal {y13_nominal.max():.4f} at "
+          f"{f_peak_nominal / 1e9:.1f} GHz, corner {y13_corner.max():.4f} at "
+          f"{f_peak_corner / 1e9:.1f} GHz")
+    print("-> a fixed nominal model would misplace the crosstalk peak; the")
+    print("   parametric macromodel tracks it at every process corner.")
+
+
+if __name__ == "__main__":
+    main()

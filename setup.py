@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only
+enables legacy editable installs (``pip install -e . --no-use-pep517``)
+on machines where PEP 517 builds are unavailable (e.g. offline boxes
+without ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""Analysis and verification tooling for full and reduced models.
+
+- :mod:`repro.analysis.frequency` -- frequency sweeps and
+  model-vs-model comparisons (the Figs. 3-4 machinery).
+- :mod:`repro.analysis.poles` -- dominant-pole extraction and
+  full-vs-reduced pole matching (the Figs. 5-6 machinery).
+- :mod:`repro.analysis.passivity` -- structural and sampled passivity
+  verification of the macromodels.
+- :mod:`repro.analysis.timedomain` -- transient simulation of
+  descriptor systems (backward Euler / trapezoidal).
+- :mod:`repro.analysis.montecarlo` -- Monte Carlo process-variation
+  studies (normal 3-sigma sampling, per-instance errors).
+- :mod:`repro.analysis.metrics` -- error norms shared by all of the
+  above.
+"""
+
+from repro.analysis.delay import delay_sensitivity, elmore_delay, threshold_delay
+from repro.analysis.frequency import FrequencySweep, compare_frequency_responses, sweep
+from repro.analysis.metrics import (
+    matched_pole_errors,
+    max_relative_error,
+    relative_l2_error,
+    relative_linf_error,
+)
+from repro.analysis.montecarlo import MonteCarloResult, monte_carlo_pole_study, sample_parameters
+from repro.analysis.passivity import (
+    check_structural_passivity,
+    is_positive_real_sampled,
+    passivity_report,
+)
+from repro.analysis.poles import dominant_poles, match_poles, pole_error_grid, pole_residues
+from repro.analysis.sensitivity import sensitivity_error, transfer_sensitivities
+from repro.analysis.statistics import (
+    MetricDistribution,
+    ResponseSurface,
+    fit_response_surface,
+    metric_distribution,
+    parameter_ranking,
+)
+from repro.analysis.timedomain import simulate_step, simulate_transient
+
+__all__ = [
+    "FrequencySweep",
+    "MetricDistribution",
+    "MonteCarloResult",
+    "ResponseSurface",
+    "check_structural_passivity",
+    "compare_frequency_responses",
+    "delay_sensitivity",
+    "dominant_poles",
+    "elmore_delay",
+    "fit_response_surface",
+    "is_positive_real_sampled",
+    "match_poles",
+    "matched_pole_errors",
+    "max_relative_error",
+    "metric_distribution",
+    "monte_carlo_pole_study",
+    "parameter_ranking",
+    "passivity_report",
+    "pole_error_grid",
+    "pole_residues",
+    "relative_l2_error",
+    "relative_linf_error",
+    "sample_parameters",
+    "sensitivity_error",
+    "simulate_step",
+    "simulate_transient",
+    "sweep",
+    "threshold_delay",
+    "transfer_sensitivities",
+]

@@ -1,0 +1,127 @@
+"""Interconnect delay metrics (extension).
+
+The downstream use of variational interconnect models (the paper's
+motivation) is timing: how much does the clock-tree insertion delay
+move under process variation?  This module provides the standard delay
+metrics, each computable from either a full or a reduced model:
+
+- :func:`elmore_delay` -- the first moment of the impulse response,
+  ``T_elmore = m1_ratio = -d/ds [H(s)/H(0)] |_{s=0}``, computed exactly
+  from two transfer-function moments (no simulation);
+- :func:`threshold_delay` -- the 50% (or arbitrary-threshold) step
+  delay from a transient simulation;
+- :func:`delay_sensitivity` -- finite-difference sensitivity of a delay
+  metric with respect to each variational parameter, evaluated on the
+  *reduced* parametric model (the cheap surrogate the paper's method
+  makes possible).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.timedomain import simulate_step
+from repro.baselines.awe import transfer_moments
+
+
+def elmore_delay(system, output_index: int = 0, input_index: int = 0) -> float:
+    """Elmore delay of one transfer-function entry.
+
+    For a monotonic step response, ``T_elmore = -m1/m0`` where ``m_k``
+    are the transfer-function moments -- the classic first-order delay
+    metric (and an upper bound on the 50% delay for RC trees).
+
+    Raises if the DC gain ``m0`` vanishes (undriven output).
+    """
+    moments = transfer_moments(system, 2)
+    m0 = moments[0, output_index, input_index]
+    m1 = moments[1, output_index, input_index]
+    if m0 == 0.0:
+        raise ValueError("zero DC gain: Elmore delay undefined for this entry")
+    return float(-m1 / m0)
+
+
+def threshold_delay(
+    system,
+    threshold: float = 0.5,
+    output_index: int = 0,
+    input_index: int = 0,
+    horizon: Optional[float] = None,
+    num_steps: int = 2000,
+) -> float:
+    """Threshold-crossing step delay (50% by default).
+
+    Simulates the unit-step response (trapezoidal) and returns the
+    first time the output crosses ``threshold`` times its final value,
+    with linear interpolation between time points.  ``horizon``
+    defaults to eight times the dominant time constant.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    if horizon is None:
+        dominant = system.poles(num=1)
+        if dominant.size == 0 or dominant[0].real >= 0:
+            raise ValueError("cannot infer a horizon: no stable dominant pole")
+        horizon = 8.0 / abs(dominant[0].real)
+    result = simulate_step(
+        system, t_final=horizon, num_steps=num_steps, input_index=input_index
+    )
+    waveform = result.outputs[:, output_index]
+    # The threshold is relative to the true DC steady state (L^T G^{-1} B),
+    # not to the value at the end of the simulated window -- otherwise a
+    # too-short horizon would silently rescale the threshold.
+    final = system.dc_gain()[output_index, input_index]
+    if final == 0.0:
+        raise ValueError("zero steady-state response: threshold delay undefined")
+    level = threshold * final
+    normalized = waveform / final
+    above = np.nonzero(normalized >= threshold)[0]
+    if above.size == 0 or above[0] == 0:
+        raise ValueError(
+            "response does not cross the threshold inside the horizon; "
+            "increase `horizon`"
+        )
+    i = above[0]
+    t0, t1 = result.time[i - 1], result.time[i]
+    y0, y1 = waveform[i - 1], waveform[i]
+    return float(t0 + (level - y0) / (y1 - y0) * (t1 - t0))
+
+
+def delay_sensitivity(
+    parametric_model,
+    metric: Callable = elmore_delay,
+    point: Optional[Sequence[float]] = None,
+    step: float = 1e-3,
+    output_index: int = 0,
+    input_index: int = 0,
+) -> np.ndarray:
+    """Per-parameter delay sensitivities ``d(metric)/dp_i`` at ``point``.
+
+    ``parametric_model`` is anything with ``instantiate(p)`` (full
+    :class:`~repro.circuits.variational.ParametricSystem` or reduced
+    :class:`~repro.core.model.ParametricReducedModel`) -- running this
+    on the reduced model is the intended cheap path.  Central
+    differences with relative parameter step ``step``.
+    """
+    num_parameters = parametric_model.num_parameters
+    base = np.zeros(num_parameters) if point is None else np.asarray(point, dtype=float)
+    sensitivities = np.empty(num_parameters)
+    for i in range(num_parameters):
+        forward = base.copy()
+        backward = base.copy()
+        forward[i] += step
+        backward[i] -= step
+        d_plus = metric(
+            parametric_model.instantiate(forward),
+            output_index=output_index,
+            input_index=input_index,
+        )
+        d_minus = metric(
+            parametric_model.instantiate(backward),
+            output_index=output_index,
+            input_index=input_index,
+        )
+        sensitivities[i] = (d_plus - d_minus) / (2.0 * step)
+    return sensitivities

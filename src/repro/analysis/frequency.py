@@ -1,0 +1,116 @@
+"""Frequency-domain sweeps and model comparisons (Figs. 3-4 machinery).
+
+:func:`sweep` evaluates any model-like object -- a
+:class:`~repro.circuits.statespace.DescriptorSystem`, a
+:class:`~repro.circuits.variational.ParametricSystem` at a point, or a
+:class:`~repro.core.model.ParametricReducedModel` at a point -- over a
+frequency grid and returns a :class:`FrequencySweep` carrying the
+complex response of one (out, in) entry.  :func:`compare_frequency_responses`
+produces the per-model error table the figure benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import relative_l2_error, relative_linf_error
+
+
+@dataclass
+class FrequencySweep:
+    """A single-entry frequency response ``H[out, in](j 2 pi f)``."""
+
+    frequencies: np.ndarray
+    response: np.ndarray
+    label: str = "sweep"
+    output_index: int = 0
+    input_index: int = 0
+
+    def magnitude(self) -> np.ndarray:
+        """``|H(f)|`` (what the paper's Figs. 3-4 plot)."""
+        return np.abs(self.response)
+
+    def __post_init__(self):
+        self.frequencies = np.asarray(self.frequencies, dtype=float)
+        self.response = np.asarray(self.response, dtype=complex)
+        if self.frequencies.shape != self.response.shape:
+            raise ValueError("frequencies and response must have matching shapes")
+
+
+def _evaluate(model, frequencies: np.ndarray, p: Optional[Sequence[float]]) -> np.ndarray:
+    """Full ``(nf, m_out, m_in)`` response of any supported model object."""
+    if hasattr(model, "frequency_response"):
+        if p is None:
+            return model.frequency_response(frequencies)
+        return model.frequency_response(frequencies, p)
+    raise TypeError(f"object {model!r} does not expose frequency_response")
+
+
+def sweep(
+    model,
+    frequencies: Sequence[float],
+    p: Optional[Sequence[float]] = None,
+    output_index: int = 0,
+    input_index: int = 0,
+    label: Optional[str] = None,
+) -> FrequencySweep:
+    """Evaluate one transfer-function entry over a frequency grid.
+
+    ``p`` selects the parameter point for parametric models (full or
+    reduced) and must be omitted for plain descriptor systems.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    # ParametricSystem exposes instantiate() but not frequency_response.
+    if p is not None and hasattr(model, "instantiate") and not hasattr(
+        model, "frequency_response"
+    ):
+        model = model.instantiate(p)
+        p = None
+    full = _evaluate(model, frequencies, p)
+    return FrequencySweep(
+        frequencies,
+        full[:, output_index, input_index],
+        label=label or getattr(model, "title", model.__class__.__name__),
+        output_index=output_index,
+        input_index=input_index,
+    )
+
+
+@dataclass
+class SweepComparison:
+    """Error table of several sweeps against a shared reference."""
+
+    reference: FrequencySweep
+    sweeps: Dict[str, FrequencySweep] = field(default_factory=dict)
+    linf_errors: Dict[str, float] = field(default_factory=dict)
+    l2_errors: Dict[str, float] = field(default_factory=dict)
+
+    def rows(self):
+        """(label, linf, l2) rows sorted by insertion order."""
+        return [
+            (label, self.linf_errors[label], self.l2_errors[label])
+            for label in self.sweeps
+        ]
+
+
+def compare_frequency_responses(
+    reference: FrequencySweep, candidates: Dict[str, FrequencySweep]
+) -> SweepComparison:
+    """Compare candidate sweeps against a reference on the same grid."""
+    comparison = SweepComparison(reference=reference)
+    for label, candidate in candidates.items():
+        if candidate.frequencies.shape != reference.frequencies.shape or not np.allclose(
+            candidate.frequencies, reference.frequencies
+        ):
+            raise ValueError(f"sweep {label!r} uses a different frequency grid")
+        comparison.sweeps[label] = candidate
+        comparison.linf_errors[label] = relative_linf_error(
+            reference.response, candidate.response
+        )
+        comparison.l2_errors[label] = relative_l2_error(
+            reference.response, candidate.response
+        )
+    return comparison

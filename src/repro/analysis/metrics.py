@@ -1,0 +1,76 @@
+"""Error metrics shared by the analysis and benchmark code."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def relative_l2_error(reference: np.ndarray, approximation: np.ndarray) -> float:
+    """``||ref - approx||_2 / ||ref||_2`` over flattened arrays."""
+    reference = np.asarray(reference)
+    approximation = np.asarray(approximation)
+    if reference.shape != approximation.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {approximation.shape}")
+    denominator = np.linalg.norm(reference.ravel())
+    if denominator == 0.0:
+        return float(np.linalg.norm(approximation.ravel()))
+    return float(np.linalg.norm((reference - approximation).ravel()) / denominator)
+
+
+def relative_linf_error(reference: np.ndarray, approximation: np.ndarray) -> float:
+    """``max|ref - approx| / max|ref|`` -- the visual plot-error metric.
+
+    Normalizing by the *peak* of the reference (rather than pointwise)
+    matches how one reads the paper's overlay plots: a response that is
+    tiny at some frequency but wrong by 100% there should not dominate.
+    """
+    reference = np.asarray(reference)
+    approximation = np.asarray(approximation)
+    if reference.shape != approximation.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {approximation.shape}")
+    peak = np.abs(reference).max()
+    if peak == 0.0:
+        return float(np.abs(approximation).max())
+    return float(np.abs(reference - approximation).max() / peak)
+
+
+def max_relative_error(reference: np.ndarray, approximation: np.ndarray) -> float:
+    """``max |ref - approx| / |ref|`` elementwise (pole-error metric)."""
+    reference = np.asarray(reference)
+    approximation = np.asarray(approximation)
+    if reference.shape != approximation.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {approximation.shape}")
+    magnitude = np.abs(reference)
+    if np.any(magnitude == 0.0):
+        raise ValueError("reference contains zeros; relative error undefined")
+    return float(np.max(np.abs(reference - approximation) / magnitude))
+
+
+def matched_pole_errors(
+    reference_poles: np.ndarray, model_poles: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Greedy nearest-match pole pairing and per-pole relative errors.
+
+    For each reference pole (in dominance order) pick the closest
+    not-yet-used model pole in the complex plane; the relative error is
+    ``|p_ref - p_model| / |p_ref|``.  Returns ``(errors, matched_model_poles)``.
+    Raises if fewer model poles than reference poles are supplied.
+    """
+    reference_poles = np.asarray(reference_poles, dtype=complex)
+    model_poles = np.asarray(model_poles, dtype=complex)
+    if model_poles.size < reference_poles.size:
+        raise ValueError(
+            f"need at least {reference_poles.size} model poles, got {model_poles.size}"
+        )
+    available = list(range(model_poles.size))
+    errors = np.empty(reference_poles.size)
+    matched = np.empty(reference_poles.size, dtype=complex)
+    for i, pole in enumerate(reference_poles):
+        distances = np.abs(model_poles[available] - pole)
+        pick = int(np.argmin(distances))
+        index = available.pop(pick)
+        matched[i] = model_poles[index]
+        errors[i] = np.abs(model_poles[index] - pole) / np.abs(pole)
+    return errors, matched

@@ -1,0 +1,110 @@
+"""Passivity verification for full systems and macromodels.
+
+Two complementary checks:
+
+1. **Structural** (:func:`check_structural_passivity`): the RLC-MNA
+   sufficient conditions ``G + G^T >= 0``, ``C + C^T >= 0``, ``B = L``.
+   Congruence transforms preserve them (paper, end of Section 4.1:
+   "the congruence transforms ... implies that the passivity of the
+   reduced model will be guaranteed if the original parametric model
+   is passive").
+2. **Sampled positive-realness** (:func:`is_positive_real_sampled`):
+   ``H(s) + H(s)^H >= 0`` on a frequency grid -- a necessary condition
+   that catches sign errors the structural check can miss when models
+   are assembled by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+DEFAULT_TOLERANCE = 1e-9
+
+
+@dataclass
+class PassivityReport:
+    """Outcome of the passivity checks on one system."""
+
+    structural_margin: float
+    symmetric_ports: bool
+    sampled_min_eigenvalue: Optional[float]
+    tolerance: float
+
+    @property
+    def is_structurally_passive(self) -> bool:
+        """Structural conditions hold to within tolerance."""
+        return self.symmetric_ports and self.structural_margin >= -self.tolerance
+
+    @property
+    def is_sampled_positive_real(self) -> Optional[bool]:
+        """Sampled positive-realness (``None`` if not evaluated)."""
+        if self.sampled_min_eigenvalue is None:
+            return None
+        return self.sampled_min_eigenvalue >= -self.tolerance
+
+
+def check_structural_passivity(system, tol: float = DEFAULT_TOLERANCE) -> bool:
+    """True if ``G + G^T >= 0``, ``C + C^T >= 0`` and ``B = L``.
+
+    The margin is scaled by the matrix norms so that the check is
+    meaningful across the ~15 orders of magnitude between conductance
+    and capacitance entries.
+    """
+    if not system.is_symmetric_port_form():
+        return False
+    return _scaled_margin(system) >= -tol
+
+
+def _scaled_margin(system) -> float:
+    g = system.G.toarray() if hasattr(system.G, "toarray") else np.asarray(system.G)
+    c = system.C.toarray() if hasattr(system.C, "toarray") else np.asarray(system.C)
+    margins = []
+    for matrix in (g, c):
+        sym = 0.5 * (matrix + matrix.T)
+        scale = max(np.abs(sym).max(), 1e-300)
+        margins.append(np.linalg.eigvalsh(sym).min() / scale)
+    return float(min(margins))
+
+
+def is_positive_real_sampled(
+    system,
+    frequencies: Sequence[float],
+    tol: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """Sampled check of ``H(j w) + H(j w)^H >= 0`` over a grid in hertz."""
+    return _sampled_min_eigenvalue(system, frequencies) >= -tol
+
+
+def _sampled_min_eigenvalue(system, frequencies: Sequence[float]) -> float:
+    if system.num_inputs != system.num_outputs:
+        raise ValueError(
+            "positive-realness is defined for square port transfer matrices; "
+            "use system.port_restricted() to drop auxiliary observation outputs"
+        )
+    worst = np.inf
+    for f in np.asarray(frequencies, dtype=float):
+        h = system.transfer(2j * np.pi * f)
+        hermitian_part = 0.5 * (h + h.conj().T)
+        scale = max(np.abs(hermitian_part).max(), 1e-300)
+        worst = min(worst, np.linalg.eigvalsh(hermitian_part).min() / scale)
+    return float(worst)
+
+
+def passivity_report(
+    system,
+    frequencies: Optional[Sequence[float]] = None,
+    tol: float = DEFAULT_TOLERANCE,
+) -> PassivityReport:
+    """Run both checks and return a :class:`PassivityReport`."""
+    sampled = None
+    if frequencies is not None:
+        sampled = _sampled_min_eigenvalue(system, frequencies)
+    return PassivityReport(
+        structural_margin=_scaled_margin(system),
+        symmetric_ports=system.is_symmetric_port_form(),
+        sampled_min_eigenvalue=sampled,
+        tolerance=tol,
+    )

@@ -1,0 +1,163 @@
+"""Statistical performance analysis on parametric macromodels (extension).
+
+The end product the paper enables: once a compact parametric model
+exists, statistical analysis of any scalar performance metric (delay,
+bandwidth, peak crosstalk, ...) over the process distribution becomes
+cheap.  This module provides:
+
+- :func:`metric_distribution` -- Monte Carlo of a user metric over the
+  parameter distribution, with summary statistics and percentiles;
+- :func:`fit_response_surface` -- a quadratic response-surface model
+  ``f(p) ~= c0 + b^T p + p^T A p / 2`` fitted by least squares on model
+  evaluations, the standard SSTA-style surrogate;
+- :func:`parameter_ranking` -- Pearson-correlation ranking of which
+  parameter drives the metric (a cheap global sensitivity measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.montecarlo import sample_parameters
+
+
+@dataclass
+class MetricDistribution:
+    """Monte Carlo summary of a scalar performance metric."""
+
+    samples: np.ndarray
+    values: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return float(self.values.mean())
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return float(self.values.std())
+
+    def percentile(self, q) -> np.ndarray:
+        """Percentile(s) of the metric (e.g. ``q=99`` for worst-case-ish)."""
+        return np.percentile(self.values, q)
+
+    def histogram(self, bins: int = 20):
+        """``numpy.histogram`` of the metric values."""
+        return np.histogram(self.values, bins=bins)
+
+
+def metric_distribution(
+    parametric_model,
+    metric: Callable[..., float],
+    num_instances: int = 200,
+    three_sigma: float = 0.3,
+    seed: int = 0,
+    samples: Optional[Sequence[Sequence[float]]] = None,
+) -> MetricDistribution:
+    """Monte Carlo distribution of ``metric(instantiated_system)``.
+
+    ``metric`` receives the instantiated (reduced or full) descriptor
+    system for each parameter sample; use e.g.
+    :func:`repro.analysis.delay.elmore_delay`.
+    """
+    if samples is None:
+        samples = sample_parameters(
+            num_instances, parametric_model.num_parameters,
+            three_sigma=three_sigma, seed=seed,
+        )
+    else:
+        samples = np.atleast_2d(np.asarray(samples, dtype=float))
+    values = np.array(
+        [metric(parametric_model.instantiate(point)) for point in samples]
+    )
+    return MetricDistribution(samples=samples, values=values)
+
+
+@dataclass
+class ResponseSurface:
+    """Quadratic surrogate ``f(p) ~= c0 + b.p + p.A.p/2``."""
+
+    constant: float
+    linear: np.ndarray
+    quadratic: np.ndarray
+    residual_rms: float
+
+    def __call__(self, p: Sequence[float]) -> float:
+        point = np.asarray(p, dtype=float)
+        return float(
+            self.constant
+            + self.linear @ point
+            + 0.5 * point @ self.quadratic @ point
+        )
+
+
+def fit_response_surface(
+    samples: Sequence[Sequence[float]], values: Sequence[float]
+) -> ResponseSurface:
+    """Least-squares quadratic response surface from (samples, values).
+
+    Needs at least ``1 + np + np(np+1)/2`` samples.  The quadratic
+    coefficient matrix is symmetric by construction.
+    """
+    points = np.atleast_2d(np.asarray(samples, dtype=float))
+    targets = np.asarray(values, dtype=float)
+    if points.shape[0] != targets.shape[0]:
+        raise ValueError("samples and values must have equal length")
+    n_samples, np_count = points.shape
+    num_terms = 1 + np_count + np_count * (np_count + 1) // 2
+    if n_samples < num_terms:
+        raise ValueError(
+            f"need at least {num_terms} samples for a quadratic fit in "
+            f"{np_count} parameters, got {n_samples}"
+        )
+    columns = [np.ones(n_samples)]
+    columns.extend(points[:, i] for i in range(np_count))
+    pairs = []
+    for i in range(np_count):
+        for j in range(i, np_count):
+            factor = 0.5 if i == j else 1.0
+            columns.append(factor * points[:, i] * points[:, j])
+            pairs.append((i, j))
+    design = np.column_stack(columns)
+    coefficients, *_ = np.linalg.lstsq(design, targets, rcond=None)
+    constant = float(coefficients[0])
+    linear = coefficients[1 : 1 + np_count].copy()
+    quadratic = np.zeros((np_count, np_count))
+    for coefficient, (i, j) in zip(coefficients[1 + np_count :], pairs):
+        # Design columns: 0.5 p_i^2 (diagonal) and p_i p_j (off-diagonal),
+        # so f = c0 + b.p + 0.5 p.Q.p holds with Q[i,i] = c_ii and
+        # Q[i,j] = Q[j,i] = c_ij directly.
+        quadratic[i, j] = coefficient
+        quadratic[j, i] = coefficient
+    residual = design @ coefficients - targets
+    return ResponseSurface(
+        constant=constant,
+        linear=linear,
+        quadratic=quadratic,
+        residual_rms=float(np.sqrt(np.mean(residual ** 2))),
+    )
+
+
+def parameter_ranking(distribution: MetricDistribution):
+    """Parameters ranked by |Pearson correlation| with the metric.
+
+    Returns a list of ``(parameter_index, correlation)`` sorted by
+    descending influence.  Zero-variance parameters get correlation 0.
+    """
+    samples = distribution.samples
+    values = distribution.values
+    correlations = []
+    value_std = values.std()
+    for i in range(samples.shape[1]):
+        column = samples[:, i]
+        denominator = column.std() * value_std
+        if denominator == 0.0:
+            correlations.append((i, 0.0))
+            continue
+        covariance = np.mean((column - column.mean()) * (values - values.mean()))
+        correlations.append((i, float(covariance / denominator)))
+    return sorted(correlations, key=lambda item: abs(item[1]), reverse=True)

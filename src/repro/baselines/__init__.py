@@ -1,0 +1,39 @@
+"""Baseline model order reduction methods.
+
+- :mod:`repro.baselines.prima` -- the PRIMA algorithm [4]: passive
+  reduced-order interconnect macromodeling via block Krylov projection.
+  Every parametric method in :mod:`repro.core` builds on it.
+- :mod:`repro.baselines.tbr` -- truncated balanced realization [5][8],
+  the control-theoretic baseline the paper contrasts moment matching
+  against (accurate but expensive).
+- :mod:`repro.baselines.awe` -- explicit moment computation and Pade
+  extraction in the AWE style [1]; used as a cross-check oracle for the
+  Krylov implementations.
+- :mod:`repro.baselines.projection_fit` -- the variational method of
+  Liu et al. [6]: Taylor-expanding the PRIMA projection matrix over
+  parameter-space samples by direct fitting.
+"""
+
+from repro.baselines.awe import pade_poles, transfer_moments
+from repro.baselines.prima import prima, prima_projection
+from repro.baselines.projection_fit import FittedProjectionModel, fit_projection_model
+from repro.baselines.rational_arnoldi import (
+    logspaced_shifts,
+    rational_arnoldi,
+    rational_arnoldi_projection,
+)
+from repro.baselines.tbr import hankel_singular_values, tbr
+
+__all__ = [
+    "FittedProjectionModel",
+    "fit_projection_model",
+    "hankel_singular_values",
+    "logspaced_shifts",
+    "pade_poles",
+    "prima",
+    "prima_projection",
+    "rational_arnoldi",
+    "rational_arnoldi_projection",
+    "tbr",
+    "transfer_moments",
+]

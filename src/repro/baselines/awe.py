@@ -1,0 +1,98 @@
+"""AWE-style explicit moments and Pade pole extraction [1].
+
+Asymptotic waveform evaluation works with the *explicit* transfer
+function moments
+
+``m_k = L^T A^k R,   A = -G^{-1} C,   R = G^{-1} B``
+
+so that ``H(s) = sum_k m_k s^k``.  Explicit moment matching is known to
+be numerically fragile beyond ~8 moments (the motivation for the Krylov
+methods the paper builds on), but the first several moments are an
+excellent *oracle*: this module is used by the test suite to verify
+that the projection-based reducers really match the moments they claim
+to match, and by the examples to extract dominant poles the AWE way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.statespace import DescriptorSystem
+from repro.linalg.sparselu import SparseLU
+
+
+def transfer_moments(
+    system: DescriptorSystem,
+    num_moments: int,
+    expansion_point: float = 0.0,
+    lu: Optional[SparseLU] = None,
+) -> np.ndarray:
+    """Block moments ``m_0 .. m_{num_moments-1}`` of ``H`` about ``s0``.
+
+    Returns an array of shape ``(num_moments, m_out, m_in)`` with
+    ``m_k = L^T (-(G + s0 C)^{-1} C)^k (G + s0 C)^{-1} B``, i.e. the
+    Taylor coefficients of ``H(s0 + sigma)`` in ``sigma``.
+    """
+    if num_moments < 1:
+        raise ValueError("num_moments must be >= 1")
+    if lu is None:
+        pencil = system.G + expansion_point * system.C if expansion_point else system.G
+        lu = SparseLU(pencil)
+    b_dense = system.B.toarray() if hasattr(system.B, "toarray") else np.asarray(system.B)
+    l_dense = system.L.toarray() if hasattr(system.L, "toarray") else np.asarray(system.L)
+    block = lu.solve(b_dense)
+    moments = np.empty((num_moments, l_dense.shape[1], b_dense.shape[1]))
+    for k in range(num_moments):
+        moments[k] = l_dense.T @ block
+        if k + 1 < num_moments:
+            block = -lu.solve(np.asarray(system.C @ block))
+    return moments
+
+
+def pade_poles(moments: np.ndarray, num_poles: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Poles and residues of a [q-1/q] Pade approximant from scalar moments.
+
+    Implements the classic AWE procedure for a SISO moment sequence
+    ``m_0 .. m_{2q-1}``: solve the Hankel system for the denominator
+    coefficients, root it for the poles ``p_j`` (in the ``1/s``-style
+    AWE convention poles satisfy ``sum_j r_j / (s - p_j) = H(s)``),
+    then solve a Vandermonde system for the residues.
+
+    Parameters
+    ----------
+    moments:
+        1-D array of at least ``2 * num_poles`` scalar moments.
+    num_poles:
+        Approximant order ``q``.
+
+    Returns
+    -------
+    (poles, residues):
+        Complex arrays of length ``q`` sorted by ascending ``|pole|``
+        (most dominant first).
+    """
+    moments = np.asarray(moments, dtype=float).ravel()
+    q = int(num_poles)
+    if q < 1:
+        raise ValueError("num_poles must be >= 1")
+    if moments.size < 2 * q:
+        raise ValueError(f"need at least {2 * q} moments, got {moments.size}")
+    # Hankel system: sum_{i=0}^{q-1} a_i m_{j+i} = -m_{j+q}, j = 0..q-1.
+    hankel = np.empty((q, q))
+    for j in range(q):
+        hankel[j] = moments[j : j + q]
+    rhs = -moments[q : 2 * q]
+    denom = np.linalg.solve(hankel, rhs)
+    # Characteristic polynomial (in 1/s after scaling): a_0 + a_1 x + ... + x^q.
+    coefficients = np.concatenate(([1.0], denom[::-1]))
+    roots = np.roots(coefficients)
+    poles = 1.0 / roots
+    # Residues from the moment equations: m_k = -sum_j r_j / p_j^{k+1}.
+    vandermonde = np.empty((q, q), dtype=complex)
+    for k in range(q):
+        vandermonde[k] = -1.0 / poles ** (k + 1)
+    residues = np.linalg.solve(vandermonde, moments[:q].astype(complex))
+    order = np.argsort(np.abs(poles))
+    return poles[order], residues[order]

@@ -1,0 +1,163 @@
+"""The variational MOR of Liu, Pileggi, Strojwas [6]: projection fitting.
+
+The method Taylor-expands the PRIMA projection matrix over the
+variational parameters (paper eq. (4)),
+
+``V(p) = V0 + sum_i V_{i,1} p_i + sum_i V_{i,2} p_i^2``,
+
+determines the coefficient matrices by sampling the parameter space
+(running PRIMA on each perturbed system and solving small linear
+systems entrywise), and produces a parametric reduced model by
+inserting ``V(p)`` into the congruence transforms (paper eq. (2)).
+
+The paper under reproduction points out the known weakness (its
+Section 3.3): the Krylov basis is not a continuous function of the
+parameters -- column ordering, signs, and deflation decisions jump
+around -- "sometimes it is observed that the projection matrix is
+sensitive w.r.t variational parameters thus making a direct fitting
+less robust".  We implement the method faithfully, including an
+optional orthogonal-Procrustes alignment of each sampled basis to the
+nominal one that mitigates (but cannot eliminate) sign/rotation
+ambiguity.  The regression tests exercise both behaviours.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.prima import prima_projection
+from repro.circuits.statespace import DescriptorSystem
+from repro.circuits.variational import ParametricSystem
+
+
+class FittedProjectionModel:
+    """Parametric reduced model with a polynomially fitted projection.
+
+    ``coefficients`` holds ``[V0, V_{1,1}, ..., V_{np,1}, V_{1,2}, ...,
+    V_{np,2}]`` (quadratic fit) or just the linear part, depending on
+    the fit degree.
+    """
+
+    def __init__(
+        self,
+        parametric: ParametricSystem,
+        coefficients: List[np.ndarray],
+        degree: int,
+    ):
+        self.parametric = parametric
+        self.coefficients = coefficients
+        self.degree = degree
+
+    @property
+    def size(self) -> int:
+        """Number of reduced states (columns of the projection)."""
+        return self.coefficients[0].shape[1]
+
+    def projection_at(self, p: Sequence[float]) -> np.ndarray:
+        """Evaluate ``V(p)`` from the fitted Taylor coefficients."""
+        point = np.atleast_1d(np.asarray(p, dtype=float))
+        num_parameters = self.parametric.num_parameters
+        if point.shape != (num_parameters,):
+            raise ValueError(f"expected {num_parameters} parameters")
+        v = self.coefficients[0].copy()
+        for i in range(num_parameters):
+            v += point[i] * self.coefficients[1 + i]
+        if self.degree >= 2:
+            for i in range(num_parameters):
+                v += point[i] ** 2 * self.coefficients[1 + num_parameters + i]
+        return v
+
+    def instantiate(self, p: Sequence[float]) -> DescriptorSystem:
+        """Reduced system at parameter point ``p`` (eq. (4) into eq. (2))."""
+        v = self.projection_at(p)
+        return self.parametric.instantiate(p).reduce(
+            v, title=f"{self.parametric.nominal.title}[fit]"
+        )
+
+    def transfer(self, s: complex, p: Sequence[float]) -> np.ndarray:
+        """Reduced parametric transfer function ``H_r(s, p)``."""
+        return self.instantiate(p).transfer(s)
+
+
+def _align(basis: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Orthogonal-Procrustes alignment of ``basis`` onto ``reference``.
+
+    Krylov bases of nearby systems span nearby subspaces but the
+    *representatives* differ by an orthogonal transform; fitting raw
+    entries without alignment mostly fits that noise.
+    """
+    k = min(basis.shape[1], reference.shape[1])
+    u, _, v_t = np.linalg.svd(basis[:, :k].T @ reference[:, :k])
+    return basis[:, :k] @ (u @ v_t)
+
+
+def fit_projection_model(
+    parametric: ParametricSystem,
+    sample_points: Sequence[Sequence[float]],
+    num_moments: int,
+    degree: int = 2,
+    expansion_point: float = 0.0,
+    align: bool = True,
+) -> FittedProjectionModel:
+    """Fit ``V(p)`` over PRIMA projections sampled at ``sample_points``.
+
+    Parameters
+    ----------
+    parametric:
+        The variational system.
+    sample_points:
+        Parameter points to sample; need at least as many as fit
+        coefficients (``1 + np`` for linear, ``1 + 2 np`` for quadratic).
+    num_moments:
+        PRIMA moments matched at each sample.
+    degree:
+        1 (linear) or 2 (quadratic, paper eq. (4)).
+    expansion_point:
+        PRIMA expansion point.
+    align:
+        Procrustes-align each sampled basis to the nominal basis before
+        fitting (recommended; ``False`` reproduces the raw fragility).
+    """
+    if degree not in (1, 2):
+        raise ValueError("degree must be 1 or 2")
+    points = np.atleast_2d(np.asarray(sample_points, dtype=float))
+    num_parameters = parametric.num_parameters
+    if points.shape[1] != num_parameters:
+        raise ValueError(
+            f"sample points have {points.shape[1]} coordinates, expected {num_parameters}"
+        )
+    num_coefficients = 1 + num_parameters * degree
+    if points.shape[0] < num_coefficients:
+        raise ValueError(
+            f"need at least {num_coefficients} sample points for a degree-{degree} "
+            f"fit in {num_parameters} parameters, got {points.shape[0]}"
+        )
+
+    nominal_basis: Optional[np.ndarray] = None
+    bases = []
+    for point in points:
+        system = parametric.instantiate(point)
+        basis = prima_projection(system, num_moments, expansion_point=expansion_point)
+        if nominal_basis is None:
+            nominal_basis = basis
+        width = min(basis.shape[1], nominal_basis.shape[1])
+        basis = basis[:, :width]
+        if align:
+            basis = _align(basis, nominal_basis)
+        bases.append(basis)
+    width = min(b.shape[1] for b in bases)
+    bases = [b[:, :width] for b in bases]
+
+    # Least-squares fit of each entry of V over the polynomial basis
+    # [1, p_1..p_np, p_1^2..p_np^2].
+    design = np.ones((points.shape[0], num_coefficients))
+    design[:, 1 : 1 + num_parameters] = points
+    if degree == 2:
+        design[:, 1 + num_parameters :] = points ** 2
+    stacked = np.stack([b.ravel() for b in bases])  # (samples, n*q)
+    solution, *_ = np.linalg.lstsq(design, stacked, rcond=None)
+    n = parametric.order
+    coefficients = [solution[j].reshape(n, width) for j in range(num_coefficients)]
+    return FittedProjectionModel(parametric, coefficients, degree)

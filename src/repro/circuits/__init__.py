@@ -1,0 +1,89 @@
+"""Interconnect circuit substrate: netlists, MNA stamping, generators.
+
+The paper's algorithms operate on MNA (modified nodal analysis)
+descriptions of interconnect,
+
+``C x' = -G x + B u,   y = L^T x``  (paper eq. (1)),
+
+optionally parameterized by process-variation parameters
+(paper eq. (3)/(5)).  This subpackage builds that substrate from
+scratch:
+
+- :mod:`repro.circuits.elements` / :mod:`repro.circuits.netlist` --
+  circuit elements (R, C, L, mutual inductance, sources, ports) and a
+  netlist container with a programmatic builder API.
+- :mod:`repro.circuits.parser` -- a small SPICE-like netlist parser.
+- :mod:`repro.circuits.mna` -- sparse MNA stamping producing the
+  ``G, C, B, L`` matrices in PRIMA-compatible, passivity-structured
+  form.
+- :mod:`repro.circuits.statespace` -- the descriptor state-space model
+  with transfer-function evaluation, pole computation, congruence
+  reduction.
+- :mod:`repro.circuits.variational` -- parametric systems
+  ``{G0, C0, {G_i}, {C_i}, B, L}`` plus finite-difference sensitivity
+  extraction.
+- :mod:`repro.circuits.extraction` -- a geometry-based parasitic
+  extraction model (sheet resistance, area + fringe capacitance) with
+  closed-form width sensitivities, standing in for the paper's
+  industrial extractor.
+- :mod:`repro.circuits.generators` -- the benchmark circuits of the
+  paper's Section 5 (767-unknown RC net, 4-port coupled RLC bus,
+  clock-tree nets RCNetA/RCNetB).
+"""
+
+from repro.circuits.elements import (
+    Capacitor,
+    CurrentPort,
+    Inductor,
+    MutualInductance,
+    Observation,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuits.extraction import MetalLayer, Wire, extract_wire, standard_stack
+from repro.circuits.generators import (
+    clock_tree,
+    coupled_rlc_bus,
+    power_grid_mesh,
+    rc_ladder,
+    rc_network_767,
+    rc_tree,
+    rcnet_a,
+    rcnet_b,
+    with_random_variations,
+)
+from repro.circuits.mna import MNAError, assemble
+from repro.circuits.netlist import Netlist
+from repro.circuits.parser import parse_netlist
+from repro.circuits.statespace import DescriptorSystem
+from repro.circuits.variational import ParametricSystem, finite_difference_sensitivities
+
+__all__ = [
+    "Capacitor",
+    "CurrentPort",
+    "DescriptorSystem",
+    "Inductor",
+    "MNAError",
+    "MetalLayer",
+    "MutualInductance",
+    "Netlist",
+    "Observation",
+    "ParametricSystem",
+    "Resistor",
+    "VoltageSource",
+    "Wire",
+    "assemble",
+    "clock_tree",
+    "coupled_rlc_bus",
+    "extract_wire",
+    "finite_difference_sensitivities",
+    "parse_netlist",
+    "power_grid_mesh",
+    "rc_ladder",
+    "rc_network_767",
+    "rc_tree",
+    "rcnet_a",
+    "rcnet_b",
+    "standard_stack",
+    "with_random_variations",
+]

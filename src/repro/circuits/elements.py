@@ -1,0 +1,148 @@
+"""Circuit element definitions.
+
+Elements are small frozen dataclasses; all electrical behaviour (MNA
+stamps) lives in :mod:`repro.circuits.mna` so that elements remain
+plain descriptions that generators, parsers and tests can construct
+and inspect freely.
+
+Node names are strings; the ground node is ``"0"`` (aliases ``"gnd"``
+and ``"GND"`` are accepted by the netlist builder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GROUND_NAMES = frozenset({"0", "gnd", "GND", "ground"})
+
+
+def is_ground(node: str) -> bool:
+    """True if ``node`` names the ground/reference node."""
+    return node in GROUND_NAMES
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Two-terminal resistor; ``value`` in ohms (must be positive)."""
+
+    name: str
+    node_a: str
+    node_b: str
+    value: float
+
+    def __post_init__(self):
+        if self.value <= 0:
+            raise ValueError(f"resistor {self.name}: value must be positive, got {self.value}")
+        if self.node_a == self.node_b:
+            raise ValueError(f"resistor {self.name}: both terminals on node {self.node_a}")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """Two-terminal capacitor; ``value`` in farads (must be positive)."""
+
+    name: str
+    node_a: str
+    node_b: str
+    value: float
+
+    def __post_init__(self):
+        if self.value <= 0:
+            raise ValueError(f"capacitor {self.name}: value must be positive, got {self.value}")
+        if self.node_a == self.node_b:
+            raise ValueError(f"capacitor {self.name}: both terminals on node {self.node_a}")
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """Two-terminal inductor; ``value`` in henries (must be positive).
+
+    Each inductor introduces one branch-current unknown into the MNA
+    state vector (paper eq. (1): "nodal voltages and branch currents
+    for voltage sources and inductors").
+    """
+
+    name: str
+    node_a: str
+    node_b: str
+    value: float
+
+    def __post_init__(self):
+        if self.value <= 0:
+            raise ValueError(f"inductor {self.name}: value must be positive, got {self.value}")
+        if self.node_a == self.node_b:
+            raise ValueError(f"inductor {self.name}: both terminals on node {self.node_a}")
+
+
+@dataclass(frozen=True)
+class MutualInductance:
+    """Mutual coupling between two named inductors.
+
+    ``coupling`` is the dimensionless coefficient ``k`` with
+    ``|k| < 1`` so that the branch inductance matrix stays positive
+    definite (required for passivity).
+    """
+
+    name: str
+    inductor_a: str
+    inductor_b: str
+    coupling: float
+
+    def __post_init__(self):
+        if not -1.0 < self.coupling < 1.0:
+            raise ValueError(
+                f"mutual {self.name}: coupling must satisfy |k| < 1, got {self.coupling}"
+            )
+        if self.inductor_a == self.inductor_b:
+            raise ValueError(f"mutual {self.name}: cannot couple {self.inductor_a} to itself")
+
+
+@dataclass(frozen=True)
+class CurrentPort:
+    """An external port driven by a current source, observing voltage.
+
+    Current ports produce the symmetric ``B = L`` input/output
+    structure that PRIMA requires for provable passivity of the reduced
+    macromodel: input ``u_j`` is the current injected into ``node``
+    (w.r.t. ground), output ``y_j`` is the voltage at ``node``.
+    """
+
+    name: str
+    node: str
+
+    def __post_init__(self):
+        if is_ground(self.node):
+            raise ValueError(f"port {self.name}: cannot attach a port to ground")
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """An independent voltage source input between two nodes.
+
+    Adds one branch-current unknown.  Used for voltage-driven transfer
+    functions (e.g. the paper's Fig. 3, "transfer function from the
+    voltage input to an observation node").  Note that circuits with
+    voltage-source inputs have ``B != L`` and are reduced without the
+    symmetric-passivity guarantee; use :class:`CurrentPort` when a
+    passive macromodel is required.
+    """
+
+    name: str
+    node_plus: str
+    node_minus: str
+
+    def __post_init__(self):
+        if self.node_plus == self.node_minus:
+            raise ValueError(f"source {self.name}: both terminals on node {self.node_plus}")
+
+
+@dataclass(frozen=True)
+class Observation:
+    """A named voltage output at ``node`` (adds a row to ``L``)."""
+
+    name: str
+    node: str
+
+    def __post_init__(self):
+        if is_ground(self.node):
+            raise ValueError(f"observation {self.name}: ground voltage is identically zero")

@@ -1,0 +1,257 @@
+"""MNA (modified nodal analysis) stamping.
+
+Assembles the sparse system matrices of paper eq. (1),
+
+``C x' = -G x + B u,    y = L^T x``,
+
+from a :class:`repro.circuits.netlist.Netlist`.  The state vector is
+
+``x = [node voltages..., inductor currents..., source currents...]``.
+
+Stamps are chosen so the assembled matrices have the passivity
+structure PRIMA relies on:
+
+- resistors stamp a symmetric PSD block into ``G``;
+- capacitors stamp a symmetric PSD block into ``C``;
+- inductor branch rows make the non-symmetric part of ``G`` exactly
+  skew (``G + G^T`` is PSD) and put the (PSD) branch inductance matrix
+  on the diagonal of ``C``;
+- current ports produce ``B = L`` columns with a single ``+1`` at the
+  port node.
+
+Voltage-source inputs (if any) use the standard MNA source stamps; they
+give ``B != L`` and are intended for transfer-function studies rather
+than passive macromodeling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuits.elements import is_ground
+from repro.circuits.netlist import Netlist
+
+
+class MNAError(ValueError):
+    """Raised when a netlist cannot be assembled into a valid MNA system."""
+
+
+class MNAIndex:
+    """Mapping from netlist entities to MNA state/input/output indices."""
+
+    def __init__(self, netlist: Netlist):
+        self.node_index: Dict[str, int] = {name: i for i, name in enumerate(netlist.nodes())}
+        n_nodes = len(self.node_index)
+        self.inductor_index: Dict[str, int] = {
+            ind.name: n_nodes + j for j, ind in enumerate(netlist.inductors)
+        }
+        n_l = len(self.inductor_index)
+        self.source_index: Dict[str, int] = {
+            src.name: n_nodes + n_l + j for j, src in enumerate(netlist.voltage_sources)
+        }
+        self.n_states = n_nodes + n_l + len(self.source_index)
+        self.input_names: List[str] = [p.name for p in netlist.current_ports] + [
+            s.name for s in netlist.voltage_sources
+        ]
+        self.output_names: List[str] = [p.name for p in netlist.current_ports] + [
+            o.name for o in netlist.observations
+        ]
+
+    def node(self, name: str) -> int:
+        """State index of a non-ground node (raises for unknown names)."""
+        try:
+            return self.node_index[name]
+        except KeyError:
+            raise MNAError(f"unknown node {name!r}") from None
+
+
+def _stamp_conductance(triples: list, index: MNAIndex, node_a: str, node_b: str, value: float):
+    a = None if is_ground(node_a) else index.node(node_a)
+    b = None if is_ground(node_b) else index.node(node_b)
+    if a is not None:
+        triples.append((a, a, value))
+    if b is not None:
+        triples.append((b, b, value))
+    if a is not None and b is not None:
+        triples.append((a, b, -value))
+        triples.append((b, a, -value))
+
+
+def assemble(netlist: Netlist) -> "DescriptorSystem":
+    """Assemble a netlist into a :class:`~repro.circuits.statespace.DescriptorSystem`.
+
+    Raises
+    ------
+    MNAError
+        If the netlist has no states or no inputs, or if a mutual
+        inductance coupling would make the inductance matrix indefinite.
+    """
+    # Imported here to avoid a circular import at module load time.
+    from repro.circuits.statespace import DescriptorSystem
+
+    index = MNAIndex(netlist)
+    n = index.n_states
+    if n == 0:
+        raise MNAError("netlist has no circuit unknowns")
+    if not index.input_names:
+        raise MNAError("netlist declares no inputs (ports or sources)")
+
+    g_triples: List[Tuple[int, int, float]] = []
+    c_triples: List[Tuple[int, int, float]] = []
+
+    for res in netlist.resistors:
+        _stamp_conductance(g_triples, index, res.node_a, res.node_b, 1.0 / res.value)
+    for cap in netlist.capacitors:
+        _stamp_conductance(c_triples, index, cap.node_a, cap.node_b, cap.value)
+
+    for ind in netlist.inductors:
+        k = index.inductor_index[ind.name]
+        a = None if is_ground(ind.node_a) else index.node(ind.node_a)
+        b = None if is_ground(ind.node_b) else index.node(ind.node_b)
+        # KCL: branch current leaves node_a, enters node_b.
+        if a is not None:
+            g_triples.append((a, k, 1.0))
+            g_triples.append((k, a, -1.0))
+        if b is not None:
+            g_triples.append((b, k, -1.0))
+            g_triples.append((k, b, 1.0))
+        # Branch equation: L di/dt = v_a - v_b.
+        c_triples.append((k, k, ind.value))
+
+    for mut in netlist.mutuals:
+        la = netlist.find_inductor(mut.inductor_a)
+        lb = netlist.find_inductor(mut.inductor_b)
+        m_value = mut.coupling * np.sqrt(la.value * lb.value)
+        ka = index.inductor_index[mut.inductor_a]
+        kb = index.inductor_index[mut.inductor_b]
+        c_triples.append((ka, kb, m_value))
+        c_triples.append((kb, ka, m_value))
+
+    b_triples: List[Tuple[int, int, float]] = []
+    l_triples: List[Tuple[int, int, float]] = []
+    for j, port in enumerate(netlist.current_ports):
+        node = index.node(port.node)
+        b_triples.append((node, j, 1.0))
+        l_triples.append((node, j, 1.0))
+
+    n_ports = len(netlist.current_ports)
+    for j, src in enumerate(netlist.voltage_sources):
+        k = index.source_index[src.name]
+        a = None if is_ground(src.node_plus) else index.node(src.node_plus)
+        b = None if is_ground(src.node_minus) else index.node(src.node_minus)
+        if a is not None:
+            g_triples.append((a, k, 1.0))
+            g_triples.append((k, a, -1.0))
+        if b is not None:
+            g_triples.append((b, k, -1.0))
+            g_triples.append((k, b, 1.0))
+        # Branch equation: v_plus - v_minus = u  ->  row k of (-G x + B u) = 0.
+        b_triples.append((k, n_ports + j, -1.0))
+
+    for j, obs in enumerate(netlist.observations):
+        l_triples.append((index.node(obs.node), n_ports + j, 1.0))
+
+    def build(triples, shape):
+        if not triples:
+            return sp.csr_matrix(shape)
+        rows, cols, vals = zip(*triples)
+        return sp.csr_matrix(sp.coo_matrix((vals, (rows, cols)), shape=shape))
+
+    g_matrix = build(g_triples, (n, n))
+    c_matrix = build(c_triples, (n, n))
+    b_matrix = build(b_triples, (n, len(index.input_names)))
+    l_matrix = build(l_triples, (n, len(index.output_names)))
+
+    _check_inductance_psd(netlist, c_matrix, index)
+
+    return DescriptorSystem(
+        g_matrix,
+        c_matrix,
+        b_matrix,
+        l_matrix,
+        input_names=list(index.input_names),
+        output_names=list(index.output_names),
+        state_names=_state_names(netlist, index),
+        title=netlist.title,
+    )
+
+
+def assemble_perturbation(netlist: Netlist, scales: Dict[str, float]):
+    """Stamp a sensitivity-matrix pair ``(dG, dC)`` from element scales.
+
+    MNA matrices are linear in the element conductances, capacitances
+    and inductances, so any first-order sensitivity matrix is a
+    weighted re-stamp of a subset of elements.  ``scales`` maps element
+    names to the dimensionless factor ``d(value)/dp / value`` -- the
+    per-element relative sensitivity to the parameter.  Each listed
+    element is stamped with ``scale * nominal_value`` (for resistors,
+    ``scale * nominal_conductance``); unlisted elements contribute
+    nothing.  Topological stamps (inductor/source incidence columns)
+    never depend on element values and are therefore never part of a
+    sensitivity matrix.
+
+    Returns
+    -------
+    (dG, dC):
+        Sparse sensitivity matrices with the same shape as the
+        assembled ``G``/``C``.
+    """
+    index = MNAIndex(netlist)
+    n = index.n_states
+    g_triples: List[Tuple[int, int, float]] = []
+    c_triples: List[Tuple[int, int, float]] = []
+    known = set()
+    for res in netlist.resistors:
+        known.add(res.name)
+        scale = scales.get(res.name)
+        if scale:
+            _stamp_conductance(g_triples, index, res.node_a, res.node_b, scale / res.value)
+    for cap in netlist.capacitors:
+        known.add(cap.name)
+        scale = scales.get(cap.name)
+        if scale:
+            _stamp_conductance(c_triples, index, cap.node_a, cap.node_b, scale * cap.value)
+    for ind in netlist.inductors:
+        known.add(ind.name)
+        scale = scales.get(ind.name)
+        if scale:
+            k = index.inductor_index[ind.name]
+            c_triples.append((k, k, scale * ind.value))
+    unknown = set(scales) - known
+    if unknown:
+        raise MNAError(f"scales reference unknown or non-RCL elements: {sorted(unknown)}")
+
+    def build(triples):
+        if not triples:
+            return sp.csr_matrix((n, n))
+        rows, cols, vals = zip(*triples)
+        return sp.csr_matrix(sp.coo_matrix((vals, (rows, cols)), shape=(n, n)))
+
+    return build(g_triples), build(c_triples)
+
+
+def _check_inductance_psd(netlist: Netlist, c_matrix: sp.spmatrix, index: MNAIndex) -> None:
+    if not netlist.mutuals:
+        return
+    l_rows = sorted(index.inductor_index.values())
+    branch = c_matrix.tocsc()[np.ix_(l_rows, l_rows)].toarray()
+    eigenvalues = np.linalg.eigvalsh(branch)
+    if eigenvalues.min() <= 0:
+        raise MNAError(
+            "mutual couplings make the branch inductance matrix indefinite "
+            f"(min eigenvalue {eigenvalues.min():.3e}); reduce the coupling coefficients"
+        )
+
+
+def _state_names(netlist: Netlist, index: MNAIndex) -> List[str]:
+    names = [""] * index.n_states
+    for node, i in index.node_index.items():
+        names[i] = f"v({node})"
+    for ind_name, i in index.inductor_index.items():
+        names[i] = f"i({ind_name})"
+    for src_name, i in index.source_index.items():
+        names[i] = f"i({src_name})"
+    return names

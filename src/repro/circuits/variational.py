@@ -1,0 +1,216 @@
+"""Parametric (variational) interconnect systems.
+
+Implements the first-order variational form of paper eqs. (3)/(5):
+
+``G(p) = G0 + sum_i p_i G_i,   C(p) = C0 + sum_i p_i C_i``
+
+with nominal matrices ``G0, C0`` and sensitivity matrices ``G_i, C_i``
+with respect to each variational parameter ``p_i`` (metal line width,
+thickness, ...).  The parameters are dimensionless deviations from
+nominal (e.g. ``p_i = 0.3`` for a +30% width variation), matching the
+paper's experiments.
+
+Sensitivity matrices can come from three sources, all exercised in the
+benchmarks:
+
+1. closed-form extraction sensitivities
+   (:mod:`repro.circuits.extraction` -- the clock-tree nets),
+2. random variational directions
+   (:func:`repro.circuits.generators.with_random_variations` -- the
+   767-unknown RC net), and
+3. finite differences over a circuit-builder callback
+   (:func:`finite_difference_sensitivities` -- mirroring the paper's
+   "multiple parasitic extractions").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuits.statespace import DescriptorSystem
+
+Matrix = Union[np.ndarray, sp.spmatrix]
+
+
+class ParametricSystem:
+    """First-order parametric MNA system (paper eq. (5)).
+
+    Parameters
+    ----------
+    nominal:
+        The nominal :class:`~repro.circuits.statespace.DescriptorSystem`
+        ``{G0, C0, B, L}``.
+    dG, dC:
+        Sensitivity matrices ``G_i`` and ``C_i``, one per parameter
+        (same sparsity/world as ``G0``/``C0``; zero matrices allowed).
+    parameter_names:
+        Optional labels (e.g. ``["M5_width", "M6_width", "M7_width"]``).
+    """
+
+    def __init__(
+        self,
+        nominal: DescriptorSystem,
+        dG: Sequence[Matrix],
+        dC: Sequence[Matrix],
+        parameter_names: Optional[List[str]] = None,
+    ):
+        if len(dG) != len(dC):
+            raise ValueError(
+                f"need matching sensitivity lists, got {len(dG)} dG vs {len(dC)} dC"
+            )
+        n = nominal.order
+        for i, (gi, ci) in enumerate(zip(dG, dC)):
+            if gi.shape != (n, n) or ci.shape != (n, n):
+                raise ValueError(
+                    f"sensitivity {i} has shape {gi.shape}/{ci.shape}, expected ({n}, {n})"
+                )
+        self.nominal = nominal
+        self.dG = list(dG)
+        self.dC = list(dC)
+        if parameter_names is None:
+            parameter_names = [f"p{i + 1}" for i in range(len(dG))]
+        if len(parameter_names) != len(dG):
+            raise ValueError("one parameter name per sensitivity pair required")
+        self.parameter_names = list(parameter_names)
+
+    # -- basic properties ---------------------------------------------
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of variational parameters ``n_p``."""
+        return len(self.dG)
+
+    @property
+    def order(self) -> int:
+        """State dimension of the underlying MNA system."""
+        return self.nominal.order
+
+    def _check_point(self, p: Sequence[float]) -> np.ndarray:
+        point = np.atleast_1d(np.asarray(p, dtype=float))
+        if point.shape != (self.num_parameters,):
+            raise ValueError(
+                f"parameter point has shape {point.shape}, expected ({self.num_parameters},)"
+            )
+        return point
+
+    # -- evaluation -----------------------------------------------------
+
+    def conductance(self, p: Sequence[float]) -> Matrix:
+        """``G(p) = G0 + sum_i p_i G_i``."""
+        point = self._check_point(p)
+        g = self.nominal.G
+        for value, gi in zip(point, self.dG):
+            if value != 0.0:
+                g = g + value * gi
+        return g
+
+    def capacitance(self, p: Sequence[float]) -> Matrix:
+        """``C(p) = C0 + sum_i p_i C_i``."""
+        point = self._check_point(p)
+        c = self.nominal.C
+        for value, ci in zip(point, self.dC):
+            if value != 0.0:
+                c = c + value * ci
+        return c
+
+    def instantiate(self, p: Sequence[float], title: Optional[str] = None) -> DescriptorSystem:
+        """The perturbed full system at parameter point ``p``."""
+        point = self._check_point(p)
+        label = title or (
+            f"{self.nominal.title}@("
+            + ", ".join(f"{n}={v:+.3g}" for n, v in zip(self.parameter_names, point))
+            + ")"
+        )
+        return DescriptorSystem(
+            self.conductance(point),
+            self.capacitance(point),
+            self.nominal.B,
+            self.nominal.L,
+            input_names=list(self.nominal.input_names),
+            output_names=list(self.nominal.output_names),
+            state_names=list(self.nominal.state_names),
+            title=label,
+        )
+
+    def transfer(self, s: complex, p: Sequence[float]) -> np.ndarray:
+        """Parametric transfer matrix ``H(s, p)`` of the full model."""
+        return self.instantiate(p).transfer(s)
+
+    # -- reduction ------------------------------------------------------
+
+    def reduce(self, projection: np.ndarray):
+        """Congruence-reduce every system matrix with ``projection``.
+
+        This is step 4 of the paper's Algorithm 1: the transform is
+        applied to the *original* sensitivity matrices (not their
+        low-rank approximations), preserving passivity of the
+        parametric model.  Returns a
+        :class:`repro.core.model.ParametricReducedModel`.
+        """
+        from repro.core.model import ParametricReducedModel
+
+        v = np.asarray(projection, dtype=float)
+        reduced_nominal = self.nominal.reduce(v)
+        dg_reduced = [v.T @ _product(gi, v) for gi in self.dG]
+        dc_reduced = [v.T @ _product(ci, v) for ci in self.dC]
+        return ParametricReducedModel(
+            reduced_nominal,
+            dg_reduced,
+            dc_reduced,
+            parameter_names=list(self.parameter_names),
+            projection=v,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ParametricSystem({self.nominal.title!r}, n={self.order}, "
+            f"np={self.num_parameters}, params={self.parameter_names})"
+        )
+
+
+def _product(matrix: Matrix, block: np.ndarray) -> np.ndarray:
+    return np.asarray(matrix @ block)
+
+
+def finite_difference_sensitivities(
+    builder: Callable[[np.ndarray], DescriptorSystem],
+    num_parameters: int,
+    step: float = 1e-4,
+    parameter_names: Optional[List[str]] = None,
+) -> ParametricSystem:
+    """Extract a :class:`ParametricSystem` from a circuit builder.
+
+    ``builder(p)`` must return the full :class:`DescriptorSystem` for
+    parameter point ``p`` (an ``n_p``-vector of relative deviations).
+    Sensitivities are estimated by central differences,
+
+    ``G_i = (G(+h e_i) - G(-h e_i)) / (2 h)``,
+
+    which mirrors how the paper obtained the clock-tree sensitivity
+    matrices "by performing multiple parasitic extractions".  The
+    builder must return structurally consistent systems (same state
+    ordering) for all points -- generators in this package do.
+    """
+    zero = np.zeros(num_parameters)
+    nominal = builder(zero)
+    dg: List[Matrix] = []
+    dc: List[Matrix] = []
+    for i in range(num_parameters):
+        forward = builder(_unit(num_parameters, i, step))
+        backward = builder(_unit(num_parameters, i, -step))
+        if forward.order != nominal.order or backward.order != nominal.order:
+            raise ValueError(
+                "builder returned systems of different order across parameter points"
+            )
+        dg.append((forward.G - backward.G) / (2.0 * step))
+        dc.append((forward.C - backward.C) / (2.0 * step))
+    return ParametricSystem(nominal, dg, dc, parameter_names=parameter_names)
+
+
+def _unit(size: int, index: int, value: float) -> np.ndarray:
+    vec = np.zeros(size)
+    vec[index] = value
+    return vec

@@ -1,0 +1,164 @@
+"""Command-line interface: netlist in, macromodel diagnostics out.
+
+Usage (also via ``python -m repro``):
+
+```
+python -m repro info   netlist.sp
+python -m repro reduce netlist.sp --method lowrank --moments 4
+python -m repro sweep  netlist.sp --fmin 1e7 --fmax 1e10 --points 30
+python -m repro poles  netlist.sp --num 5
+```
+
+The CLI operates on plain (non-parametric) netlists -- the parametric
+workflows need sensitivity data that has no portable file format, so
+they stay API-only -- and is primarily a convenience for inspecting
+circuits and validating reductions from the shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.passivity import passivity_report
+from repro.baselines.prima import prima
+from repro.baselines.rational_arnoldi import logspaced_shifts, rational_arnoldi
+from repro.baselines.tbr import tbr
+from repro.circuits.mna import assemble
+from repro.circuits.parser import parse_netlist
+
+
+def _load_system(path: str):
+    with open(path) as handle:
+        netlist = parse_netlist(handle.read(), title=path)
+    return netlist, assemble(netlist)
+
+
+def _cmd_info(args) -> int:
+    netlist, system = _load_system(args.netlist)
+    stats = netlist.stats()
+    print(f"title:        {netlist.title}")
+    for key in ("nodes", "states", "resistors", "capacitors", "inductors",
+                "mutuals", "ports", "sources", "observations"):
+        print(f"{key + ':':13s} {stats[key]}")
+    print(f"inputs:       {', '.join(system.input_names)}")
+    print(f"outputs:      {', '.join(system.output_names)}")
+    margin = system.passivity_structure_margin()
+    print(f"passivity-structure margin: {margin:.3e}")
+    return 0
+
+
+def _reduce_system(system, args):
+    if args.method == "prima":
+        return prima(system, args.moments, expansion_point=args.shift)[0]
+    if args.method == "rational":
+        shifts = logspaced_shifts(args.fmin, args.fmax, args.shifts)
+        return rational_arnoldi(system, shifts, args.moments)[0]
+    if args.method == "tbr":
+        return tbr(system, args.order)[0]
+    raise ValueError(f"unknown method {args.method!r}")
+
+
+def _cmd_reduce(args) -> int:
+    _, system = _load_system(args.netlist)
+    reduced = _reduce_system(system, args)
+    print(f"full order:    {system.order}")
+    print(f"reduced order: {reduced.order}  (method: {args.method})")
+    frequencies = np.logspace(np.log10(args.fmin), np.log10(args.fmax), args.points)
+    full = system.frequency_response(frequencies)
+    approx = reduced.frequency_response(frequencies)
+    scale = np.abs(full).max()
+    worst = np.abs(full - approx).max() / scale if scale else 0.0
+    print(f"worst relative response error over "
+          f"[{args.fmin:.3g}, {args.fmax:.3g}] Hz: {worst:.3e}")
+    if system.is_symmetric_port_form():
+        report = passivity_report(reduced, frequencies=frequencies)
+        print(f"reduced model structurally passive: {report.is_structurally_passive}")
+    return 0 if worst < args.tolerance else 2
+
+
+def _cmd_sweep(args) -> int:
+    _, system = _load_system(args.netlist)
+    frequencies = np.logspace(np.log10(args.fmin), np.log10(args.fmax), args.points)
+    response = system.frequency_response(frequencies)
+    out_index = args.output
+    in_index = args.input
+    print("frequency_hz,magnitude,phase_deg")
+    for i, f in enumerate(frequencies):
+        h = response[i, out_index, in_index]
+        print(f"{f:.6e},{abs(h):.6e},{np.degrees(np.angle(h)):.4f}")
+    return 0
+
+
+def _cmd_poles(args) -> int:
+    _, system = _load_system(args.netlist)
+    poles = system.poles(num=args.num)
+    print("pole_real,pole_imag,frequency_hz")
+    for pole in poles:
+        print(f"{pole.real:.6e},{pole.imag:.6e},{abs(pole) / (2 * np.pi):.6e}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Interconnect MOR toolkit (DATE 2005 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="netlist statistics")
+    info.add_argument("netlist")
+    info.set_defaults(func=_cmd_info)
+
+    reduce_cmd = commands.add_parser("reduce", help="reduce and validate")
+    reduce_cmd.add_argument("netlist")
+    reduce_cmd.add_argument("--method", choices=("prima", "rational", "tbr"),
+                            default="prima")
+    reduce_cmd.add_argument("--moments", type=int, default=8,
+                            help="block moments (prima/rational)")
+    reduce_cmd.add_argument("--order", type=int, default=10, help="TBR order")
+    reduce_cmd.add_argument("--shift", type=float, default=0.0,
+                            help="PRIMA expansion point (rad/s)")
+    reduce_cmd.add_argument("--shifts", type=int, default=3,
+                            help="number of rational-Arnoldi shifts")
+    reduce_cmd.add_argument("--fmin", type=float, default=1e7)
+    reduce_cmd.add_argument("--fmax", type=float, default=1e10)
+    reduce_cmd.add_argument("--points", type=int, default=25)
+    reduce_cmd.add_argument("--tolerance", type=float, default=1e-2,
+                            help="exit nonzero if the error exceeds this")
+    reduce_cmd.set_defaults(func=_cmd_reduce)
+
+    sweep_cmd = commands.add_parser("sweep", help="frequency response CSV")
+    sweep_cmd.add_argument("netlist")
+    sweep_cmd.add_argument("--fmin", type=float, default=1e7)
+    sweep_cmd.add_argument("--fmax", type=float, default=1e10)
+    sweep_cmd.add_argument("--points", type=int, default=30)
+    sweep_cmd.add_argument("--output", type=int, default=0)
+    sweep_cmd.add_argument("--input", type=int, default=0)
+    sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    poles_cmd = commands.add_parser("poles", help="dominant poles CSV")
+    poles_cmd.add_argument("netlist")
+    poles_cmd.add_argument("--num", type=int, default=5)
+    poles_cmd.set_defaults(func=_cmd_poles)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

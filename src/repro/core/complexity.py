@@ -1,0 +1,113 @@
+"""Model-size and cost predictions (paper Sections 3.2, 3.3, 4.2).
+
+The paper's quantitative comparison of the three parametric approaches
+is in terms of (a) reduced model size before deflation and (b) the
+number of sparse matrix factorizations.  This module encodes those
+closed forms; the model-size benchmark prints them next to the
+*measured* sizes (after deflation) for the shared workloads.
+
+Formulas (``k`` = moment order in ``s``/total order, ``m`` = ports,
+``n_p`` = parameters, ``k_svd`` = SVD rank, ``c`` = samples per axis):
+
+- single-point, general: one block moment per multi-index of
+  ``mu = 2 n_p + 1`` generalized parameters with total order ``<= k``:
+  ``m * C(k + mu, mu)``.
+- single-point, the Section 3.3 example (one parameter to first
+  order, ``s`` to order ``k`` including cross terms):
+  ``(k^2 + k + 1) m``.
+- multi-point: ``k + 1`` s-moments at each of ``n_s`` samples:
+  ``n_s (k+1) m``;  a factorial grid has ``n_s = c^{n_p}``
+  (and the same count of factorizations).
+- low-rank (Algorithm 1): ``(k+1) m`` nominal columns plus per
+  parameter ``k_svd`` columns in each of the four Krylov subspaces
+  with block counts ``(k+1) + k + k + (k-1) = 4k + 2``:
+  ``(k+1) m + (4k + 2) k_svd n_p``  --  the paper's
+  ``O((4 k_svd n_p + m) k)``; the simplified variant replaces the two
+  dual subspaces by single ``V_hat`` blocks:
+  ``(k+1) m + (2k + 3) k_svd n_p``  --  ``O((2 k_svd n_p + m) k)``.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+
+def single_point_size(order: int, num_parameters: int, num_ports: int) -> int:
+    """Upper-bound model size of the single-point method (general form)."""
+    _validate(order, num_parameters, num_ports)
+    mu = 2 * num_parameters + 1
+    return num_ports * comb(order + mu, mu)
+
+
+def single_point_size_first_order_example(order: int, num_ports: int) -> int:
+    """The Section 3.3 example: ``(k^2 + k + 1) m``.
+
+    One variational parameter matched to first order, ``s`` to order
+    ``k``, including all cross terms ``s^t p s^q``.
+    """
+    if order < 0:
+        raise ValueError("order must be >= 0")
+    if num_ports < 1:
+        raise ValueError("num_ports must be >= 1")
+    return (order ** 2 + order + 1) * num_ports
+
+
+def multi_point_size(order: int, num_samples: int, num_ports: int) -> int:
+    """Model size of the multi-point method: ``n_s (k+1) m``."""
+    if order < 0:
+        raise ValueError("order must be >= 0")
+    if num_samples < 1 or num_ports < 1:
+        raise ValueError("num_samples and num_ports must be >= 1")
+    return num_samples * (order + 1) * num_ports
+
+
+def multi_point_grid_samples(samples_per_axis: int, num_parameters: int) -> int:
+    """Factorial-grid sample count ``c^{n_p}`` (= factorizations)."""
+    if samples_per_axis < 1 or num_parameters < 1:
+        raise ValueError("arguments must be >= 1")
+    return samples_per_axis ** num_parameters
+
+
+def low_rank_size(
+    order: int,
+    num_parameters: int,
+    num_ports: int,
+    rank: int = 1,
+    simplified: bool = False,
+) -> int:
+    """Upper-bound model size of Algorithm 1 (before deflation).
+
+    ``simplified=True`` is the variant without the ``A0^T`` subspaces
+    (paper: "can reduce the model size approximately by a factor of
+    two").
+    """
+    _validate(order, num_parameters, num_ports)
+    if rank < 1:
+        raise ValueError("rank must be >= 1")
+    nominal = (order + 1) * num_ports
+    if simplified:
+        per_parameter = (order + 1) + max(order, 0) + 2  # primal G + primal C + 2 V_hat
+    else:
+        per_parameter = (order + 1) + order + order + max(order - 1, 0)
+    return nominal + per_parameter * rank * num_parameters
+
+
+def factorization_counts(num_samples_multi_point: int) -> dict:
+    """Factorizations needed by each method (the Section 4.2 cost claim)."""
+    if num_samples_multi_point < 1:
+        raise ValueError("num_samples_multi_point must be >= 1")
+    return {
+        "nominal": 1,
+        "single_point": 1,
+        "low_rank": 1,
+        "multi_point": num_samples_multi_point,
+    }
+
+
+def _validate(order: int, num_parameters: int, num_ports: int) -> None:
+    if order < 0:
+        raise ValueError("order must be >= 0")
+    if num_parameters < 0:
+        raise ValueError("num_parameters must be >= 0")
+    if num_ports < 1:
+        raise ValueError("num_ports must be >= 1")

@@ -1,0 +1,149 @@
+"""Multi-parameter transfer-function moments (paper Section 3.1).
+
+The parametric transfer function (paper eq. (6)) is
+
+``X(s, p) = (I + s A_s + sum_i p_i A_gi + sum_i s p_i A_ci)^{-1} R``
+
+with ``A_s = G0^{-1} C0``, ``A_gi = G0^{-1} G_i``, ``A_ci = G0^{-1} C_i``
+and ``R = G0^{-1} B``.  Treating ``sigma = (s, p_1, ..., s p_1, ...)``
+as ``mu = 2 n_p + 1`` formal "generalized parameters" (the device of
+Daniel et al. [10]), the power-series coefficients -- the
+*multi-parameter moments* of eq. (7) -- obey the exact recurrence
+
+``M_0 = R``,
+``M_alpha = - sum_{i : alpha_i > 0} A_i M_{alpha - e_i}``
+
+over multi-indices ``alpha``.  (Derivation: multiply through by the
+pencil and match coefficients of ``sigma^alpha``; because the ``A_i``
+do not commute each ``M_alpha`` is a signed sum over interleavings,
+which is exactly what the recurrence accumulates.)
+
+This module provides:
+
+- :class:`GeneralizedParameterization` -- builds the operator family
+  from a :class:`~repro.circuits.variational.ParametricSystem` (sparse,
+  reusing one LU of ``G0``) or from a reduced model (dense);
+- :func:`moment_table` -- all moment blocks up to a total order, via
+  the recurrence (used by tests and the single-point reducer's oracle);
+- :func:`output_moments` -- the corresponding transfer-function moments
+  ``L^T M_alpha``, the quantities the paper's Theorem 1 is about.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.linalg.sparselu import SparseLU
+
+MultiIndex = Tuple[int, ...]
+
+
+def multi_indices_up_to(num_variables: int, max_order: int) -> List[MultiIndex]:
+    """All multi-indices ``alpha`` with ``|alpha| <= max_order``, graded order."""
+    if num_variables < 1:
+        raise ValueError("need at least one variable")
+    if max_order < 0:
+        raise ValueError("max_order must be >= 0")
+    result: List[MultiIndex] = []
+    for total in range(max_order + 1):
+        # Compositions of `total` into `num_variables` nonnegative parts.
+        for cuts in itertools.combinations(
+            range(total + num_variables - 1), num_variables - 1
+        ):
+            parts = []
+            previous = -1
+            for cut in cuts:
+                parts.append(cut - previous - 1)
+                previous = cut
+            parts.append(total + num_variables - 2 - previous)
+            result.append(tuple(parts))
+    return result
+
+
+class GeneralizedParameterization:
+    """The operator family ``(R, [A_1..A_mu])`` of paper eq. (6)/(7).
+
+    Variable ordering: index 0 is the frequency variable ``s`` (operator
+    ``A_s = G0^{-1} C0``); indices ``1..n_p`` are the parameters ``p_i``
+    (operators ``G0^{-1} G_i``); indices ``n_p+1..2n_p`` are the cross
+    variables ``s p_i`` (operators ``G0^{-1} C_i``).  The cross
+    variables are *formally independent* -- treating them so matches
+    strictly more moments than required (Daniel et al. [10] do the
+    same).
+    """
+
+    def __init__(self, parametric, lu: SparseLU = None):
+        nominal = parametric.nominal
+        if lu is None:
+            lu = SparseLU(nominal.G)
+        self._lu = lu
+        b_dense = (
+            nominal.B.toarray() if hasattr(nominal.B, "toarray") else np.asarray(nominal.B)
+        )
+        l_dense = (
+            nominal.L.toarray() if hasattr(nominal.L, "toarray") else np.asarray(nominal.L)
+        )
+        self.start_block = lu.solve(b_dense)
+        self.output_map = l_dense
+        self._matrices = [nominal.C] + list(parametric.dG) + list(parametric.dC)
+        self.num_parameters = len(parametric.dG)
+        self.variable_names = (
+            ["s"]
+            + [f"p{i + 1}" for i in range(self.num_parameters)]
+            + [f"s*p{i + 1}" for i in range(self.num_parameters)]
+        )
+
+    @property
+    def num_variables(self) -> int:
+        """``mu = 2 n_p + 1`` generalized parameters."""
+        return len(self._matrices)
+
+    def apply(self, variable: int, block: np.ndarray) -> np.ndarray:
+        """``A_variable @ block`` (one sparse multiply + one LU solve)."""
+        return self._lu.solve(np.asarray(self._matrices[variable] @ block))
+
+
+def moment_table(
+    parameterization: GeneralizedParameterization, max_order: int
+) -> Dict[MultiIndex, np.ndarray]:
+    """All moment blocks ``M_alpha`` with ``|alpha| <= max_order``.
+
+    Exponential in the number of variables -- intended for validation
+    on small systems and for the single-point reducer's exact-moment
+    mode, not for production reduction (that is the whole point of the
+    paper).
+    """
+    mu = parameterization.num_variables
+    table: Dict[MultiIndex, np.ndarray] = {}
+    zero = (0,) * mu
+    table[zero] = parameterization.start_block
+    for alpha in multi_indices_up_to(mu, max_order):
+        if alpha == zero:
+            continue
+        accumulator = None
+        for i in range(mu):
+            if alpha[i] == 0:
+                continue
+            parent = list(alpha)
+            parent[i] -= 1
+            term = parameterization.apply(i, table[tuple(parent)])
+            accumulator = term if accumulator is None else accumulator + term
+        table[alpha] = -accumulator
+    return table
+
+
+def output_moments(
+    parameterization: GeneralizedParameterization, max_order: int
+) -> Dict[MultiIndex, np.ndarray]:
+    """Transfer-function moments ``L^T M_alpha`` up to ``max_order``.
+
+    These are the quantities preserved by the reducers (paper
+    Theorem 1); the tests compare them between full and reduced
+    parametric models.
+    """
+    table = moment_table(parameterization, max_order)
+    output = parameterization.output_map
+    return {alpha: output.T @ block for alpha, block in table.items()}

@@ -1,0 +1,113 @@
+"""Multi-point expansion in the variational parameter space (paper Section 3.3).
+
+Take ``n_s`` samples ``P_j`` of the parameter vector, run a standard
+Krylov reduction (PRIMA) on each perturbed system ``(G(P_j), C(P_j))``
+to match ``k`` moments of ``s``, and project the parametric family onto
+the union ``colspan{V_1, ..., V_ns}`` (paper Fig. 1).  The model
+"approximates the full model at the sample points ... and then
+interpolates implicitly between these samples" via the projection --
+the robust alternative to the direct fitting of Liu et al. [6].
+
+Cost: one sparse factorization *per sample* (the paper's Section 4.2
+contrast with the low-rank method's single factorization); a full
+factorial grid with ``c`` samples per axis costs ``c^{n_p}``
+factorizations, e.g. 81 for 3 samples/axis in 4 dimensions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.prima import prima_projection
+from repro.circuits.variational import ParametricSystem
+from repro.core.model import ParametricReducedModel
+from repro.linalg.orth import DEFAULT_DEFLATION_TOL, stack_orthonormalize
+
+
+def factorial_grid(
+    num_parameters: int, samples_per_axis: int, half_range: float
+) -> np.ndarray:
+    """Full factorial sampling grid in ``[-half_range, +half_range]^np``.
+
+    ``samples_per_axis = 1`` returns just the nominal point;
+    ``2`` the corners ``+/-half_range``; ``3`` adds the center, etc.
+    """
+    if num_parameters < 1:
+        raise ValueError("need at least one parameter")
+    if samples_per_axis < 1:
+        raise ValueError("need at least one sample per axis")
+    if samples_per_axis == 1:
+        axis = np.array([0.0])
+    else:
+        axis = np.linspace(-half_range, half_range, samples_per_axis)
+    return np.array(list(itertools.product(axis, repeat=num_parameters)))
+
+
+class MultiPointReducer:
+    """Union-of-PRIMA-subspaces over parameter-space samples.
+
+    Parameters
+    ----------
+    sample_points:
+        Explicit parameter points ``P_j`` (each an ``n_p``-vector).
+        Use :func:`factorial_grid` for the paper-style grids.
+    num_moments:
+        Moments of ``s`` matched at every sample (``k``).
+    expansion_point:
+        Real PRIMA expansion point shared by all samples.
+    tol:
+        Deflation tolerance for the subspace union.
+    """
+
+    def __init__(
+        self,
+        sample_points: Sequence[Sequence[float]],
+        num_moments: int,
+        expansion_point: float = 0.0,
+        tol: float = DEFAULT_DEFLATION_TOL,
+    ):
+        points = np.atleast_2d(np.asarray(sample_points, dtype=float))
+        if points.shape[0] < 1:
+            raise ValueError("need at least one sample point")
+        if num_moments < 1:
+            raise ValueError("num_moments must be >= 1")
+        self.sample_points = points
+        self.num_moments = num_moments
+        self.expansion_point = expansion_point
+        self.tol = tol
+
+    @property
+    def num_samples(self) -> int:
+        """Number of expansion points ``n_s`` (= factorizations needed)."""
+        return self.sample_points.shape[0]
+
+    def sample_projections(self, parametric: ParametricSystem) -> List[np.ndarray]:
+        """Per-sample PRIMA bases ``V_j`` (one factorization each)."""
+        if self.sample_points.shape[1] != parametric.num_parameters:
+            raise ValueError(
+                f"sample points have {self.sample_points.shape[1]} coordinates, "
+                f"system has {parametric.num_parameters} parameters"
+            )
+        projections = []
+        for point in self.sample_points:
+            system = parametric.instantiate(point)
+            projections.append(
+                prima_projection(
+                    system,
+                    self.num_moments,
+                    expansion_point=self.expansion_point,
+                    tol=self.tol,
+                )
+            )
+        return projections
+
+    def projection(self, parametric: ParametricSystem) -> np.ndarray:
+        """Orthonormal basis of ``colspan{V_1, ..., V_ns}``."""
+        return stack_orthonormalize(self.sample_projections(parametric), tol=self.tol)
+
+    def reduce(self, parametric: ParametricSystem) -> ParametricReducedModel:
+        """Build the multi-point parametric reduced model."""
+        return parametric.reduce(self.projection(parametric))

@@ -1,0 +1,56 @@
+"""Nominal-projection baseline (the strawman of paper Figs. 3-4).
+
+The cheapest conceivable "variational" model: run PRIMA once on the
+*nominal* system, then reduce the full parametric family (including
+all sensitivity matrices) with that single nominal projection matrix.
+The paper's Figs. 3 and 4 show this "Redu. Pert. Model: Nomi. Proj."
+curve failing to track the perturbed system -- the motivation for
+incorporating variational information into the projection.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.prima import prima_projection
+from repro.circuits.variational import ParametricSystem
+from repro.core.model import ParametricReducedModel
+from repro.linalg.orth import DEFAULT_DEFLATION_TOL
+
+
+class NominalReducer:
+    """Reduce a parametric system with the nominal PRIMA projection.
+
+    Parameters
+    ----------
+    num_moments:
+        Number of block moments of ``s`` matched at the nominal point
+        (the paper's Fig. 3 uses 8).
+    expansion_point:
+        Real PRIMA expansion point ``s0``.
+    tol:
+        Deflation tolerance.
+    """
+
+    def __init__(
+        self,
+        num_moments: int,
+        expansion_point: float = 0.0,
+        tol: float = DEFAULT_DEFLATION_TOL,
+    ):
+        if num_moments < 1:
+            raise ValueError("num_moments must be >= 1")
+        self.num_moments = num_moments
+        self.expansion_point = expansion_point
+        self.tol = tol
+
+    def projection(self, parametric: ParametricSystem):
+        """The nominal PRIMA basis (no variational information)."""
+        return prima_projection(
+            parametric.nominal,
+            self.num_moments,
+            expansion_point=self.expansion_point,
+            tol=self.tol,
+        )
+
+    def reduce(self, parametric: ParametricSystem) -> ParametricReducedModel:
+        """Build the parametric reduced model."""
+        return parametric.reduce(self.projection(parametric))

@@ -1,0 +1,54 @@
+"""Numerical kernels shared by the MOR algorithms.
+
+This subpackage contains the low-level linear algebra the paper's
+algorithms are built from:
+
+- :mod:`repro.linalg.sparselu` -- a sparse LU "service" that factors a
+  matrix once and answers both ``A x = b`` and ``A^T x = b`` solves,
+  with a global factorization counter used by the cost benchmarks.
+- :mod:`repro.linalg.orth` -- block orthonormalization with rank
+  deflation (repeated modified Gram-Schmidt), the workhorse behind all
+  Krylov subspace unions.
+- :mod:`repro.linalg.operators` -- implicit (matrix-free) linear
+  operators such as the generalized sensitivity matrices
+  ``-G0^{-1} G_i`` that are dense but never formed explicitly.
+- :mod:`repro.linalg.lanczos` -- Lanczos bidiagonalization with partial
+  reorthogonalization for matrix-implicit truncated SVDs.
+- :mod:`repro.linalg.subspace_svd` -- subspace (orthogonal) iteration
+  as an alternative truncated-SVD driver and cross-check.
+"""
+
+from repro.linalg.lanczos import lanczos_bidiag_svd
+from repro.linalg.operators import (
+    ImplicitProduct,
+    MatrixOperator,
+    ScaledOperator,
+    SumOperator,
+    aslinearoperator_like,
+)
+from repro.linalg.orth import (
+    block_krylov,
+    deflated_qr,
+    orthonormalize_against,
+    stack_orthonormalize,
+)
+from repro.linalg.sparselu import SparseLU, factorization_count, reset_factorization_count
+from repro.linalg.subspace_svd import subspace_iteration_svd, truncated_svd
+
+__all__ = [
+    "ImplicitProduct",
+    "MatrixOperator",
+    "ScaledOperator",
+    "SparseLU",
+    "SumOperator",
+    "aslinearoperator_like",
+    "block_krylov",
+    "deflated_qr",
+    "factorization_count",
+    "lanczos_bidiag_svd",
+    "orthonormalize_against",
+    "reset_factorization_count",
+    "stack_orthonormalize",
+    "subspace_iteration_svd",
+    "truncated_svd",
+]

@@ -1,0 +1,166 @@
+"""Matrix-free linear operators for the MOR algorithms.
+
+The generalized sensitivity matrices of the paper, ``-G0^{-1} G_i`` and
+``-G0^{-1} C_i``, are dense ``n x n`` matrices even though ``G0`` and
+``G_i`` are sparse.  Forming them would cost ``O(n^2)`` memory and
+``O(n^2)`` solve work -- exactly what the paper avoids.  Instead, all
+consumers (the Lanczos SVD, subspace iteration, Krylov recursions) only
+ever need matrix-vector products
+
+- ``y = -G0^{-1} (G_i x)``  (one sparse multiply + one LU solve), and
+- ``y = -G_i^T (G0^{-T} x)``  (one transpose LU solve + one multiply),
+
+both of which reuse the single LU factorization of ``G0``
+(:class:`repro.linalg.sparselu.SparseLU`).  This module provides small
+operator classes exposing ``matmat`` / ``rmatmat`` with that contract.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.sparselu import SparseLU
+
+
+class LinearBlockOperator:
+    """Abstract base: a linear map with block forward/adjoint products."""
+
+    shape: tuple
+
+    def matmat(self, block: np.ndarray) -> np.ndarray:
+        """Compute ``A @ block``."""
+        raise NotImplementedError
+
+    def rmatmat(self, block: np.ndarray) -> np.ndarray:
+        """Compute ``A.T @ block``."""
+        raise NotImplementedError
+
+    def matvec(self, vector: np.ndarray) -> np.ndarray:
+        """Compute ``A @ vector``."""
+        return self.matmat(np.asarray(vector)[:, None])[:, 0]
+
+    def rmatvec(self, vector: np.ndarray) -> np.ndarray:
+        """Compute ``A.T @ vector``."""
+        return self.rmatmat(np.asarray(vector)[:, None])[:, 0]
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the operator (testing / small problems only)."""
+        return self.matmat(np.eye(self.shape[1]))
+
+
+class MatrixOperator(LinearBlockOperator):
+    """Wrap an explicit (sparse or dense) matrix as a block operator."""
+
+    def __init__(self, matrix):
+        self._matrix = matrix
+        self.shape = matrix.shape
+
+    def matmat(self, block: np.ndarray) -> np.ndarray:
+        return np.asarray(self._matrix @ block)
+
+    def rmatmat(self, block: np.ndarray) -> np.ndarray:
+        return np.asarray(self._matrix.T @ block)
+
+
+class ScaledOperator(LinearBlockOperator):
+    """``alpha * A`` for a block operator ``A``."""
+
+    def __init__(self, operator: LinearBlockOperator, alpha: float):
+        self._operator = operator
+        self._alpha = float(alpha)
+        self.shape = operator.shape
+
+    def matmat(self, block: np.ndarray) -> np.ndarray:
+        return self._alpha * self._operator.matmat(block)
+
+    def rmatmat(self, block: np.ndarray) -> np.ndarray:
+        return self._alpha * self._operator.rmatmat(block)
+
+
+class SumOperator(LinearBlockOperator):
+    """Sum of several block operators of identical shape."""
+
+    def __init__(self, operators: Sequence[LinearBlockOperator]):
+        if not operators:
+            raise ValueError("need at least one operator")
+        shapes = {op.shape for op in operators}
+        if len(shapes) != 1:
+            raise ValueError(f"operators have mismatched shapes: {shapes}")
+        self._operators = list(operators)
+        self.shape = self._operators[0].shape
+
+    def matmat(self, block: np.ndarray) -> np.ndarray:
+        result = self._operators[0].matmat(block)
+        for op in self._operators[1:]:
+            result = result + op.matmat(block)
+        return result
+
+    def rmatmat(self, block: np.ndarray) -> np.ndarray:
+        result = self._operators[0].rmatmat(block)
+        for op in self._operators[1:]:
+            result = result + op.rmatmat(block)
+        return result
+
+
+class ImplicitProduct(LinearBlockOperator):
+    """The implicit product ``sign * G0^{-1} M`` for a sparse ``M``.
+
+    This is the generalized sensitivity matrix of the paper when
+    ``M = G_i`` (or ``C_i``) and ``sign = -1``; with ``M = C0`` and
+    ``sign = -1`` it is the PRIMA iteration matrix ``A0 = -G0^{-1} C0``.
+
+    Forward product: ``y = sign * lu.solve(M @ x)``.
+    Adjoint product: ``y = sign * M.T @ lu.solve_transpose(x)`` --
+    note the adjoint *also* reuses the same LU factors via the
+    transpose solve (paper, Section 4.2: if ``G0 = Lg Ug`` then
+    ``G0^T = Ug^T Lg^T``).
+    """
+
+    def __init__(self, lu: SparseLU, matrix, sign: float = -1.0):
+        if matrix.shape != lu.shape:
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match factorization {lu.shape}"
+            )
+        self._lu = lu
+        self._matrix = sp.csr_matrix(matrix) if not sp.issparse(matrix) else matrix.tocsr()
+        self._matrix_t = self._matrix.T.tocsr()
+        self._sign = float(sign)
+        self.shape = lu.shape
+
+    def matmat(self, block: np.ndarray) -> np.ndarray:
+        return self._sign * self._lu.solve(np.asarray(self._matrix @ block))
+
+    def rmatmat(self, block: np.ndarray) -> np.ndarray:
+        return self._sign * np.asarray(self._matrix_t @ self._lu.solve_transpose(block))
+
+
+class CallableOperator(LinearBlockOperator):
+    """Build an operator from explicit forward/adjoint callables."""
+
+    def __init__(
+        self,
+        shape: tuple,
+        matmat: Callable[[np.ndarray], np.ndarray],
+        rmatmat: Callable[[np.ndarray], np.ndarray],
+    ):
+        self.shape = shape
+        self._matmat = matmat
+        self._rmatmat = rmatmat
+
+    def matmat(self, block: np.ndarray) -> np.ndarray:
+        return self._matmat(block)
+
+    def rmatmat(self, block: np.ndarray) -> np.ndarray:
+        return self._rmatmat(block)
+
+
+def aslinearoperator_like(obj) -> LinearBlockOperator:
+    """Coerce matrices or operators to :class:`LinearBlockOperator`."""
+    if isinstance(obj, LinearBlockOperator):
+        return obj
+    if sp.issparse(obj) or isinstance(obj, np.ndarray):
+        return MatrixOperator(obj)
+    raise TypeError(f"cannot interpret {type(obj)!r} as a linear operator")

@@ -1,0 +1,123 @@
+"""Shared sparse LU factorization with transpose solves.
+
+The paper's complexity argument (Section 4.2) hinges on a single
+observation: *one* LU factorization of the nominal conductance matrix
+``G0 = Lg Ug`` is enough to serve every linear solve the algorithm
+needs, including solves with the transpose ``G0^T = Ug^T Lg^T``.  The
+Krylov subspaces with respect to ``A0 = -G0^{-1} C0`` and
+``A0^T = -C0^T G0^{-T}``, as well as the matrix-implicit SVDs of the
+generalized sensitivity matrices ``-G0^{-1} G_i``, all reuse the same
+factors.
+
+:class:`SparseLU` wraps :func:`scipy.sparse.linalg.splu` and exposes
+
+- :meth:`SparseLU.solve` for ``A x = b``,
+- :meth:`SparseLU.solve_transpose` for ``A^T x = b``,
+
+both accepting vectors or blocks of right-hand sides.  A module-level
+factorization counter lets the cost benchmarks report the *measured*
+number of factorizations each reduction algorithm performed, which is
+the paper's headline cost metric (1 for the low-rank method versus one
+per sample point for the multi-point method).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+Matrix = Union[np.ndarray, sp.spmatrix]
+
+_FACTORIZATION_COUNT = 0
+
+
+def factorization_count() -> int:
+    """Return the number of :class:`SparseLU` factorizations so far.
+
+    The counter is global (module level) and monotonically increasing;
+    use :func:`reset_factorization_count` to start a measurement window.
+    """
+    return _FACTORIZATION_COUNT
+
+
+def reset_factorization_count() -> int:
+    """Reset the global factorization counter and return the old value."""
+    global _FACTORIZATION_COUNT
+    old = _FACTORIZATION_COUNT
+    _FACTORIZATION_COUNT = 0
+    return old
+
+
+class SparseLU:
+    """LU factorization of a sparse square matrix with transpose solves.
+
+    Parameters
+    ----------
+    matrix:
+        Square matrix to factor.  Dense arrays and any scipy sparse
+        format are accepted; the matrix is converted to CSC once.
+
+    Raises
+    ------
+    ValueError
+        If the matrix is not square.
+    RuntimeError
+        If the matrix is singular (propagated from SuperLU).
+    """
+
+    def __init__(self, matrix: Matrix):
+        global _FACTORIZATION_COUNT
+        if sp.issparse(matrix):
+            csc = matrix.tocsc()
+        else:
+            arr = np.asarray(matrix)
+            if arr.ndim != 2:
+                raise ValueError("matrix must be 2-dimensional")
+            csc = sp.csc_matrix(arr)
+        if csc.shape[0] != csc.shape[1]:
+            raise ValueError(f"matrix must be square, got shape {csc.shape}")
+        self._shape = csc.shape
+        self._lu = spla.splu(csc)
+        _FACTORIZATION_COUNT += 1
+
+    @property
+    def shape(self) -> tuple:
+        """Shape of the factored matrix."""
+        return self._shape
+
+    @property
+    def n(self) -> int:
+        """Dimension of the factored matrix."""
+        return self._shape[0]
+
+    def _solve(self, rhs: np.ndarray, trans: str) -> np.ndarray:
+        rhs = np.asarray(rhs)
+        if rhs.shape[0] != self.n:
+            raise ValueError(
+                f"right-hand side has leading dimension {rhs.shape[0]}, expected {self.n}"
+            )
+        if rhs.ndim == 1:
+            return self._lu.solve(rhs, trans=trans)
+        if rhs.ndim != 2:
+            raise ValueError("right-hand side must be a vector or a 2-D block")
+        # SuperLU solves blocks column by column internally; one call is fine.
+        out = np.empty_like(rhs, dtype=np.result_type(rhs.dtype, np.float64))
+        for j in range(rhs.shape[1]):
+            out[:, j] = self._lu.solve(np.ascontiguousarray(rhs[:, j]), trans=trans)
+        return out
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` for a vector or block right-hand side."""
+        return self._solve(rhs, trans="N")
+
+    def solve_transpose(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A^T x = rhs`` reusing the same factors.
+
+        With ``A = Lg Ug`` the transpose system is ``Ug^T Lg^T x = rhs``;
+        SuperLU exposes this directly, so no second factorization is
+        needed (paper, Section 4.2).
+        """
+        return self._solve(rhs, trans="T")

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (tens of states) so the whole suite
+runs in seconds; the full paper-scale workloads live in benchmarks/.
+Session scope is used for anything that costs more than ~10 ms to
+build, since the circuits and models are immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    assemble,
+    rc_ladder,
+    rc_tree,
+    rcnet_a,
+    with_random_variations,
+)
+
+
+@pytest.fixture(scope="session")
+def ladder_system():
+    """A 12-segment RC ladder (13 states, 1 port + 1 observation)."""
+    return assemble(rc_ladder(12))
+
+
+@pytest.fixture(scope="session")
+def tree_system():
+    """A 30-node random RC tree (caps on every node; C nonsingular)."""
+    return assemble(rc_tree(30, seed=5))
+
+
+@pytest.fixture(scope="session")
+def small_parametric():
+    """10-segment ladder with 2 random variational parameters."""
+    return with_random_variations(rc_ladder(10), 2, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tree_parametric():
+    """30-node tree with 2 random variational parameters."""
+    return with_random_variations(rc_tree(30, seed=5), 2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def big_tree_parametric():
+    """100-node tree with 2 parameters; large enough that reduced models
+    are genuinely smaller than the full system (no accidental exactness)."""
+    return with_random_variations(rc_tree(100, seed=13), 2, seed=17)
+
+
+@pytest.fixture(scope="session")
+def rcneta_parametric():
+    """The RCNetA clock-tree analogue (78 states, 3 width parameters)."""
+    return rcnet_a()
+
+
+@pytest.fixture(scope="session")
+def frequencies():
+    """Logarithmic frequency grid, 10 MHz - 100 GHz."""
+    return np.logspace(7, 11, 25)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for per-test randomness."""
+    return np.random.default_rng(12345)

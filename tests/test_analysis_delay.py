@@ -1,0 +1,122 @@
+"""Tests for delay metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import delay_sensitivity, elmore_delay, threshold_delay
+from repro.circuits import Netlist, assemble
+
+
+def rc_chain(r=100.0, c=1e-13, stages=3):
+    """Near-ideal voltage drive + RC chain; Elmore has a closed form.
+
+    A tiny shunt resistance at the input pins the driven node (the
+    current port behaves like a voltage source), so the classic
+    ``T_elmore = sum_k R_upstream(k) C_k`` formula applies; the shunt's
+    own contribution ``R_s * sum C`` is negligible.
+    """
+    net = Netlist("chain")
+    net.resistor("Rdrv", "n0", "0", 1e-3)
+    for j in range(stages):
+        net.resistor(f"R{j}", f"n{j}", f"n{j + 1}", r)
+        net.capacitor(f"C{j}", f"n{j + 1}", "0", c)
+    net.current_port("P", "n0")
+    net.observe("out", f"n{stages}")
+    return assemble(net)
+
+
+class TestElmore:
+    def test_single_stage_analytic(self):
+        """One RC stage observed at the far node: T = RC (+ tiny shunt term)."""
+        r, c = 100.0, 1e-13
+        system = rc_chain(r, c, stages=1)
+        delay = elmore_delay(system, output_index=1)
+        assert delay == pytest.approx(r * c, rel=1e-3)
+
+    def test_chain_analytic(self):
+        """Elmore of a chain: sum_k R_upstream * C_k = sum_k (k+1) R C."""
+        r, c, stages = 50.0, 2e-13, 4
+        system = rc_chain(r, c, stages)
+        expected = sum((k + 1) * r * c for k in range(stages))
+        delay = elmore_delay(system, output_index=1)
+        assert delay == pytest.approx(expected, rel=1e-3)
+
+    def test_elmore_upper_bounds_threshold_delay(self):
+        """Classic RC-tree property: T_50% <= T_elmore."""
+        system = rc_chain(stages=5)
+        t_elmore = elmore_delay(system, output_index=1)
+        t_half = threshold_delay(system, 0.5, output_index=1)
+        assert t_half <= t_elmore
+
+    def test_zero_dc_gain_rejected(self):
+        # Observe the port of a system with zero transfer at DC: build
+        # an L column that is identically zero via a trick -- easier to
+        # check the error through a doctored system.
+        from repro.circuits.statespace import DescriptorSystem
+
+        g = np.eye(2)
+        c = np.eye(2)
+        b = np.array([[1.0], [0.0]])
+        l_mat = np.array([[0.0], [0.0]])  # output reads nothing
+        system = DescriptorSystem(g, c, b, l_mat)
+        with pytest.raises(ValueError, match="DC gain"):
+            elmore_delay(system)
+
+
+class TestThresholdDelay:
+    def test_single_pole_analytic(self):
+        """1-pole step response: t_50 = tau ln 2."""
+        net = Netlist("rc1")
+        net.resistor("R1", "a", "0", 100.0)
+        net.capacitor("C1", "a", "0", 1e-12)
+        net.current_port("P", "a")
+        system = assemble(net)
+        tau = 100.0 * 1e-12
+        t50 = threshold_delay(system, 0.5)
+        assert t50 == pytest.approx(tau * np.log(2.0), rel=1e-3)
+
+    def test_threshold_monotone(self):
+        system = rc_chain(stages=4)
+        t10 = threshold_delay(system, 0.1, output_index=1)
+        t50 = threshold_delay(system, 0.5, output_index=1)
+        t90 = threshold_delay(system, 0.9, output_index=1)
+        assert t10 < t50 < t90
+
+    def test_invalid_threshold(self, tree_system):
+        with pytest.raises(ValueError, match="threshold"):
+            threshold_delay(tree_system, 1.5)
+
+    def test_short_horizon_detected(self):
+        system = rc_chain(stages=4)
+        with pytest.raises(ValueError, match="horizon"):
+            threshold_delay(system, 0.99, output_index=1, horizon=1e-15)
+
+
+class TestDelaySensitivity:
+    def test_reduced_model_matches_full(self, rcneta_parametric):
+        """Sensitivities from the macromodel match the full model."""
+        from repro.core import LowRankReducer
+
+        model = LowRankReducer(num_moments=4, rank=1).reduce(rcneta_parametric)
+        sens_full = delay_sensitivity(rcneta_parametric, elmore_delay, output_index=1)
+        sens_reduced = delay_sensitivity(model, elmore_delay, output_index=1)
+        np.testing.assert_allclose(sens_reduced, sens_full, rtol=1e-3)
+
+    def test_wider_wires_speed_up_the_tree(self, rcneta_parametric):
+        """The M7 trunk dominates: widening it reduces the delay."""
+        sens = delay_sensitivity(rcneta_parametric, elmore_delay, output_index=1)
+        m7_index = rcneta_parametric.parameter_names.index("M7_width")
+        assert sens[m7_index] < 0
+
+    def test_sensitivity_at_nonzero_point(self, rcneta_parametric):
+        from repro.core import LowRankReducer
+
+        model = LowRankReducer(num_moments=4, rank=1).reduce(rcneta_parametric)
+        at_zero = delay_sensitivity(model, elmore_delay, output_index=1)
+        at_corner = delay_sensitivity(
+            model, elmore_delay, point=[0.2, 0.2, 0.2], output_index=1
+        )
+        # The delay is a rational (not linear) function of p, so its
+        # gradient must move between the nominal point and a corner.
+        relative_change = np.abs(at_zero - at_corner).max() / np.abs(at_zero).max()
+        assert relative_change > 1e-3

@@ -1,0 +1,73 @@
+"""Tests for frequency sweeps and comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_frequency_responses, sweep
+from repro.core import LowRankReducer
+
+
+class TestSweep:
+    def test_descriptor_system(self, ladder_system, frequencies):
+        result = sweep(ladder_system, frequencies)
+        assert result.response.shape == frequencies.shape
+        np.testing.assert_allclose(
+            result.response[0],
+            ladder_system.transfer(2j * np.pi * frequencies[0])[0, 0],
+            rtol=1e-12,
+        )
+
+    def test_parametric_system_at_point(self, small_parametric, frequencies):
+        result = sweep(small_parametric, frequencies, p=[0.2, -0.1])
+        reference = small_parametric.instantiate([0.2, -0.1]).frequency_response(
+            frequencies
+        )[:, 0, 0]
+        np.testing.assert_allclose(result.response, reference, rtol=1e-12)
+
+    def test_reduced_model_at_point(self, tree_parametric, frequencies):
+        model = LowRankReducer(num_moments=3).reduce(tree_parametric)
+        result = sweep(model, frequencies, p=[0.1, 0.1], label="rom")
+        assert result.label == "rom"
+        assert np.all(np.isfinite(result.response))
+
+    def test_output_input_selection(self, ladder_system, frequencies):
+        far = sweep(ladder_system, frequencies, output_index=1)
+        port = sweep(ladder_system, frequencies, output_index=0)
+        assert not np.allclose(far.response, port.response)
+
+    def test_magnitude(self, ladder_system, frequencies):
+        result = sweep(ladder_system, frequencies)
+        np.testing.assert_allclose(result.magnitude(), np.abs(result.response))
+
+    def test_default_label_is_title(self, ladder_system, frequencies):
+        assert sweep(ladder_system, frequencies).label == ladder_system.title
+
+    def test_rejects_non_model(self, frequencies):
+        with pytest.raises(TypeError):
+            sweep(object(), frequencies)
+
+
+class TestComparison:
+    def test_error_table(self, tree_parametric, frequencies):
+        point = [0.3, -0.3]
+        reference = sweep(tree_parametric, frequencies, p=point, label="full")
+        good = LowRankReducer(num_moments=4).reduce(tree_parametric)
+        comparison = compare_frequency_responses(
+            reference,
+            {"low-rank": sweep(good, frequencies, p=point)},
+        )
+        rows = comparison.rows()
+        assert rows[0][0] == "low-rank"
+        assert rows[0][1] < 1e-2  # linf
+        assert rows[0][2] < 1e-2  # l2
+
+    def test_grid_mismatch_rejected(self, ladder_system, frequencies):
+        reference = sweep(ladder_system, frequencies)
+        other = sweep(ladder_system, frequencies * 2.0)
+        with pytest.raises(ValueError, match="different frequency grid"):
+            compare_frequency_responses(reference, {"bad": other})
+
+    def test_self_comparison_zero_error(self, ladder_system, frequencies):
+        reference = sweep(ladder_system, frequencies)
+        comparison = compare_frequency_responses(reference, {"self": reference})
+        assert comparison.linf_errors["self"] == 0.0

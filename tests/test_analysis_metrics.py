@@ -1,0 +1,87 @@
+"""Tests for error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    matched_pole_errors,
+    max_relative_error,
+    relative_l2_error,
+    relative_linf_error,
+)
+
+
+class TestNormMetrics:
+    def test_l2_identity(self, rng):
+        x = rng.standard_normal(10)
+        assert relative_l2_error(x, x) == 0.0
+
+    def test_l2_known_value(self):
+        assert relative_l2_error(np.array([3.0, 4.0]), np.array([3.0, 4.0 + 5.0])) == 1.0
+
+    def test_l2_zero_reference(self):
+        assert relative_l2_error(np.zeros(3), np.array([1.0, 0.0, 0.0])) == 1.0
+
+    def test_linf_peak_normalized(self):
+        ref = np.array([10.0, 0.001])
+        approx = np.array([10.0, 0.002])
+        # Pointwise error at entry 2 is 100%, but peak-normalized 0.01%.
+        assert relative_linf_error(ref, approx) == pytest.approx(1e-4)
+
+    def test_max_relative_elementwise(self):
+        ref = np.array([1.0, 2.0])
+        approx = np.array([1.1, 2.0])
+        assert max_relative_error(ref, approx) == pytest.approx(0.1)
+
+    def test_max_relative_rejects_zero_reference(self):
+        with pytest.raises(ValueError, match="zeros"):
+            max_relative_error(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+
+    @pytest.mark.parametrize(
+        "metric", [relative_l2_error, relative_linf_error, max_relative_error]
+    )
+    def test_shape_mismatch_rejected(self, metric):
+        with pytest.raises(ValueError, match="shape"):
+            metric(np.zeros(3), np.zeros(4))
+
+    def test_complex_inputs(self):
+        ref = np.array([1.0 + 1.0j])
+        approx = np.array([1.0 + 1.1j])
+        assert relative_linf_error(ref, approx) == pytest.approx(0.1 / np.sqrt(2))
+
+
+class TestPoleMatching:
+    def test_identical_poles(self):
+        poles = np.array([-1.0, -2.0 + 1.0j])
+        errors, matched = matched_pole_errors(poles, poles)
+        np.testing.assert_allclose(errors, 0.0)
+        np.testing.assert_allclose(matched, poles)
+
+    def test_permutation_invariance(self):
+        reference = np.array([-1.0, -5.0])
+        model = np.array([-5.0, -1.0])  # swapped order
+        errors, matched = matched_pole_errors(reference, model)
+        np.testing.assert_allclose(errors, 0.0, atol=1e-15)
+        np.testing.assert_allclose(matched, reference)
+
+    def test_each_model_pole_used_once(self):
+        reference = np.array([-1.0, -1.01])
+        model = np.array([-1.0, -10.0])
+        errors, matched = matched_pole_errors(reference, model)
+        # Second reference pole cannot reuse -1.0.
+        assert matched[1] == -10.0
+        assert errors[1] > 1.0
+
+    def test_relative_error_value(self):
+        errors, _ = matched_pole_errors(np.array([-100.0]), np.array([-103.0]))
+        np.testing.assert_allclose(errors, [0.03])
+
+    def test_insufficient_model_poles_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            matched_pole_errors(np.array([-1.0, -2.0]), np.array([-1.0]))
+
+    def test_extra_model_poles_ok(self):
+        errors, _ = matched_pole_errors(
+            np.array([-1.0]), np.array([-9.0, -1.0, -5.0])
+        )
+        np.testing.assert_allclose(errors, [0.0], atol=1e-15)

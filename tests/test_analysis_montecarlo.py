@@ -1,0 +1,76 @@
+"""Tests for Monte Carlo variational studies."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import monte_carlo_pole_study, sample_parameters
+from repro.core import LowRankReducer
+
+
+class TestSampling:
+    def test_shape(self):
+        samples = sample_parameters(50, 3)
+        assert samples.shape == (50, 3)
+
+    def test_three_sigma_truncation(self):
+        samples = sample_parameters(2000, 2, three_sigma=0.3, seed=1)
+        assert np.abs(samples).max() <= 0.3
+
+    def test_untruncated_tails(self):
+        samples = sample_parameters(5000, 1, three_sigma=0.3, seed=2, truncate=False)
+        assert np.abs(samples).max() > 0.3  # some 3+ sigma draws exist
+
+    def test_std_matches_sigma(self):
+        samples = sample_parameters(20000, 1, three_sigma=0.3, seed=3, truncate=False)
+        np.testing.assert_allclose(samples.std(), 0.1, rtol=0.05)
+
+    def test_deterministic(self):
+        a = sample_parameters(10, 2, seed=7)
+        b = sample_parameters(10, 2, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_parameters(0, 1)
+        with pytest.raises(ValueError):
+            sample_parameters(1, 0)
+
+
+class TestPoleStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.circuits import rcnet_a
+
+        parametric = rcnet_a()
+        model = LowRankReducer(num_moments=4, rank=1).reduce(parametric)
+        return monte_carlo_pole_study(
+            parametric, model, num_instances=15, num_poles=5, seed=4
+        )
+
+    def test_shapes(self, study):
+        assert study.pole_errors.shape == (15, 5)
+        assert study.full_poles.shape == (15, 5)
+        assert study.num_instances == 15
+        assert study.total_poles == 75
+
+    def test_errors_small(self, study):
+        # Paper reports < 0.12% over 1000 poles for RCNetB; our
+        # generator should land in the same regime.
+        assert study.max_error < 1e-2
+
+    def test_histogram(self, study):
+        counts, edges = study.histogram(bins=10)
+        assert counts.sum() == study.total_poles
+        assert edges[0] >= 0.0
+
+    def test_explicit_samples(self):
+        from repro.circuits import rcnet_a
+
+        parametric = rcnet_a()
+        model = LowRankReducer(num_moments=3).reduce(parametric)
+        explicit = [[0.1, 0.1, 0.1], [-0.2, 0.0, 0.2]]
+        study = monte_carlo_pole_study(
+            parametric, model, num_instances=999, num_poles=2, samples=explicit
+        )
+        assert study.num_instances == 2
+        np.testing.assert_allclose(study.samples, explicit)

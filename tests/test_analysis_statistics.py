@@ -1,0 +1,130 @@
+"""Tests for statistical performance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    elmore_delay,
+    fit_response_surface,
+    metric_distribution,
+    parameter_ranking,
+)
+from repro.core import LowRankReducer
+
+
+@pytest.fixture(scope="module")
+def surrogate():
+    from repro.circuits import rcnet_a
+
+    parametric = rcnet_a()
+    model = LowRankReducer(num_moments=4, rank=1).reduce(parametric)
+    return parametric, model
+
+
+class TestMetricDistribution:
+    def test_distribution_shapes(self, surrogate):
+        _, model = surrogate
+        dist = metric_distribution(
+            model, lambda s: elmore_delay(s, output_index=1),
+            num_instances=40, seed=1,
+        )
+        assert dist.values.shape == (40,)
+        assert dist.samples.shape == (40, 3)
+        assert dist.std > 0
+
+    def test_percentiles_ordered(self, surrogate):
+        _, model = surrogate
+        dist = metric_distribution(
+            model, lambda s: elmore_delay(s, output_index=1),
+            num_instances=60, seed=2,
+        )
+        p= dist.percentile([5, 50, 95])
+        assert p[0] <= p[1] <= p[2]
+
+    def test_histogram_counts(self, surrogate):
+        _, model = surrogate
+        dist = metric_distribution(
+            model, lambda s: elmore_delay(s, output_index=1),
+            num_instances=30, seed=3,
+        )
+        counts, _ = dist.histogram(bins=6)
+        assert counts.sum() == 30
+
+    def test_surrogate_matches_full_distribution(self, surrogate):
+        """The point of the paper: the reduced model's statistics match."""
+        parametric, model = surrogate
+        samples = [[0.2, 0.1, -0.1], [-0.2, 0.2, 0.0], [0.1, -0.3, 0.2]]
+        full = metric_distribution(
+            parametric, lambda s: elmore_delay(s, output_index=1), samples=samples
+        )
+        reduced = metric_distribution(
+            model, lambda s: elmore_delay(s, output_index=1), samples=samples
+        )
+        np.testing.assert_allclose(reduced.values, full.values, rtol=1e-4)
+
+
+class TestResponseSurface:
+    def test_exact_quadratic_recovered(self, rng):
+        np_count = 3
+        b = rng.standard_normal(np_count)
+        a = rng.standard_normal((np_count, np_count))
+        a = 0.5 * (a + a.T)
+        c0 = 1.7
+
+        def f(p):
+            return c0 + b @ p + 0.5 * p @ a @ p
+
+        samples = rng.uniform(-0.5, 0.5, size=(40, np_count))
+        values = [f(p) for p in samples]
+        surface = fit_response_surface(samples, values)
+        assert surface.constant == pytest.approx(c0, rel=1e-8)
+        np.testing.assert_allclose(surface.linear, b, rtol=1e-7)
+        np.testing.assert_allclose(surface.quadratic, a, atol=1e-7)
+        assert surface.residual_rms < 1e-9
+        probe = rng.uniform(-0.5, 0.5, np_count)
+        assert surface(probe) == pytest.approx(f(probe), rel=1e-8)
+
+    def test_delay_surface_predicts(self, surrogate):
+        _, model = surrogate
+        dist = metric_distribution(
+            model, lambda s: elmore_delay(s, output_index=1),
+            num_instances=60, seed=4,
+        )
+        surface = fit_response_surface(dist.samples, dist.values)
+        # Predicts a held-out corner to within a few percent.
+        probe = np.array([0.15, -0.15, 0.1])
+        truth = elmore_delay(model.instantiate(probe), output_index=1)
+        assert surface(probe) == pytest.approx(truth, rel=0.05)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            fit_response_surface([[0.0, 0.0]], [1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            fit_response_surface([[0.0], [1.0]], [1.0])
+
+
+class TestRanking:
+    def test_dominant_parameter_found(self, surrogate):
+        """On RCNetA the trunk layer (M7) dominates the delay."""
+        _, model = surrogate
+        dist = metric_distribution(
+            model, lambda s: elmore_delay(s, output_index=1),
+            num_instances=120, seed=5,
+        )
+        ranking = parameter_ranking(dist)
+        names = ["M5_width", "M6_width", "M7_width"]
+        assert names[ranking[0][0]] == "M7_width"
+        assert abs(ranking[0][1]) > abs(ranking[-1][1])
+
+    def test_constant_parameter_gets_zero(self):
+        from repro.analysis.statistics import MetricDistribution
+
+        samples = np.zeros((10, 2))
+        samples[:, 1] = np.linspace(-1, 1, 10)
+        values = samples[:, 1] * 2.0
+        dist = MetricDistribution(samples=samples, values=values)
+        ranking = dict(parameter_ranking(dist))
+        assert ranking[0] == 0.0
+        assert ranking[1] == pytest.approx(1.0)

@@ -1,0 +1,120 @@
+"""Tests for transient simulation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import simulate_step, simulate_transient
+from repro.circuits import Netlist, assemble
+
+
+def parallel_rc(r=100.0, c=1e-12):
+    net = Netlist("rc")
+    net.resistor("R1", "a", "0", r)
+    net.capacitor("C1", "a", "0", c)
+    net.current_port("P", "a")
+    return assemble(net)
+
+
+class TestStepResponse:
+    @pytest.mark.parametrize("method", ["trapezoidal", "backward_euler"])
+    def test_single_pole_analytic(self, method):
+        r, c = 100.0, 1e-12
+        system = parallel_rc(r, c)
+        tau = r * c
+        result = simulate_step(system, t_final=5 * tau, num_steps=2000, method=method)
+        expected = r * (1.0 - np.exp(-result.time / tau))
+        expected[0] = 0.0
+        tolerance = 5e-3 if method == "backward_euler" else 1e-4
+        np.testing.assert_allclose(
+            result.outputs[:, 0], expected, atol=tolerance * r
+        )
+
+    def test_dc_steady_state(self, tree_system):
+        tau = 1.0 / abs(tree_system.poles(num=1)[0].real)
+        result = simulate_step(tree_system, t_final=20 * tau, num_steps=400)
+        np.testing.assert_allclose(
+            result.outputs[-1], tree_system.dc_gain()[:, 0], rtol=1e-4
+        )
+
+    def test_trapezoidal_more_accurate_than_be(self):
+        r, c = 100.0, 1e-12
+        system = parallel_rc(r, c)
+        tau = r * c
+
+        def error(method):
+            result = simulate_step(system, t_final=3 * tau, num_steps=60, method=method)
+            expected = r * (1.0 - np.exp(-result.time / tau))
+            expected[0] = 0.0
+            return np.abs(result.outputs[:, 0] - expected).max()
+
+        assert error("trapezoidal") < error("backward_euler")
+
+
+class TestTransient:
+    def test_sinusoidal_steady_state_matches_transfer(self):
+        r, c = 100.0, 1e-12
+        system = parallel_rc(r, c)
+        f = 2e9
+        h = system.transfer(2j * np.pi * f)[0, 0]
+        result = simulate_transient(
+            system,
+            lambda t: np.array([np.sin(2 * np.pi * f * t)]),
+            t_final=20 / f,
+            num_steps=8000,
+        )
+        # Steady-state amplitude over the last period.
+        steady = result.outputs[-400:, 0]
+        np.testing.assert_allclose(steady.max(), abs(h), rtol=2e-3)
+
+    def test_keep_states(self, tree_system):
+        result = simulate_step(tree_system, t_final=1e-9, num_steps=10)
+        assert result.states is None
+        result2 = simulate_transient(
+            tree_system,
+            lambda t: np.array([1.0]),
+            t_final=1e-9,
+            num_steps=10,
+            keep_states=True,
+        )
+        assert result2.states.shape == (11, tree_system.order)
+
+    def test_initial_condition(self):
+        system = parallel_rc()
+        x0 = np.array([5.0])
+        result = simulate_transient(
+            system, lambda t: np.array([0.0]), t_final=1e-9, num_steps=100, x0=x0
+        )
+        assert result.outputs[0, 0] == pytest.approx(5.0)
+        assert result.outputs[-1, 0] < 0.1  # decays to zero
+
+    def test_reduced_model_matches_full_step(self, tree_parametric):
+        from repro.core import LowRankReducer
+
+        point = [0.3, -0.3]
+        full = tree_parametric.instantiate(point)
+        model = LowRankReducer(num_moments=4).reduce(tree_parametric)
+        reduced = model.instantiate(point)
+        tau = 1.0 / abs(full.poles(num=1)[0].real)
+        t_final = 5 * tau
+        full_step = simulate_step(full, t_final=t_final, num_steps=400)
+        red_step = simulate_step(reduced, t_final=t_final, num_steps=400)
+        scale = np.abs(full_step.outputs[:, 0]).max()
+        assert np.abs(full_step.outputs[:, 0] - red_step.outputs[:, 0]).max() < 2e-2 * scale
+
+
+class TestValidation:
+    def test_bad_method(self, tree_system):
+        with pytest.raises(ValueError, match="method"):
+            simulate_transient(tree_system, lambda t: [1.0], 1e-9, 10, method="euler")
+
+    def test_bad_steps(self, tree_system):
+        with pytest.raises(ValueError, match="num_steps"):
+            simulate_transient(tree_system, lambda t: [1.0], 1e-9, 0)
+
+    def test_bad_horizon(self, tree_system):
+        with pytest.raises(ValueError, match="t_final"):
+            simulate_transient(tree_system, lambda t: [1.0], -1.0, 10)
+
+    def test_wrong_input_shape(self, tree_system):
+        with pytest.raises(ValueError, match="input function"):
+            simulate_transient(tree_system, lambda t: np.ones(3), 1e-9, 10)

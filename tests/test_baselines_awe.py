@@ -1,0 +1,88 @@
+"""Tests for AWE-style moments and Pade pole extraction."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import pade_poles, transfer_moments
+from repro.circuits import DescriptorSystem, Netlist, assemble
+
+
+def single_pole_system(r=100.0, c=1e-12):
+    """Port into parallel RC: H(s) = R / (1 + s R C), pole -1/(RC)."""
+    net = Netlist("rc1")
+    net.resistor("R1", "a", "0", r)
+    net.capacitor("C1", "a", "0", c)
+    net.current_port("P", "a")
+    return assemble(net)
+
+
+class TestMoments:
+    def test_single_pole_moments_analytic(self):
+        r, c = 100.0, 1e-12
+        system = single_pole_system(r, c)
+        moments = transfer_moments(system, 4)[:, 0, 0]
+        # H(s) = R sum_k (-RC s)^k: m_k = R (-RC)^k.
+        expected = [r * (-r * c) ** k for k in range(4)]
+        np.testing.assert_allclose(moments, expected, rtol=1e-12)
+
+    def test_moment_shift_at_expansion_point(self):
+        system = single_pole_system()
+        s0 = 1e9
+        m0_shifted = transfer_moments(system, 1, expansion_point=s0)[0, 0, 0]
+        np.testing.assert_allclose(m0_shifted, system.transfer(s0)[0, 0].real, rtol=1e-12)
+
+    def test_moments_are_taylor_coefficients(self, tree_system):
+        moments = transfer_moments(tree_system, 3)[:, 0, 0]
+        s = 1e7  # small enough for the cubic Taylor model
+        h_taylor = moments[0] + moments[1] * s + moments[2] * s ** 2
+        h_exact = tree_system.transfer(s)[0, 0]
+        assert abs(h_taylor - h_exact) / abs(h_exact) < 1e-4
+
+    def test_invalid_count(self, tree_system):
+        with pytest.raises(ValueError):
+            transfer_moments(tree_system, 0)
+
+
+class TestPade:
+    def test_exact_single_pole(self):
+        r, c = 100.0, 1e-12
+        system = single_pole_system(r, c)
+        moments = transfer_moments(system, 2)[:, 0, 0]
+        poles, residues = pade_poles(moments, 1)
+        np.testing.assert_allclose(poles[0].real, -1.0 / (r * c), rtol=1e-10)
+        # H(s) = R/(1+sRC) = (1/C)/(s + 1/(RC)): residue 1/C.
+        np.testing.assert_allclose(residues[0].real, 1.0 / c, rtol=1e-10)
+
+    def test_two_pole_recovery(self):
+        # Build a synthetic 2-pole descriptor system and recover both poles.
+        p1, p2 = -1e9, -5e9
+        g = np.diag([-p1, -p2])
+        c = np.eye(2)
+        b = np.array([[1.0], [1.0]])
+        system = DescriptorSystem(g, c, b, b)
+        moments = transfer_moments(system, 4)[:, 0, 0]
+        poles, residues = pade_poles(moments, 2)
+        np.testing.assert_allclose(np.sort(poles.real), [p2, p1], rtol=1e-8)
+        np.testing.assert_allclose(residues.real, [1.0, 1.0], rtol=1e-6)
+
+    def test_dominant_pole_of_tree_matches_eig(self, tree_system):
+        moments = transfer_moments(tree_system, 8)[:, 0, 0]
+        poles, _ = pade_poles(moments, 4)
+        eig_pole = tree_system.poles(num=1)[0]
+        assert abs(poles[0] - eig_pole) / abs(eig_pole) < 1e-6
+
+    def test_pade_reconstructs_transfer(self, tree_system):
+        moments = transfer_moments(tree_system, 8)[:, 0, 0]
+        poles, residues = pade_poles(moments, 4)
+        s = 2j * np.pi * 1e8
+        h_pade = np.sum(residues / (s - poles))
+        h_exact = tree_system.transfer(s)[0, 0]
+        assert abs(h_pade - h_exact) / abs(h_exact) < 1e-3
+
+    def test_insufficient_moments_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            pade_poles(np.ones(3), 2)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            pade_poles(np.ones(4), 0)

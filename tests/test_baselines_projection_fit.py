@@ -1,0 +1,90 @@
+"""Tests for the Liu et al. [6] projection-fitting baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import fit_projection_model
+from repro.core import factorial_grid
+
+
+@pytest.fixture(scope="module")
+def fitted(tree_parametric_module):
+    grid = factorial_grid(2, 3, 0.3)
+    return fit_projection_model(tree_parametric_module, grid, num_moments=4)
+
+
+@pytest.fixture(scope="module")
+def tree_parametric_module():
+    from repro.circuits import rc_tree, with_random_variations
+
+    return with_random_variations(rc_tree(30, seed=5), 2, seed=7)
+
+
+class TestFit:
+    def test_coefficient_count_quadratic(self, fitted):
+        # V0 + 2 linear + 2 quadratic coefficient matrices.
+        assert len(fitted.coefficients) == 5
+
+    def test_projection_at_nominal_close_to_nominal_basis(self, fitted, tree_parametric_module):
+        from repro.baselines import prima_projection
+
+        v_fit = fitted.projection_at([0.0, 0.0])
+        v_ref = prima_projection(tree_parametric_module.nominal, 4)
+        k = min(v_fit.shape[1], v_ref.shape[1])
+        overlap = np.linalg.svd(v_fit[:, :k].T @ v_ref[:, :k], compute_uv=False)
+        assert overlap.min() > 0.9
+
+    def test_model_tracks_parameter_variation(self, fitted, tree_parametric_module):
+        s = 2j * np.pi * 1e9
+        for point in ([0.2, 0.1], [-0.25, 0.25]):
+            h_full = tree_parametric_module.transfer(s, point)[0, 0]
+            h_fit = fitted.transfer(s, point)[0, 0]
+            assert abs(h_fit - h_full) / abs(h_full) < 0.05
+
+    def test_linear_fit_supported(self, tree_parametric_module):
+        model = fit_projection_model(
+            tree_parametric_module,
+            [[0.0, 0.0], [0.3, 0.0], [0.0, 0.3]],
+            num_moments=3,
+            degree=1,
+        )
+        assert len(model.coefficients) == 3
+        assert model.size > 0
+
+    def test_alignment_improves_fit(self, tree_parametric_module):
+        # Procrustes alignment should never make the fit worse; on
+        # parameter-sensitive Krylov bases it usually helps.  Compare
+        # the worst-case response error over test points.
+        grid = factorial_grid(2, 3, 0.3)
+        s = 2j * np.pi * 2e9
+        test_points = [[0.15, -0.15], [0.28, 0.28]]
+
+        def worst(model):
+            errors = []
+            for point in test_points:
+                h_full = tree_parametric_module.transfer(s, point)[0, 0]
+                h_fit = model.transfer(s, point)[0, 0]
+                errors.append(abs(h_fit - h_full) / abs(h_full))
+            return max(errors)
+
+        aligned = fit_projection_model(tree_parametric_module, grid, 4, align=True)
+        raw = fit_projection_model(tree_parametric_module, grid, 4, align=False)
+        assert worst(aligned) <= worst(raw) * 1.5  # aligned never much worse
+
+    def test_wrong_point_dimension_rejected(self, tree_parametric_module):
+        with pytest.raises(ValueError, match="coordinates"):
+            fit_projection_model(tree_parametric_module, [[0.0, 0.0, 0.0]], 3)
+
+    def test_too_few_samples_rejected(self, tree_parametric_module):
+        with pytest.raises(ValueError, match="at least"):
+            fit_projection_model(tree_parametric_module, [[0.0, 0.0]], 3, degree=2)
+
+    def test_bad_degree_rejected(self, tree_parametric_module):
+        with pytest.raises(ValueError, match="degree"):
+            fit_projection_model(
+                tree_parametric_module, factorial_grid(2, 3, 0.3), 3, degree=3
+            )
+
+    def test_projection_point_validation(self, fitted):
+        with pytest.raises(ValueError, match="expected 2"):
+            fitted.projection_at([0.1])

@@ -1,0 +1,94 @@
+"""Tests for truncated balanced realization."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import tbr
+from repro.baselines.tbr import gramians, hankel_singular_values
+from repro.circuits import DescriptorSystem, assemble, rc_tree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return assemble(rc_tree(25, seed=11))
+
+
+class TestGramians:
+    def test_lyapunov_residuals(self, tree):
+        p, q = gramians(tree)
+        g = tree.G.toarray()
+        c = tree.C.toarray()
+        b = tree.B.toarray()
+        l_mat = tree.L.toarray()
+        a = np.linalg.solve(c, -g)
+        b_std = np.linalg.solve(c, b)
+        residual_p = a @ p + p @ a.T + b_std @ b_std.T
+        residual_q = a.T @ q + q @ a + l_mat @ l_mat.T
+        assert np.abs(residual_p).max() <= 1e-8 * np.abs(p).max() * np.abs(a).max()
+        assert np.abs(residual_q).max() <= 1e-8 * np.abs(q).max() * np.abs(a).max()
+
+    def test_gramians_psd(self, tree):
+        p, q = gramians(tree)
+        assert np.linalg.eigvalsh(0.5 * (p + p.T)).min() >= -1e-10 * np.abs(p).max()
+        assert np.linalg.eigvalsh(0.5 * (q + q.T)).min() >= -1e-10 * np.abs(q).max()
+
+
+class TestHSV:
+    def test_descending(self, tree):
+        hsv = hankel_singular_values(tree)
+        assert np.all(np.diff(hsv) <= 1e-12 * hsv[0])
+
+    def test_decay(self, tree):
+        hsv = hankel_singular_values(tree)
+        assert hsv[10] < 1e-3 * hsv[0]  # interconnect Hankel spectra decay fast
+
+
+class TestReduction:
+    def test_error_bound_respected(self, tree):
+        order = 6
+        reduced, hsv = tbr(tree, order)
+        bound = 2.0 * hsv[order:].sum()
+        freqs = np.logspace(6, 11, 30)
+        ref = tree.frequency_response(freqs)
+        approx = reduced.frequency_response(freqs)
+        worst = max(
+            np.linalg.norm(ref[i] - approx[i], 2) for i in range(len(freqs))
+        )
+        assert worst <= bound * (1 + 1e-6)
+
+    def test_accuracy_improves_with_order(self, tree):
+        freqs = np.logspace(7, 10, 12)
+        ref = tree.frequency_response(freqs)[:, 0, 0]
+        errs = []
+        for order in (2, 5, 9):
+            reduced, _ = tbr(tree, order)
+            errs.append(
+                np.abs(reduced.frequency_response(freqs)[:, 0, 0] - ref).max()
+            )
+        assert errs[2] < errs[0]
+
+    def test_reduced_is_balanced(self, tree):
+        order = 5
+        reduced, hsv = tbr(tree, order)
+        p, q = gramians(reduced)
+        np.testing.assert_allclose(np.diag(p), hsv[:order], rtol=1e-6)
+        np.testing.assert_allclose(np.diag(q), hsv[:order], rtol=1e-6)
+
+    def test_stability_preserved(self, tree):
+        reduced, _ = tbr(tree, 7)
+        assert np.all(reduced.poles().real < 0)
+
+    def test_order_clamped_to_rank(self, tree):
+        reduced, _ = tbr(tree, 10_000)
+        assert reduced.order <= tree.order
+
+    def test_invalid_order(self, tree):
+        with pytest.raises(ValueError):
+            tbr(tree, 0)
+
+    def test_singular_c_rejected(self):
+        g = np.eye(3)
+        c = np.diag([1.0, 1.0, 0.0])
+        b = np.ones((3, 1))
+        with pytest.raises(ValueError, match="nonsingular C"):
+            tbr(DescriptorSystem(g, c, b, b), 2)

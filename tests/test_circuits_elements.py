@@ -1,0 +1,78 @@
+"""Tests for circuit element validation."""
+
+import pytest
+
+from repro.circuits.elements import (
+    Capacitor,
+    CurrentPort,
+    Inductor,
+    MutualInductance,
+    Observation,
+    Resistor,
+    VoltageSource,
+    is_ground,
+)
+
+
+class TestGroundDetection:
+    @pytest.mark.parametrize("name", ["0", "gnd", "GND", "ground"])
+    def test_ground_aliases(self, name):
+        assert is_ground(name)
+
+    @pytest.mark.parametrize("name", ["n0", "g", "vdd", "00"])
+    def test_non_ground(self, name):
+        assert not is_ground(name)
+
+
+class TestTwoTerminalValidation:
+    @pytest.mark.parametrize("cls", [Resistor, Capacitor, Inductor])
+    def test_positive_value_ok(self, cls):
+        element = cls("X1", "a", "b", 1.0)
+        assert element.value == 1.0
+
+    @pytest.mark.parametrize("cls", [Resistor, Capacitor, Inductor])
+    @pytest.mark.parametrize("value", [0.0, -1.0])
+    def test_nonpositive_value_rejected(self, cls, value):
+        with pytest.raises(ValueError, match="positive"):
+            cls("X1", "a", "b", value)
+
+    @pytest.mark.parametrize("cls", [Resistor, Capacitor, Inductor])
+    def test_self_loop_rejected(self, cls):
+        with pytest.raises(ValueError, match="both terminals"):
+            cls("X1", "a", "a", 1.0)
+
+
+class TestMutualInductance:
+    def test_valid_coupling(self):
+        m = MutualInductance("K1", "L1", "L2", 0.5)
+        assert m.coupling == 0.5
+
+    @pytest.mark.parametrize("k", [1.0, -1.0, 1.5])
+    def test_unit_or_larger_coupling_rejected(self, k):
+        with pytest.raises(ValueError, match="k"):
+            MutualInductance("K1", "L1", "L2", k)
+
+    def test_self_coupling_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            MutualInductance("K1", "L1", "L1", 0.5)
+
+    def test_negative_coupling_allowed(self):
+        assert MutualInductance("K1", "L1", "L2", -0.9).coupling == -0.9
+
+
+class TestPortsAndOutputs:
+    def test_port_on_ground_rejected(self):
+        with pytest.raises(ValueError, match="ground"):
+            CurrentPort("P1", "0")
+
+    def test_observation_on_ground_rejected(self):
+        with pytest.raises(ValueError, match="ground"):
+            Observation("out", "gnd")
+
+    def test_voltage_source_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="both terminals"):
+            VoltageSource("V1", "a", "a")
+
+    def test_voltage_source_to_ground_ok(self):
+        source = VoltageSource("V1", "in", "0")
+        assert source.node_minus == "0"

@@ -1,0 +1,100 @@
+"""Tests for the geometry-based parasitic extraction model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.extraction import (
+    EPSILON_OX,
+    MetalLayer,
+    Wire,
+    extract_wire,
+    perturbed_wire_rc,
+    standard_stack,
+    wire_capacitance,
+    wire_resistance,
+)
+
+
+@pytest.fixture
+def layer():
+    return MetalLayer("M5", sheet_resistance=0.08, height=1.2, nominal_width=0.4,
+                      fringe_capacitance=4.0e-17)
+
+
+class TestClosedForms:
+    def test_resistance_sheet_model(self, layer):
+        # 100 um long, 0.4 um wide: 250 squares at 0.08 ohm/sq.
+        assert wire_resistance(layer, 100.0, 0.4) == pytest.approx(20.0)
+
+    def test_resistance_scales_inverse_width(self, layer):
+        assert wire_resistance(layer, 100.0, 0.8) == pytest.approx(
+            wire_resistance(layer, 100.0, 0.4) / 2.0
+        )
+
+    def test_capacitance_area_plus_fringe(self, layer):
+        c = wire_capacitance(layer, 100.0, 0.4)
+        area = EPSILON_OX * 0.4 / 1.2 * 100.0
+        fringe = 4.0e-17 * 100.0
+        assert c == pytest.approx(area + fringe)
+
+    def test_nonpositive_width_rejected(self, layer):
+        with pytest.raises(ValueError, match="width"):
+            wire_resistance(layer, 10.0, 0.0)
+        with pytest.raises(ValueError, match="width"):
+            wire_capacitance(layer, 10.0, -1.0)
+
+
+class TestSensitivities:
+    def test_conductance_sensitivity_equals_nominal_conductance(self, layer):
+        extracted = extract_wire(Wire(layer, 50.0))
+        assert extracted.dconductance_dp == pytest.approx(extracted.conductance)
+
+    def test_capacitance_sensitivity_is_area_term_only(self, layer):
+        extracted = extract_wire(Wire(layer, 50.0))
+        area_term = EPSILON_OX * layer.nominal_width / layer.height * 50.0
+        assert extracted.dcapacitance_dp == pytest.approx(area_term)
+
+    def test_sensitivities_match_finite_difference(self, layer):
+        wire = Wire(layer, 80.0)
+        extracted = extract_wire(wire)
+        h = 1e-6
+        r_plus, c_plus = perturbed_wire_rc(wire, +h)
+        r_minus, c_minus = perturbed_wire_rc(wire, -h)
+        dg_fd = (1.0 / r_plus - 1.0 / r_minus) / (2 * h)
+        dc_fd = (c_plus - c_minus) / (2 * h)
+        assert extracted.dconductance_dp == pytest.approx(dg_fd, rel=1e-6)
+        assert extracted.dcapacitance_dp == pytest.approx(dc_fd, rel=1e-6)
+
+    def test_first_order_model_within_tolerance_at_30_percent(self, layer):
+        # The paper uses first-order sensitivities for +/-30% width
+        # variation; conductance is exactly linear, capacitance nearly so.
+        wire = Wire(layer, 80.0)
+        extracted = extract_wire(wire)
+        p = 0.3
+        r_true, c_true = perturbed_wire_rc(wire, p)
+        g_lin = extracted.conductance + p * extracted.dconductance_dp
+        c_lin = extracted.capacitance + p * extracted.dcapacitance_dp
+        assert g_lin == pytest.approx(1.0 / r_true, rel=1e-12)  # exact
+        assert c_lin == pytest.approx(c_true, rel=1e-12)  # exact (linear in w)
+
+
+class TestValidation:
+    def test_bad_layer_parameters_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            MetalLayer("X", sheet_resistance=0.0, height=1.0, nominal_width=1.0,
+                       fringe_capacitance=0.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            MetalLayer("X", sheet_resistance=1.0, height=1.0, nominal_width=1.0,
+                       fringe_capacitance=-1.0)
+
+    def test_bad_wire_rejected(self, layer):
+        with pytest.raises(ValueError, match="length"):
+            Wire(layer, 0.0)
+
+    def test_standard_stack_ordering(self):
+        stack = standard_stack()
+        assert list(stack) == ["M5", "M6", "M7"]
+        # Upper layers: lower sheet resistance, wider, further from substrate.
+        assert stack["M7"].sheet_resistance < stack["M6"].sheet_resistance
+        assert stack["M7"].nominal_width > stack["M6"].nominal_width
+        assert stack["M7"].height > stack["M6"].height

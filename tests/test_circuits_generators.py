@@ -1,0 +1,203 @@
+"""Tests for the benchmark circuit generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    assemble,
+    clock_tree,
+    coupled_rlc_bus,
+    power_grid_mesh,
+    rc_ladder,
+    rc_network_767,
+    rc_tree,
+    rcnet_a,
+    rcnet_b,
+)
+
+
+class TestRCLadder:
+    def test_state_count(self):
+        # n segments -> n+1 nodes, no branch currents.
+        assert assemble(rc_ladder(10)).order == 11
+
+    def test_has_dc_path(self):
+        system = assemble(rc_ladder(10))
+        gain = system.dc_gain()
+        assert np.isfinite(gain).all()
+
+    def test_two_port_variant(self):
+        system = assemble(rc_ladder(5, port_at_far_end=True))
+        assert system.num_inputs == 2
+        assert system.is_symmetric_port_form()
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ValueError):
+            rc_ladder(0)
+
+
+class TestRCTree:
+    def test_exact_node_count(self):
+        assert assemble(rc_tree(42, seed=0)).order == 42
+
+    def test_deterministic(self):
+        a = rc_tree(20, seed=4)
+        b = rc_tree(20, seed=4)
+        assert [r.value for r in a.resistors] == [r.value for r in b.resistors]
+
+    def test_fanout_bounded(self):
+        net = rc_tree(60, seed=1, max_children=2)
+        fanout = {}
+        for res in net.resistors:
+            if res.name == "Rdrv":
+                continue
+            fanout[res.node_a] = fanout.get(res.node_a, 0) + 1
+        assert max(fanout.values()) <= 2
+
+    def test_every_node_has_capacitor(self):
+        net = rc_tree(30, seed=2)
+        cap_nodes = {c.node_a for c in net.capacitors}
+        assert cap_nodes == set(net.nodes())
+
+    def test_stable_poles(self):
+        system = assemble(rc_tree(25, seed=3))
+        assert np.all(system.poles().real < 0)
+
+
+class TestRC767:
+    def test_paper_size(self):
+        parametric = rc_network_767()
+        assert parametric.order == 767
+        assert parametric.num_parameters == 2
+
+    def test_nominal_nonsingular_g(self):
+        parametric = rc_network_767()
+        gain = parametric.nominal.dc_gain()
+        assert np.isfinite(gain).all()
+
+
+class TestCoupledBus:
+    @pytest.fixture(scope="class")
+    def small_bus(self):
+        return coupled_rlc_bus(num_lines=2, num_segments=6)
+
+    def test_paper_scale_size(self):
+        net = coupled_rlc_bus()
+        # 2*(2*180+1) nodes + 360 inductor currents = 1082 (paper: 1086).
+        assert net.state_size() == 1082
+
+    def test_four_ports(self, small_bus):
+        system = assemble(small_bus)
+        assert system.num_inputs == 4
+        assert system.is_symmetric_port_form()
+
+    def test_passivity_structure(self, small_bus):
+        system = assemble(small_bus)
+        assert system.passivity_structure_margin() >= -1e-12
+
+    def test_coupling_capacitors_present(self, small_bus):
+        names = [c.name for c in small_bus.capacitors]
+        assert any(name.startswith("K") for name in names)
+
+    def test_mutual_inductance_optional(self):
+        net = coupled_rlc_bus(num_lines=2, num_segments=4, mutual_coupling=0.0)
+        assert len(net.mutuals) == 0
+
+    def test_stable(self, small_bus):
+        poles = assemble(small_bus).poles()
+        assert np.all(poles.real < 1e-6)
+
+    def test_resonant_response(self, small_bus):
+        # An RLC bus must show non-monotonic |Y11| (resonances), unlike RC.
+        system = assemble(small_bus)
+        freqs = np.linspace(1e9, 5e10, 40)
+        y11 = np.abs(system.frequency_response(freqs)[:, 0, 0])
+        diffs = np.diff(y11)
+        assert np.any(diffs > 0) and np.any(diffs < 0)
+
+
+class TestPowerGridMesh:
+    def test_state_count(self):
+        assert assemble(power_grid_mesh(5, 7)).order == 35
+
+    def test_supply_count(self):
+        system = assemble(power_grid_mesh(6, 6, num_supplies=3))
+        assert system.num_inputs == 3
+
+    def test_coincident_taps_deduplicated(self):
+        # On a tiny mesh several requested taps can land on one node.
+        net = power_grid_mesh(2, 2, num_supplies=4)
+        tap_nodes = {p.node for p in net.current_ports}
+        assert len(tap_nodes) == len(net.current_ports)
+
+    def test_dc_ir_drop_positive(self):
+        # Pulling current out of a supply tap raises voltage at the
+        # tap relative to the grid interior (IR drop pattern).
+        system = assemble(power_grid_mesh(6, 6, num_supplies=2))
+        gain = system.dc_gain()
+        assert np.all(np.isfinite(gain))
+        assert gain[0, 0] > 0  # self-impedance of tap 0
+
+    def test_mesh_passivity_structure(self):
+        system = assemble(power_grid_mesh(4, 4))
+        assert system.passivity_structure_margin() >= -1e-12
+
+    def test_mesh_reducible(self):
+        from repro.baselines import prima
+
+        system = assemble(power_grid_mesh(8, 8, num_supplies=2))
+        reduced, _ = prima(system, 6)
+        freqs = np.logspace(7, 10, 9)
+        full = system.frequency_response(freqs)[:, 0, 0]
+        red = reduced.frequency_response(freqs)[:, 0, 0]
+        assert np.abs(full - red).max() / np.abs(full).max() < 1e-4
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2x2"):
+            power_grid_mesh(1, 5)
+        with pytest.raises(ValueError, match="supply"):
+            power_grid_mesh(4, 4, num_supplies=0)
+
+
+class TestClockTrees:
+    def test_rcnet_a_size_and_parameters(self):
+        parametric = rcnet_a()
+        assert parametric.order == 78
+        assert parametric.parameter_names == ["M5_width", "M6_width", "M7_width"]
+
+    def test_rcnet_b_size(self):
+        assert rcnet_b().order == 333
+
+    def test_sensitivities_nonzero_per_layer(self):
+        parametric = rcnet_a()
+        for gi, ci in zip(parametric.dG, parametric.dC):
+            assert abs(gi).max() > 0
+            assert abs(ci).max() > 0
+
+    def test_layer_sensitivities_disjoint_support(self):
+        # An M5-width change must not touch M7 wires: the G-sensitivity
+        # supports of different layers share no resistor stamps except
+        # possibly at layer-boundary nodes.
+        parametric = rcnet_a()
+        g_m5 = parametric.dG[0].toarray()
+        g_m7 = parametric.dG[2].toarray()
+        overlap = (g_m5 != 0) & (g_m7 != 0)
+        assert not overlap.any()
+
+    def test_width_increase_speeds_up_tree(self):
+        # Wider wires -> lower resistance -> dominant pole moves left.
+        parametric = rcnet_a()
+        slow = parametric.instantiate([-0.3, -0.3, -0.3]).poles(num=1)[0]
+        fast = parametric.instantiate([+0.3, +0.3, +0.3]).poles(num=1)[0]
+        assert abs(fast.real) != pytest.approx(abs(slow.real), rel=1e-3)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="equal length"):
+            clock_tree(level_segments=(2, 2), level_layers=("M5",))
+        with pytest.raises(ValueError, match="not in metal stack"):
+            clock_tree(level_segments=(2,), level_layers=("M99",))
+
+    def test_custom_tree_size_formula(self):
+        parametric = clock_tree(level_segments=(2, 3), level_layers=("M7", "M6"))
+        # 1 root + trunk 2 + level1: 2 edges * 3 segments = 9 nodes.
+        assert parametric.order == 1 + 2 + 6

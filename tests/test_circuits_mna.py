@@ -1,0 +1,169 @@
+"""Tests for MNA stamping: hand-checked matrices and structure properties."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Netlist, assemble
+from repro.circuits.mna import MNAError, assemble_perturbation
+
+
+def rc_divider():
+    net = Netlist("rc")
+    net.resistor("R1", "in", "out", 2.0)
+    net.capacitor("C1", "out", "0", 3.0)
+    net.resistor("R2", "in", "0", 4.0)
+    net.current_port("P", "in")
+    return net
+
+
+class TestStamps:
+    def test_conductance_stamp_values(self):
+        system = assemble(rc_divider())
+        g = system.G.toarray()
+        # Node order: in=0, out=1.
+        np.testing.assert_allclose(g, [[0.5 + 0.25, -0.5], [-0.5, 0.5]])
+
+    def test_capacitance_stamp_values(self):
+        system = assemble(rc_divider())
+        c = system.C.toarray()
+        np.testing.assert_allclose(c, [[0.0, 0.0], [0.0, 3.0]])
+
+    def test_port_stamp(self):
+        system = assemble(rc_divider())
+        np.testing.assert_allclose(system.B.toarray(), [[1.0], [0.0]])
+        np.testing.assert_allclose(system.L.toarray(), [[1.0], [0.0]])
+
+    def test_grounded_resistor_stamps_diagonal_only(self):
+        net = Netlist()
+        net.resistor("R1", "a", "0", 5.0)
+        net.current_port("P", "a")
+        g = assemble(net).G.toarray()
+        np.testing.assert_allclose(g, [[0.2]])
+
+    def test_inductor_structure(self):
+        net = Netlist()
+        net.resistor("R1", "a", "0", 1.0)
+        net.inductor("L1", "a", "b", 7.0)
+        net.capacitor("C1", "b", "0", 1.0)
+        net.current_port("P", "a")
+        system = assemble(net)
+        g = system.G.toarray()
+        c = system.C.toarray()
+        # States: v(a)=0, v(b)=1, i(L1)=2.
+        np.testing.assert_allclose(c[2, 2], 7.0)
+        # Incidence columns are exactly skew: G + G^T symmetric part PSD.
+        np.testing.assert_allclose(g[0, 2], 1.0)
+        np.testing.assert_allclose(g[2, 0], -1.0)
+        np.testing.assert_allclose(g[1, 2], -1.0)
+        np.testing.assert_allclose(g[2, 1], 1.0)
+
+    def test_mutual_inductance_stamp(self):
+        net = Netlist()
+        net.resistor("R", "a", "0", 1.0)
+        net.inductor("L1", "a", "b", 4.0)
+        net.inductor("L2", "a", "c", 9.0)
+        net.capacitor("C1", "b", "0", 1.0)
+        net.capacitor("C2", "c", "0", 1.0)
+        net.mutual("K1", "L1", "L2", 0.5)
+        net.current_port("P", "a")
+        c = assemble(net).C.toarray()
+        # M = k * sqrt(L1 L2) = 0.5 * 6 = 3 in both off-diagonal slots.
+        li = [3, 4]  # inductor current indices follow the 3 nodes
+        np.testing.assert_allclose(c[li[0], li[1]], 3.0)
+        np.testing.assert_allclose(c[li[1], li[0]], 3.0)
+
+    def test_indefinite_mutual_rejected(self):
+        net = Netlist()
+        net.resistor("R", "a", "0", 1.0)
+        net.inductor("L1", "a", "b", 1.0)
+        net.inductor("L2", "a", "c", 1.0)
+        net.inductor("L3", "a", "d", 1.0)
+        # Pairwise 0.99 coupling among three equal inductors is indefinite
+        # (eigenvalues 1 + 2k, 1 - k: fine) -- use negative-cycle instead.
+        net.mutual("K1", "L1", "L2", 0.9)
+        net.mutual("K2", "L2", "L3", 0.9)
+        net.mutual("K3", "L1", "L3", -0.9)
+        net.current_port("P", "a")
+        with pytest.raises(MNAError, match="indefinite"):
+            assemble(net)
+
+    def test_voltage_source_structure(self):
+        net = Netlist()
+        net.resistor("R1", "in", "out", 1.0)
+        net.capacitor("C1", "out", "0", 1.0)
+        net.voltage_source("V1", "in", "0")
+        net.observe("y", "out")
+        system = assemble(net)
+        # u is the source voltage; DC: out follows in exactly.
+        gain = system.dc_gain()
+        np.testing.assert_allclose(gain, [[1.0]], atol=1e-12)
+
+
+class TestValidation:
+    def test_no_inputs_rejected(self):
+        net = Netlist()
+        net.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(MNAError, match="no inputs"):
+            assemble(net)
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(MNAError):
+            assemble(Netlist())
+
+    def test_state_names(self):
+        system = assemble(rc_divider())
+        assert system.state_names == ["v(in)", "v(out)"]
+
+    def test_input_output_names(self):
+        net = rc_divider()
+        net.observe("far", "out")
+        system = assemble(net)
+        assert system.input_names == ["P"]
+        assert system.output_names == ["P", "far"]
+
+
+class TestPerturbationStamps:
+    def test_scaled_resistor_stamp(self):
+        net = rc_divider()
+        dg, dc = assemble_perturbation(net, {"R1": 0.5})
+        np.testing.assert_allclose(dg.toarray(), [[0.25, -0.25], [-0.25, 0.25]])
+        assert dc.nnz == 0
+
+    def test_scaled_capacitor_stamp(self):
+        net = rc_divider()
+        dg, dc = assemble_perturbation(net, {"C1": -1.0})
+        assert dg.nnz == 0
+        np.testing.assert_allclose(dc.toarray(), [[0.0, 0.0], [0.0, -3.0]])
+
+    def test_scaled_inductor_stamp(self):
+        net = Netlist()
+        net.resistor("R1", "a", "0", 1.0)
+        net.inductor("L1", "a", "b", 7.0)
+        net.capacitor("C1", "b", "0", 1.0)
+        net.current_port("P", "a")
+        _, dc = assemble_perturbation(net, {"L1": 2.0})
+        np.testing.assert_allclose(dc.toarray()[2, 2], 14.0)
+
+    def test_first_order_consistency(self):
+        # G(p) = G0 + p*dG must equal assembling the perturbed netlist
+        # to first order: conductance perturbation is exact (linear).
+        net = rc_divider()
+        dg, _ = assemble_perturbation(net, {"R1": 1.0, "R2": 1.0})
+        perturbed = Netlist("p")
+        eps = 0.01
+        # scale=1 means conductance grows by factor (1+p): R shrinks.
+        perturbed.resistor("R1", "in", "out", 2.0 / (1 + eps))
+        perturbed.capacitor("C1", "out", "0", 3.0)
+        perturbed.resistor("R2", "in", "0", 4.0 / (1 + eps))
+        perturbed.current_port("P", "in")
+        g_pert = assemble(perturbed).G.toarray()
+        g_model = assemble(net).G.toarray() + eps * dg.toarray()
+        np.testing.assert_allclose(g_model, g_pert, rtol=1e-12)
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(MNAError, match="unknown"):
+            assemble_perturbation(rc_divider(), {"R99": 1.0})
+
+    def test_zero_scales_give_empty_matrices(self):
+        dg, dc = assemble_perturbation(rc_divider(), {})
+        assert dg.nnz == 0 and dc.nnz == 0

@@ -1,0 +1,96 @@
+"""Tests for the netlist container."""
+
+import pytest
+
+from repro.circuits import Netlist
+
+
+@pytest.fixture
+def divider():
+    net = Netlist("divider")
+    net.resistor("R1", "in", "mid", 1e3)
+    net.resistor("R2", "mid", "0", 1e3)
+    net.capacitor("C1", "mid", "0", 1e-12)
+    net.current_port("P1", "in")
+    return net
+
+
+class TestConstruction:
+    def test_counts(self, divider):
+        stats = divider.stats()
+        assert stats["nodes"] == 2
+        assert stats["states"] == 2
+        assert stats["resistors"] == 2
+        assert stats["ports"] == 1
+
+    def test_duplicate_name_rejected(self, divider):
+        with pytest.raises(ValueError, match="duplicate"):
+            divider.resistor("R1", "a", "b", 1.0)
+
+    def test_duplicate_name_across_kinds_rejected(self, divider):
+        with pytest.raises(ValueError, match="duplicate"):
+            divider.capacitor("R1", "a", "b", 1.0)
+
+    def test_ground_aliases_collapse(self):
+        net = Netlist()
+        net.resistor("R1", "a", "gnd", 1.0)
+        net.resistor("R2", "a", "GND", 1.0)
+        assert net.resistors[0].node_b == "0"
+        assert net.resistors[1].node_b == "0"
+        assert net.node_count() == 1
+
+    def test_mutual_requires_existing_inductors(self):
+        net = Netlist()
+        net.inductor("L1", "a", "b", 1e-9)
+        with pytest.raises(ValueError, match="unknown inductor"):
+            net.mutual("K1", "L1", "L2", 0.5)
+
+    def test_mutual_ok(self):
+        net = Netlist()
+        net.inductor("L1", "a", "b", 1e-9)
+        net.inductor("L2", "c", "d", 1e-9)
+        net.mutual("K1", "L1", "L2", 0.5)
+        assert len(net.mutuals) == 1
+
+
+class TestIntrospection:
+    def test_nodes_first_appearance_order(self, divider):
+        assert divider.nodes() == ["in", "mid"]
+
+    def test_state_size_counts_branches(self):
+        net = Netlist()
+        net.inductor("L1", "a", "b", 1e-9)
+        net.voltage_source("V1", "a", "0")
+        net.capacitor("C1", "b", "0", 1e-12)
+        assert net.state_size() == 2 + 1 + 1  # 2 nodes + L current + V current
+
+    def test_input_output_counts(self):
+        net = Netlist()
+        net.resistor("R1", "a", "0", 1.0)
+        net.current_port("P1", "a")
+        net.voltage_source("V1", "a", "0")
+        net.observe("y", "a")
+        assert net.input_count() == 2
+        assert net.output_count() == 2  # port + observation
+
+    def test_find_inductor(self):
+        net = Netlist()
+        ind = net.inductor("L1", "a", "b", 2e-9)
+        assert net.find_inductor("L1") is ind
+        assert net.find_inductor("L2") is None
+
+    def test_repr_contains_stats(self, divider):
+        text = repr(divider)
+        assert "nodes=2" in text
+        assert "divider" in text
+
+    def test_elements_iteration_order(self, divider):
+        kinds = [type(e).__name__ for e in divider.elements()]
+        assert kinds == ["Resistor", "Resistor", "Capacitor"]
+
+    def test_observation_node_included_in_nodes(self):
+        net = Netlist()
+        net.resistor("R1", "a", "0", 1.0)
+        net.current_port("P", "a")
+        net.observe("y", "b")  # node only referenced by the observation
+        assert "b" in net.nodes()

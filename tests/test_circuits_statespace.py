@@ -1,0 +1,131 @@
+"""Tests for the descriptor state-space model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import DescriptorSystem, Netlist, assemble
+
+
+def analytic_rc():
+    """R in series with C to ground, driven by a current port at the top.
+
+    With a shunt R0 at the input the port impedance is
+    ``Z(s) = R0 (1 + s R1 C) / (1 + s (R0 + R1) C)`` -- closed form for
+    validating transfer(), poles() and dc_gain().
+    """
+    net = Netlist("analytic")
+    net.resistor("R0", "in", "0", 100.0)
+    net.resistor("R1", "in", "mid", 50.0)
+    net.capacitor("C1", "mid", "0", 1e-12)
+    net.current_port("P", "in")
+    return assemble(net)
+
+
+def z_analytic(s, r0=100.0, r1=50.0, c=1e-12):
+    return r0 * (1 + s * r1 * c) / (1 + s * (r0 + r1) * c)
+
+
+class TestTransfer:
+    def test_matches_analytic_impedance(self):
+        system = analytic_rc()
+        for f in [1e6, 1e8, 1e9, 5e9]:
+            s = 2j * np.pi * f
+            np.testing.assert_allclose(
+                system.transfer(s)[0, 0], z_analytic(s), rtol=1e-12
+            )
+
+    def test_dc_gain(self):
+        system = analytic_rc()
+        np.testing.assert_allclose(system.dc_gain()[0, 0], 100.0, rtol=1e-12)
+
+    def test_frequency_response_shape(self):
+        system = analytic_rc()
+        response = system.frequency_response([1e6, 1e7, 1e8])
+        assert response.shape == (3, 1, 1)
+
+    def test_dense_and_sparse_agree(self):
+        sparse_sys = analytic_rc()
+        dense_sys = DescriptorSystem(
+            sparse_sys.G.toarray(),
+            sparse_sys.C.toarray(),
+            sparse_sys.B.toarray(),
+            sparse_sys.L.toarray(),
+        )
+        s = 2j * np.pi * 3e8
+        np.testing.assert_allclose(
+            sparse_sys.transfer(s), dense_sys.transfer(s), rtol=1e-12
+        )
+
+
+class TestPoles:
+    def test_analytic_pole(self):
+        system = analytic_rc()
+        poles = system.poles()
+        assert poles.shape == (1,)
+        expected = -1.0 / (150.0 * 1e-12)
+        np.testing.assert_allclose(poles[0].real, expected, rtol=1e-10)
+        np.testing.assert_allclose(poles[0].imag, 0.0, atol=1e-3)
+
+    def test_dominance_ordering(self, tree_system):
+        poles = tree_system.poles()
+        magnitudes = np.abs(poles)
+        assert np.all(np.diff(magnitudes) >= -1e-6 * magnitudes[:-1])
+
+    def test_num_limits_count(self, tree_system):
+        assert tree_system.poles(num=5).shape == (5,)
+
+    def test_rc_poles_negative_real(self, tree_system):
+        poles = tree_system.poles()
+        assert np.all(poles.real < 0)
+        np.testing.assert_allclose(poles.imag, 0.0, atol=1e-3 * np.abs(poles.real).max())
+
+
+class TestReduce:
+    def test_identity_projection_preserves_everything(self, ladder_system):
+        n = ladder_system.order
+        reduced = ladder_system.reduce(np.eye(n))
+        s = 2j * np.pi * 1e9
+        np.testing.assert_allclose(
+            reduced.transfer(s), ladder_system.transfer(s), rtol=1e-9
+        )
+
+    def test_reduction_shapes(self, ladder_system):
+        v = np.linalg.qr(np.random.default_rng(0).standard_normal((ladder_system.order, 4)))[0]
+        reduced = ladder_system.reduce(v)
+        assert reduced.order == 4
+        assert reduced.num_inputs == ladder_system.num_inputs
+        assert not reduced.is_sparse
+
+    def test_wrong_projection_shape_rejected(self, ladder_system):
+        with pytest.raises(ValueError, match="projection"):
+            ladder_system.reduce(np.eye(3))
+
+    def test_congruence_preserves_passivity_structure(self, ladder_system, rng):
+        v = np.linalg.qr(rng.standard_normal((ladder_system.order, 5)))[0]
+        reduced = ladder_system.reduce(v)
+        assert reduced.passivity_structure_margin() >= -1e-12
+
+
+class TestStructure:
+    def test_symmetric_port_form_detection(self, ladder_system):
+        # rc_ladder has 1 port + 1 observation: L != B.
+        assert not ladder_system.is_symmetric_port_form()
+        assert ladder_system.port_restricted().is_symmetric_port_form()
+
+    def test_port_restricted_keeps_dynamics(self, ladder_system):
+        restricted = ladder_system.port_restricted()
+        s = 2j * np.pi * 1e8
+        np.testing.assert_allclose(
+            restricted.transfer(s)[0, 0], ladder_system.transfer(s)[0, 0], rtol=1e-12
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            DescriptorSystem(np.eye(3), np.eye(4), np.ones((3, 1)), np.ones((3, 1)))
+        with pytest.raises(ValueError, match="B has"):
+            DescriptorSystem(np.eye(3), np.eye(3), np.ones((4, 1)), np.ones((3, 1)))
+        with pytest.raises(ValueError, match="L has"):
+            DescriptorSystem(np.eye(3), np.eye(3), np.ones((3, 1)), np.ones((4, 1)))
+
+    def test_repr(self, ladder_system):
+        assert "sparse" in repr(ladder_system)

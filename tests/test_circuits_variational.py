@@ -1,0 +1,140 @@
+"""Tests for parametric systems and sensitivity extraction."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    ParametricSystem,
+    assemble,
+    finite_difference_sensitivities,
+    rc_ladder,
+    with_random_variations,
+)
+from repro.circuits.netlist import Netlist
+
+
+class TestParametricSystem:
+    def test_instantiate_at_zero_is_nominal(self, small_parametric):
+        system = small_parametric.instantiate([0.0, 0.0])
+        diff_g = system.G - small_parametric.nominal.G
+        diff_c = system.C - small_parametric.nominal.C
+        assert abs(diff_g).max() == 0.0
+        assert abs(diff_c).max() == 0.0
+
+    def test_linearity_in_parameters(self, small_parametric):
+        g1 = small_parametric.conductance([1.0, 0.0])
+        g2 = small_parametric.conductance([0.0, 1.0])
+        g0 = small_parametric.nominal.G
+        g12 = small_parametric.conductance([1.0, 1.0])
+        np.testing.assert_allclose(
+            (g1 + g2 - g0).toarray(), g12.toarray(), rtol=1e-12
+        )
+
+    def test_transfer_changes_with_parameters(self, small_parametric):
+        s = 2j * np.pi * 1e9
+        h0 = small_parametric.transfer(s, [0.0, 0.0])
+        h1 = small_parametric.transfer(s, [0.5, -0.3])
+        assert abs(h1[0, 0] - h0[0, 0]) > 1e-6 * abs(h0[0, 0])
+
+    def test_wrong_point_shape_rejected(self, small_parametric):
+        with pytest.raises(ValueError, match="parameter point"):
+            small_parametric.instantiate([0.1])
+
+    def test_mismatched_sensitivity_lists_rejected(self, ladder_system):
+        n = ladder_system.order
+        with pytest.raises(ValueError, match="matching"):
+            ParametricSystem(ladder_system, [np.zeros((n, n))], [])
+
+    def test_wrong_sensitivity_shape_rejected(self, ladder_system):
+        with pytest.raises(ValueError, match="shape"):
+            ParametricSystem(ladder_system, [np.zeros((2, 2))], [np.zeros((2, 2))])
+
+    def test_parameter_names_default_and_custom(self, ladder_system):
+        n = ladder_system.order
+        zero = np.zeros((n, n))
+        p = ParametricSystem(ladder_system, [zero], [zero])
+        assert p.parameter_names == ["p1"]
+        p2 = ParametricSystem(ladder_system, [zero], [zero], parameter_names=["width"])
+        assert p2.parameter_names == ["width"]
+
+    def test_title_encodes_point(self, small_parametric):
+        system = small_parametric.instantiate([0.25, -0.1])
+        assert "+0.25" in system.title
+
+
+class TestRandomVariations:
+    def test_deterministic_given_seed(self):
+        a = with_random_variations(rc_ladder(5), 2, seed=9)
+        b = with_random_variations(rc_ladder(5), 2, seed=9)
+        for ga, gb in zip(a.dG, b.dG):
+            assert abs(ga - gb).max() == 0.0
+
+    def test_different_seeds_differ(self):
+        a = with_random_variations(rc_ladder(5), 1, seed=1)
+        b = with_random_variations(rc_ladder(5), 1, seed=2)
+        assert abs(a.dG[0] - b.dG[0]).max() > 0.0
+
+    def test_perturbed_system_stays_stable(self, small_parametric):
+        # Value-based sources reduce conductance for p > 0; with two
+        # overlapping spread-1.0 sources, |p1| + |p2| < 1 guarantees
+        # every conductance stays positive.
+        system = small_parametric.instantiate([0.4, 0.4])
+        poles = system.poles()
+        assert np.all(poles.real < 0)
+
+    def test_resistor_sensitivity_sign_convention(self, small_parametric):
+        # Value-based convention: increasing p increases R values, so
+        # the conductance sensitivity diagonal must be non-positive.
+        for gi in small_parametric.dG:
+            diag = gi.diagonal()
+            assert diag.max() <= 0.0
+            assert diag.min() < 0.0
+
+    def test_sensitivities_have_laplacian_structure(self, small_parametric):
+        for gi in small_parametric.dG:
+            sym = (gi - gi.T)
+            assert abs(sym).max() < 1e-14  # resistive stamps are symmetric
+
+
+class TestFiniteDifference:
+    def test_recovers_known_sensitivities(self):
+        def builder(p):
+            net = Netlist("fd")
+            net.resistor("R1", "a", "b", 10.0 / (1.0 + p[0]))  # g = (1+p)/10
+            net.capacitor("C1", "b", "0", 1e-12 * (1.0 + 2.0 * p[1]))
+            net.resistor("Rg", "a", "0", 5.0)
+            net.current_port("P", "a")
+            return assemble(net)
+
+        parametric = finite_difference_sensitivities(builder, 2, step=1e-5)
+        dg = parametric.dG[0].toarray()
+        # dG/dp1 = 0.1 * stamp of R1.
+        np.testing.assert_allclose(dg[0, 0], 0.1, rtol=1e-6)
+        np.testing.assert_allclose(dg[0, 1], -0.1, rtol=1e-6)
+        dc = parametric.dC[1].toarray()
+        np.testing.assert_allclose(dc[1, 1], 2e-12, rtol=1e-6)
+
+    def test_cross_sensitivities_are_zero(self):
+        def builder(p):
+            net = Netlist("fd")
+            net.resistor("R1", "a", "0", 10.0 / (1.0 + p[0]))
+            net.capacitor("C1", "a", "0", 1e-12 * (1.0 + p[1]))
+            net.current_port("P", "a")
+            return assemble(net)
+
+        parametric = finite_difference_sensitivities(builder, 2)
+        assert abs(parametric.dC[0]).max() < 1e-20  # p0 only touches R
+        assert abs(parametric.dG[1]).max() < 1e-20  # p1 only touches C
+
+    def test_inconsistent_builder_rejected(self):
+        def builder(p):
+            net = Netlist("fd")
+            net.resistor("R1", "a", "0", 10.0)
+            if p[0] > 0:  # changes topology between FD points
+                net.capacitor("C2", "b", "0", 1e-12)
+            net.capacitor("C1", "a", "0", 1e-12)
+            net.current_port("P", "a")
+            return assemble(net)
+
+        with pytest.raises(ValueError, match="different order"):
+            finite_difference_sensitivities(builder, 1)

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+NETLIST = """
+.title cli-demo
+Rdrv n0 0 10
+C0 n0 0 0.02p
+R1 n0 n1 25
+C1 n1 0 0.02p
+R2 n1 n2 25
+C2 n2 0 0.02p
+R3 n2 n3 25
+C3 n3 0 0.02p
+.port in n0
+"""
+
+
+@pytest.fixture
+def netlist_file(tmp_path):
+    path = tmp_path / "demo.sp"
+    path.write_text(NETLIST)
+    return str(path)
+
+
+class TestInfo:
+    def test_reports_stats(self, netlist_file, capsys):
+        assert main(["info", netlist_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes:        4" in out
+        assert "capacitors:   4" in out
+        assert "cli-demo" in out
+        assert "passivity-structure margin" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent/netlist.sp"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestReduce:
+    def test_prima_reduction_passes_tolerance(self, netlist_file, capsys):
+        code = main(["reduce", netlist_file, "--method", "prima", "--moments", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "full order:    4" in out
+        assert "worst relative response error" in out
+        assert "structurally passive: True" in out
+
+    def test_impossible_tolerance_fails(self, netlist_file, capsys):
+        code = main(
+            ["reduce", netlist_file, "--moments", "1", "--tolerance", "1e-30"]
+        )
+        assert code == 2
+
+    def test_rational_method(self, netlist_file, capsys):
+        code = main(
+            ["reduce", netlist_file, "--method", "rational", "--moments", "3",
+             "--shifts", "2"]
+        )
+        assert code == 0
+        assert "method: rational" in capsys.readouterr().out
+
+    def test_tbr_method(self, netlist_file, capsys):
+        code = main(["reduce", netlist_file, "--method", "tbr", "--order", "3"])
+        assert code == 0
+        assert "method: tbr" in capsys.readouterr().out
+
+
+class TestSweepAndPoles:
+    def test_sweep_csv(self, netlist_file, capsys):
+        assert main(["sweep", netlist_file, "--points", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "frequency_hz,magnitude,phase_deg"
+        assert len(lines) == 6
+        first = lines[1].split(",")
+        assert float(first[0]) == pytest.approx(1e7)
+        assert float(first[1]) > 0
+
+    def test_poles_csv(self, netlist_file, capsys):
+        assert main(["poles", netlist_file, "--num", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "pole_real,pole_imag,frequency_hz"
+        assert len(lines) == 3
+        real_part = float(lines[1].split(",")[0])
+        assert real_part < 0  # stable RC poles
+
+    def test_poles_match_api(self, netlist_file, capsys):
+        from repro.circuits import assemble, parse_netlist
+
+        main(["poles", netlist_file, "--num", "1"])
+        line = capsys.readouterr().out.strip().splitlines()[1]
+        cli_pole = complex(float(line.split(",")[0]), float(line.split(",")[1]))
+        system = assemble(parse_netlist(NETLIST))
+        api_pole = system.poles(num=1)[0]
+        # The CLI prints 6 significant digits.
+        assert cli_pole == pytest.approx(api_pole, rel=1e-5, abs=1e-5 * abs(api_pole))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_netlist_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sp"
+        bad.write_text("Q1 a b c\n.port P a\n")
+        assert main(["info", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err

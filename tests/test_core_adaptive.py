@@ -1,0 +1,123 @@
+"""Tests for the adaptive low-rank reducer."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveLowRankReducer, LowRankReducer
+
+
+class TestRankSelection:
+    def test_rank_one_for_rank_one_sensitivities(self, ladder_system):
+        """A genuinely rank-1 sensitivity must be detected as rank 1."""
+        import scipy.sparse as sp
+        from repro.circuits.variational import ParametricSystem
+
+        n = ladder_system.order
+        rng = np.random.default_rng(3)
+        u = rng.standard_normal((n, 1))
+        v = rng.standard_normal((n, 1))
+        g1 = sp.csr_matrix(u @ v.T) * 1e-3
+        zero = sp.csr_matrix((n, n))
+        parametric = ParametricSystem(ladder_system, [g1], [zero])
+        reducer = AdaptiveLowRankReducer(max_rank=4)
+        ranks, spectra = reducer.select_ranks(parametric)
+        assert ranks == [1]
+
+    def test_high_rank_sensitivity_needs_more(self, ladder_system):
+        """A flat-spectrum sensitivity must trigger a rank > 1."""
+        import scipy.sparse as sp
+        from repro.circuits.variational import ParametricSystem
+
+        n = ladder_system.order
+        rng = np.random.default_rng(4)
+        dense = rng.standard_normal((n, n))
+        g1 = sp.csr_matrix(np.asarray(ladder_system.G @ (dense / np.linalg.norm(dense))))
+        zero = sp.csr_matrix((n, n))
+        parametric = ParametricSystem(ladder_system, [g1], [zero])
+        reducer = AdaptiveLowRankReducer(max_rank=4, energy=0.9)
+        ranks, _ = reducer.select_ranks(parametric)
+        assert ranks[0] > 1
+
+    def test_rank_capped(self, tree_parametric):
+        reducer = AdaptiveLowRankReducer(max_rank=2, energy=0.9999999)
+        ranks, _ = reducer.select_ranks(tree_parametric)
+        assert all(1 <= r <= 2 for r in ranks)
+
+
+class TestOrderSelection:
+    def test_converges_and_reports(self, tree_parametric):
+        reducer = AdaptiveLowRankReducer(target_error=1e-4, max_order=8)
+        model, report = reducer.reduce(tree_parametric)
+        assert report.converged
+        assert report.final_order <= 8
+        assert report.final_size == model.size
+        assert len(report.error_estimates) == len(report.order_history)
+        assert report.error_estimates[-1] <= 1e-4
+        assert "converged" in report.summary()
+
+    def test_tight_target_hits_max_order(self, tree_parametric):
+        reducer = AdaptiveLowRankReducer(target_error=1e-16, max_order=3)
+        model, report = reducer.reduce(tree_parametric)
+        assert not report.converged
+        assert report.final_order == 3
+
+    def test_estimates_decrease(self, big_tree_parametric):
+        # Estimates may fluctuate step-to-step, but the sweep overall
+        # must drive them down by orders of magnitude.  (The 100-node
+        # tree is large enough that low orders are genuinely inexact.)
+        reducer = AdaptiveLowRankReducer(
+            target_error=1e-13, min_order=1, max_order=6
+        )
+        _, report = reducer.reduce(big_tree_parametric)
+        estimates = report.error_estimates
+        assert len(estimates) >= 3
+        assert min(estimates) < 0.1 * estimates[0]
+
+    def test_adaptive_model_as_accurate_as_manual(self, tree_parametric, frequencies):
+        adaptive_model, report = AdaptiveLowRankReducer(
+            target_error=1e-5, max_order=8
+        ).reduce(tree_parametric)
+        manual = LowRankReducer(
+            num_moments=report.final_order, rank=max(report.chosen_ranks)
+        ).reduce(tree_parametric)
+        point = [0.25, -0.2]
+        full = tree_parametric.instantiate(point).frequency_response(frequencies)[:, 0, 0]
+        err_adaptive = np.abs(
+            adaptive_model.frequency_response(frequencies, point)[:, 0, 0] - full
+        ).max()
+        err_manual = np.abs(
+            manual.frequency_response(frequencies, point)[:, 0, 0] - full
+        ).max()
+        assert err_adaptive <= err_manual * 1.01 + 1e-12
+
+    def test_true_error_near_estimate(self, tree_parametric, frequencies):
+        """The a-posteriori estimate must be indicative (same decade)."""
+        reducer = AdaptiveLowRankReducer(target_error=1e-4, max_order=8)
+        model, report = reducer.reduce(tree_parametric)
+        point = [0.3, 0.3]
+        full = tree_parametric.instantiate(point).frequency_response(frequencies)[:, 0, 0]
+        red = model.frequency_response(frequencies, point)[:, 0, 0]
+        true_error = np.abs(full - red).max() / np.abs(full).max()
+        assert true_error < 100 * reducer.target_error
+
+    def test_custom_probe_corners_validated(self, tree_parametric):
+        reducer = AdaptiveLowRankReducer(probe_corners=[[0.1, 0.1, 0.1]])
+        with pytest.raises(ValueError, match="probe corners"):
+            reducer.reduce(tree_parametric)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"energy": 0.0},
+            {"energy": 1.5},
+            {"target_error": 0.0},
+            {"min_order": 0},
+            {"min_order": 5, "max_order": 4},
+            {"max_rank": 0},
+        ],
+    )
+    def test_bad_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveLowRankReducer(**kwargs)

@@ -1,0 +1,104 @@
+"""Tests for the model-size/cost formulas of Sections 3.2-4.2."""
+
+import pytest
+
+from repro.core import (
+    factorization_counts,
+    low_rank_size,
+    multi_point_grid_samples,
+    multi_point_size,
+    single_point_size,
+    single_point_size_first_order_example,
+)
+
+
+class TestSinglePoint:
+    def test_binomial_structure(self):
+        # mu = 3 generalized params (np=1), order 2: C(5,3) = 10 moments.
+        assert single_point_size(2, 1, 1) == 10
+
+    def test_scales_with_ports(self):
+        assert single_point_size(2, 1, 4) == 4 * single_point_size(2, 1, 1)
+
+    def test_first_order_example_formula(self):
+        # Paper Section 3.3: (k^2 + k + 1) m.
+        assert single_point_size_first_order_example(3, 1) == 13
+        assert single_point_size_first_order_example(3, 2) == 26
+
+    def test_growth_is_superlinear_in_order(self):
+        sizes = [single_point_size(k, 2, 1) for k in range(1, 5)]
+        increments = [b - a for a, b in zip(sizes, sizes[1:])]
+        assert increments == sorted(increments)
+        assert increments[-1] > increments[0]
+
+
+class TestMultiPoint:
+    def test_formula(self):
+        # Paper Section 3.3: 2 samples matching k+1 moments -> 2(k+1)m.
+        assert multi_point_size(3, 2, 1) == 8
+
+    def test_grid_samples(self):
+        # Paper Section 4.1: 3 samples/axis in 4-D -> 81 points.
+        assert multi_point_grid_samples(3, 4) == 81
+
+    def test_multi_point_beats_single_point_for_small_parameter_order(self):
+        """The Section 3.3 comparison: 2(k+1)m << (k^2+k+1)m."""
+        for k in range(2, 10):
+            assert multi_point_size(k, 2, 1) < single_point_size_first_order_example(k, 1)
+
+
+class TestLowRank:
+    def test_full_variant_formula(self):
+        # (k+1)m + [(k+1) + k + k + (k-1)] ksvd np = 5 + 16*3 for k=4.
+        assert low_rank_size(4, 3, 1, rank=1) == 5 + 16 * 3
+
+    def test_simplified_reduces_parameter_cost(self):
+        # Dual subspaces (2k-1 blocks) replaced by 2 V_hat columns:
+        # per-parameter cost drops from 4k+2 to 2k+3 (paper:
+        # "approximately by a factor of two" for large k).
+        k, np_count, m = 4, 3, 1
+        full = low_rank_size(k, np_count, m, rank=1)
+        simplified = low_rank_size(k, np_count, m, rank=1, simplified=True)
+        parameter_cost_full = full - (k + 1) * m
+        parameter_cost_simplified = simplified - (k + 1) * m
+        assert parameter_cost_simplified == 11 * np_count
+        assert parameter_cost_full == 16 * np_count
+        # Asymptotically (2k+3)/(4k+2) -> 1/2.
+        big_k = 50
+        ratio = (2 * big_k + 3) / (4 * big_k + 2)
+        assert ratio < 0.52
+
+    def test_linear_in_rank_and_parameters(self):
+        base = low_rank_size(3, 1, 1, rank=1) - 4
+        assert low_rank_size(3, 2, 1, rank=1) - 4 == 2 * base
+        assert low_rank_size(3, 1, 1, rank=3) - 4 == 3 * base
+
+    def test_low_rank_beats_multi_point_grid(self):
+        """Section 4.2: O((4 ksvd np + m)k) vs O(c^np k m)."""
+        k, m = 4, 1
+        for np_count in (3, 4, 5):
+            grid = multi_point_grid_samples(3, np_count)
+            assert low_rank_size(k, np_count, m) < multi_point_size(k, grid, m)
+
+
+class TestCosts:
+    def test_factorization_counts(self):
+        counts = factorization_counts(81)
+        assert counts["low_rank"] == 1
+        assert counts["single_point"] == 1
+        assert counts["nominal"] == 1
+        assert counts["multi_point"] == 81
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            single_point_size(-1, 1, 1)
+        with pytest.raises(ValueError):
+            multi_point_size(2, 0, 1)
+        with pytest.raises(ValueError):
+            low_rank_size(2, 1, 0)
+        with pytest.raises(ValueError):
+            low_rank_size(2, 1, 1, rank=0)
+        with pytest.raises(ValueError):
+            multi_point_grid_samples(0, 2)
+        with pytest.raises(ValueError):
+            factorization_counts(0)

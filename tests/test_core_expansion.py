@@ -1,0 +1,96 @@
+"""Tests for shifted expansion points (repro.core.expansion)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import transfer_moments
+from repro.core import LowRankReducer, SinglePointReducer, shifted_parametric_system
+
+
+class TestShiftedSystem:
+    def test_zero_shift_is_identity(self, small_parametric):
+        assert shifted_parametric_system(small_parametric, 0.0) is small_parametric
+
+    def test_base_matrix(self, small_parametric):
+        s0 = 1e9
+        shifted = shifted_parametric_system(small_parametric, s0)
+        expected = small_parametric.nominal.G + s0 * small_parametric.nominal.C
+        assert abs(shifted.nominal.G - expected).max() == 0.0
+
+    def test_sensitivities(self, small_parametric):
+        s0 = 2e9
+        shifted = shifted_parametric_system(small_parametric, s0)
+        for gi, ci, ki in zip(small_parametric.dG, small_parametric.dC, shifted.dG):
+            expected = gi + s0 * ci
+            assert abs(ki - expected).max() == 0.0
+
+    def test_transfer_equivalence(self, small_parametric):
+        """H_shifted(sigma, p) == H(s0 + sigma, p) for all (sigma, p)."""
+        s0 = 5e8
+        shifted = shifted_parametric_system(small_parametric, s0)
+        point = [0.2, -0.1]
+        for sigma in (0.0, 1e8, 2j * np.pi * 1e9):
+            h_original = small_parametric.transfer(s0 + sigma, point)
+            h_shifted = shifted.transfer(sigma, point)
+            np.testing.assert_allclose(h_shifted, h_original, rtol=1e-10)
+
+
+class TestShiftedReducers:
+    def test_lowrank_matches_shifted_moments(self, small_parametric):
+        """The s0-reducer matches nominal moments about s0, not about 0."""
+        s0 = 1e9
+        k = 3
+        model = LowRankReducer(num_moments=k, rank=3, svd_method="dense",
+                               expansion_point=s0).reduce(small_parametric)
+        full_shifted = transfer_moments(small_parametric.nominal, k, expansion_point=s0)
+        red_shifted = transfer_moments(model.nominal, k, expansion_point=s0)
+        for i in range(k):
+            scale = max(np.abs(full_shifted[i]).max(), 1e-300)
+            np.testing.assert_allclose(
+                red_shifted[i], full_shifted[i], atol=1e-8 * scale
+            )
+
+    def test_singlepoint_shifted_accuracy_near_s0(self, tree_parametric):
+        s0 = 2 * np.pi * 2e9
+        model = SinglePointReducer(total_order=3, expansion_point=s0).reduce(
+            tree_parametric
+        )
+        point = [0.2, 0.2]
+        frequencies = np.linspace(1.5e9, 2.5e9, 7)  # band around s0/2pi
+        full = tree_parametric.instantiate(point).frequency_response(frequencies)[:, 0, 0]
+        red = model.frequency_response(frequencies, point)[:, 0, 0]
+        assert np.abs(full - red).max() / np.abs(full).max() < 1e-3
+
+    def test_shift_handles_singular_g0(self):
+        """A floating RC tree (no DC path) is reducible only with s0 > 0."""
+        from repro.circuits import Netlist, assemble
+        from repro.circuits.variational import ParametricSystem
+        import scipy.sparse as sp
+
+        net = Netlist("floating")
+        for j in range(6):
+            net.resistor(f"R{j}", f"n{j}", f"n{j + 1}", 100.0)
+            net.capacitor(f"C{j}", f"n{j + 1}", "0", 1e-14)
+        net.current_port("P", "n0")  # no resistive path to ground!
+        system = assemble(net)
+        n = system.order
+        zero = sp.csr_matrix((n, n))
+        parametric = ParametricSystem(system, [zero], [zero])
+        with pytest.raises(Exception):
+            LowRankReducer(num_moments=2).reduce(parametric)
+        model = LowRankReducer(num_moments=2, expansion_point=1e9).reduce(parametric)
+        s = 2j * np.pi * 1e9
+        h_full = parametric.transfer(s, [0.0])
+        h_red = model.transfer(s, [0.0])
+        np.testing.assert_allclose(h_red, h_full, rtol=1e-6)
+
+    def test_theorem_mode_incompatible_with_shift(self):
+        with pytest.raises(ValueError, match="Theorem 1"):
+            LowRankReducer(num_moments=2, expansion_point=1e9,
+                           approximate_sensitivities=True)
+
+    def test_passivity_preserved_with_shift(self, tree_parametric):
+        model = LowRankReducer(num_moments=3, expansion_point=1e9).reduce(
+            tree_parametric
+        )
+        assert model.passivity_structure_margin([0.3, 0.3]) >= -1e-10

@@ -1,0 +1,188 @@
+"""Tests for the paper's Algorithm 1 (low-rank parametric MOR)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GeneralizedParameterization, LowRankReducer, output_moments
+from repro.linalg import factorization_count, reset_factorization_count
+
+
+def moment_mismatch(parametric, model, order):
+    full = output_moments(GeneralizedParameterization(parametric), order)
+    red = output_moments(GeneralizedParameterization(model), order)
+    worst = 0.0
+    for alpha, block in full.items():
+        scale = max(np.abs(block).max(), 1e-300)
+        worst = max(worst, np.abs(block - red[alpha]).max() / scale)
+    return worst
+
+
+class TestTheorem1:
+    """Moment matching holds for the low-rank *approximated* system."""
+
+    @pytest.mark.parametrize("rank", [1, 2])
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_reduced_matches_approximated_system(self, small_parametric, rank, order):
+        reducer = LowRankReducer(
+            num_moments=order, rank=rank, svd_method="dense",
+            approximate_sensitivities=True,
+        )
+        approximated = reducer.approximated_system(small_parametric)
+        model = reducer.reduce(small_parametric)
+        assert moment_mismatch(approximated, model, order) < 1e-8
+
+    def test_full_rank_approximation_is_exact(self, small_parametric):
+        """With k_svd = n the approximated system IS the original."""
+        n = small_parametric.order
+        reducer = LowRankReducer(
+            num_moments=2, rank=n, svd_method="dense", approximate_sensitivities=True
+        )
+        approximated = reducer.approximated_system(small_parametric)
+        for original, approx in zip(small_parametric.dG, approximated.dG):
+            dense = original.toarray() if hasattr(original, "toarray") else original
+            np.testing.assert_allclose(approx, dense, atol=1e-9 * max(abs(dense).max(), 1e-300))
+        # ... hence moments of the original are matched exactly.
+        model = reducer.reduce(small_parametric)
+        assert moment_mismatch(small_parametric, model, 2) < 1e-8
+
+    def test_simplified_variant_keeps_theorem(self, small_parametric):
+        reducer = LowRankReducer(
+            num_moments=2, rank=2, svd_method="dense",
+            include_dual_subspaces=False, approximate_sensitivities=True,
+        )
+        approximated = reducer.approximated_system(small_parametric)
+        model = reducer.reduce(small_parametric)
+        assert moment_mismatch(approximated, model, 2) < 1e-8
+
+
+class TestAccuracy:
+    def test_tracks_parameter_variation(self, tree_parametric, frequencies):
+        model = LowRankReducer(num_moments=4, rank=1).reduce(tree_parametric)
+        for point in ([0.3, -0.2], [-0.3, 0.3], [0.7, 0.7]):
+            full = tree_parametric.instantiate(point).frequency_response(frequencies)[:, 0, 0]
+            red = model.frequency_response(frequencies, point)[:, 0, 0]
+            assert np.abs(full - red).max() / np.abs(full).max() < 2e-2
+
+    def test_beats_nominal_projection(self, tree_parametric, frequencies):
+        """The paper's headline comparison (Figs. 3-4)."""
+        from repro.core import NominalReducer
+
+        point = [0.6, -0.6]
+        low_rank = LowRankReducer(num_moments=4, rank=1).reduce(tree_parametric)
+        nominal = NominalReducer(num_moments=8).reduce(tree_parametric)
+        full = tree_parametric.instantiate(point).frequency_response(frequencies)[:, 0, 0]
+
+        def err(model):
+            red = model.frequency_response(frequencies, point)[:, 0, 0]
+            return np.abs(full - red).max() / np.abs(full).max()
+
+        assert err(low_rank) < err(nominal)
+
+    def test_rank_one_usually_sufficient(self, tree_parametric, frequencies):
+        """Section 4.2: 'a rank-one approximation is usually sufficient'."""
+        point = [0.3, 0.3]
+        full = tree_parametric.instantiate(point).frequency_response(frequencies)[:, 0, 0]
+        model = LowRankReducer(num_moments=4, rank=1).reduce(tree_parametric)
+        red = model.frequency_response(frequencies, point)[:, 0, 0]
+        assert np.abs(full - red).max() / np.abs(full).max() < 2e-2
+
+    def test_higher_rank_not_worse(self, tree_parametric, frequencies):
+        point = [0.3, -0.3]
+        full = tree_parametric.instantiate(point).frequency_response(frequencies)[:, 0, 0]
+
+        def err(rank):
+            model = LowRankReducer(num_moments=4, rank=rank).reduce(tree_parametric)
+            red = model.frequency_response(frequencies, point)[:, 0, 0]
+            return np.abs(full - red).max() / np.abs(full).max()
+
+        assert err(3) <= err(1) * 1.2
+
+    def test_dual_subspaces_improve_accuracy(self, tree_parametric, frequencies):
+        """Paper: 'incorporating the useful Krylov subspaces of A0^T
+        improves the accuracy' when reducing the original matrices."""
+        point = [0.5, 0.5]
+        full = tree_parametric.instantiate(point).frequency_response(frequencies)[:, 0, 0]
+
+        def err(include_dual):
+            model = LowRankReducer(
+                num_moments=3, rank=1, include_dual_subspaces=include_dual
+            ).reduce(tree_parametric)
+            red = model.frequency_response(frequencies, point)[:, 0, 0]
+            return np.abs(full - red).max() / np.abs(full).max()
+
+        assert err(True) <= err(False) * 1.05  # never meaningfully worse
+
+    def test_generalized_beats_raw_sensitivity_svd(self, big_tree_parametric, frequencies):
+        """Section 4.1: SVD on generalized sensitivities works better."""
+        point = [0.5, -0.5]
+        full = big_tree_parametric.instantiate(point).frequency_response(frequencies)[:, 0, 0]
+
+        def err(raw):
+            model = LowRankReducer(
+                num_moments=2, rank=1, raw_sensitivity_svd=raw
+            ).reduce(big_tree_parametric)
+            red = model.frequency_response(frequencies, point)[:, 0, 0]
+            return np.abs(full - red).max() / np.abs(full).max()
+
+        assert err(False) <= err(True) * 1.05
+
+
+class TestCostAndSize:
+    def test_single_factorization(self, tree_parametric):
+        reducer = LowRankReducer(num_moments=4, rank=1)
+        reset_factorization_count()
+        reducer.reduce(tree_parametric)
+        assert factorization_count() == 1
+
+    def test_size_bounded_by_formula(self, tree_parametric):
+        from repro.core import low_rank_size
+
+        k, rank = 4, 1
+        model = LowRankReducer(num_moments=k, rank=rank).reduce(tree_parametric)
+        bound = low_rank_size(
+            k, tree_parametric.num_parameters,
+            tree_parametric.nominal.num_inputs, rank=rank,
+        )
+        assert model.size <= bound
+
+    def test_simplified_variant_smaller(self, tree_parametric):
+        full_model = LowRankReducer(num_moments=4, rank=1).reduce(tree_parametric)
+        simplified = LowRankReducer(
+            num_moments=4, rank=1, include_dual_subspaces=False
+        ).reduce(tree_parametric)
+        assert simplified.size < full_model.size
+
+    def test_svd_drivers_agree(self, tree_parametric, frequencies):
+        point = [0.3, 0.3]
+        responses = {}
+        for method in ("lanczos", "subspace", "dense"):
+            model = LowRankReducer(num_moments=3, rank=1, svd_method=method).reduce(
+                tree_parametric
+            )
+            responses[method] = model.frequency_response(frequencies, point)[:, 0, 0]
+        scale = np.abs(responses["dense"]).max()
+        for method in ("lanczos", "subspace"):
+            assert np.abs(responses[method] - responses["dense"]).max() / scale < 1e-6
+
+
+class TestStructure:
+    def test_passivity_preserved(self, tree_parametric):
+        model = LowRankReducer(num_moments=4, rank=1).reduce(tree_parametric)
+        for point in ([0.0, 0.0], [0.5, 0.5], [-0.5, 0.5]):
+            assert model.passivity_structure_margin(point) >= -1e-10
+
+    def test_projection_orthonormal(self, tree_parametric):
+        reducer = LowRankReducer(num_moments=3, rank=2)
+        v = reducer.projection(tree_parametric)
+        np.testing.assert_allclose(v.T @ v, np.eye(v.shape[1]), atol=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LowRankReducer(num_moments=0)
+        with pytest.raises(ValueError):
+            LowRankReducer(num_moments=2, rank=0)
+
+    def test_approximated_system_requires_generalized(self, small_parametric):
+        reducer = LowRankReducer(num_moments=2, raw_sensitivity_svd=True)
+        with pytest.raises(ValueError, match="generalized"):
+            reducer.approximated_system(small_parametric)

@@ -1,0 +1,109 @@
+"""Tests for multi-parameter moment computation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import transfer_moments
+from repro.core import GeneralizedParameterization, moment_table, multi_indices_up_to, output_moments
+from repro.core.moments import MultiIndex  # noqa: F401  (public alias)
+
+
+class TestMultiIndices:
+    def test_counts_match_binomial(self):
+        from math import comb
+
+        for mu, k in [(1, 5), (3, 3), (5, 2)]:
+            indices = multi_indices_up_to(mu, k)
+            assert len(indices) == comb(k + mu, mu)
+
+    def test_graded_order(self):
+        indices = multi_indices_up_to(2, 3)
+        totals = [sum(alpha) for alpha in indices]
+        assert totals == sorted(totals)
+
+    def test_no_duplicates(self):
+        indices = multi_indices_up_to(4, 3)
+        assert len(indices) == len(set(indices))
+
+    def test_zero_order(self):
+        assert multi_indices_up_to(3, 0) == [(0, 0, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_indices_up_to(0, 1)
+        with pytest.raises(ValueError):
+            multi_indices_up_to(2, -1)
+
+
+class TestMomentRecurrence:
+    def test_pure_s_moments_match_awe(self, small_parametric):
+        # M_{(k,0,...)} must equal the AWE moments of the nominal system.
+        parameterization = GeneralizedParameterization(small_parametric)
+        table = output_moments(parameterization, 3)
+        awe = transfer_moments(small_parametric.nominal, 4)
+        mu = parameterization.num_variables
+        for k in range(4):
+            alpha = tuple([k] + [0] * (mu - 1))
+            np.testing.assert_allclose(table[alpha], awe[k], rtol=1e-10)
+
+    def test_first_parameter_moment_is_derivative(self, small_parametric):
+        # M_{(0,1,0,...)} relates to dH/dp1 at (s,p)=(0,0):
+        # H(0,p) = L^T (G0 + p G1)^{-1} B, dH/dp|_0 = -L^T G0^{-1} G1 G0^{-1} B.
+        parameterization = GeneralizedParameterization(small_parametric)
+        mu = parameterization.num_variables
+        alpha = tuple([0, 1] + [0] * (mu - 2))
+        moment = output_moments(parameterization, 1)[alpha]
+        h = 1e-7
+        plus = small_parametric.transfer(0.0, [h, 0.0]).real
+        minus = small_parametric.transfer(0.0, [-h, 0.0]).real
+        fd = (plus - minus) / (2 * h)
+        np.testing.assert_allclose(moment, fd, rtol=1e-5)
+
+    def test_taylor_model_reconstructs_transfer_function(self, small_parametric):
+        # The strongest validation of the recurrence: summing the full
+        # multi-parameter series H ~= sum_alpha M_alpha sigma^alpha
+        # (sigma = (s, p1, p2, s p1, s p2)) must reproduce H(s, p)
+        # inside the convergence region, with the truncation error
+        # shrinking as the order grows.
+        parameterization = GeneralizedParameterization(small_parametric)
+        np_count = parameterization.num_parameters
+        s = 2j * np.pi * 1e8
+        point = np.array([0.05, -0.08])
+        sigma = np.concatenate(([s], point, s * point))
+        h_exact = small_parametric.transfer(s, point)[0, 0]
+
+        def taylor(order):
+            table = output_moments(parameterization, order)
+            total = 0.0 + 0.0j
+            for alpha, block in table.items():
+                term = block[0, 0]
+                for var, power in enumerate(alpha):
+                    term = term * sigma[var] ** power
+                total += term
+            return total
+
+        err2 = abs(taylor(2) - h_exact) / abs(h_exact)
+        err4 = abs(taylor(4) - h_exact) / abs(h_exact)
+        assert err4 < err2
+        assert err4 < 1e-5
+        assert np_count == 2
+
+    def test_moment_table_block_shapes(self, small_parametric):
+        parameterization = GeneralizedParameterization(small_parametric)
+        table = moment_table(parameterization, 2)
+        n = small_parametric.order
+        m = small_parametric.nominal.num_inputs
+        for block in table.values():
+            assert block.shape == (n, m)
+
+    def test_table_size(self, small_parametric):
+        from math import comb
+
+        parameterization = GeneralizedParameterization(small_parametric)
+        table = moment_table(parameterization, 2)
+        mu = parameterization.num_variables
+        assert len(table) == comb(2 + mu, mu)
+
+    def test_variable_names(self, small_parametric):
+        parameterization = GeneralizedParameterization(small_parametric)
+        assert parameterization.variable_names == ["s", "p1", "p2", "s*p1", "s*p2"]

@@ -1,0 +1,96 @@
+"""Tests for the multi-point expansion reducer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import transfer_moments
+from repro.core import MultiPointReducer, factorial_grid
+from repro.linalg import factorization_count, reset_factorization_count
+
+
+class TestFactorialGrid:
+    def test_grid_shape(self):
+        grid = factorial_grid(3, 3, 0.3)
+        assert grid.shape == (27, 3)
+
+    def test_single_sample_is_nominal(self):
+        grid = factorial_grid(2, 1, 0.3)
+        np.testing.assert_allclose(grid, [[0.0, 0.0]])
+
+    def test_two_samples_are_corners(self):
+        grid = factorial_grid(1, 2, 0.5)
+        np.testing.assert_allclose(sorted(grid[:, 0]), [-0.5, 0.5])
+
+    def test_contains_center_for_odd_counts(self):
+        grid = factorial_grid(2, 3, 0.3)
+        assert any(np.all(point == 0.0) for point in grid)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            factorial_grid(0, 3, 0.3)
+        with pytest.raises(ValueError):
+            factorial_grid(2, 0, 0.3)
+
+
+class TestReduction:
+    def test_matches_s_moments_at_each_sample(self, tree_parametric):
+        """The defining property: k s-moments preserved at every sample."""
+        grid = factorial_grid(2, 2, 0.3)
+        k = 3
+        model = MultiPointReducer(grid, num_moments=k).reduce(tree_parametric)
+        for point in grid:
+            full_sys = tree_parametric.instantiate(point)
+            red_sys = model.instantiate(point)
+            mf = transfer_moments(full_sys, k)
+            mr = transfer_moments(red_sys, k)
+            for i in range(k):
+                scale = max(np.abs(mf[i]).max(), 1e-300)
+                np.testing.assert_allclose(mr[i], mf[i], atol=1e-8 * scale)
+
+    def test_interpolates_between_samples(self, tree_parametric, frequencies):
+        grid = factorial_grid(2, 2, 0.3)
+        model = MultiPointReducer(grid, num_moments=4).reduce(tree_parametric)
+        point = [0.1, -0.05]  # strictly inside the sampled box
+        full = tree_parametric.instantiate(point).frequency_response(frequencies)[:, 0, 0]
+        red = model.frequency_response(frequencies, point)[:, 0, 0]
+        assert np.abs(full - red).max() / np.abs(full).max() < 1e-3
+
+    def test_factorization_count_equals_samples(self, tree_parametric):
+        grid = factorial_grid(2, 3, 0.3)
+        reducer = MultiPointReducer(grid, num_moments=2)
+        reset_factorization_count()
+        reducer.reduce(tree_parametric)
+        assert factorization_count() == reducer.num_samples == 9
+
+    def test_size_bounded_by_formula(self, tree_parametric):
+        from repro.core import multi_point_size
+
+        grid = factorial_grid(2, 2, 0.3)
+        k = 3
+        model = MultiPointReducer(grid, num_moments=k).reduce(tree_parametric)
+        # The formula counts k+1 block moments as "matching k moments of
+        # s"; our num_moments=k matches k blocks, so bound with k-1.
+        assert model.size <= multi_point_size(k - 1, 4, tree_parametric.nominal.num_inputs)
+
+    def test_subspace_union_deflates_shared_directions(self, tree_parametric):
+        # Sampling the same point twice must not grow the model.
+        once = MultiPointReducer([[0.0, 0.0]], num_moments=4).reduce(tree_parametric)
+        twice = MultiPointReducer([[0.0, 0.0], [0.0, 0.0]], num_moments=4).reduce(
+            tree_parametric
+        )
+        assert twice.size == once.size
+
+
+class TestValidation:
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPointReducer(np.empty((0, 2)), num_moments=2)
+
+    def test_zero_moments_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPointReducer([[0.0]], num_moments=0)
+
+    def test_dimension_mismatch_rejected(self, tree_parametric):
+        reducer = MultiPointReducer([[0.0, 0.0, 0.0]], num_moments=2)
+        with pytest.raises(ValueError, match="coordinates"):
+            reducer.reduce(tree_parametric)

@@ -1,0 +1,115 @@
+"""Tests for single-point multi-parameter moment matching."""
+
+import numpy as np
+import pytest
+
+from repro.core import GeneralizedParameterization, SinglePointReducer, output_moments
+
+
+def moment_mismatch(full_parametric, reduced_model, order):
+    """Worst relative mismatch over all multi-parameter moments."""
+    full = output_moments(GeneralizedParameterization(full_parametric), order)
+    red = output_moments(GeneralizedParameterization(reduced_model), order)
+    worst = 0.0
+    for alpha, block in full.items():
+        scale = max(np.abs(block).max(), 1e-300)
+        worst = max(worst, np.abs(block - red[alpha]).max() / scale)
+    return worst
+
+
+class TestMomentMatching:
+    @pytest.mark.parametrize("order", [0, 1, 2, 3])
+    def test_matches_all_moments_up_to_order(self, small_parametric, order):
+        model = SinglePointReducer(total_order=order).reduce(small_parametric)
+        assert moment_mismatch(small_parametric, model, order) < 1e-9
+
+    def test_does_not_match_next_order(self, small_parametric):
+        order = 1
+        model = SinglePointReducer(total_order=order).reduce(small_parametric)
+        assert moment_mismatch(small_parametric, model, order + 1) > 1e-8
+
+
+class TestAccuracy:
+    def test_parametric_response(self, tree_parametric, frequencies):
+        model = SinglePointReducer(total_order=4).reduce(tree_parametric)
+        point = [0.3, -0.2]
+        full = tree_parametric.instantiate(point).frequency_response(frequencies)[:, 0, 0]
+        red = model.frequency_response(frequencies, point)[:, 0, 0]
+        assert np.abs(full - red).max() / np.abs(full).max() < 1e-2
+
+    def test_accuracy_improves_with_order(self, tree_parametric):
+        freqs = np.logspace(7, 10, 9)
+        point = [0.25, 0.25]
+        full = tree_parametric.instantiate(point).frequency_response(freqs)[:, 0, 0]
+        errors = []
+        for order in (1, 3, 5):
+            model = SinglePointReducer(total_order=order).reduce(tree_parametric)
+            red = model.frequency_response(freqs, point)[:, 0, 0]
+            errors.append(np.abs(full - red).max() / np.abs(full).max())
+        assert errors[2] < errors[0]
+
+
+class TestSpanModes:
+    @pytest.mark.parametrize("span", ["moments", "products"])
+    def test_both_spans_match_moments(self, small_parametric, span):
+        order = 2
+        model = SinglePointReducer(total_order=order, span=span).reduce(small_parametric)
+        assert moment_mismatch(small_parametric, model, order) < 1e-9
+
+    def test_product_span_contains_moment_span(self, big_tree_parametric):
+        order = 2
+        moments_size = SinglePointReducer(total_order=order, span="moments").reduce(
+            big_tree_parametric
+        ).size
+        products_size = SinglePointReducer(total_order=order, span="products").reduce(
+            big_tree_parametric
+        ).size
+        assert products_size >= moments_size
+
+    def test_moment_span_respects_formula(self, big_tree_parametric):
+        from repro.core import single_point_size
+
+        order = 3
+        model = SinglePointReducer(total_order=order).reduce(big_tree_parametric)
+        assert model.size <= single_point_size(
+            order,
+            big_tree_parametric.num_parameters,
+            big_tree_parametric.nominal.num_inputs,
+        )
+
+    def test_unknown_span_rejected(self):
+        with pytest.raises(ValueError, match="span"):
+            SinglePointReducer(total_order=2, span="magic")
+
+
+class TestModelSizeGrowth:
+    def test_size_grows_quickly_with_order(self, big_tree_parametric):
+        """The Section 3.2 point: cross terms blow the model size up."""
+        sizes = [
+            SinglePointReducer(total_order=k).reduce(big_tree_parametric).size
+            for k in (1, 2, 3)
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+        # Superlinear growth: increments increase.
+        assert sizes[2] - sizes[1] > sizes[1] - sizes[0]
+
+    def test_size_bounded_by_formula(self, small_parametric):
+        from repro.core import single_point_size
+
+        k = 3
+        model = SinglePointReducer(total_order=k).reduce(small_parametric)
+        bound = single_point_size(
+            k, small_parametric.num_parameters, small_parametric.nominal.num_inputs
+        )
+        assert model.size <= bound
+
+
+class TestValidation:
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            SinglePointReducer(total_order=-1)
+
+    def test_passivity_structure_preserved(self, tree_parametric):
+        model = SinglePointReducer(total_order=2).reduce(tree_parametric)
+        margin = model.instantiate([0.2, 0.2]).passivity_structure_margin()
+        assert margin >= -1e-10

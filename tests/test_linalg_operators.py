@@ -1,0 +1,142 @@
+"""Tests for matrix-free block operators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import (
+    ImplicitProduct,
+    MatrixOperator,
+    ScaledOperator,
+    SparseLU,
+    SumOperator,
+    aslinearoperator_like,
+)
+from repro.linalg.operators import CallableOperator
+
+
+@pytest.fixture
+def g0_and_m(rng):
+    n = 9
+    g0 = rng.standard_normal((n, n)) + n * np.eye(n)
+    m = sp.random(n, n, density=0.4, random_state=7, format="csr")
+    return g0, m
+
+
+class TestMatrixOperator:
+    def test_forward_and_adjoint(self, rng):
+        a = rng.standard_normal((6, 6))
+        op = MatrixOperator(a)
+        x = rng.standard_normal((6, 2))
+        np.testing.assert_allclose(op.matmat(x), a @ x)
+        np.testing.assert_allclose(op.rmatmat(x), a.T @ x)
+
+    def test_matvec_roundtrip(self, rng):
+        a = rng.standard_normal((5, 5))
+        op = MatrixOperator(a)
+        v = rng.standard_normal(5)
+        np.testing.assert_allclose(op.matvec(v), a @ v)
+        np.testing.assert_allclose(op.rmatvec(v), a.T @ v)
+
+    def test_to_dense(self, rng):
+        a = rng.standard_normal((4, 4))
+        np.testing.assert_allclose(MatrixOperator(a).to_dense(), a)
+
+
+class TestImplicitProduct:
+    def test_matches_dense_product(self, g0_and_m):
+        g0, m = g0_and_m
+        lu = SparseLU(g0)
+        op = ImplicitProduct(lu, m, sign=-1.0)
+        dense = -np.linalg.solve(g0, m.toarray())
+        np.testing.assert_allclose(op.to_dense(), dense, atol=1e-10)
+
+    def test_adjoint_matches_dense_transpose(self, g0_and_m, rng):
+        g0, m = g0_and_m
+        lu = SparseLU(g0)
+        op = ImplicitProduct(lu, m, sign=-1.0)
+        dense = -np.linalg.solve(g0, m.toarray())
+        x = rng.standard_normal((g0.shape[0], 3))
+        np.testing.assert_allclose(op.rmatmat(x), dense.T @ x, atol=1e-10)
+
+    def test_adjoint_consistency_inner_product(self, g0_and_m, rng):
+        # <A x, y> == <x, A^T y> is the defining adjoint property.
+        g0, m = g0_and_m
+        lu = SparseLU(g0)
+        op = ImplicitProduct(lu, m)
+        x = rng.standard_normal(g0.shape[0])
+        y = rng.standard_normal(g0.shape[0])
+        assert op.matvec(x) @ y == pytest.approx(x @ op.rmatvec(y), rel=1e-10)
+
+    def test_positive_sign(self, g0_and_m):
+        g0, m = g0_and_m
+        lu = SparseLU(g0)
+        op = ImplicitProduct(lu, m, sign=+1.0)
+        dense = np.linalg.solve(g0, m.toarray())
+        np.testing.assert_allclose(op.to_dense(), dense, atol=1e-10)
+
+    def test_shape_mismatch_raises(self, g0_and_m):
+        g0, _ = g0_and_m
+        lu = SparseLU(g0)
+        with pytest.raises(ValueError, match="does not match"):
+            ImplicitProduct(lu, sp.eye(g0.shape[0] + 1).tocsr())
+
+    def test_no_extra_factorizations(self, g0_and_m):
+        from repro.linalg import factorization_count, reset_factorization_count
+
+        g0, m = g0_and_m
+        reset_factorization_count()
+        lu = SparseLU(g0)
+        op = ImplicitProduct(lu, m)
+        op.matmat(np.eye(g0.shape[0]))
+        op.rmatmat(np.eye(g0.shape[0]))
+        assert factorization_count() == 1
+
+
+class TestCompositeOperators:
+    def test_scaled(self, rng):
+        a = rng.standard_normal((5, 5))
+        op = ScaledOperator(MatrixOperator(a), -2.5)
+        np.testing.assert_allclose(op.to_dense(), -2.5 * a)
+        v = rng.standard_normal((5, 1))
+        np.testing.assert_allclose(op.rmatmat(v), -2.5 * a.T @ v)
+
+    def test_sum(self, rng):
+        a = rng.standard_normal((4, 4))
+        b = rng.standard_normal((4, 4))
+        op = SumOperator([MatrixOperator(a), MatrixOperator(b)])
+        np.testing.assert_allclose(op.to_dense(), a + b)
+        v = rng.standard_normal((4, 2))
+        np.testing.assert_allclose(op.rmatmat(v), (a + b).T @ v)
+
+    def test_sum_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SumOperator([])
+
+    def test_sum_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            SumOperator([MatrixOperator(np.eye(3)), MatrixOperator(np.eye(4))])
+
+    def test_callable_operator(self, rng):
+        a = rng.standard_normal((6, 6))
+        op = CallableOperator((6, 6), lambda x: a @ x, lambda x: a.T @ x)
+        v = rng.standard_normal((6, 2))
+        np.testing.assert_allclose(op.matmat(v), a @ v)
+        np.testing.assert_allclose(op.rmatmat(v), a.T @ v)
+
+
+class TestCoercion:
+    def test_passthrough(self):
+        op = MatrixOperator(np.eye(3))
+        assert aslinearoperator_like(op) is op
+
+    def test_ndarray(self, rng):
+        a = rng.standard_normal((3, 3))
+        assert isinstance(aslinearoperator_like(a), MatrixOperator)
+
+    def test_sparse(self):
+        assert isinstance(aslinearoperator_like(sp.eye(3).tocsr()), MatrixOperator)
+
+    def test_rejects_other(self):
+        with pytest.raises(TypeError):
+            aslinearoperator_like("not a matrix")

@@ -1,0 +1,136 @@
+"""Tests for block orthonormalization and Krylov construction."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import block_krylov, deflated_qr, orthonormalize_against, stack_orthonormalize
+
+
+def assert_orthonormal(basis, tol=1e-12):
+    gram = basis.T @ basis
+    np.testing.assert_allclose(gram, np.eye(basis.shape[1]), atol=tol)
+
+
+class TestDeflatedQR:
+    def test_full_rank_block(self, rng):
+        block = rng.standard_normal((20, 5))
+        q = deflated_qr(block)
+        assert q.shape == (20, 5)
+        assert_orthonormal(q)
+        # Span preserved: projecting the original block loses nothing.
+        np.testing.assert_allclose(q @ (q.T @ block), block, atol=1e-10)
+
+    def test_rank_deficient_block_deflates(self, rng):
+        base = rng.standard_normal((15, 3))
+        block = np.hstack([base, base @ rng.standard_normal((3, 4))])
+        q = deflated_qr(block)
+        assert q.shape[1] == 3
+
+    def test_zero_columns_dropped(self, rng):
+        block = rng.standard_normal((10, 2))
+        block = np.hstack([block, np.zeros((10, 1))])
+        q = deflated_qr(block)
+        assert q.shape[1] == 2
+
+    def test_single_vector(self):
+        q = deflated_qr(np.array([3.0, 4.0]))
+        assert q.shape == (2, 1)
+        np.testing.assert_allclose(np.abs(q[:, 0]), [0.6, 0.8])
+
+    def test_all_zero_returns_empty(self):
+        q = deflated_qr(np.zeros((5, 3)))
+        assert q.shape == (5, 0)
+
+    def test_tiny_scale_vectors_survive(self):
+        # Relative (not absolute) deflation: directions with tiny
+        # absolute norm are legitimate in RC-time-constant scales.
+        block = 1e-15 * np.eye(4, 2)
+        q = deflated_qr(block)
+        assert q.shape[1] == 2
+        assert_orthonormal(q)
+
+
+class TestOrthonormalizeAgainst:
+    def test_result_orthogonal_to_basis(self, rng):
+        basis = deflated_qr(rng.standard_normal((25, 4)))
+        fresh = orthonormalize_against(basis, rng.standard_normal((25, 3)))
+        assert fresh.shape[1] == 3
+        np.testing.assert_allclose(basis.T @ fresh, 0.0, atol=1e-12)
+
+    def test_contained_directions_deflate(self, rng):
+        basis = deflated_qr(rng.standard_normal((12, 5)))
+        inside = basis @ rng.standard_normal((5, 2))
+        fresh = orthonormalize_against(basis, inside)
+        assert fresh.shape[1] == 0
+
+    def test_none_basis_equals_qr(self, rng):
+        block = rng.standard_normal((8, 3))
+        a = orthonormalize_against(None, block)
+        b = deflated_qr(block)
+        np.testing.assert_allclose(a, b)
+
+    def test_dimension_mismatch_raises(self, rng):
+        basis = deflated_qr(rng.standard_normal((8, 2)))
+        with pytest.raises(ValueError, match="incompatible"):
+            orthonormalize_against(basis, rng.standard_normal((9, 2)))
+
+
+class TestStackOrthonormalize:
+    def test_union_spans_all_blocks(self, rng):
+        blocks = [rng.standard_normal((20, 3)) for _ in range(3)]
+        basis = stack_orthonormalize(blocks)
+        assert_orthonormal(basis)
+        for block in blocks:
+            np.testing.assert_allclose(basis @ (basis.T @ block), block, atol=1e-9)
+
+    def test_overlapping_blocks_deflate(self, rng):
+        shared = rng.standard_normal((15, 4))
+        basis = stack_orthonormalize([shared, shared, shared[:, :2]])
+        assert basis.shape[1] == 4
+
+    def test_empty_blocks_skipped(self, rng):
+        basis = stack_orthonormalize([np.empty((10, 0)), rng.standard_normal((10, 2))])
+        assert basis.shape[1] == 2
+
+    def test_all_empty_raises(self):
+        with pytest.raises(ValueError, match="deflated"):
+            stack_orthonormalize([np.zeros((5, 2))])
+
+
+class TestBlockKrylov:
+    def test_matches_explicit_powers(self, rng):
+        n = 12
+        a = rng.standard_normal((n, n)) / n
+        r = rng.standard_normal((n, 2))
+        basis = block_krylov(lambda x: a @ x, r, 3)
+        assert_orthonormal(basis)
+        explicit = np.hstack([r, a @ r, a @ (a @ r)])
+        np.testing.assert_allclose(
+            basis @ (basis.T @ explicit), explicit, atol=1e-9
+        )
+        assert basis.shape[1] == 6
+
+    def test_invariant_subspace_terminates_early(self):
+        # Nilpotent operator: A^2 = 0, so the subspace closes after 2 blocks.
+        a = np.zeros((6, 6))
+        a[0, 1] = 1.0
+        r = np.zeros((6, 1))
+        r[1, 0] = 1.0
+        basis = block_krylov(lambda x: a @ x, r, 5)
+        assert basis.shape[1] == 2
+
+    def test_zero_num_blocks(self, rng):
+        basis = block_krylov(lambda x: x, rng.standard_normal((5, 1)), 0)
+        assert basis.shape == (5, 0)
+
+    def test_extends_existing_basis(self, rng):
+        n = 10
+        a = rng.standard_normal((n, n)) / n
+        existing = deflated_qr(rng.standard_normal((n, 3)))
+        fresh = block_krylov(lambda x: a @ x, rng.standard_normal((n, 1)), 3, basis=existing)
+        np.testing.assert_allclose(existing.T @ fresh, 0.0, atol=1e-11)
+
+    def test_one_block_is_start_span(self, rng):
+        r = rng.standard_normal((8, 2))
+        basis = block_krylov(lambda x: x * 0.0, r, 1)
+        np.testing.assert_allclose(basis @ (basis.T @ r), r, atol=1e-10)

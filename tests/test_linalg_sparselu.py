@@ -1,0 +1,97 @@
+"""Tests for the shared sparse LU service."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import SparseLU, factorization_count, reset_factorization_count
+
+
+def random_spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestSparseLU:
+    def test_solve_vector(self):
+        a = random_spd(8)
+        lu = SparseLU(a)
+        b = np.arange(8.0)
+        x = lu.solve(b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-10)
+
+    def test_solve_block(self):
+        a = random_spd(10, seed=1)
+        lu = SparseLU(sp.csr_matrix(a))
+        b = np.random.default_rng(2).standard_normal((10, 4))
+        x = lu.solve(b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-9)
+
+    def test_solve_transpose_vector(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((9, 9)) + 9 * np.eye(9)  # nonsymmetric
+        lu = SparseLU(a)
+        b = rng.standard_normal(9)
+        x = lu.solve_transpose(b)
+        np.testing.assert_allclose(a.T @ x, b, atol=1e-9)
+
+    def test_solve_transpose_block(self):
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((7, 7)) + 7 * np.eye(7)
+        lu = SparseLU(sp.csc_matrix(a))
+        b = rng.standard_normal((7, 3))
+        x = lu.solve_transpose(b)
+        np.testing.assert_allclose(a.T @ x, b, atol=1e-9)
+
+    def test_transpose_solve_differs_from_plain_for_nonsymmetric(self):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((6, 6)) + 6 * np.eye(6)
+        lu = SparseLU(a)
+        b = rng.standard_normal(6)
+        assert not np.allclose(lu.solve(b), lu.solve_transpose(b))
+
+    def test_shape_and_n(self):
+        lu = SparseLU(np.eye(5))
+        assert lu.shape == (5, 5)
+        assert lu.n == 5
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            SparseLU(np.ones((3, 4)))
+
+    def test_rejects_wrong_rhs_dimension(self):
+        lu = SparseLU(np.eye(4))
+        with pytest.raises(ValueError, match="leading dimension"):
+            lu.solve(np.ones(5))
+
+    def test_rejects_3d_rhs(self):
+        lu = SparseLU(np.eye(4))
+        with pytest.raises(ValueError, match="vector or a 2-D"):
+            lu.solve(np.ones((4, 2, 2)))
+
+    def test_singular_matrix_raises(self):
+        singular = sp.csc_matrix(np.zeros((3, 3)))
+        with pytest.raises(Exception):
+            SparseLU(singular)
+
+
+class TestFactorizationCounter:
+    def test_counter_increments(self):
+        reset_factorization_count()
+        SparseLU(np.eye(3))
+        SparseLU(np.eye(4))
+        assert factorization_count() == 2
+
+    def test_reset_returns_previous(self):
+        reset_factorization_count()
+        SparseLU(np.eye(3))
+        assert reset_factorization_count() == 1
+        assert factorization_count() == 0
+
+    def test_solves_do_not_count(self):
+        reset_factorization_count()
+        lu = SparseLU(np.eye(5))
+        lu.solve(np.ones(5))
+        lu.solve_transpose(np.ones(5))
+        assert factorization_count() == 1

@@ -1,0 +1,137 @@
+"""Tests for the truncated SVD drivers (Lanczos bidiag + subspace iteration)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import (
+    ImplicitProduct,
+    MatrixOperator,
+    SparseLU,
+    lanczos_bidiag_svd,
+    subspace_iteration_svd,
+    truncated_svd,
+)
+
+
+def make_matrix_with_spectrum(singular_values, n, seed=0):
+    """Square matrix with prescribed leading singular values."""
+    rng = np.random.default_rng(seed)
+    u, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    sigma = np.zeros(n)
+    sigma[: len(singular_values)] = singular_values
+    return (u * sigma) @ v.T
+
+
+@pytest.mark.parametrize("driver", [lanczos_bidiag_svd, subspace_iteration_svd])
+class TestSVDDrivers:
+    def test_singular_values_accurate(self, driver):
+        a = make_matrix_with_spectrum([10.0, 5.0, 1.0, 0.5, 0.1], 30, seed=1)
+        _, sigma, _ = driver(a, 3)
+        np.testing.assert_allclose(sigma, [10.0, 5.0, 1.0], rtol=1e-8)
+
+    def test_triplets_reconstruct_dominant_action(self, driver):
+        a = make_matrix_with_spectrum([8.0, 3.0], 20, seed=2)
+        u, sigma, v = driver(a, 2)
+        np.testing.assert_allclose((u * sigma) @ v.T, a, atol=1e-7)
+
+    def test_left_right_vectors_orthonormal(self, driver):
+        a = make_matrix_with_spectrum([4.0, 2.0, 1.0], 25, seed=3)
+        u, _, v = driver(a, 3)
+        np.testing.assert_allclose(u.T @ u, np.eye(3), atol=1e-9)
+        np.testing.assert_allclose(v.T @ v, np.eye(3), atol=1e-9)
+
+    def test_rank_one_matrix(self, driver):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(15)
+        y = rng.standard_normal(15)
+        a = np.outer(x, y)
+        u, sigma, v = driver(a, 3)
+        # Numerical rank is 1: extra singular values must be dropped.
+        assert sigma.shape[0] == 1
+        np.testing.assert_allclose(sigma[0], np.linalg.norm(x) * np.linalg.norm(y), rtol=1e-9)
+
+    def test_agrees_with_numpy(self, driver):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((18, 18))
+        _, sigma, _ = driver(a, 4)
+        reference = np.linalg.svd(a, compute_uv=False)[:4]
+        np.testing.assert_allclose(sigma, reference, rtol=1e-6)
+
+    def test_rejects_zero_rank(self, driver):
+        with pytest.raises(ValueError, match="rank"):
+            driver(np.eye(4), 0)
+
+
+class TestImplicitSVD:
+    """The paper's use case: SVD of -G0^{-1} G_i without forming it."""
+
+    def test_matches_dense_generalized_sensitivity(self, rng):
+        n = 20
+        g0 = rng.standard_normal((n, n)) + n * np.eye(n)
+        gi = sp.random(n, n, density=0.3, random_state=8, format="csr")
+        lu = SparseLU(g0)
+        op = ImplicitProduct(lu, gi, sign=-1.0)
+        dense = -np.linalg.solve(g0, gi.toarray())
+        sigma_ref = np.linalg.svd(dense, compute_uv=False)
+        _, sigma_lanczos, _ = lanczos_bidiag_svd(op, 3)
+        _, sigma_subspace, _ = subspace_iteration_svd(op, 3)
+        np.testing.assert_allclose(sigma_lanczos, sigma_ref[:3], rtol=1e-7)
+        np.testing.assert_allclose(sigma_subspace, sigma_ref[:3], rtol=1e-7)
+
+    def test_drivers_agree_on_subspace(self, rng):
+        n = 16
+        g0 = rng.standard_normal((n, n)) + n * np.eye(n)
+        gi = sp.random(n, n, density=0.3, random_state=9, format="csr")
+        lu = SparseLU(g0)
+        op = ImplicitProduct(lu, gi, sign=-1.0)
+        u1, _, _ = lanczos_bidiag_svd(op, 2)
+        u2, _, _ = subspace_iteration_svd(op, 2)
+        # Same dominant left subspace (up to rotation).
+        overlap = np.linalg.svd(u1.T @ u2, compute_uv=False)
+        np.testing.assert_allclose(overlap, 1.0, atol=1e-6)
+
+
+class TestDispatch:
+    def test_lanczos_dispatch(self):
+        a = make_matrix_with_spectrum([3.0, 1.0], 10, seed=6)
+        _, sigma, _ = truncated_svd(a, 1, method="lanczos")
+        np.testing.assert_allclose(sigma, [3.0], rtol=1e-8)
+
+    def test_subspace_dispatch(self):
+        a = make_matrix_with_spectrum([3.0, 1.0], 10, seed=6)
+        _, sigma, _ = truncated_svd(a, 1, method="subspace")
+        np.testing.assert_allclose(sigma, [3.0], rtol=1e-8)
+
+    def test_dense_dispatch(self):
+        a = make_matrix_with_spectrum([3.0, 1.0], 10, seed=6)
+        u, sigma, v = truncated_svd(MatrixOperator(a), 2, method="dense")
+        np.testing.assert_allclose((u * sigma) @ v.T, a, atol=1e-10)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="unknown SVD method"):
+            truncated_svd(np.eye(3), 1, method="magic")
+
+
+class TestLanczosDetails:
+    def test_explicit_start_vector(self):
+        a = make_matrix_with_spectrum([5.0, 2.0], 12, seed=7)
+        start = np.ones(12)
+        _, sigma, _ = lanczos_bidiag_svd(a, 2, start_vector=start)
+        np.testing.assert_allclose(sigma, [5.0, 2.0], rtol=1e-8)
+
+    def test_zero_start_vector_raises(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            lanczos_bidiag_svd(np.eye(4), 1, start_vector=np.zeros(4))
+
+    def test_wrong_start_shape_raises(self):
+        with pytest.raises(ValueError, match="start vector"):
+            lanczos_bidiag_svd(np.eye(4), 1, start_vector=np.ones(5))
+
+    def test_early_convergence_small_rank(self):
+        # Huge spectral gap: should converge long before max_iter.
+        a = make_matrix_with_spectrum([100.0, 1e-6], 40, seed=8)
+        u, sigma, v = lanczos_bidiag_svd(a, 1, max_iter=40)
+        np.testing.assert_allclose(sigma, [100.0], rtol=1e-9)
+        np.testing.assert_allclose(np.abs((u * sigma) @ v.T - a).max(), 0, atol=1e-4)

@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Netlist, assemble
+from repro.circuits.parser import parse_value
+from repro.core import multi_indices_up_to
+from repro.linalg import deflated_qr, orthonormalize_against, stack_orthonormalize
+
+# Circuit construction involves sparse assembly; relax the deadline.
+RELAXED = settings(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=30
+)
+
+
+finite_floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def random_blocks(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    m = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31))
+    return np.random.default_rng(seed).standard_normal((n, m))
+
+
+class TestOrthonormalizationProperties:
+    @RELAXED
+    @given(random_blocks())
+    def test_output_always_orthonormal(self, block):
+        q = deflated_qr(block)
+        if q.shape[1]:
+            np.testing.assert_allclose(q.T @ q, np.eye(q.shape[1]), atol=1e-9)
+
+    @RELAXED
+    @given(random_blocks())
+    def test_span_never_grows(self, block):
+        q = deflated_qr(block)
+        assert q.shape[1] <= min(block.shape)
+
+    @RELAXED
+    @given(random_blocks())
+    def test_span_preserved(self, block):
+        q = deflated_qr(block)
+        projected = q @ (q.T @ block) if q.shape[1] else np.zeros_like(block)
+        np.testing.assert_allclose(projected, block, atol=1e-7 * max(1.0, np.abs(block).max()))
+
+    @RELAXED
+    @given(random_blocks(), random_blocks())
+    def test_two_stage_orthogonality(self, a, b):
+        if a.shape[0] != b.shape[0]:
+            b = np.resize(b, (a.shape[0], b.shape[1]))
+        qa = deflated_qr(a)
+        qb = orthonormalize_against(qa, b)
+        if qa.shape[1] and qb.shape[1]:
+            np.testing.assert_allclose(qa.T @ qb, 0.0, atol=1e-9)
+
+    @RELAXED
+    @given(random_blocks())
+    def test_union_idempotent(self, block):
+        q1 = stack_orthonormalize([block])
+        q2 = stack_orthonormalize([block, block])
+        assert q1.shape == q2.shape
+
+
+class TestScaleInvariance:
+    """Deflation decisions must be scale-free (the RC-scale lesson)."""
+
+    @RELAXED
+    @given(random_blocks(), st.floats(min_value=-30, max_value=30))
+    def test_qr_rank_scale_invariant(self, block, log_scale):
+        scale = 10.0 ** log_scale
+        assert deflated_qr(block).shape[1] == deflated_qr(block * scale).shape[1]
+
+
+class TestMultiIndexProperties:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=6),
+    )
+    def test_count_is_binomial(self, mu, k):
+        from math import comb
+
+        assert len(multi_indices_up_to(mu, k)) == comb(k + mu, mu)
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_all_orders_covered_no_duplicates(self, mu, k):
+        indices = multi_indices_up_to(mu, k)
+        assert len(set(indices)) == len(indices)
+        assert all(sum(alpha) <= k for alpha in indices)
+        assert all(len(alpha) == mu and min(alpha) >= 0 for alpha in indices)
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=5))
+    def test_monotone_in_order(self, mu, k):
+        assert set(multi_indices_up_to(mu, k - 1)) <= set(multi_indices_up_to(mu, k))
+
+
+class TestParserProperties:
+    @given(st.floats(min_value=1e-18, max_value=1e15, allow_nan=False))
+    def test_plain_float_roundtrip(self, value):
+        assert parse_value(repr(value)) == pytest.approx(value)
+
+    @given(
+        st.floats(min_value=0.001, max_value=999.0, allow_nan=False),
+        st.sampled_from(["f", "p", "n", "u", "m", "k", "meg", "g", "t"]),
+    )
+    def test_suffix_consistency(self, mantissa, suffix):
+        scales = {
+            "f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6, "m": 1e-3,
+            "k": 1e3, "meg": 1e6, "g": 1e9, "t": 1e12,
+        }
+        token = f"{mantissa}{suffix}"
+        assert parse_value(token) == pytest.approx(mantissa * scales[suffix])
+
+
+class TestMNAInvariants:
+    @RELAXED
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=2 ** 31),
+    )
+    def test_ladder_passivity_structure_any_values(self, segments, seed):
+        rng = np.random.default_rng(seed)
+        net = Netlist("prop")
+        net.resistor("Rdrv", "n0", "0", float(rng.uniform(1, 100)))
+        for j in range(segments):
+            net.resistor(f"R{j}", f"n{j}", f"n{j + 1}", float(rng.uniform(0.1, 1000)))
+            net.capacitor(f"C{j}", f"n{j + 1}", "0", float(rng.uniform(1e-16, 1e-11)))
+        net.current_port("P", "n0")
+        system = assemble(net)
+        # Invariants: symmetric G/C, PSD symmetric parts, B = L.
+        assert system.passivity_structure_margin() >= -1e-12
+        assert system.is_symmetric_port_form()
+
+    @RELAXED
+    @given(
+        st.integers(min_value=2, max_value=15),
+        st.integers(min_value=0, max_value=2 ** 31),
+    )
+    def test_tree_poles_stable_any_seed(self, nodes, seed):
+        from repro.circuits import rc_tree
+
+        system = assemble(rc_tree(nodes, seed=seed % 1000))
+        poles = system.poles()
+        assert np.all(poles.real < 0)
+
+
+class TestCongruenceInvariant:
+    @RELAXED
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2 ** 31),
+    )
+    def test_any_projection_preserves_passivity_structure(self, q, seed):
+        from repro.circuits import rc_ladder
+
+        system = assemble(rc_ladder(10, port_at_far_end=True))
+        rng = np.random.default_rng(seed)
+        v = rng.standard_normal((system.order, min(q, system.order)))
+        reduced = system.reduce(v)  # arbitrary (not even orthonormal) V
+        scale = max(abs(np.asarray(reduced.G)).max(), 1e-300)
+        assert reduced.passivity_structure_margin() >= -1e-9 * scale

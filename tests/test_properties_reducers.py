@@ -1,0 +1,135 @@
+"""Property-based tests on the reducers themselves.
+
+These push randomized circuits and variational directions through the
+full reduction pipeline and assert the *defining invariants* of each
+method -- moment matching, passivity structure, size bounds --
+independent of any particular workload.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Netlist, assemble, with_random_variations
+from repro.core import (
+    GeneralizedParameterization,
+    LowRankReducer,
+    MultiPointReducer,
+    NominalReducer,
+    SinglePointReducer,
+    low_rank_size,
+    output_moments,
+    single_point_size,
+)
+
+REDUCER_SETTINGS = settings(
+    deadline=None,
+    max_examples=12,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def random_parametric(draw):
+    """A random RC ladder-with-stubs circuit plus 1-2 random sources."""
+    segments = draw(st.integers(min_value=4, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_parameters = draw(st.integers(min_value=1, max_value=2))
+    rng = np.random.default_rng(seed)
+    net = Netlist(f"prop-{seed}")
+    net.resistor("Rdrv", "n0", "0", float(rng.uniform(1.0, 50.0)))
+    for j in range(segments):
+        net.resistor(f"R{j}", f"n{j}", f"n{j + 1}", float(rng.uniform(5.0, 50.0)))
+        net.capacitor(f"C{j}", f"n{j + 1}", "0", float(rng.uniform(1e-15, 1e-13)))
+        if rng.random() < 0.4:
+            net.resistor(f"Rs{j}", f"n{j + 1}", f"s{j}", float(rng.uniform(5.0, 50.0)))
+            net.capacitor(f"Cs{j}", f"s{j}", "0", float(rng.uniform(1e-15, 1e-13)))
+    net.current_port("in", "n0")
+    return with_random_variations(net, num_parameters, seed=seed + 1,
+                                  relative_spread=0.5)
+
+
+def worst_moment_mismatch(parametric, model, order):
+    full = output_moments(GeneralizedParameterization(parametric), order)
+    red = output_moments(GeneralizedParameterization(model), order)
+    worst = 0.0
+    for alpha, block in full.items():
+        scale = max(np.abs(block).max(), 1e-300)
+        worst = max(worst, np.abs(block - red[alpha]).max() / scale)
+    return worst
+
+
+class TestSinglePointInvariants:
+    @REDUCER_SETTINGS
+    @given(random_parametric(), st.integers(min_value=0, max_value=2))
+    def test_moment_matching_always_holds(self, parametric, order):
+        model = SinglePointReducer(total_order=order).reduce(parametric)
+        assert worst_moment_mismatch(parametric, model, order) < 1e-8
+
+    @REDUCER_SETTINGS
+    @given(random_parametric(), st.integers(min_value=1, max_value=3))
+    def test_size_bound_always_holds(self, parametric, order):
+        model = SinglePointReducer(total_order=order).reduce(parametric)
+        assert model.size <= single_point_size(
+            order, parametric.num_parameters, parametric.nominal.num_inputs
+        )
+
+
+class TestLowRankInvariants:
+    @REDUCER_SETTINGS
+    @given(
+        random_parametric(),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=2),
+    )
+    def test_size_bound_and_passivity(self, parametric, order, rank):
+        model = LowRankReducer(num_moments=order, rank=rank).reduce(parametric)
+        assert model.size <= low_rank_size(
+            order, parametric.num_parameters, parametric.nominal.num_inputs,
+            rank=rank,
+        )
+        # Structural passivity at a random-ish interior point.
+        margin = model.passivity_structure_margin(
+            [0.3] * parametric.num_parameters
+        )
+        assert margin >= -1e-9
+
+    @REDUCER_SETTINGS
+    @given(random_parametric())
+    def test_nominal_subspace_always_contained(self, parametric):
+        """V always reproduces the nominal PRIMA response at least as
+        well as the same-order nominal model (V0 is a subset)."""
+        frequencies = np.logspace(7, 10, 6)
+        zero = [0.0] * parametric.num_parameters
+        full = parametric.instantiate(zero).frequency_response(frequencies)[:, 0, 0]
+        low_rank = LowRankReducer(num_moments=3, rank=1).reduce(parametric)
+        nominal = NominalReducer(num_moments=3).reduce(parametric)
+
+        def err(model):
+            red = model.frequency_response(frequencies, zero)[:, 0, 0]
+            return np.abs(full - red).max() / np.abs(full).max()
+
+        assert err(low_rank) <= err(nominal) * 1.001 + 1e-12
+
+
+class TestMultiPointInvariants:
+    @REDUCER_SETTINGS
+    @given(random_parametric(), st.integers(min_value=1, max_value=3))
+    def test_exact_at_every_sample(self, parametric, moments):
+        from repro.baselines import transfer_moments
+
+        half = 0.4
+        samples = np.vstack(
+            [
+                np.zeros(parametric.num_parameters),
+                half * np.ones(parametric.num_parameters),
+            ]
+        )
+        model = MultiPointReducer(samples, num_moments=moments).reduce(parametric)
+        for point in samples:
+            mf = transfer_moments(parametric.instantiate(point), moments)
+            mr = transfer_moments(model.instantiate(point), moments)
+            for k in range(moments):
+                scale = max(np.abs(mf[k]).max(), 1e-300)
+                np.testing.assert_allclose(mr[k], mf[k], atol=1e-7 * scale)

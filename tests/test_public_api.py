@@ -1,0 +1,71 @@
+"""Public-API integrity tests.
+
+The re-export surface is part of the product: downstream code imports
+from ``repro`` and its subpackages, so every ``__all__`` entry must
+resolve, be documented, and stay importable.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.linalg",
+    "repro.circuits",
+    "repro.baselines",
+    "repro.core",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestExports:
+    def test_all_entries_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    def test_all_sorted_and_unique(self, package_name):
+        package = importlib.import_module(package_name)
+        entries = list(package.__all__)
+        assert entries == sorted(entries), f"{package_name}.__all__ not sorted"
+        assert len(entries) == len(set(entries))
+
+    def test_package_docstring(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__ and len(package.__doc__) > 40
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_public_objects_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        undocumented = []
+        for name in package.__all__:
+            obj = getattr(package, name)
+            if name.startswith("__"):
+                continue
+            doc = getattr(obj, "__doc__", None)
+            if not doc or not doc.strip():
+                undocumented.append(name)
+        assert not undocumented, f"{package_name}: undocumented {undocumented}"
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+
+class TestCliModule:
+    def test_cli_importable_and_has_parser(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        # All four subcommands registered.
+        text = parser.format_help()
+        for command in ("info", "reduce", "sweep", "poles"):
+            assert command in text
