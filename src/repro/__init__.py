@@ -22,7 +22,13 @@ Package map
 - :mod:`repro.baselines` -- PRIMA, TBR, AWE, projection fitting [6].
 - :mod:`repro.analysis` -- frequency sweeps, poles, passivity,
   transient simulation, Monte Carlo studies.
+- :mod:`repro.runtime` -- the serving layer: batched evaluation
+  kernels, scenario plans, the content-addressed model cache, and
+  parallel executors.
 - :mod:`repro.linalg` -- shared numerical kernels.
+
+See the repository-root ``README.md`` for installation, CLI usage, and
+a tour of the runtime subsystem.
 """
 
 from repro.analysis import (
@@ -66,21 +72,44 @@ from repro.core import (
     factorial_grid,
     shifted_parametric_system,
 )
+from repro.runtime import (
+    CornerPlan,
+    GridPlan,
+    ModelCache,
+    MonteCarloPlan,
+    ProcessExecutor,
+    SerialExecutor,
+    batch_frequency_response,
+    batch_instantiate,
+    batch_poles,
+    batch_transfer,
+    run_frequency_scenarios,
+)
 
 __version__ = "0.1.0"
 
 __all__ = [
     "AdaptiveLowRankReducer",
+    "CornerPlan",
     "DescriptorSystem",
+    "GridPlan",
     "LowRankReducer",
+    "ModelCache",
+    "MonteCarloPlan",
     "MultiPointReducer",
     "Netlist",
     "NominalReducer",
     "ParametricReducedModel",
     "ParametricSystem",
+    "ProcessExecutor",
+    "SerialExecutor",
     "SinglePointReducer",
     "__version__",
     "assemble",
+    "batch_frequency_response",
+    "batch_instantiate",
+    "batch_poles",
+    "batch_transfer",
     "clock_tree",
     "compare_frequency_responses",
     "coupled_rlc_bus",
@@ -101,6 +130,7 @@ __all__ = [
     "rc_tree",
     "rcnet_a",
     "rcnet_b",
+    "run_frequency_scenarios",
     "sample_parameters",
     "shifted_parametric_system",
     "simulate_step",

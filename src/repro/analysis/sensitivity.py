@@ -28,6 +28,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.runtime.batch import batch_transfer_sensitivities, supports_batching
+
 
 def transfer_sensitivities(
     parametric_model,
@@ -39,7 +41,9 @@ def transfer_sensitivities(
     ``parametric_model`` is a full
     :class:`~repro.circuits.variational.ParametricSystem` or a reduced
     :class:`~repro.core.model.ParametricReducedModel`; both expose the
-    sensitivity matrices ``dG``/``dC`` this needs.
+    sensitivity matrices ``dG``/``dC`` this needs.  Dense models are
+    dispatched through the batched runtime kernel (a batch of one);
+    sparse full systems keep the factored-solve path below.
 
     Returns an array of shape ``(n_p, m_out, m_in)``.
     """
@@ -47,6 +51,8 @@ def transfer_sensitivities(
     point = (
         np.zeros(num_parameters) if p is None else np.asarray(p, dtype=float)
     )
+    if supports_batching(parametric_model):
+        return batch_transfer_sensitivities(parametric_model, s, point[None, :])[0]
     system = parametric_model.instantiate(point)
     s = complex(s)
 

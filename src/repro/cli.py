@@ -3,16 +3,22 @@
 Usage (also via ``python -m repro``):
 
 ```
-python -m repro info   netlist.sp
-python -m repro reduce netlist.sp --method lowrank --moments 4
-python -m repro sweep  netlist.sp --fmin 1e7 --fmax 1e10 --points 30
-python -m repro poles  netlist.sp --num 5
+python -m repro info       netlist.sp
+python -m repro reduce     netlist.sp --method lowrank --moments 4
+python -m repro sweep      netlist.sp --fmin 1e7 --fmax 1e10 --points 30
+python -m repro poles      netlist.sp --num 5
+python -m repro montecarlo netlist.sp --instances 200 --jobs 4
+python -m repro batch      netlist.sp --plan corners --points 30
 ```
 
-The CLI operates on plain (non-parametric) netlists -- the parametric
-workflows need sensitivity data that has no portable file format, so
-they stay API-only -- and is primarily a convenience for inspecting
-circuits and validating reductions from the shell.
+The ``info``/``reduce``/``sweep``/``poles`` commands operate on plain
+(non-parametric) netlists.  ``montecarlo`` and ``batch`` attach random
+variational directions to the netlist (the paper's Section 5.1/5.2
+construction, :func:`repro.circuits.generators.with_random_variations`)
+and drive the :mod:`repro.runtime` serving layer: batched evaluation
+kernels, scenario plans, and an optional content-addressed model cache
+(``--cache DIR``); ``montecarlo`` additionally parallelizes its
+full-model reference solves (``--jobs N``).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import __version__
 from repro.analysis.passivity import passivity_report
 from repro.baselines.prima import prima
 from repro.baselines.rational_arnoldi import logspaced_shifts, rational_arnoldi
@@ -102,12 +109,134 @@ def _cmd_poles(args) -> int:
     return 0
 
 
+def _load_parametric(args):
+    """Netlist -> ParametricSystem with random variational directions."""
+    from repro.circuits.generators import with_random_variations
+
+    with open(args.netlist) as handle:
+        netlist = parse_netlist(handle.read(), title=args.netlist)
+    return with_random_variations(
+        netlist, args.parameters, seed=args.variation_seed, relative_spread=args.spread
+    )
+
+
+def _reduce_parametric(parametric, args):
+    """Reduce with the low-rank flow, through the model cache if given."""
+    from repro.core import LowRankReducer
+
+    reducer = LowRankReducer(num_moments=args.moments, rank=args.rank)
+    if args.cache:
+        from repro.runtime import ModelCache
+
+        cache = ModelCache(args.cache)
+        key = cache.key(parametric, reducer)
+        model = cache.load(key)
+        status = "hit" if model is not None else "miss"
+        if model is None:
+            model = reducer.reduce(parametric)
+            cache.store(key, model)
+        print(f"# cache: {status} ({cache.path_for(key).name})")
+        return model
+    return reducer.reduce(parametric)
+
+
+def _cmd_montecarlo(args) -> int:
+    from repro.analysis.montecarlo import monte_carlo_pole_study
+
+    parametric = _load_parametric(args)
+    model = _reduce_parametric(parametric, args)
+    study = monte_carlo_pole_study(
+        parametric,
+        model,
+        num_instances=args.instances,
+        num_poles=args.poles,
+        three_sigma=args.sigma,
+        seed=args.seed,
+        executor=args.jobs,
+    )
+    print(f"full order:     {parametric.order}")
+    print(f"reduced order:  {model.size}")
+    print(f"parameters:     {parametric.num_parameters}")
+    print(f"instances:      {study.num_instances}")
+    print(f"pole compares:  {study.total_poles}")
+    print(f"max pole error: {study.max_error:.6e}")
+    print(f"mean pole error:{study.pole_errors.mean():.6e}")
+    counts, edges = study.histogram(bins=args.bins)
+    print("bin_lo_pct,bin_hi_pct,count")
+    for i, count in enumerate(counts):
+        print(f"{edges[i]:.6e},{edges[i + 1]:.6e},{int(count)}")
+    return 0 if study.max_error < args.tolerance else 2
+
+
+def _make_plan(args):
+    from repro.runtime import CornerPlan, GridPlan, MonteCarloPlan
+
+    if args.plan == "montecarlo":
+        return MonteCarloPlan(
+            num_instances=args.instances, three_sigma=args.sigma, seed=args.seed
+        )
+    if args.plan == "corners":
+        return CornerPlan(magnitude=args.magnitude)
+    if args.plan == "grid":
+        axis = np.linspace(-args.magnitude, args.magnitude, args.grid_points)
+        return GridPlan(axis_values=tuple(axis))
+    raise ValueError(f"unknown plan {args.plan!r}")
+
+
+def _cmd_batch(args) -> int:
+    from repro.runtime import run_frequency_scenarios
+
+    parametric = _load_parametric(args)
+    model = _reduce_parametric(parametric, args)
+    plan = _make_plan(args)
+    num_outputs = model.nominal.num_outputs
+    num_inputs = model.nominal.num_inputs
+    if not 0 <= args.output < num_outputs:
+        raise ValueError(f"--output {args.output} out of range (model has {num_outputs} outputs)")
+    if not 0 <= args.input < num_inputs:
+        raise ValueError(f"--input {args.input} out of range (model has {num_inputs} inputs)")
+    frequencies = np.logspace(np.log10(args.fmin), np.log10(args.fmax), args.points)
+    sweep_result = run_frequency_scenarios(model, plan, frequencies)
+    low, mean, high = sweep_result.magnitude_envelope(
+        output_index=args.output, input_index=args.input
+    )
+    print(f"# plan: {plan!r}")
+    print(f"# instances: {sweep_result.num_samples}  reduced order: {model.size}")
+    print("frequency_hz,min_magnitude,mean_magnitude,max_magnitude")
+    for i, f in enumerate(frequencies):
+        print(f"{f:.6e},{low[i]:.6e},{mean[i]:.6e},{high[i]:.6e}")
+    return 0
+
+
+def _executor_spec(value: str):
+    """argparse type for ``--jobs``: worker count or backend name."""
+    return int(value) if value.isdigit() else value
+
+
+def _add_parametric_arguments(subparser) -> None:
+    """Shared options for commands that build a parametric workload."""
+    subparser.add_argument("netlist")
+    subparser.add_argument("--parameters", type=int, default=2,
+                           help="number of random variational sources")
+    subparser.add_argument("--spread", type=float, default=0.5,
+                           help="per-element variation spread")
+    subparser.add_argument("--variation-seed", type=int, default=0,
+                           help="seed for the variational directions")
+    subparser.add_argument("--moments", type=int, default=4,
+                           help="low-rank reduction moment order")
+    subparser.add_argument("--rank", type=int, default=1,
+                           help="low-rank reduction rank")
+    subparser.add_argument("--cache", default=None,
+                           help="content-addressed macromodel cache directory")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Interconnect MOR toolkit (DATE 2005 reproduction)",
     )
+    parser.add_argument("--version", action="version", version=__version__)
     commands = parser.add_subparsers(dest="command", required=True)
 
     info = commands.add_parser("info", help="netlist statistics")
@@ -145,6 +274,44 @@ def build_parser() -> argparse.ArgumentParser:
     poles_cmd.add_argument("netlist")
     poles_cmd.add_argument("--num", type=int, default=5)
     poles_cmd.set_defaults(func=_cmd_poles)
+
+    mc_cmd = commands.add_parser(
+        "montecarlo", help="Monte Carlo pole-accuracy study (batched runtime)"
+    )
+    _add_parametric_arguments(mc_cmd)
+    mc_cmd.add_argument("--instances", type=int, default=200)
+    mc_cmd.add_argument("--poles", type=int, default=5,
+                        help="dominant poles compared per instance")
+    mc_cmd.add_argument("--sigma", type=float, default=0.3,
+                        help="3-sigma range of the parameter distribution")
+    mc_cmd.add_argument("--seed", type=int, default=0, help="sampling seed")
+    mc_cmd.add_argument("--bins", type=int, default=10, help="histogram bins")
+    mc_cmd.add_argument("--jobs", type=_executor_spec, default=None,
+                        help="full-solve workers: a count, 'serial', or 'process'")
+    mc_cmd.add_argument("--tolerance", type=float, default=1e-2,
+                        help="exit nonzero if the worst pole error exceeds this")
+    mc_cmd.set_defaults(func=_cmd_montecarlo)
+
+    batch_cmd = commands.add_parser(
+        "batch", help="batched scenario frequency-envelope CSV"
+    )
+    _add_parametric_arguments(batch_cmd)
+    batch_cmd.add_argument("--plan", choices=("montecarlo", "corners", "grid"),
+                           default="montecarlo")
+    batch_cmd.add_argument("--instances", type=int, default=100,
+                           help="Monte Carlo plan instance count")
+    batch_cmd.add_argument("--magnitude", type=float, default=0.3,
+                           help="corner/grid parameter excursion")
+    batch_cmd.add_argument("--grid-points", type=int, default=3,
+                           help="grid plan points per axis")
+    batch_cmd.add_argument("--sigma", type=float, default=0.3)
+    batch_cmd.add_argument("--seed", type=int, default=0)
+    batch_cmd.add_argument("--fmin", type=float, default=1e7)
+    batch_cmd.add_argument("--fmax", type=float, default=1e10)
+    batch_cmd.add_argument("--points", type=int, default=30)
+    batch_cmd.add_argument("--output", type=int, default=0)
+    batch_cmd.add_argument("--input", type=int, default=0)
+    batch_cmd.set_defaults(func=_cmd_batch)
 
     return parser
 

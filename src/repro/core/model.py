@@ -14,7 +14,7 @@ reduced models are interchangeable in the analysis and benchmark code.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,6 +59,19 @@ class ParametricReducedModel:
             parameter_names = [f"p{i + 1}" for i in range(len(dG))]
         self.parameter_names = list(parameter_names)
         self.projection = None if projection is None else np.asarray(projection)
+        # Densify the nominal matrices exactly once: instantiate() runs
+        # inside Monte Carlo / sweep loops, where a per-call toarray()
+        # dominated the reduced-model evaluation cost.
+        self._dense_g0 = np.asarray(
+            nominal.G.toarray() if hasattr(nominal.G, "toarray") else nominal.G,
+            dtype=float,
+        )
+        self._dense_c0 = np.asarray(
+            nominal.C.toarray() if hasattr(nominal.C, "toarray") else nominal.C,
+            dtype=float,
+        )
+        self._dG_stack: Optional[np.ndarray] = None
+        self._dC_stack: Optional[np.ndarray] = None
 
     # -- basic properties ---------------------------------------------
 
@@ -80,19 +93,38 @@ class ParametricReducedModel:
             )
         return point
 
+    def dense_nominal(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The cached dense nominal pair ``(G~0, C~0)``.
+
+        Shared with the batch kernels in :mod:`repro.runtime.batch`;
+        callers must treat the returned arrays as read-only.
+        """
+        return self._dense_g0, self._dense_c0
+
+    def sensitivity_stacks(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Sensitivities stacked as ``(n_p, q, q)`` arrays (cached).
+
+        The stacked layout is what the einsum-based batch kernels
+        contract against; it is built lazily on first use.  Callers
+        must treat the returned arrays as read-only.
+        """
+        if self._dG_stack is None:
+            q = self.nominal.order
+            if self.num_parameters:
+                self._dG_stack = np.stack([np.asarray(gi, dtype=float) for gi in self.dG])
+                self._dC_stack = np.stack([np.asarray(ci, dtype=float) for ci in self.dC])
+            else:
+                self._dG_stack = np.zeros((0, q, q))
+                self._dC_stack = np.zeros((0, q, q))
+        return self._dG_stack, self._dC_stack
+
     # -- evaluation -----------------------------------------------------
 
     def instantiate(self, p: Sequence[float]) -> DescriptorSystem:
         """Reduced system at parameter point ``p``."""
         point = self._check_point(p)
-        g = np.asarray(
-            self.nominal.G.toarray() if hasattr(self.nominal.G, "toarray") else self.nominal.G,
-            dtype=float,
-        ).copy()
-        c = np.asarray(
-            self.nominal.C.toarray() if hasattr(self.nominal.C, "toarray") else self.nominal.C,
-            dtype=float,
-        ).copy()
+        g = self._dense_g0.copy()
+        c = self._dense_c0.copy()
         for value, gi, ci in zip(point, self.dG, self.dC):
             if value != 0.0:
                 g += value * gi

@@ -1,0 +1,75 @@
+"""The serving layer for reduced macromodels (batch, cache, parallel).
+
+Reduction produces a macromodel once; everything downstream -- Monte
+Carlo sign-off, corner sweeps, sensitivity studies -- evaluates it
+thousands of times.  This package is the seam where that reuse is
+made fast and declarative:
+
+- :mod:`repro.runtime.batch` -- vectorized instantiation
+  ``G(P) = G0 + P . dG`` over whole sample matrices, with batched
+  transfer-function, frequency-response, pole, and sensitivity kernels
+  that replace per-sample Python loops.
+- :mod:`repro.runtime.scenarios` -- declarative
+  :class:`MonteCarloPlan` / :class:`CornerPlan` / :class:`GridPlan`
+  objects that generate sample matrices and compose with any reducer.
+- :mod:`repro.runtime.cache` -- a content-addressed
+  :class:`ModelCache`: hash of (system, reducer config) -> reduced
+  model persisted via :mod:`repro.core.io`, so repeated workloads skip
+  reduction entirely.
+- :mod:`repro.runtime.executor` -- serial and chunked multiprocessing
+  backends behind one ordered-``map`` interface for the
+  embarrassingly-parallel full-model reference solves.
+
+:mod:`repro.analysis.montecarlo` and
+:mod:`repro.analysis.sensitivity` are wired onto these kernels; the
+``repro montecarlo`` and ``repro batch`` CLI commands expose them from
+the shell.
+"""
+
+from repro.runtime.batch import (
+    batch_frequency_response,
+    batch_instantiate,
+    batch_poles,
+    batch_sweep_study,
+    batch_transfer,
+    batch_transfer_sensitivities,
+    supports_batching,
+    systems_from_stacks,
+)
+from repro.runtime.cache import (
+    ModelCache,
+    reducer_fingerprint,
+    system_fingerprint,
+)
+from repro.runtime.executor import ProcessExecutor, SerialExecutor, resolve_executor
+from repro.runtime.scenarios import (
+    CornerPlan,
+    GridPlan,
+    MonteCarloPlan,
+    ScenarioPlan,
+    ScenarioSweep,
+    run_frequency_scenarios,
+)
+
+__all__ = [
+    "CornerPlan",
+    "GridPlan",
+    "ModelCache",
+    "MonteCarloPlan",
+    "ProcessExecutor",
+    "ScenarioPlan",
+    "ScenarioSweep",
+    "SerialExecutor",
+    "batch_frequency_response",
+    "batch_instantiate",
+    "batch_poles",
+    "batch_sweep_study",
+    "batch_transfer",
+    "batch_transfer_sensitivities",
+    "reducer_fingerprint",
+    "resolve_executor",
+    "run_frequency_scenarios",
+    "supports_batching",
+    "system_fingerprint",
+    "systems_from_stacks",
+]

@@ -1,0 +1,325 @@
+"""Batched evaluation kernels for parametric macromodels.
+
+The reason a reduced model exists at all is amortized reuse: one
+reduction, thousands of evaluations (Monte Carlo instances, corner
+sweeps, grid studies).  Evaluating those instances one at a time from
+Python wastes that amortization on interpreter and dispatch overhead --
+every sample re-enters :meth:`ParametricReducedModel.instantiate`,
+rebuilds a :class:`DescriptorSystem`, and performs a lone ``q x q``
+solve or eigendecomposition.
+
+This module evaluates a whole ``(m, n_p)`` sample matrix at once:
+
+- :func:`batch_instantiate` -- stacked ``G(p_k) = G~0 + sum_i p_ki G~_i``
+  over all samples, either bit-identical to the scalar path (``exact``)
+  or as a single einsum contraction;
+- :func:`batch_transfer` / :func:`batch_frequency_response` -- stacked
+  complex solves ``H(s, p_k)`` via LAPACK's batched ``gesv`` dispatch;
+- :func:`batch_poles` -- stacked eigenvalue extraction with the same
+  dominance ordering as :meth:`DescriptorSystem.poles`;
+- :func:`batch_transfer_sensitivities` -- stacked exact ``dH/dp_i``.
+
+``exact=True`` (the default) reproduces the per-sample accumulation
+``g += p_i * G_i`` (skipping zero coefficients) bit-for-bit, which is
+what lets :func:`repro.analysis.montecarlo.monte_carlo_pole_study`
+adopt these kernels without perturbing any published result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.statespace import DescriptorSystem
+
+
+def supports_batching(model) -> bool:
+    """True when ``model`` exposes the dense parametric form the kernels need.
+
+    Requires a ``nominal`` descriptor system plus ``dG``/``dC``
+    sensitivity lists (i.e. a
+    :class:`~repro.core.model.ParametricReducedModel` or any object
+    with the same shape contract) with dense, stackable matrices.
+    """
+    if not all(hasattr(model, name) for name in ("nominal", "dG", "dC", "num_parameters")):
+        return False
+    matrices = [model.nominal.G, model.nominal.C, *model.dG, *model.dC]
+    return not any(hasattr(matrix, "tocsc") for matrix in matrices)
+
+
+def as_sample_matrix(model, samples) -> np.ndarray:
+    """Validate ``samples`` into an ``(m, n_p)`` float matrix for ``model``."""
+    matrix = np.atleast_2d(np.asarray(samples, dtype=float))
+    if matrix.ndim != 2 or matrix.shape[1] != model.num_parameters:
+        raise ValueError(
+            f"sample matrix has shape {np.asarray(samples).shape}, expected "
+            f"(m, {model.num_parameters})"
+        )
+    return matrix
+
+
+def _dense_nominal(model) -> Tuple[np.ndarray, np.ndarray]:
+    if hasattr(model, "dense_nominal"):
+        return model.dense_nominal()
+    g0 = model.nominal.G
+    c0 = model.nominal.C
+    g0 = np.asarray(g0.toarray() if hasattr(g0, "toarray") else g0, dtype=float)
+    c0 = np.asarray(c0.toarray() if hasattr(c0, "toarray") else c0, dtype=float)
+    return g0, c0
+
+
+def _sensitivity_stacks(model) -> Tuple[np.ndarray, np.ndarray]:
+    if hasattr(model, "sensitivity_stacks"):
+        return model.sensitivity_stacks()
+    q = model.nominal.order
+    if not model.num_parameters:
+        return np.zeros((0, q, q)), np.zeros((0, q, q))
+    dg = np.stack([np.asarray(gi, dtype=float) for gi in model.dG])
+    dc = np.stack([np.asarray(ci, dtype=float) for ci in model.dC])
+    return dg, dc
+
+
+def _dense(matrix) -> np.ndarray:
+    return np.asarray(matrix.toarray() if hasattr(matrix, "toarray") else matrix)
+
+
+def batch_instantiate(
+    model, samples, exact: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stacked system matrices ``(G, C)`` over a sample matrix.
+
+    Parameters
+    ----------
+    model:
+        A dense parametric model (reduced macromodel or compatible).
+    samples:
+        ``(m, n_p)`` parameter sample matrix (one row per instance).
+    exact:
+        With ``exact`` (default) the accumulation order and the
+        skip-zero-coefficient rule of
+        :meth:`~repro.core.model.ParametricReducedModel.instantiate`
+        are reproduced so each slice is *bit-identical* to the scalar
+        path.  With ``exact=False`` the whole update is one einsum
+        contraction ``G = G0 + P . dG`` -- fastest, equal to the scalar
+        path only to rounding (~1e-16 relative).
+
+    Returns
+    -------
+    (G, C):
+        Arrays of shape ``(m, q, q)``; slice ``k`` is the system at
+        sample ``k``.
+    """
+    matrix = as_sample_matrix(model, samples)
+    g0, c0 = _dense_nominal(model)
+    num_samples = matrix.shape[0]
+    if not exact:
+        dg, dc = _sensitivity_stacks(model)
+        g = g0[None] + np.einsum("kp,pij->kij", matrix, dg)
+        c = c0[None] + np.einsum("kp,pij->kij", matrix, dc)
+        return g, c
+    g = np.broadcast_to(g0, (num_samples,) + g0.shape).copy()
+    c = np.broadcast_to(c0, (num_samples,) + c0.shape).copy()
+    for i in range(model.num_parameters):
+        weights = matrix[:, i]
+        # Matches `if value != 0.0` in the scalar path: rows with a zero
+        # coefficient are left untouched rather than having +0.0 added.
+        nonzero = (weights != 0.0)[:, None, None]
+        np.add(g, weights[:, None, None] * _dense(model.dG[i]), out=g, where=nonzero)
+        np.add(c, weights[:, None, None] * _dense(model.dC[i]), out=c, where=nonzero)
+    return g, c
+
+
+def systems_from_stacks(model, g: np.ndarray, c: np.ndarray):
+    """Iterate :class:`DescriptorSystem` views over stacked ``(G, C)``.
+
+    Bridges the batched kernels back to per-instance consumers (pole
+    residues, passivity checks) without re-instantiating from scratch.
+    """
+    for k in range(g.shape[0]):
+        yield DescriptorSystem(
+            g[k],
+            c[k],
+            model.nominal.B,
+            model.nominal.L,
+            input_names=list(model.nominal.input_names),
+            output_names=list(model.nominal.output_names),
+            title=f"{model.nominal.title}@batch[{k}]",
+        )
+
+
+def _transfer_from_stacks(model, g: np.ndarray, c: np.ndarray, s: complex) -> np.ndarray:
+    s = complex(s)
+    pencil = (g + s * c).astype(np.complex128)
+    b = _dense(model.nominal.B).astype(np.complex128)
+    l_mat = _dense(model.nominal.L)
+    rhs = np.broadcast_to(b, (pencil.shape[0],) + b.shape)
+    x = np.linalg.solve(pencil, rhs)
+    return l_mat.T @ x
+
+
+def batch_transfer(model, s: complex, samples) -> np.ndarray:
+    """Stacked transfer matrices ``H(s, p_k)``.
+
+    One batched LAPACK solve replaces ``m`` instantiate-plus-solve
+    round trips.  Returns an array of shape ``(m, m_out, m_in)``.
+    """
+    g, c = batch_instantiate(model, samples)
+    return _transfer_from_stacks(model, g, c, s)
+
+
+def _eig_response_factors(model, g: np.ndarray, c: np.ndarray):
+    """Per-instance spectral factors for rational transfer evaluation.
+
+    Diagonalizing ``A_k = G_k^{-1} C_k = V_k diag(lambda_k) V_k^{-1}``
+    turns every later frequency point into an ``O(q)``-per-entry
+    rational sum
+
+    ``H(s, p_k) = (L^T V_k) diag(1/(1 + s lambda_k)) (V_k^{-1} G_k^{-1} B)``
+
+    so the ``O(q^3)`` factorization cost is paid once per instance
+    instead of once per (instance, frequency) pair.  Returns
+    ``(eigenvalues, L^T V, V^{-1} G^{-1} B)``.
+    """
+    b = _dense(model.nominal.B).astype(np.complex128)
+    l_mat = _dense(model.nominal.L)
+    a = np.linalg.solve(g, c)
+    eigenvalues, v = np.linalg.eig(a)
+    lt_v = l_mat.T @ v
+    g_inv_b = np.linalg.solve(
+        g.astype(np.complex128), np.broadcast_to(b, (g.shape[0],) + b.shape)
+    )
+    w = np.linalg.solve(v, g_inv_b)
+    return eigenvalues, lt_v, w
+
+
+def _eig_responses(eigenvalues, lt_v, w, freqs: np.ndarray) -> np.ndarray:
+    out = np.empty(
+        (eigenvalues.shape[0], freqs.size, lt_v.shape[1], w.shape[2]), dtype=complex
+    )
+    for j, f in enumerate(freqs):
+        s = 2j * np.pi * f
+        out[:, j] = lt_v @ (w / (1.0 + s * eigenvalues)[:, :, None])
+    return out
+
+
+def batch_frequency_response(
+    model, frequencies: Sequence[float], samples, method: str = "solve"
+) -> np.ndarray:
+    """``H(j 2 pi f, p_k)`` for every (sample, frequency) pair.
+
+    The system matrices are instantiated once and re-used across the
+    frequency axis.  Returns shape ``(m, n_f, m_out, m_in)``.
+
+    Parameters
+    ----------
+    method:
+        ``"solve"`` (default) performs one batched pencil solve per
+        frequency -- bitwise-grade agreement with the per-sample path.
+        ``"eig"`` diagonalizes each instance once and evaluates all
+        frequencies as rational sums -- asymptotically ``n_f`` times
+        cheaper for dense sweeps, accurate to rounding (~1e-15
+        relative) for well-conditioned eigenvector bases.
+    """
+    freqs = np.asarray(frequencies, dtype=float)
+    g, c = batch_instantiate(model, samples, exact=(method == "solve"))
+    if method == "solve":
+        out = np.empty(
+            (g.shape[0], freqs.size, model.nominal.L.shape[1], model.nominal.B.shape[1]),
+            dtype=complex,
+        )
+        for j, f in enumerate(freqs):
+            out[:, j] = _transfer_from_stacks(model, g, c, 2j * np.pi * f)
+        return out
+    if method != "eig":
+        raise ValueError(f"unknown method {method!r} (use 'solve' or 'eig')")
+    eigenvalues, lt_v, w = _eig_response_factors(model, g, c)
+    return _eig_responses(eigenvalues, lt_v, w, freqs)
+
+
+def _poles_from_eigenvalues(eigenvalues: np.ndarray, num: Optional[int]) -> np.ndarray:
+    """Row-wise pole extraction matching :meth:`DescriptorSystem.poles`.
+
+    ``eigenvalues`` is ``(m, q)`` from the stacked ``G^{-1} C``
+    matrices; returns ``(m, k)`` dominant poles, ``nan``-padded where an
+    instance has fewer finite poles.
+    """
+    per_sample = []
+    for row in eigenvalues:
+        magnitude = np.abs(row)
+        scale = magnitude.max() if magnitude.size else 0.0
+        if scale == 0.0:
+            per_sample.append(np.empty(0, dtype=complex))
+            continue
+        finite = row[magnitude > 1e-12 * scale]
+        poles = -1.0 / finite
+        poles = poles[np.argsort(np.abs(poles))]
+        per_sample.append(poles[:num] if num is not None else poles)
+    width = max((p.size for p in per_sample), default=0)
+    if num is not None:
+        width = num
+    out = np.full((len(per_sample), width), np.nan + 1j * np.nan, dtype=complex)
+    for k, poles in enumerate(per_sample):
+        out[k, : poles.size] = poles
+    return out
+
+
+def batch_poles(model, samples, num: Optional[int] = None) -> np.ndarray:
+    """Dominant poles of every sampled instance, stacked.
+
+    Same semantics per instance as :meth:`DescriptorSystem.poles`
+    (finite poles of the pencil ``G(p_k) + s C(p_k)``, most dominant
+    first), but computed through one batched ``solve`` + ``eigvals``
+    call pair.  Returns a complex array of shape ``(m, k)`` where ``k``
+    is ``num`` (when given) or the largest finite-pole count; rows with
+    fewer finite poles are padded with ``nan``.
+    """
+    g, c = batch_instantiate(model, samples)
+    a = np.linalg.solve(g, c)
+    return _poles_from_eigenvalues(np.linalg.eigvals(a), num)
+
+
+def batch_sweep_study(
+    model,
+    frequencies: Sequence[float],
+    samples,
+    num_poles: Optional[int] = 5,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Frequency responses *and* dominant poles from one factorization.
+
+    The canonical Monte Carlo workload evaluates both the response
+    envelope and the pole distribution of every instance.  One batched
+    eigendecomposition per instance serves both quantities: the
+    eigenvalues give the poles, the eigenvectors give the rational form
+    of ``H``.  Returns ``(responses, poles)`` with shapes
+    ``(m, n_f, m_out, m_in)`` and ``(m, num_poles)``.
+    """
+    freqs = np.asarray(frequencies, dtype=float)
+    g, c = batch_instantiate(model, samples, exact=False)
+    eigenvalues, lt_v, w = _eig_response_factors(model, g, c)
+    responses = _eig_responses(eigenvalues, lt_v, w, freqs)
+    return responses, _poles_from_eigenvalues(eigenvalues, num_poles)
+
+
+def batch_transfer_sensitivities(model, s: complex, samples) -> np.ndarray:
+    """Exact ``dH/dp_i (s, p_k)`` for every sample, stacked.
+
+    The batched counterpart of
+    :func:`repro.analysis.sensitivity.transfer_sensitivities` for dense
+    parametric models: forward and adjoint stacked solves against the
+    shared pencil, then one einsum contraction per side.  Returns shape
+    ``(m, n_p, m_out, m_in)``.
+    """
+    matrix = as_sample_matrix(model, samples)
+    g, c = batch_instantiate(model, matrix)
+    s = complex(s)
+    pencil = (g + s * c).astype(np.complex128)
+    b = _dense(model.nominal.B).astype(np.complex128)
+    l_mat = _dense(model.nominal.L).astype(np.complex128)
+    x = np.linalg.solve(pencil, np.broadcast_to(b, (pencil.shape[0],) + b.shape))
+    adjoint = np.transpose(pencil, (0, 2, 1))
+    y = np.linalg.solve(adjoint, np.broadcast_to(l_mat, (pencil.shape[0],) + l_mat.shape))
+    dg, dc = _sensitivity_stacks(model)
+    k_stack = dg + s * dc
+    kx = np.einsum("pij,kjn->kpin", k_stack, x)
+    return -np.einsum("kio,kpin->kpon", y, kx)

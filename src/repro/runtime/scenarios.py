@@ -1,0 +1,209 @@
+"""Declarative scenario plans: sample matrices as first-class objects.
+
+A *plan* describes which parameter-space instances a study should
+visit -- Monte Carlo draws, process corners, a full factorial grid --
+independent of any model.  Calling
+:meth:`ScenarioPlan.sample_matrix` with a parameter count realizes the
+plan as the ``(m, n_p)`` matrix every batched kernel and study
+function consumes, so the same plan composes with any reducer and any
+model:
+
+>>> plan = MonteCarloPlan(num_instances=1000, seed=7)
+>>> H = batch_frequency_response(model, freqs, plan.sample_matrix(model.num_parameters))
+
+Plans are frozen dataclasses: hashable, comparable, and printable, so
+they can key result tables and appear verbatim in logs and CLI output.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.batch import batch_frequency_response
+
+# Refuse to materialize absurd factorial expansions (2^n_p corners,
+# k^n_p grid points) instead of exhausting memory.
+MAX_PLAN_SAMPLES = 1_000_000
+
+
+class ScenarioPlan:
+    """Base class: a recipe for an ``(m, n_p)`` parameter sample matrix."""
+
+    def sample_matrix(self, num_parameters: int) -> np.ndarray:
+        """Realize the plan for a model with ``num_parameters`` parameters."""
+        raise NotImplementedError
+
+    def num_samples(self, num_parameters: int) -> int:
+        """Number of rows :meth:`sample_matrix` will produce."""
+        return self.sample_matrix(num_parameters).shape[0]
+
+    def study(self, full_model, reduced_model, num_poles: int = 5, executor=None):
+        """Run the pole-accuracy study over this plan's samples.
+
+        Composes the plan with any full/reduced model pair via
+        :func:`repro.analysis.montecarlo.monte_carlo_pole_study`.
+        """
+        # Imported lazily: repro.analysis.montecarlo itself builds on
+        # the runtime batch/executor modules.
+        from repro.analysis.montecarlo import monte_carlo_pole_study
+
+        samples = self.sample_matrix(full_model.num_parameters)
+        return monte_carlo_pole_study(
+            full_model,
+            reduced_model,
+            samples.shape[0],
+            num_poles=num_poles,
+            samples=samples,
+            executor=executor,
+        )
+
+
+def _check_size(plan, count: int) -> None:
+    if count > MAX_PLAN_SAMPLES:
+        raise ValueError(
+            f"{plan!r} would materialize {count} samples "
+            f"(limit {MAX_PLAN_SAMPLES}); restrict the plan"
+        )
+
+
+@dataclass(frozen=True)
+class MonteCarloPlan(ScenarioPlan):
+    """Normal 3-sigma Monte Carlo draws (the paper's Figs. 5-6 protocol).
+
+    Parameters mirror
+    :func:`repro.analysis.montecarlo.sample_parameters`, which realizes
+    the plan (same seeds give the same draws).
+    """
+
+    num_instances: int
+    three_sigma: float = 0.3
+    seed: int = 0
+    truncate: bool = True
+
+    def sample_matrix(self, num_parameters: int) -> np.ndarray:
+        """``(num_instances, num_parameters)`` normal draws."""
+        from repro.analysis.montecarlo import sample_parameters
+
+        return sample_parameters(
+            self.num_instances,
+            num_parameters,
+            three_sigma=self.three_sigma,
+            seed=self.seed,
+            truncate=self.truncate,
+        )
+
+    def num_samples(self, num_parameters: int) -> int:
+        """Instance count (independent of the parameter count)."""
+        return self.num_instances
+
+
+@dataclass(frozen=True)
+class CornerPlan(ScenarioPlan):
+    """All ``2^n_p`` extreme process corners, optionally plus nominal.
+
+    Each parameter sits at ``+/- magnitude``; with ``include_nominal``
+    (default) the all-zeros nominal point is prepended as row 0.
+    """
+
+    magnitude: float = 0.3
+    include_nominal: bool = True
+
+    def sample_matrix(self, num_parameters: int) -> np.ndarray:
+        """Nominal row (optional) followed by every sign combination."""
+        if num_parameters < 1:
+            raise ValueError("num_parameters must be >= 1")
+        _check_size(self, self.num_samples(num_parameters))
+        corners = np.array(
+            list(itertools.product((-self.magnitude, self.magnitude), repeat=num_parameters)),
+            dtype=float,
+        )
+        if self.include_nominal:
+            corners = np.vstack([np.zeros((1, num_parameters)), corners])
+        return corners
+
+    def num_samples(self, num_parameters: int) -> int:
+        """``2^n_p`` corners plus the optional nominal row."""
+        return 2 ** num_parameters + (1 if self.include_nominal else 0)
+
+
+@dataclass(frozen=True)
+class GridPlan(ScenarioPlan):
+    """Full factorial grid: every parameter takes every axis value.
+
+    The batched generalization of the Figs. 5-6 right-hand plots'
+    2-D sweep to all parameters at once.  ``axis_values`` is stored as
+    a tuple so the plan stays hashable.
+    """
+
+    axis_values: Tuple[float, ...] = (-0.3, 0.0, 0.3)
+
+    def __post_init__(self):
+        object.__setattr__(self, "axis_values", tuple(float(v) for v in self.axis_values))
+        if not self.axis_values:
+            raise ValueError("axis_values must be non-empty")
+
+    def sample_matrix(self, num_parameters: int) -> np.ndarray:
+        """``(len(axis_values)^n_p, n_p)`` factorial combinations."""
+        if num_parameters < 1:
+            raise ValueError("num_parameters must be >= 1")
+        _check_size(self, self.num_samples(num_parameters))
+        return np.array(
+            list(itertools.product(self.axis_values, repeat=num_parameters)), dtype=float
+        )
+
+    def num_samples(self, num_parameters: int) -> int:
+        """``len(axis_values) ** n_p`` grid points."""
+        return len(self.axis_values) ** num_parameters
+
+
+@dataclass
+class ScenarioSweep:
+    """Batched frequency responses over a plan's samples.
+
+    ``responses`` has shape ``(m, n_f, m_out, m_in)`` -- instance ``k``,
+    frequency ``j``.
+    """
+
+    plan: ScenarioPlan
+    samples: np.ndarray
+    frequencies: np.ndarray
+    responses: np.ndarray
+
+    @property
+    def num_samples(self) -> int:
+        """Number of evaluated parameter instances."""
+        return self.samples.shape[0]
+
+    def magnitude_envelope(
+        self, output_index: int = 0, input_index: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-frequency ``(min, mean, max)`` of ``|H|`` across instances.
+
+        The scenario envelope is the quantity variability sign-off
+        cares about: the spread of the response over process instances.
+        """
+        magnitude = np.abs(self.responses[:, :, output_index, input_index])
+        return magnitude.min(axis=0), magnitude.mean(axis=0), magnitude.max(axis=0)
+
+
+def run_frequency_scenarios(
+    model,
+    plan: ScenarioPlan,
+    frequencies: Sequence[float],
+    num_parameters: Optional[int] = None,
+) -> ScenarioSweep:
+    """Evaluate ``model`` over every (instance, frequency) pair of a plan.
+
+    ``num_parameters`` defaults to ``model.num_parameters``.  Uses the
+    batched kernels end to end; returns a :class:`ScenarioSweep`.
+    """
+    if num_parameters is None:
+        num_parameters = model.num_parameters
+    samples = plan.sample_matrix(num_parameters)
+    freqs = np.asarray(frequencies, dtype=float)
+    responses = batch_frequency_response(model, freqs, samples)
+    return ScenarioSweep(plan=plan, samples=samples, frequencies=freqs, responses=responses)

@@ -35,6 +35,29 @@ class TestSampling:
         with pytest.raises(ValueError):
             sample_parameters(1, 0)
 
+    def test_single_instance(self):
+        samples = sample_parameters(1, 4, seed=5)
+        assert samples.shape == (1, 4)
+        np.testing.assert_array_equal(samples, sample_parameters(1, 4, seed=5))
+
+    def test_truncation_bounds_are_inclusive(self):
+        # With a tiny three_sigma nearly every draw clips: the clipped
+        # values must equal the bound exactly, never exceed it.
+        bound = 1e-6
+        samples = sample_parameters(500, 2, three_sigma=bound, seed=8)
+        assert np.abs(samples).max() <= bound
+        assert (np.abs(samples) == bound).any()
+
+    def test_truncate_only_affects_tails(self):
+        raw = sample_parameters(300, 2, three_sigma=0.3, seed=9, truncate=False)
+        clipped = sample_parameters(300, 2, three_sigma=0.3, seed=9, truncate=True)
+        np.testing.assert_array_equal(clipped, np.clip(raw, -0.3, 0.3))
+
+    def test_seed_changes_draws(self):
+        a = sample_parameters(10, 2, seed=1)
+        b = sample_parameters(10, 2, seed=2)
+        assert not np.array_equal(a, b)
+
 
 class TestPoleStudy:
     @pytest.fixture(scope="class")
@@ -74,3 +97,45 @@ class TestPoleStudy:
         )
         assert study.num_instances == 2
         np.testing.assert_allclose(study.samples, explicit)
+
+
+class TestBatchedRewiring:
+    """The runtime-backed study must be bit-compatible with the old loop."""
+
+    def test_bitwise_matches_per_sample_loop(self):
+        from repro.analysis.poles import match_poles
+        from repro.circuits import rcnet_a
+
+        parametric = rcnet_a()
+        model = LowRankReducer(num_moments=3, rank=1).reduce(parametric)
+        samples = sample_parameters(8, 3, seed=4)
+
+        # The pre-runtime reference implementation: one match_poles
+        # call per instance, in sample order.
+        pole_errors = np.empty((8, 5))
+        full_poles = np.empty((8, 5), dtype=complex)
+        reduced_poles = np.empty((8, 5), dtype=complex)
+        for i, point in enumerate(samples):
+            errors, full_p, matched = match_poles(parametric, model, point, 5)
+            pole_errors[i] = errors
+            full_poles[i] = full_p
+            reduced_poles[i] = matched
+
+        study = monte_carlo_pole_study(
+            parametric, model, num_instances=8, num_poles=5, seed=4
+        )
+        np.testing.assert_array_equal(study.samples, samples)
+        np.testing.assert_array_equal(study.pole_errors, pole_errors)
+        np.testing.assert_array_equal(study.full_poles, full_poles)
+        np.testing.assert_array_equal(study.reduced_poles, reduced_poles)
+
+    def test_non_batchable_reduced_model_falls_back(self):
+        # A full parametric system (sparse matrices) on the "reduced"
+        # side exercises the per-sample fallback path.
+        from repro.circuits import rcnet_a
+
+        parametric = rcnet_a()
+        study = monte_carlo_pole_study(
+            parametric, parametric, num_instances=2, num_poles=2, seed=4
+        )
+        assert study.max_error == 0.0  # model compared against itself

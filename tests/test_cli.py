@@ -99,6 +99,92 @@ class TestSweepAndPoles:
         assert cli_pole == pytest.approx(api_pole, rel=1e-5, abs=1e-5 * abs(api_pole))
 
 
+class TestMonteCarlo:
+    def test_study_summary_and_histogram(self, netlist_file, capsys):
+        code = main(
+            ["montecarlo", netlist_file, "--instances", "10", "--poles", "2",
+             "--moments", "3", "--bins", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "instances:      10" in out
+        assert "pole compares:  20" in out
+        assert "max pole error:" in out
+        lines = out.strip().splitlines()
+        header_index = lines.index("bin_lo_pct,bin_hi_pct,count")
+        bins = lines[header_index + 1:]
+        assert len(bins) == 4
+        assert sum(int(line.split(",")[2]) for line in bins) == 20
+
+    def test_cache_hit_on_second_run(self, netlist_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "models")
+        argv = ["montecarlo", netlist_file, "--instances", "3", "--poles", "2",
+                "--moments", "3", "--cache", cache_dir]
+        assert main(argv) == 0
+        assert "# cache: miss" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "# cache: hit" in capsys.readouterr().out
+
+    def test_jobs_spec_accepts_worker_count(self, netlist_file, capsys):
+        code = main(
+            ["montecarlo", netlist_file, "--instances", "3", "--poles", "2",
+             "--moments", "3", "--jobs", "1"]
+        )
+        assert code == 0
+
+    def test_impossible_tolerance_fails(self, netlist_file, capsys):
+        code = main(
+            ["montecarlo", netlist_file, "--instances", "3", "--poles", "2",
+             "--moments", "3", "--tolerance", "0"]
+        )
+        assert code == 2
+
+
+class TestBatch:
+    def test_corner_plan_envelope_csv(self, netlist_file, capsys):
+        code = main(
+            ["batch", netlist_file, "--plan", "corners", "--moments", "3",
+             "--points", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CornerPlan" in out
+        lines = [line for line in out.strip().splitlines()
+                 if not line.startswith("#")]
+        assert lines[0] == "frequency_hz,min_magnitude,mean_magnitude,max_magnitude"
+        assert len(lines) == 6
+        low, mean, high = (float(x) for x in lines[1].split(",")[1:])
+        assert low <= mean <= high
+
+    def test_grid_plan(self, netlist_file, capsys):
+        code = main(
+            ["batch", netlist_file, "--plan", "grid", "--grid-points", "3",
+             "--moments", "3", "--points", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# instances: 9" in out  # 3 axis points, 2 parameters
+
+    def test_montecarlo_plan(self, netlist_file, capsys):
+        code = main(
+            ["batch", netlist_file, "--plan", "montecarlo", "--instances", "7",
+             "--moments", "3", "--points", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# instances: 7" in out
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == repro.__version__
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -109,3 +195,10 @@ class TestParser:
         bad.write_text("Q1 a b c\n.port P a\n")
         assert main(["info", str(bad)]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_new_commands_registered(self):
+        from repro.cli import build_parser
+
+        text = build_parser().format_help()
+        assert "montecarlo" in text
+        assert "batch" in text

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.core",
     "repro.analysis",
+    "repro.runtime",
 ]
 
 
@@ -65,7 +66,7 @@ class TestCliModule:
         from repro.cli import build_parser
 
         parser = build_parser()
-        # All four subcommands registered.
+        # All six subcommands registered.
         text = parser.format_help()
-        for command in ("info", "reduce", "sweep", "poles"):
+        for command in ("info", "reduce", "sweep", "poles", "montecarlo", "batch"):
             assert command in text

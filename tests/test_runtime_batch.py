@@ -1,0 +1,185 @@
+"""Batch kernels must agree with the per-sample evaluation path.
+
+The contract of :mod:`repro.runtime.batch`: ``exact=True``
+instantiation is *bit-identical* to
+:meth:`ParametricReducedModel.instantiate`, and every derived batched
+quantity (transfer, frequency response, poles, sensitivities) matches
+the per-sample path to 1e-12 relative.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import matched_pole_errors
+from repro.analysis.montecarlo import sample_parameters
+from repro.analysis.sensitivity import transfer_sensitivities
+from repro.circuits import rcnet_a
+from repro.core import LowRankReducer
+from repro.runtime import (
+    batch_frequency_response,
+    batch_instantiate,
+    batch_poles,
+    batch_sweep_study,
+    batch_transfer,
+    batch_transfer_sensitivities,
+    supports_batching,
+    systems_from_stacks,
+)
+
+S_POINT = 2j * np.pi * 1.3e9
+
+
+@pytest.fixture(scope="module")
+def parametric():
+    return rcnet_a()
+
+
+@pytest.fixture(scope="module")
+def model(parametric):
+    return LowRankReducer(num_moments=3, rank=1).reduce(parametric)
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return sample_parameters(9, 3, seed=11)
+
+
+class TestBatchInstantiate:
+    def test_exact_is_bit_identical_to_scalar_path(self, model, samples):
+        g, c = batch_instantiate(model, samples, exact=True)
+        assert g.shape == (9, model.size, model.size)
+        for k, point in enumerate(samples):
+            system = model.instantiate(point)
+            np.testing.assert_array_equal(g[k], system.G)
+            np.testing.assert_array_equal(c[k], system.C)
+
+    def test_exact_skips_zero_coefficients(self, model):
+        # A zero coefficient must leave the nominal entry untouched
+        # (same rule as the scalar path), not add +0.0.
+        samples = np.array([[0.0, 0.2, 0.0], [0.0, 0.0, 0.0]])
+        g, c = batch_instantiate(model, samples, exact=True)
+        g0, c0 = model.dense_nominal()
+        np.testing.assert_array_equal(g[1], g0)
+        np.testing.assert_array_equal(c[1], c0)
+
+    def test_einsum_matches_exact_to_rounding(self, model, samples):
+        g, c = batch_instantiate(model, samples, exact=True)
+        ge, ce = batch_instantiate(model, samples, exact=False)
+        scale = max(np.abs(g).max(), np.abs(c).max())
+        assert np.abs(ge - g).max() <= 1e-12 * scale
+        assert np.abs(ce - c).max() <= 1e-12 * scale
+
+    def test_single_point_promoted_to_batch_of_one(self, model):
+        g, c = batch_instantiate(model, [0.1, -0.2, 0.3])
+        assert g.shape == (1, model.size, model.size)
+        assert c.shape == (1, model.size, model.size)
+
+    def test_rejects_wrong_parameter_count(self, model):
+        with pytest.raises(ValueError):
+            batch_instantiate(model, np.zeros((4, 2)))
+
+    def test_supports_batching(self, model, parametric):
+        assert supports_batching(model)
+        assert not supports_batching(parametric)  # sparse full system
+
+    def test_systems_from_stacks_views(self, model, samples):
+        g, c = batch_instantiate(model, samples)
+        systems = list(systems_from_stacks(model, g, c))
+        assert len(systems) == samples.shape[0]
+        reference = model.instantiate(samples[3])
+        np.testing.assert_array_equal(systems[3].G, reference.G)
+        assert systems[3].num_inputs == reference.num_inputs
+
+
+class TestBatchTransfer:
+    def test_matches_loop(self, model, samples):
+        batched = batch_transfer(model, S_POINT, samples)
+        looped = np.stack([model.transfer(S_POINT, p) for p in samples])
+        scale = np.abs(looped).max()
+        assert np.abs(batched - looped).max() <= 1e-12 * scale
+
+    def test_shapes(self, model, samples):
+        batched = batch_transfer(model, S_POINT, samples)
+        assert batched.shape == (
+            samples.shape[0],
+            model.nominal.num_outputs,
+            model.nominal.num_inputs,
+        )
+
+
+class TestBatchFrequencyResponse:
+    def test_matches_loop(self, model, samples):
+        frequencies = np.logspace(7, 10, 4)
+        batched = batch_frequency_response(model, frequencies, samples)
+        assert batched.shape[:2] == (samples.shape[0], 4)
+        for k, point in enumerate(samples):
+            looped = model.frequency_response(frequencies, point)
+            scale = np.abs(looped).max()
+            assert np.abs(batched[k] - looped).max() <= 1e-12 * scale
+
+    def test_eig_method_matches_solve_method(self, model, samples):
+        frequencies = np.logspace(7, 10, 6)
+        direct = batch_frequency_response(model, frequencies, samples, method="solve")
+        rational = batch_frequency_response(model, frequencies, samples, method="eig")
+        scale = np.abs(direct).max()
+        assert np.abs(rational - direct).max() <= 1e-12 * scale
+
+    def test_unknown_method_rejected(self, model, samples):
+        with pytest.raises(ValueError):
+            batch_frequency_response(model, [1e9], samples, method="cholesky")
+
+
+class TestBatchSweepStudy:
+    def test_matches_separate_kernels(self, model, samples):
+        frequencies = np.logspace(7, 10, 5)
+        responses, poles = batch_sweep_study(model, frequencies, samples, num_poles=4)
+        direct = batch_frequency_response(model, frequencies, samples)
+        scale = np.abs(direct).max()
+        assert np.abs(responses - direct).max() <= 1e-12 * scale
+        separate = batch_poles(model, samples, num=4)
+        for k in range(samples.shape[0]):
+            errors, _ = matched_pole_errors(separate[k], poles[k])
+            assert errors.max() <= 1e-12
+
+
+class TestBatchPoles:
+    def test_matches_loop_to_1e12(self, model, samples):
+        batched = batch_poles(model, samples, num=5)
+        assert batched.shape == (samples.shape[0], 5)
+        for k, point in enumerate(samples):
+            looped = model.poles(point, num=5)
+            errors, _ = matched_pole_errors(looped, batched[k])
+            assert errors.max() <= 1e-12
+
+    def test_all_poles_when_num_omitted(self, model, samples):
+        batched = batch_poles(model, samples)
+        # Width equals the largest finite-pole count (some eigenvalues
+        # may be filtered as poles at infinity).
+        assert 0 < batched.shape[1] <= model.size
+        finite_counts = (~np.isnan(batched.real)).sum(axis=1)
+        assert finite_counts.max() == batched.shape[1]
+        for k, point in enumerate(samples):
+            assert finite_counts[k] == model.poles(point).size
+
+    def test_dominance_ordering(self, model, samples):
+        batched = batch_poles(model, samples)
+        magnitudes = np.abs(batched)
+        assert (np.diff(magnitudes, axis=1) >= 0).all()
+
+
+class TestBatchSensitivities:
+    def test_matches_scalar_kernel(self, model, samples):
+        batched = batch_transfer_sensitivities(model, S_POINT, samples)
+        assert batched.shape[:2] == (samples.shape[0], model.num_parameters)
+        for k, point in enumerate(samples):
+            scalar = transfer_sensitivities(model, S_POINT, point)
+            scale = np.abs(scalar).max()
+            assert np.abs(batched[k] - scalar).max() <= 1e-12 * scale
+
+    def test_full_sparse_model_still_works(self, parametric):
+        # The sparse path in analysis.sensitivity must be unaffected.
+        point = [0.1, 0.0, -0.1]
+        result = transfer_sensitivities(parametric, S_POINT, point)
+        assert result.shape == (
+            3, parametric.nominal.num_outputs, parametric.nominal.num_inputs
+        )

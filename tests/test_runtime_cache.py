@@ -1,0 +1,75 @@
+"""Content-addressed model cache: keys, hits, round trips."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import rc_tree, rcnet_a, with_random_variations
+from repro.core import LowRankReducer
+from repro.core.io import roundtrip_equal
+from repro.runtime import ModelCache, reducer_fingerprint, system_fingerprint
+
+
+@pytest.fixture(scope="module")
+def parametric():
+    return rcnet_a()
+
+
+class TestFingerprints:
+    def test_system_fingerprint_deterministic(self, parametric):
+        assert system_fingerprint(parametric) == system_fingerprint(rcnet_a())
+
+    def test_system_fingerprint_sensitive_to_matrices(self, parametric):
+        other = with_random_variations(rc_tree(12), 3, seed=1)
+        assert system_fingerprint(parametric) != system_fingerprint(other)
+
+    def test_reducer_fingerprint_tracks_config(self):
+        base = reducer_fingerprint(LowRankReducer(num_moments=3, rank=1))
+        assert base == reducer_fingerprint(LowRankReducer(num_moments=3, rank=1))
+        assert base != reducer_fingerprint(LowRankReducer(num_moments=4, rank=1))
+        assert base != reducer_fingerprint(LowRankReducer(num_moments=3, rank=2))
+
+
+class TestModelCache:
+    def test_miss_then_hit(self, parametric, tmp_path):
+        cache = ModelCache(tmp_path / "models")
+        reducer = LowRankReducer(num_moments=3, rank=1)
+        first = cache.get_or_reduce(parametric, reducer)
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert len(cache) == 1
+        second = cache.get_or_reduce(parametric, reducer)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert roundtrip_equal(first, second)
+
+    def test_cached_model_evaluates_identically(self, parametric, tmp_path):
+        cache = ModelCache(tmp_path)
+        reducer = LowRankReducer(num_moments=3, rank=1)
+        built = cache.get_or_reduce(parametric, reducer)
+        loaded = cache.get_or_reduce(parametric, reducer)
+        s = 2j * np.pi * 1e9
+        point = [0.1, -0.2, 0.05]
+        np.testing.assert_array_equal(
+            built.transfer(s, point), loaded.transfer(s, point)
+        )
+
+    def test_different_config_different_entry(self, parametric, tmp_path):
+        cache = ModelCache(tmp_path)
+        cache.get_or_reduce(parametric, LowRankReducer(num_moments=2, rank=1))
+        cache.get_or_reduce(parametric, LowRankReducer(num_moments=3, rank=1))
+        assert len(cache) == 2
+        assert cache.misses == 2
+
+    def test_store_load_by_key(self, parametric, tmp_path):
+        cache = ModelCache(tmp_path)
+        reducer = LowRankReducer(num_moments=2, rank=1)
+        model = reducer.reduce(parametric)
+        key = cache.key(parametric, reducer)
+        assert cache.load(key) is None
+        path = cache.store(key, model)
+        assert path.exists() and path.name == f"{key}.npz"
+        assert roundtrip_equal(cache.load(key), model)
+
+    def test_clear(self, parametric, tmp_path):
+        cache = ModelCache(tmp_path)
+        cache.get_or_reduce(parametric, LowRankReducer(num_moments=2, rank=1))
+        assert cache.clear() == 1
+        assert len(cache) == 0

@@ -1,0 +1,86 @@
+"""Execution backends: ordering, resolution, and cross-backend parity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import monte_carlo_pole_study
+from repro.circuits import rcnet_a
+from repro.core import LowRankReducer
+from repro.runtime import ProcessExecutor, SerialExecutor, resolve_executor
+
+
+def _square(x):
+    """Module-level so the process backend can pickle it."""
+    return x * x
+
+
+class TestSerialExecutor:
+    def test_ordered_map(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty(self):
+        assert SerialExecutor().map(_square, []) == []
+
+
+class TestProcessExecutor:
+    def test_matches_serial(self):
+        items = list(range(17))
+        serial = SerialExecutor().map(_square, items)
+        parallel = ProcessExecutor(max_workers=2).map(_square, items)
+        assert parallel == serial
+
+    def test_empty(self):
+        assert ProcessExecutor(max_workers=1).map(_square, []) == []
+
+    def test_chunksize_override(self):
+        executor = ProcessExecutor(max_workers=1, chunksize=5)
+        assert executor.map(_square, list(range(7))) == [x * x for x in range(7)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(max_workers=0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(chunksize=0)
+
+
+class TestResolveExecutor:
+    def test_default_is_serial(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+
+    def test_process_specs(self):
+        assert isinstance(resolve_executor("process"), ProcessExecutor)
+        resolved = resolve_executor(3)
+        assert isinstance(resolved, ProcessExecutor)
+        assert resolved.max_workers == 3
+
+    def test_one_worker_is_serial(self):
+        assert isinstance(resolve_executor(1), SerialExecutor)
+
+    def test_passthrough_object(self):
+        executor = SerialExecutor()
+        assert resolve_executor(executor) is executor
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            resolve_executor("threads")
+        with pytest.raises(ValueError):
+            resolve_executor(0)
+        with pytest.raises(ValueError):
+            resolve_executor(True)
+        with pytest.raises(ValueError):
+            resolve_executor(3.5)
+
+
+class TestStudyParity:
+    def test_process_study_bitwise_matches_serial(self):
+        parametric = rcnet_a()
+        model = LowRankReducer(num_moments=2, rank=1).reduce(parametric)
+        serial = monte_carlo_pole_study(
+            parametric, model, 3, num_poles=3, seed=13, executor=None
+        )
+        parallel = monte_carlo_pole_study(
+            parametric, model, 3, num_poles=3, seed=13, executor=2
+        )
+        np.testing.assert_array_equal(serial.pole_errors, parallel.pole_errors)
+        np.testing.assert_array_equal(serial.full_poles, parallel.full_poles)

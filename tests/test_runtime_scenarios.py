@@ -1,0 +1,114 @@
+"""Scenario plans: sample-matrix generation and composition."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import monte_carlo_pole_study, sample_parameters
+from repro.circuits import rcnet_a
+from repro.core import LowRankReducer
+from repro.runtime import (
+    CornerPlan,
+    GridPlan,
+    MonteCarloPlan,
+    run_frequency_scenarios,
+)
+from repro.runtime.scenarios import MAX_PLAN_SAMPLES
+
+
+@pytest.fixture(scope="module")
+def parametric():
+    return rcnet_a()
+
+
+@pytest.fixture(scope="module")
+def model(parametric):
+    return LowRankReducer(num_moments=3, rank=1).reduce(parametric)
+
+
+class TestMonteCarloPlan:
+    def test_realizes_sample_parameters(self):
+        plan = MonteCarloPlan(num_instances=40, three_sigma=0.2, seed=9)
+        expected = sample_parameters(40, 3, three_sigma=0.2, seed=9)
+        np.testing.assert_array_equal(plan.sample_matrix(3), expected)
+
+    def test_num_samples_without_materializing(self):
+        assert MonteCarloPlan(num_instances=12).num_samples(5) == 12
+
+    def test_hashable_and_comparable(self):
+        assert MonteCarloPlan(10) == MonteCarloPlan(10)
+        assert hash(MonteCarloPlan(10, seed=1)) != hash(MonteCarloPlan(10, seed=2))
+
+
+class TestCornerPlan:
+    def test_all_corners_plus_nominal(self):
+        plan = CornerPlan(magnitude=0.3)
+        matrix = plan.sample_matrix(2)
+        assert matrix.shape == (5, 2)
+        np.testing.assert_array_equal(matrix[0], [0.0, 0.0])
+        corners = {tuple(row) for row in matrix[1:]}
+        assert corners == {(-0.3, -0.3), (-0.3, 0.3), (0.3, -0.3), (0.3, 0.3)}
+
+    def test_without_nominal(self):
+        plan = CornerPlan(magnitude=0.1, include_nominal=False)
+        assert plan.sample_matrix(3).shape == (8, 3)
+        assert plan.num_samples(3) == 8
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            CornerPlan().sample_matrix(64)
+        assert CornerPlan().num_samples(64) > MAX_PLAN_SAMPLES
+
+    def test_rejects_bad_parameter_count(self):
+        with pytest.raises(ValueError):
+            CornerPlan().sample_matrix(0)
+
+
+class TestGridPlan:
+    def test_factorial_combinations(self):
+        plan = GridPlan(axis_values=(-0.3, 0.3))
+        matrix = plan.sample_matrix(2)
+        assert matrix.shape == (4, 2)
+        assert {tuple(row) for row in matrix} == {
+            (-0.3, -0.3), (-0.3, 0.3), (0.3, -0.3), (0.3, 0.3)
+        }
+
+    def test_axis_values_normalized_to_tuple(self):
+        plan = GridPlan(axis_values=[-0.1, 0.0, 0.1])
+        assert plan.axis_values == (-0.1, 0.0, 0.1)
+        assert plan.num_samples(3) == 27
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            GridPlan(axis_values=())
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            GridPlan(axis_values=tuple(np.linspace(-0.3, 0.3, 101))).sample_matrix(4)
+
+
+class TestComposition:
+    def test_run_frequency_scenarios(self, model):
+        plan = CornerPlan(magnitude=0.2)
+        frequencies = np.logspace(7, 10, 6)
+        result = run_frequency_scenarios(model, plan, frequencies)
+        assert result.responses.shape == (
+            plan.num_samples(model.num_parameters),
+            6,
+            model.nominal.num_outputs,
+            model.nominal.num_inputs,
+        )
+        low, mean, high = result.magnitude_envelope()
+        assert (low <= mean + 1e-15).all() and (mean <= high + 1e-15).all()
+        # Row 0 is the nominal instance: its response must sit inside
+        # the envelope.
+        nominal = np.abs(result.responses[0, :, 0, 0])
+        assert (low <= nominal + 1e-15).all() and (nominal <= high + 1e-15).all()
+
+    def test_plan_study_equals_direct_call(self, parametric, model):
+        plan = MonteCarloPlan(num_instances=5, seed=21)
+        via_plan = plan.study(parametric, model, num_poles=3)
+        direct = monte_carlo_pole_study(
+            parametric, model, 5, num_poles=3, seed=21
+        )
+        np.testing.assert_array_equal(via_plan.samples, direct.samples)
+        np.testing.assert_array_equal(via_plan.pole_errors, direct.pole_errors)
