@@ -19,8 +19,13 @@ log-spaced grid and (b) the 5 most dominant poles.
 Asserted: >= 5x speedup for the 1000-instance RCNetA study (the
 acceptance bar for the runtime subsystem) and agreement of the two
 paths to 1e-12 relative.
+
+Set ``BENCH_SMOKE=1`` to run a tiny configuration with the timing
+assertions disabled (CI keeps the script from bit-rotting without
+paying benchmark wall-clock).
 """
 
+import os
 import time
 
 import numpy as np
@@ -31,10 +36,11 @@ from repro.analysis.montecarlo import sample_parameters
 from repro.core import LowRankReducer
 from repro.runtime import batch_sweep_study
 
-NUM_INSTANCES_A = 1000
-NUM_INSTANCES_B = 200
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+NUM_INSTANCES_A = 10 if SMOKE else 1000
+NUM_INSTANCES_B = 5 if SMOKE else 200
 NUM_POLES = 5
-FREQUENCIES = np.logspace(7, 10, 120)
+FREQUENCIES = np.logspace(7, 10, 6 if SMOKE else 120)
 SEED = 2005
 
 
@@ -119,13 +125,14 @@ def test_runtime_batch_speedup(report, rcneta, rcnetb):
         ),
     )
 
-    # Acceptance bar: the 1000-instance RCNetA study must be >= 5x
-    # faster batched, with both paths agreeing to 1e-12.
-    assert result_a["speedup"] >= 5.0
+    # Both paths must agree to 1e-12 regardless of mode.
     assert result_a["response_error"] <= 1e-12
     assert result_a["pole_error"] <= 1e-12
-    # RCNetB rides along at a smaller instance count; the engine must
-    # still win clearly.
-    assert result_b["speedup"] >= 2.0
     assert result_b["response_error"] <= 1e-12
     assert result_b["pole_error"] <= 1e-12
+    if not SMOKE:
+        # Acceptance bar: the 1000-instance RCNetA study must be >= 5x
+        # faster batched; RCNetB rides along at a smaller instance
+        # count and must still win clearly.
+        assert result_a["speedup"] >= 5.0
+        assert result_b["speedup"] >= 2.0

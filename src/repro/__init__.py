@@ -78,11 +78,17 @@ from repro.runtime import (
     ModelCache,
     MonteCarloPlan,
     ProcessExecutor,
+    PWLInput,
+    RampInput,
     SerialExecutor,
+    SineInput,
+    StepInput,
     batch_frequency_response,
     batch_instantiate,
     batch_poles,
+    batch_simulate_transient,
     batch_transfer,
+    batch_transient_study,
     run_frequency_scenarios,
 )
 
@@ -99,17 +105,23 @@ __all__ = [
     "MultiPointReducer",
     "Netlist",
     "NominalReducer",
+    "PWLInput",
     "ParametricReducedModel",
     "ParametricSystem",
     "ProcessExecutor",
+    "RampInput",
     "SerialExecutor",
+    "SineInput",
     "SinglePointReducer",
+    "StepInput",
     "__version__",
     "assemble",
     "batch_frequency_response",
     "batch_instantiate",
     "batch_poles",
+    "batch_simulate_transient",
     "batch_transfer",
+    "batch_transient_study",
     "clock_tree",
     "compare_frequency_responses",
     "coupled_rlc_bus",

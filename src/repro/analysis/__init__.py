@@ -7,14 +7,27 @@
 - :mod:`repro.analysis.passivity` -- structural and sampled passivity
   verification of the macromodels.
 - :mod:`repro.analysis.timedomain` -- transient simulation of
-  descriptor systems (backward Euler / trapezoidal).
+  descriptor systems (backward Euler / trapezoidal); the bit-exact
+  reference for the batched ensemble kernels in
+  :mod:`repro.runtime.transient`.
+- :mod:`repro.analysis.delay` -- Elmore / threshold-crossing delay and
+  slew metrics, scalar and batched over scenario ensembles.
 - :mod:`repro.analysis.montecarlo` -- Monte Carlo process-variation
   studies (normal 3-sigma sampling, per-instance errors).
 - :mod:`repro.analysis.metrics` -- error norms shared by all of the
   above.
 """
 
-from repro.analysis.delay import delay_sensitivity, elmore_delay, threshold_delay
+from repro.analysis.delay import (
+    batch_slew_times,
+    batch_threshold_delays,
+    delay_sensitivity,
+    elmore_delay,
+    settling_horizon,
+    slew_time,
+    threshold_crossing_times,
+    threshold_delay,
+)
 from repro.analysis.frequency import FrequencySweep, compare_frequency_responses, sweep
 from repro.analysis.metrics import (
     matched_pole_errors,
@@ -44,6 +57,8 @@ __all__ = [
     "MetricDistribution",
     "MonteCarloResult",
     "ResponseSurface",
+    "batch_slew_times",
+    "batch_threshold_delays",
     "check_structural_passivity",
     "compare_frequency_responses",
     "delay_sensitivity",
@@ -64,9 +79,12 @@ __all__ = [
     "relative_linf_error",
     "sample_parameters",
     "sensitivity_error",
+    "settling_horizon",
     "simulate_step",
     "simulate_transient",
+    "slew_time",
     "sweep",
+    "threshold_crossing_times",
     "threshold_delay",
     "transfer_sensitivities",
 ]

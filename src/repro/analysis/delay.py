@@ -10,10 +10,20 @@ metrics, each computable from either a full or a reduced model:
   from two transfer-function moments (no simulation);
 - :func:`threshold_delay` -- the 50% (or arbitrary-threshold) step
   delay from a transient simulation;
+- :func:`slew_time` -- the 10%-90% (or arbitrary-band) rise time of the
+  step response;
 - :func:`delay_sensitivity` -- finite-difference sensitivity of a delay
   metric with respect to each variational parameter, evaluated on the
   *reduced* parametric model (the cheap surrogate the paper's method
   makes possible).
+
+The ensemble versions -- :func:`batch_threshold_delays` and
+:func:`batch_slew_times` -- run on the batched time-domain kernels of
+:mod:`repro.runtime.transient`: one simulation of the whole sample
+matrix, then one vectorized crossing extraction
+(:func:`threshold_crossing_times`) over the stacked waveforms.  The
+scalar functions above remain the per-instance reference they are
+tested against.
 """
 
 from __future__ import annotations
@@ -24,6 +34,51 @@ import numpy as np
 
 from repro.analysis.timedomain import simulate_step
 from repro.baselines.awe import transfer_moments
+
+
+def settling_horizon(system, time_constants: float = 8.0) -> float:
+    """Default step-settling window: ``time_constants`` dominant taus.
+
+    The shared horizon rule behind every delay/slew metric (scalar and
+    batched) and :func:`repro.runtime.transient.default_horizon`.
+    Raises when the system has no stable dominant pole to infer from.
+    """
+    dominant = system.poles(num=1)
+    if dominant.size == 0 or dominant[0].real >= 0:
+        raise ValueError("cannot infer a horizon: no stable dominant pole")
+    return time_constants / abs(dominant[0].real)
+
+
+def threshold_crossing_times(
+    time: np.ndarray, waveforms: np.ndarray, level
+) -> np.ndarray:
+    """First upward crossings of stacked waveforms, linearly interpolated.
+
+    ``waveforms`` is ``(m, nt)`` (a single ``(nt,)`` row is promoted),
+    ``level`` a scalar or per-row ``(m,)`` array.  Returns the ``(m,)``
+    times at which each row first reaches ``level``; rows already at or
+    above the level at ``time[0]`` return ``time[0]``, rows that never
+    reach it return ``nan``.  This is the vectorized kernel behind both
+    the scalar and the batched delay/slew metrics.
+    """
+    time = np.asarray(time, dtype=float)
+    rows = np.atleast_2d(np.asarray(waveforms, dtype=float))
+    levels = np.broadcast_to(np.asarray(level, dtype=float), (rows.shape[0],))
+    above = rows >= levels[:, None]
+    first = above.argmax(axis=1)
+    never = ~above.any(axis=1)
+    rows_index = np.arange(rows.shape[0])
+    previous = np.maximum(first - 1, 0)
+    y0 = rows[rows_index, previous]
+    y1 = rows[rows_index, first]
+    t0, t1 = time[previous], time[first]
+    # Where first == 0 the segment is degenerate (y1 - y0 == 0); those
+    # rows are overwritten below, so silence the spurious 0/0.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        crossed = t0 + (levels - y0) / (y1 - y0) * (t1 - t0)
+    out = np.where(first == 0, time[0], crossed)
+    out[never] = np.nan
+    return out
 
 
 def elmore_delay(system, output_index: int = 0, input_index: int = 0) -> float:
@@ -61,10 +116,7 @@ def threshold_delay(
     if not 0.0 < threshold < 1.0:
         raise ValueError("threshold must be in (0, 1)")
     if horizon is None:
-        dominant = system.poles(num=1)
-        if dominant.size == 0 or dominant[0].real >= 0:
-            raise ValueError("cannot infer a horizon: no stable dominant pole")
-        horizon = 8.0 / abs(dominant[0].real)
+        horizon = settling_horizon(system)
     result = simulate_step(
         system, t_final=horizon, num_steps=num_steps, input_index=input_index
     )
@@ -75,18 +127,121 @@ def threshold_delay(
     final = system.dc_gain()[output_index, input_index]
     if final == 0.0:
         raise ValueError("zero steady-state response: threshold delay undefined")
-    level = threshold * final
     normalized = waveform / final
-    above = np.nonzero(normalized >= threshold)[0]
-    if above.size == 0 or above[0] == 0:
+    crossing = threshold_crossing_times(result.time, normalized, threshold)[0]
+    if np.isnan(crossing) or crossing == result.time[0]:
         raise ValueError(
             "response does not cross the threshold inside the horizon; "
             "increase `horizon`"
         )
-    i = above[0]
-    t0, t1 = result.time[i - 1], result.time[i]
-    y0, y1 = waveform[i - 1], waveform[i]
-    return float(t0 + (level - y0) / (y1 - y0) * (t1 - t0))
+    return float(crossing)
+
+
+def slew_time(
+    system,
+    low: float = 0.1,
+    high: float = 0.9,
+    output_index: int = 0,
+    input_index: int = 0,
+    horizon: Optional[float] = None,
+    num_steps: int = 2000,
+) -> float:
+    """``low -> high`` rise time of the unit-step response (10%-90% default).
+
+    Thresholds are relative to the true DC steady state, like
+    :func:`threshold_delay`; raises when either level is not crossed
+    inside the horizon.
+    """
+    if not 0.0 < low < high < 1.0:
+        raise ValueError("need 0 < low < high < 1")
+    if horizon is None:
+        horizon = settling_horizon(system)
+    result = simulate_step(
+        system, t_final=horizon, num_steps=num_steps, input_index=input_index
+    )
+    final = system.dc_gain()[output_index, input_index]
+    if final == 0.0:
+        raise ValueError("zero steady-state response: slew undefined")
+    normalized = result.outputs[:, output_index] / final
+    t_low = threshold_crossing_times(result.time, normalized, low)[0]
+    t_high = threshold_crossing_times(result.time, normalized, high)[0]
+    if np.isnan(t_low) or np.isnan(t_high):
+        raise ValueError(
+            "response does not cross both slew thresholds inside the horizon; "
+            "increase `horizon`"
+        )
+    return float(t_high - t_low)
+
+
+def batch_threshold_delays(
+    model,
+    samples,
+    threshold: float = 0.5,
+    output_index: int = 0,
+    input_index: int = 0,
+    horizon: Optional[float] = None,
+    num_steps: int = 2000,
+    method: str = "trapezoidal",
+) -> np.ndarray:
+    """Threshold-crossing step delays of a whole parameter ensemble.
+
+    The batched counterpart of :func:`threshold_delay` for dense
+    parametric models: one :func:`repro.runtime.transient.batch_transient_study`
+    run over the ``(m, n_p)`` sample matrix, then one vectorized
+    crossing extraction.  ``horizon`` defaults to eight *nominal*
+    dominant time constants shared across the ensemble (the scalar
+    function infers it per instance -- pass ``horizon`` explicitly when
+    comparing the two).  Instances that never cross inside the horizon
+    -- or whose steady-state response is zero -- yield ``nan`` (where
+    the scalar function raises).
+    """
+    from repro.runtime.scenarios import StepInput
+    from repro.runtime.transient import batch_transient_study
+
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    study = batch_transient_study(
+        model,
+        samples,
+        waveform=StepInput(input_index=input_index),
+        t_final=horizon,
+        num_steps=num_steps,
+        method=method,
+    )
+    return study.delays(threshold=threshold, output_index=output_index)
+
+
+def batch_slew_times(
+    model,
+    samples,
+    low: float = 0.1,
+    high: float = 0.9,
+    output_index: int = 0,
+    input_index: int = 0,
+    horizon: Optional[float] = None,
+    num_steps: int = 2000,
+    method: str = "trapezoidal",
+) -> np.ndarray:
+    """``low -> high`` step rise times of a whole parameter ensemble.
+
+    Batched counterpart of :func:`slew_time`; same horizon convention
+    as :func:`batch_threshold_delays`.  ``nan`` where either threshold
+    is not crossed.
+    """
+    from repro.runtime.scenarios import StepInput
+    from repro.runtime.transient import batch_transient_study
+
+    if not 0.0 < low < high < 1.0:
+        raise ValueError("need 0 < low < high < 1")
+    study = batch_transient_study(
+        model,
+        samples,
+        waveform=StepInput(input_index=input_index),
+        t_final=horizon,
+        num_steps=num_steps,
+        method=method,
+    )
+    return study.slews(low=low, high=high, output_index=output_index)
 
 
 def delay_sensitivity(

@@ -9,6 +9,13 @@ Used by the examples to show full-vs-reduced step responses, and by
 the tests as an independent (time-domain) validation of the reduced
 macromodels: a model that matches moments should match the step
 response it implies.
+
+This per-instance, per-timestep loop is the *bit-exact reference* for
+the batched ensemble kernels in :mod:`repro.runtime.transient`, which
+advance all instances of a scenario ensemble at once.  The declarative
+waveforms of :mod:`repro.runtime.scenarios` (``StepInput``,
+``RampInput``, ``PWLInput``, ``SineInput``) are accepted directly as
+``input_function``, so one stimulus object drives both paths.
 """
 
 from __future__ import annotations
@@ -47,7 +54,8 @@ def simulate_transient(
         A :class:`~repro.circuits.statespace.DescriptorSystem`.
     input_function:
         ``u(t)`` returning an ``m_in``-vector (scalars accepted for
-        single-input systems).
+        single-input systems), or a declarative
+        :class:`~repro.runtime.scenarios.InputWaveform`.
     t_final, num_steps:
         Simulation horizon and step count (``h = t_final/num_steps``).
     method:
@@ -63,6 +71,8 @@ def simulate_transient(
         raise ValueError("t_final must be positive")
     if method not in ("trapezoidal", "backward_euler"):
         raise ValueError(f"unknown method {method!r}")
+    if hasattr(input_function, "as_function"):
+        input_function = input_function.as_function(system.num_inputs)
 
     n = system.order
     h = t_final / num_steps

@@ -9,16 +9,21 @@ python -m repro sweep      netlist.sp --fmin 1e7 --fmax 1e10 --points 30
 python -m repro poles      netlist.sp --num 5
 python -m repro montecarlo netlist.sp --instances 200 --jobs 4
 python -m repro batch      netlist.sp --plan corners --points 30
+python -m repro transient  netlist.sp --plan corners --waveform ramp --rise-time 2e-10
 ```
 
 The ``info``/``reduce``/``sweep``/``poles`` commands operate on plain
-(non-parametric) netlists.  ``montecarlo`` and ``batch`` attach random
-variational directions to the netlist (the paper's Section 5.1/5.2
-construction, :func:`repro.circuits.generators.with_random_variations`)
-and drive the :mod:`repro.runtime` serving layer: batched evaluation
-kernels, scenario plans, and an optional content-addressed model cache
-(``--cache DIR``); ``montecarlo`` additionally parallelizes its
-full-model reference solves (``--jobs N``).
+(non-parametric) netlists.  ``montecarlo``, ``batch``, and
+``transient`` attach random variational directions to the netlist (the
+paper's Section 5.1/5.2 construction,
+:func:`repro.circuits.generators.with_random_variations`) and drive
+the :mod:`repro.runtime` serving layer: batched evaluation kernels,
+scenario plans and input waveforms, and an optional content-addressed
+model cache (``--cache DIR``); ``montecarlo`` additionally
+parallelizes its full-model reference solves (``--jobs N``).
+``transient`` simulates the whole scenario ensemble through the
+batched time-domain kernels and prints the waveform envelope plus a
+threshold-delay summary.
 """
 
 from __future__ import annotations
@@ -208,9 +213,108 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _parse_pwl(text: str):
+    """``t1:v1,t2:v2,...`` -> PWL breakpoint tuples."""
+    points = []
+    for chunk in text.split(","):
+        try:
+            t_str, v_str = chunk.split(":")
+            points.append((float(t_str), float(v_str)))
+        except ValueError:
+            raise ValueError(
+                f"bad PWL point {chunk!r}: expected time:value (e.g. 1e-10:0.5)"
+            ) from None
+    return tuple(points)
+
+
+def _make_waveform(args):
+    """Realize the ``--waveform`` options as an InputWaveform plan."""
+    from repro.runtime import PWLInput, RampInput, SineInput, StepInput
+
+    if args.waveform == "step":
+        return StepInput(amplitude=args.amplitude, input_index=args.input)
+    if args.waveform == "ramp":
+        return RampInput(
+            rise_time=args.rise_time, amplitude=args.amplitude, input_index=args.input
+        )
+    if args.waveform == "sine":
+        return SineInput(
+            frequency=args.frequency, amplitude=args.amplitude, input_index=args.input
+        )
+    if args.waveform == "pwl":
+        return PWLInput(points=_parse_pwl(args.pwl), input_index=args.input)
+    raise ValueError(f"unknown waveform {args.waveform!r}")
+
+
+def _cmd_transient(args) -> int:
+    from repro.runtime import batch_transient_study
+
+    parametric = _load_parametric(args)
+    model = _reduce_parametric(parametric, args)
+    plan = _make_plan(args)
+    if not 0 <= args.output < model.nominal.num_outputs:
+        raise ValueError(
+            f"--output {args.output} out of range (model has "
+            f"{model.nominal.num_outputs} outputs)"
+        )
+    if not 0 <= args.input < model.nominal.num_inputs:
+        raise ValueError(
+            f"--input {args.input} out of range (model has "
+            f"{model.nominal.num_inputs} inputs)"
+        )
+    waveform = _make_waveform(args)
+    study = batch_transient_study(
+        model,
+        plan,
+        waveform=waveform,
+        t_final=args.t_final,
+        num_steps=args.steps,
+        method=args.method,
+    )
+    print(f"# plan: {plan!r}")
+    print(f"# waveform: {waveform!r}")
+    print(f"# instances: {study.num_samples}  reduced order: {model.size}  "
+          f"steps: {args.steps}  method: {args.method}")
+    delays = study.delays(
+        threshold=args.threshold, output_index=args.output,
+        reference=args.delay_reference,
+    )
+    crossed = delays[~np.isnan(delays)]
+    label = f"# delay({args.threshold * 100:.0f}% of {args.delay_reference})"
+    if crossed.size:
+        print(f"{label}: "
+              f"min={crossed.min():.6e}  mean={crossed.mean():.6e}  "
+              f"max={crossed.max():.6e}  ({crossed.size}/{delays.size} crossed)")
+    elif (args.delay_reference == "steady"
+          and not study.steady_states[:, args.output].any()):
+        print(f"{label}: undefined -- the stimulus settles to zero; "
+              "use --delay-reference peak for pulse-like waveforms")
+    else:
+        print(f"{label}: no instance crossed inside the horizon")
+    low, mean, high = study.output_envelope(output_index=args.output)
+    print("time_s,min_output,mean_output,max_output")
+    for j, t in enumerate(study.time):
+        print(f"{t:.6e},{low[j]:.6e},{mean[j]:.6e},{high[j]:.6e}")
+    return 0
+
+
 def _executor_spec(value: str):
     """argparse type for ``--jobs``: worker count or backend name."""
     return int(value) if value.isdigit() else value
+
+
+def _add_plan_arguments(subparser) -> None:
+    """Shared scenario-plan options for the batched study commands."""
+    subparser.add_argument("--plan", choices=("montecarlo", "corners", "grid"),
+                           default="montecarlo")
+    subparser.add_argument("--instances", type=int, default=100,
+                           help="Monte Carlo plan instance count")
+    subparser.add_argument("--magnitude", type=float, default=0.3,
+                           help="corner/grid parameter excursion")
+    subparser.add_argument("--grid-points", type=int, default=3,
+                           help="grid plan points per axis")
+    subparser.add_argument("--sigma", type=float, default=0.3)
+    subparser.add_argument("--seed", type=int, default=0)
 
 
 def _add_parametric_arguments(subparser) -> None:
@@ -296,22 +400,45 @@ def build_parser() -> argparse.ArgumentParser:
         "batch", help="batched scenario frequency-envelope CSV"
     )
     _add_parametric_arguments(batch_cmd)
-    batch_cmd.add_argument("--plan", choices=("montecarlo", "corners", "grid"),
-                           default="montecarlo")
-    batch_cmd.add_argument("--instances", type=int, default=100,
-                           help="Monte Carlo plan instance count")
-    batch_cmd.add_argument("--magnitude", type=float, default=0.3,
-                           help="corner/grid parameter excursion")
-    batch_cmd.add_argument("--grid-points", type=int, default=3,
-                           help="grid plan points per axis")
-    batch_cmd.add_argument("--sigma", type=float, default=0.3)
-    batch_cmd.add_argument("--seed", type=int, default=0)
+    _add_plan_arguments(batch_cmd)
     batch_cmd.add_argument("--fmin", type=float, default=1e7)
     batch_cmd.add_argument("--fmax", type=float, default=1e10)
     batch_cmd.add_argument("--points", type=int, default=30)
     batch_cmd.add_argument("--output", type=int, default=0)
     batch_cmd.add_argument("--input", type=int, default=0)
     batch_cmd.set_defaults(func=_cmd_batch)
+
+    transient_cmd = commands.add_parser(
+        "transient", help="batched time-domain scenario-envelope CSV"
+    )
+    _add_parametric_arguments(transient_cmd)
+    _add_plan_arguments(transient_cmd)
+    transient_cmd.add_argument("--waveform", choices=("step", "ramp", "pwl", "sine"),
+                               default="step", help="input stimulus plan")
+    transient_cmd.add_argument("--amplitude", type=float, default=1.0,
+                               help="stimulus amplitude")
+    transient_cmd.add_argument("--rise-time", type=float, default=1e-10,
+                               help="ramp waveform rise time (seconds)")
+    transient_cmd.add_argument("--frequency", type=float, default=1e9,
+                               help="sine waveform frequency (Hz)")
+    transient_cmd.add_argument("--pwl", default="0:0,1e-9:1",
+                               help="PWL breakpoints as t1:v1,t2:v2,...")
+    transient_cmd.add_argument("--t-final", type=float, default=None,
+                               help="horizon (default: 8 nominal time constants)")
+    transient_cmd.add_argument("--steps", type=int, default=200,
+                               help="number of timesteps")
+    transient_cmd.add_argument("--method",
+                               choices=("trapezoidal", "backward_euler"),
+                               default="trapezoidal")
+    transient_cmd.add_argument("--threshold", type=float, default=0.5,
+                               help="delay threshold (fraction of the reference level)")
+    transient_cmd.add_argument("--delay-reference", choices=("steady", "peak"),
+                               default="steady",
+                               help="100%% level: DC steady state (settling "
+                                    "stimuli) or per-instance peak (pulses)")
+    transient_cmd.add_argument("--output", type=int, default=0)
+    transient_cmd.add_argument("--input", type=int, default=0)
+    transient_cmd.set_defaults(func=_cmd_transient)
 
     return parser
 

@@ -1,17 +1,28 @@
 """The serving layer for reduced macromodels (batch, cache, parallel).
 
 Reduction produces a macromodel once; everything downstream -- Monte
-Carlo sign-off, corner sweeps, sensitivity studies -- evaluates it
-thousands of times.  This package is the seam where that reuse is
-made fast and declarative:
+Carlo sign-off, corner sweeps, sensitivity studies, timing extraction
+-- evaluates it thousands of times.  This package is the seam where
+that reuse is made fast and declarative:
 
 - :mod:`repro.runtime.batch` -- vectorized instantiation
   ``G(P) = G0 + P . dG`` over whole sample matrices, with batched
   transfer-function, frequency-response, pole, and sensitivity kernels
   that replace per-sample Python loops.
+- :mod:`repro.runtime.transient` -- batched *time-domain* kernels:
+  :func:`batch_simulate_transient` factors each instance's companion
+  matrix once (one stacked LAPACK solve yields the closed-form
+  discrete propagators) and advances the whole ensemble per timestep
+  as one ``(m, q)``-block matmul; :func:`batch_transient_study`
+  composes a scenario plan with an input waveform and attaches
+  vectorized delay/slew extraction; :func:`batch_step_responses` and
+  :func:`default_horizon` cover the step-response staple.
 - :mod:`repro.runtime.scenarios` -- declarative
   :class:`MonteCarloPlan` / :class:`CornerPlan` / :class:`GridPlan`
-  objects that generate sample matrices and compose with any reducer.
+  objects that generate sample matrices, plus the input-waveform plans
+  :class:`StepInput` / :class:`RampInput` / :class:`PWLInput` /
+  :class:`SineInput` that drive both the batched kernels and the
+  scalar reference loop from one object.
 - :mod:`repro.runtime.cache` -- a content-addressed
   :class:`ModelCache`: hash of (system, reducer config) -> reduced
   model persisted via :mod:`repro.core.io`, so repeated workloads skip
@@ -20,10 +31,10 @@ made fast and declarative:
   backends behind one ordered-``map`` interface for the
   embarrassingly-parallel full-model reference solves.
 
-:mod:`repro.analysis.montecarlo` and
-:mod:`repro.analysis.sensitivity` are wired onto these kernels; the
-``repro montecarlo`` and ``repro batch`` CLI commands expose them from
-the shell.
+:mod:`repro.analysis.montecarlo`, :mod:`repro.analysis.sensitivity`,
+and :mod:`repro.analysis.delay` are wired onto these kernels; the
+``repro montecarlo``, ``repro batch``, and ``repro transient`` CLI
+commands expose them from the shell.
 """
 
 from repro.runtime.batch import (
@@ -45,27 +56,51 @@ from repro.runtime.executor import ProcessExecutor, SerialExecutor, resolve_exec
 from repro.runtime.scenarios import (
     CornerPlan,
     GridPlan,
+    InputWaveform,
     MonteCarloPlan,
+    PWLInput,
+    RampInput,
     ScenarioPlan,
     ScenarioSweep,
+    SineInput,
+    StepInput,
     run_frequency_scenarios,
+)
+from repro.runtime.transient import (
+    BatchTransientResult,
+    TransientStudy,
+    batch_simulate_transient,
+    batch_step_responses,
+    batch_transient_study,
+    default_horizon,
 )
 
 __all__ = [
+    "BatchTransientResult",
     "CornerPlan",
     "GridPlan",
+    "InputWaveform",
     "ModelCache",
     "MonteCarloPlan",
+    "PWLInput",
     "ProcessExecutor",
+    "RampInput",
     "ScenarioPlan",
     "ScenarioSweep",
     "SerialExecutor",
+    "SineInput",
+    "StepInput",
+    "TransientStudy",
     "batch_frequency_response",
     "batch_instantiate",
     "batch_poles",
+    "batch_simulate_transient",
+    "batch_step_responses",
     "batch_sweep_study",
     "batch_transfer",
     "batch_transfer_sensitivities",
+    "batch_transient_study",
+    "default_horizon",
     "reducer_fingerprint",
     "resolve_executor",
     "run_frequency_scenarios",

@@ -1,4 +1,4 @@
-"""Declarative scenario plans: sample matrices as first-class objects.
+"""Declarative scenario plans: sample matrices and waveforms as objects.
 
 A *plan* describes which parameter-space instances a study should
 visit -- Monte Carlo draws, process corners, a full factorial grid --
@@ -11,8 +11,18 @@ model:
 >>> plan = MonteCarloPlan(num_instances=1000, seed=7)
 >>> H = batch_frequency_response(model, freqs, plan.sample_matrix(model.num_parameters))
 
-Plans are frozen dataclasses: hashable, comparable, and printable, so
-they can key result tables and appear verbatim in logs and CLI output.
+An *input waveform* is the time-domain half of the same idea: a
+declarative stimulus (:class:`StepInput`, :class:`RampInput`,
+:class:`PWLInput`, :class:`SineInput`) that realizes itself either as
+a vectorized ``(nt, m_in)`` table for the batched transient kernels
+(:meth:`InputWaveform.sample`) or as the scalar ``u(t)`` callable the
+reference :func:`repro.analysis.timedomain.simulate_transient` loop
+consumes (:meth:`InputWaveform.as_function`) -- one object drives both
+paths, which is what makes the bit-level regression tests possible.
+
+Plans and waveforms are frozen dataclasses: hashable, comparable, and
+printable, so they can key result tables and appear verbatim in logs
+and CLI output.
 """
 
 from __future__ import annotations
@@ -158,6 +168,148 @@ class GridPlan(ScenarioPlan):
     def num_samples(self, num_parameters: int) -> int:
         """``len(axis_values) ** n_p`` grid points."""
         return len(self.axis_values) ** num_parameters
+
+
+class InputWaveform:
+    """Base class: a declarative single-channel stimulus ``u(t)``.
+
+    Subclasses implement :meth:`values` (the scalar channel waveform
+    over a time array) and carry an ``input_index`` selecting which
+    system input is driven; every other input is held at zero.
+    """
+
+    input_index: int = 0
+
+    def values(self, times) -> np.ndarray:
+        """Channel values at ``times`` (vectorized, same shape out)."""
+        raise NotImplementedError
+
+    def sample(self, times, num_inputs: int) -> np.ndarray:
+        """Realize the stimulus as an ``(nt, m_in)`` input table.
+
+        This is what the batched transient kernels consume: the whole
+        time axis tabulated in one vectorized call.
+        """
+        times = np.asarray(times, dtype=float)
+        if not 0 <= self.input_index < num_inputs:
+            raise ValueError(
+                f"input_index {self.input_index} out of range for {num_inputs} inputs"
+            )
+        table = np.zeros((times.size, num_inputs))
+        table[:, self.input_index] = np.asarray(self.values(times), dtype=float)
+        return table
+
+    def as_function(self, num_inputs: int):
+        """Adapter ``u(t) -> (m_in,)`` for the scalar reference loop.
+
+        Returns a callable accepted by
+        :func:`repro.analysis.timedomain.simulate_transient`, so the
+        same waveform object drives the per-sample reference path.
+        """
+        if not 0 <= self.input_index < num_inputs:
+            raise ValueError(
+                f"input_index {self.input_index} out of range for {num_inputs} inputs"
+            )
+
+        def u(t: float) -> np.ndarray:
+            vector = np.zeros(num_inputs)
+            vector[self.input_index] = float(self.values(np.asarray([t]))[0])
+            return vector
+
+        return u
+
+
+@dataclass(frozen=True)
+class StepInput(InputWaveform):
+    """Step of ``amplitude`` switching on at ``t = delay`` (0+ convention)."""
+
+    amplitude: float = 1.0
+    delay: float = 0.0
+    input_index: int = 0
+
+    def values(self, times) -> np.ndarray:
+        """``amplitude`` for ``t >= delay``, zero before."""
+        times = np.asarray(times, dtype=float)
+        return np.where(times >= self.delay, self.amplitude, 0.0)
+
+
+@dataclass(frozen=True)
+class RampInput(InputWaveform):
+    """Saturating ramp: 0 until ``delay``, then linear to ``amplitude``.
+
+    Reaches ``amplitude`` at ``delay + rise_time`` and holds -- the
+    standard finite-slew aggressor edge.
+    """
+
+    rise_time: float = 1e-10
+    amplitude: float = 1.0
+    delay: float = 0.0
+    input_index: int = 0
+
+    def __post_init__(self):
+        if self.rise_time <= 0:
+            raise ValueError("rise_time must be positive")
+
+    def values(self, times) -> np.ndarray:
+        """Clipped linear ramp between ``delay`` and ``delay + rise_time``."""
+        times = np.asarray(times, dtype=float)
+        return self.amplitude * np.clip((times - self.delay) / self.rise_time, 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class PWLInput(InputWaveform):
+    """Piecewise-linear waveform through ``(time, value)`` breakpoints.
+
+    Values before the first / after the last breakpoint are held
+    constant (SPICE PWL semantics).  ``points`` is stored as a nested
+    tuple so the waveform stays hashable.
+    """
+
+    points: Tuple[Tuple[float, float], ...] = ((0.0, 0.0), (1e-9, 1.0))
+    input_index: int = 0
+
+    def __post_init__(self):
+        points = tuple((float(t), float(v)) for t, v in self.points)
+        if not points:
+            raise ValueError("PWLInput needs at least one (time, value) point")
+        breakpoints = [t for t, _ in points]
+        if any(b > a for b, a in zip(breakpoints, breakpoints[1:])):
+            raise ValueError("PWL breakpoint times must be non-decreasing")
+        object.__setattr__(self, "points", points)
+
+    def values(self, times) -> np.ndarray:
+        """Linear interpolation through the breakpoints (ends held)."""
+        times = np.asarray(times, dtype=float)
+        breakpoints = np.array([t for t, _ in self.points])
+        levels = np.array([v for _, v in self.points])
+        return np.interp(times, breakpoints, levels)
+
+
+@dataclass(frozen=True)
+class SineInput(InputWaveform):
+    """Sinusoid ``offset + amplitude * sin(2 pi f (t - delay) + phase)``.
+
+    Zero (at the offset level) before ``delay``.
+    """
+
+    frequency: float = 1e9
+    amplitude: float = 1.0
+    phase: float = 0.0
+    offset: float = 0.0
+    delay: float = 0.0
+    input_index: int = 0
+
+    def __post_init__(self):
+        if self.frequency <= 0:
+            raise ValueError("frequency must be positive")
+
+    def values(self, times) -> np.ndarray:
+        """The sinusoid, gated on at ``t >= delay``."""
+        times = np.asarray(times, dtype=float)
+        wave = self.offset + self.amplitude * np.sin(
+            2.0 * np.pi * self.frequency * (times - self.delay) + self.phase
+        )
+        return np.where(times >= self.delay, wave, self.offset)
 
 
 @dataclass

@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.analysis import delay_sensitivity, elmore_delay, threshold_delay
+from repro.analysis import (
+    batch_slew_times,
+    batch_threshold_delays,
+    delay_sensitivity,
+    elmore_delay,
+    slew_time,
+    threshold_crossing_times,
+    threshold_delay,
+)
 from repro.circuits import Netlist, assemble
 
 
@@ -90,6 +98,118 @@ class TestThresholdDelay:
         system = rc_chain(stages=4)
         with pytest.raises(ValueError, match="horizon"):
             threshold_delay(system, 0.99, output_index=1, horizon=1e-15)
+
+
+class TestCrossingKernel:
+    def test_exact_interpolation(self):
+        time = np.array([0.0, 1.0, 2.0])
+        waveforms = np.array([[0.0, 0.5, 1.0], [0.0, 1.0, 1.0]])
+        crossings = threshold_crossing_times(time, waveforms, 0.25)
+        np.testing.assert_allclose(crossings, [0.5, 0.25])
+
+    def test_per_row_levels(self):
+        time = np.linspace(0.0, 1.0, 11)
+        waveforms = np.vstack([time, 2 * time])
+        crossings = threshold_crossing_times(time, waveforms, np.array([0.5, 0.5]))
+        np.testing.assert_allclose(crossings, [0.5, 0.25])
+
+    def test_never_crossing_is_nan(self):
+        time = np.linspace(0.0, 1.0, 5)
+        crossings = threshold_crossing_times(time, np.zeros((2, 5)), 0.5)
+        assert np.isnan(crossings).all()
+
+    def test_already_above_returns_first_time(self):
+        time = np.array([2.0, 3.0, 4.0])
+        crossings = threshold_crossing_times(time, np.ones((1, 3)), 0.5)
+        np.testing.assert_allclose(crossings, [2.0])
+
+    def test_single_row_promoted(self):
+        time = np.array([0.0, 1.0])
+        crossings = threshold_crossing_times(time, np.array([0.0, 1.0]), 0.5)
+        assert crossings.shape == (1,)
+
+
+class TestSlew:
+    def test_single_pole_analytic(self):
+        """1-pole rise time: tau (ln(1/0.1) - ln(1/0.9)) = tau ln 9."""
+        net = Netlist("rc1")
+        net.resistor("R1", "a", "0", 100.0)
+        net.capacitor("C1", "a", "0", 1e-12)
+        net.current_port("P", "a")
+        system = assemble(net)
+        tau = 100.0 * 1e-12
+        rise = slew_time(system, 0.1, 0.9)
+        assert rise == pytest.approx(tau * np.log(9.0), rel=1e-3)
+
+    def test_invalid_band(self, tree_system):
+        with pytest.raises(ValueError, match="low"):
+            slew_time(tree_system, 0.9, 0.1)
+
+    def test_short_horizon_detected(self):
+        system = rc_chain(stages=4)
+        with pytest.raises(ValueError, match="horizon"):
+            slew_time(system, output_index=1, horizon=1e-15)
+
+
+class TestBatchedDelayMetrics:
+    @pytest.fixture(scope="class")
+    def model(self, rcneta_parametric):
+        from repro.core import LowRankReducer
+
+        return LowRankReducer(num_moments=4, rank=1).reduce(rcneta_parametric)
+
+    @pytest.fixture(scope="class")
+    def samples(self):
+        from repro.analysis.montecarlo import sample_parameters
+
+        return sample_parameters(6, 3, seed=5)
+
+    def test_delays_match_scalar_loop(self, model, samples):
+        """Batched extraction equals the per-instance reference to 1e-12.
+
+        The scalar function infers its horizon per instance; pin a
+        shared one so both paths integrate the same window.
+        """
+        horizon = 8.0 / abs(model.nominal.poles(num=1)[0].real)
+        batched = batch_threshold_delays(
+            model, samples, output_index=1, horizon=horizon, num_steps=600
+        )
+        looped = np.array([
+            threshold_delay(
+                model.instantiate(p), output_index=1, horizon=horizon, num_steps=600
+            )
+            for p in samples
+        ])
+        np.testing.assert_allclose(batched, looped, rtol=1e-12)
+
+    def test_slews_match_scalar_loop(self, model, samples):
+        horizon = 8.0 / abs(model.nominal.poles(num=1)[0].real)
+        batched = batch_slew_times(
+            model, samples, output_index=1, horizon=horizon, num_steps=600
+        )
+        looped = np.array([
+            slew_time(
+                model.instantiate(p), output_index=1, horizon=horizon, num_steps=600
+            )
+            for p in samples
+        ])
+        np.testing.assert_allclose(batched, looped, rtol=1e-12)
+
+    def test_default_horizon_is_nominal(self, model, samples):
+        """Without an explicit horizon the nominal 8-tau window is used."""
+        delays = batch_threshold_delays(model, samples, output_index=1, num_steps=400)
+        assert delays.shape == (samples.shape[0],)
+        assert np.isfinite(delays).all()
+        assert (delays > 0).all()
+
+    def test_invalid_threshold(self, model, samples):
+        with pytest.raises(ValueError, match="threshold"):
+            batch_threshold_delays(model, samples, threshold=1.5)
+
+    def test_delay_variability_is_visible(self, model, samples):
+        """Different process instances must yield different delays."""
+        delays = batch_threshold_delays(model, samples, output_index=1, num_steps=400)
+        assert delays.std() > 0
 
 
 class TestDelaySensitivity:

@@ -175,6 +175,145 @@ class TestBatch:
         assert "# instances: 7" in out
 
 
+class TestTransient:
+    def test_step_envelope_csv_and_delay_summary(self, netlist_file, capsys):
+        code = main(
+            ["transient", netlist_file, "--plan", "corners", "--moments", "3",
+             "--steps", "12"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CornerPlan" in out
+        assert "StepInput" in out
+        assert "# delay(50% of steady):" in out
+        lines = [line for line in out.strip().splitlines()
+                 if not line.startswith("#")]
+        assert lines[0] == "time_s,min_output,mean_output,max_output"
+        assert len(lines) == 14  # header + 13 time points
+        first = lines[1].split(",")
+        assert float(first[0]) == 0.0
+        low, mean, high = (float(x) for x in first[1:])
+        assert low <= mean <= high
+
+    def test_ramp_waveform(self, netlist_file, capsys):
+        code = main(
+            ["transient", netlist_file, "--waveform", "ramp",
+             "--rise-time", "1e-11", "--moments", "3", "--steps", "8",
+             "--instances", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RampInput(rise_time=1e-11" in out
+        assert "# instances: 4" in out
+
+    def test_pwl_waveform_parsing(self, netlist_file, capsys):
+        code = main(
+            ["transient", netlist_file, "--waveform", "pwl",
+             "--pwl", "0:0,1e-11:1,3e-11:0.5", "--moments", "3",
+             "--steps", "6", "--instances", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PWLInput" in out
+
+    def test_bad_pwl_reports_error(self, netlist_file, capsys):
+        code = main(
+            ["transient", netlist_file, "--waveform", "pwl", "--pwl", "junk",
+             "--moments", "3", "--steps", "4"]
+        )
+        assert code == 1
+        assert "bad PWL point" in capsys.readouterr().err
+
+    def test_sine_waveform_and_explicit_horizon(self, netlist_file, capsys):
+        code = main(
+            ["transient", netlist_file, "--waveform", "sine",
+             "--frequency", "1e10", "--t-final", "5e-10", "--moments", "3",
+             "--steps", "10", "--instances", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SineInput" in out
+        last_time = float(out.strip().splitlines()[-1].split(",")[0])
+        assert last_time == pytest.approx(5e-10)
+
+    def test_backward_euler_method(self, netlist_file, capsys):
+        code = main(
+            ["transient", netlist_file, "--method", "backward_euler",
+             "--moments", "3", "--steps", "6", "--instances", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "method: backward_euler" in out
+
+    def test_matches_api_envelope(self, netlist_file, capsys):
+        """CLI numbers equal a direct batch_transient_study call."""
+        from repro.circuits.generators import with_random_variations
+        from repro.circuits.parser import parse_netlist
+        from repro.core import LowRankReducer
+        from repro.runtime import CornerPlan, batch_transient_study
+
+        code = main(
+            ["transient", netlist_file, "--plan", "corners", "--moments", "3",
+             "--steps", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        parametric = with_random_variations(
+            parse_netlist(NETLIST, title=netlist_file), 2, seed=0,
+            relative_spread=0.5,
+        )
+        model = LowRankReducer(num_moments=3, rank=1).reduce(parametric)
+        study = batch_transient_study(model, CornerPlan(), num_steps=5)
+        low, _, high = study.output_envelope()
+        rows = [line for line in out.strip().splitlines()
+                if not line.startswith(("#", "time_s"))]
+        cli_low = np.array([float(r.split(",")[1]) for r in rows])
+        cli_high = np.array([float(r.split(",")[3]) for r in rows])
+        np.testing.assert_allclose(cli_low, low, rtol=1e-5, atol=1e-10)
+        np.testing.assert_allclose(cli_high, high, rtol=1e-5, atol=1e-10)
+
+    def test_bad_output_index(self, netlist_file, capsys):
+        code = main(
+            ["transient", netlist_file, "--moments", "3", "--output", "9",
+             "--steps", "4"]
+        )
+        assert code == 1
+        assert "out of range" in capsys.readouterr().err
+
+    def test_pulse_needs_peak_reference(self, netlist_file, capsys):
+        """A pulse settles to zero: steady delays are undefined, peak works."""
+        pulse = ["transient", netlist_file, "--waveform", "pwl",
+                 "--pwl", "0:0,1e-11:1,2e-11:0", "--t-final", "1e-10",
+                 "--moments", "3", "--steps", "50", "--instances", "3"]
+        assert main(pulse) == 0
+        out = capsys.readouterr().out
+        assert "undefined -- the stimulus settles to zero" in out
+        assert main(pulse + ["--delay-reference", "peak"]) == 0
+        out = capsys.readouterr().out
+        assert "# delay(50% of peak):" in out
+        assert "3/3 crossed" in out
+
+    def test_bad_threshold_reports_error(self, netlist_file, capsys):
+        code = main(
+            ["transient", netlist_file, "--moments", "3", "--steps", "4",
+             "--threshold", "1.5", "--instances", "2"]
+        )
+        assert code == 1
+        assert "threshold" in capsys.readouterr().err
+
+    def test_delay_invariant_to_amplitude(self, netlist_file, capsys):
+        """--amplitude scales the waveform, not the relative delay."""
+        def delay_line(amplitude):
+            assert main(
+                ["transient", netlist_file, "--plan", "corners", "--moments",
+                 "3", "--steps", "200", "--amplitude", amplitude]
+            ) == 0
+            out = capsys.readouterr().out
+            return next(l for l in out.splitlines() if l.startswith("# delay"))
+
+        assert delay_line("1.0") == delay_line("2.0")
+
+
 class TestVersion:
     def test_version_flag_prints_package_version(self, capsys):
         import repro
@@ -202,3 +341,4 @@ class TestParser:
         text = build_parser().format_help()
         assert "montecarlo" in text
         assert "batch" in text
+        assert "transient" in text

@@ -66,7 +66,8 @@ class TestCliModule:
         from repro.cli import build_parser
 
         parser = build_parser()
-        # All six subcommands registered.
+        # All seven subcommands registered.
         text = parser.format_help()
-        for command in ("info", "reduce", "sweep", "poles", "montecarlo", "batch"):
+        for command in ("info", "reduce", "sweep", "poles", "montecarlo",
+                        "batch", "transient"):
             assert command in text

@@ -29,6 +29,95 @@ class TestFingerprints:
         assert base != reducer_fingerprint(LowRankReducer(num_moments=3, rank=2))
 
 
+class _ExoticConfigReducer:
+    """A reducer whose public config exercises the fingerprint edge cases:
+    non-ASCII strings, nested dicts, numpy scalars, tuples.  ``reduce``
+    delegates to a real reducer and counts its invocations on an
+    underscore attribute (excluded from the fingerprint by contract).
+    """
+
+    def __init__(self, num_moments=2, label="naïve-β", options=None):
+        self.num_moments = num_moments
+        self.label = label
+        self.options = options if options is not None else {
+            "außen": {"ключ": [1, 2.5], "キー": "значение"},
+            "nested": {"depth": {"rank": np.int64(1), "tol": np.float64(0.5)}},
+            "axis": (0.1, 0.2),
+        }
+        self._calls = 0
+
+    def reduce(self, parametric):
+        """Delegate to LowRankReducer, counting invocations."""
+        self._calls += 1
+        return LowRankReducer(num_moments=self.num_moments, rank=1).reduce(parametric)
+
+
+class TestFingerprintRegressions:
+    def test_non_ascii_nested_config_is_stable(self):
+        """Two independently built equal configs hash identically."""
+        first = reducer_fingerprint(_ExoticConfigReducer())
+        second = reducer_fingerprint(_ExoticConfigReducer())
+        assert first == second
+        # Repeated fingerprinting of the same object is also stable.
+        reducer = _ExoticConfigReducer()
+        assert reducer_fingerprint(reducer) == reducer_fingerprint(reducer)
+
+    def test_dict_insertion_order_irrelevant(self):
+        forward = _ExoticConfigReducer(options={"a": 1, "b": {"x": 1, "y": 2}})
+        backward = _ExoticConfigReducer(options={"b": {"y": 2, "x": 1}, "a": 1})
+        assert reducer_fingerprint(forward) == reducer_fingerprint(backward)
+
+    def test_non_ascii_value_changes_key(self):
+        base = reducer_fingerprint(_ExoticConfigReducer(label="naïve-β"))
+        other = reducer_fingerprint(_ExoticConfigReducer(label="naïve-γ"))
+        assert base != other
+
+    def test_nested_value_changes_key(self):
+        base = _ExoticConfigReducer()
+        changed = _ExoticConfigReducer()
+        changed.options = {
+            **changed.options,
+            "nested": {"depth": {"rank": np.int64(2), "tol": np.float64(0.5)}},
+        }
+        assert reducer_fingerprint(base) != reducer_fingerprint(changed)
+
+    def test_underscore_attributes_excluded(self):
+        reducer = _ExoticConfigReducer()
+        before = reducer_fingerprint(reducer)
+        reducer._calls = 99
+        assert reducer_fingerprint(reducer) == before
+
+    def test_exotic_config_round_trips_through_cache(self, parametric, tmp_path):
+        """The cache keys, stores, and reloads under the exotic config."""
+        cache = ModelCache(tmp_path)
+        reducer = _ExoticConfigReducer()
+        built = cache.get_or_reduce(parametric, reducer)
+        loaded = cache.get_or_reduce(parametric, reducer)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert roundtrip_equal(built, loaded)
+
+
+class TestCacheSkipsReduction:
+    def test_hit_does_not_invoke_reducer(self, parametric, tmp_path):
+        cache = ModelCache(tmp_path)
+        reducer = _ExoticConfigReducer()
+        cache.get_or_reduce(parametric, reducer)
+        assert reducer._calls == 1
+        cache.get_or_reduce(parametric, reducer)
+        cache.get_or_reduce(parametric, reducer)
+        assert reducer._calls == 1  # hits never re-reduce
+        assert (cache.hits, cache.misses) == (2, 1)
+
+    def test_fresh_reducer_instance_still_hits(self, parametric, tmp_path):
+        """Content addressing: an equal config built elsewhere hits too."""
+        cache = ModelCache(tmp_path)
+        cache.get_or_reduce(parametric, _ExoticConfigReducer())
+        second = _ExoticConfigReducer()
+        cache.get_or_reduce(parametric, second)
+        assert second._calls == 0
+        assert (cache.hits, cache.misses) == (1, 1)
+
+
 class TestModelCache:
     def test_miss_then_hit(self, parametric, tmp_path):
         cache = ModelCache(tmp_path / "models")

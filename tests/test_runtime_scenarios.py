@@ -1,4 +1,4 @@
-"""Scenario plans: sample-matrix generation and composition."""
+"""Scenario plans: sample-matrix generation, waveforms, composition."""
 
 import numpy as np
 import pytest
@@ -10,6 +10,10 @@ from repro.runtime import (
     CornerPlan,
     GridPlan,
     MonteCarloPlan,
+    PWLInput,
+    RampInput,
+    SineInput,
+    StepInput,
     run_frequency_scenarios,
 )
 from repro.runtime.scenarios import MAX_PLAN_SAMPLES
@@ -84,6 +88,77 @@ class TestGridPlan:
     def test_size_guard(self):
         with pytest.raises(ValueError):
             GridPlan(axis_values=tuple(np.linspace(-0.3, 0.3, 101))).sample_matrix(4)
+
+
+class TestInputWaveforms:
+    def test_step_values(self):
+        times = np.array([-1.0, 0.0, 0.5, 2.0])
+        np.testing.assert_array_equal(
+            StepInput(amplitude=2.0).values(times), [0.0, 2.0, 2.0, 2.0]
+        )
+        np.testing.assert_array_equal(
+            StepInput(amplitude=2.0, delay=1.0).values(times), [0.0, 0.0, 0.0, 2.0]
+        )
+
+    def test_ramp_values(self):
+        waveform = RampInput(rise_time=2.0, amplitude=4.0, delay=1.0)
+        times = np.array([0.0, 1.0, 2.0, 3.0, 10.0])
+        np.testing.assert_allclose(waveform.values(times), [0.0, 0.0, 2.0, 4.0, 4.0])
+
+    def test_ramp_rejects_nonpositive_rise(self):
+        with pytest.raises(ValueError, match="rise_time"):
+            RampInput(rise_time=0.0)
+
+    def test_pwl_interpolates_and_holds_ends(self):
+        waveform = PWLInput(points=((1.0, 0.0), (2.0, 2.0), (4.0, 1.0)))
+        times = np.array([0.0, 1.5, 3.0, 9.0])
+        np.testing.assert_allclose(waveform.values(times), [0.0, 1.0, 1.5, 1.0])
+
+    def test_pwl_rejects_bad_breakpoints(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            PWLInput(points=((1.0, 0.0), (0.5, 1.0)))
+        with pytest.raises(ValueError, match="at least one"):
+            PWLInput(points=())
+
+    def test_sine_values(self):
+        waveform = SineInput(frequency=1.0, amplitude=3.0, offset=1.0)
+        times = np.array([0.0, 0.25, 0.5])
+        np.testing.assert_allclose(waveform.values(times), [1.0, 4.0, 1.0], atol=1e-12)
+
+    def test_sine_gated_before_delay(self):
+        waveform = SineInput(frequency=1.0, offset=0.5, delay=1.0)
+        np.testing.assert_allclose(waveform.values(np.array([0.0, 0.5])), [0.5, 0.5])
+
+    def test_sine_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError, match="frequency"):
+            SineInput(frequency=0.0)
+
+    def test_sample_places_channel(self):
+        waveform = StepInput(input_index=1)
+        table = waveform.sample(np.array([0.0, 1.0]), num_inputs=3)
+        np.testing.assert_array_equal(table, [[0.0, 1.0, 0.0], [0.0, 1.0, 0.0]])
+
+    def test_sample_rejects_bad_input_index(self):
+        with pytest.raises(ValueError, match="input_index"):
+            StepInput(input_index=2).sample(np.array([0.0]), num_inputs=1)
+        with pytest.raises(ValueError, match="input_index"):
+            StepInput(input_index=2).as_function(1)
+
+    def test_as_function_matches_sample(self):
+        """One object, two realizations: the scalar adapter agrees with
+        the vectorized table at every time point."""
+        waveform = RampInput(rise_time=3.0, amplitude=2.0, input_index=1)
+        times = np.linspace(0.0, 5.0, 11)
+        table = waveform.sample(times, num_inputs=2)
+        u = waveform.as_function(2)
+        stacked = np.stack([u(t) for t in times])
+        np.testing.assert_array_equal(stacked, table)
+
+    def test_waveforms_hashable_and_comparable(self):
+        assert StepInput() == StepInput()
+        assert hash(RampInput(rise_time=1.0)) == hash(RampInput(rise_time=1.0))
+        assert PWLInput(points=((0, 0), (1, 1))) == PWLInput(points=((0.0, 0.0), (1.0, 1.0)))
+        assert SineInput(frequency=2.0) != SineInput(frequency=3.0)
 
 
 class TestComposition:

@@ -1,0 +1,388 @@
+"""Batched transient kernels must agree with the per-sample loop.
+
+The contract of :mod:`repro.runtime.transient`: for every instance of
+a sample matrix, the stacked trajectory equals what
+:func:`repro.analysis.timedomain.simulate_transient` produces for that
+instance -- to 1e-12 relative -- across methods, waveforms, shapes,
+and edge cases (one step, scalar inputs, kept states, nonzero initial
+conditions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import sample_parameters
+from repro.analysis.timedomain import simulate_step, simulate_transient
+from repro.circuits import coupled_rlc_bus, rc_ladder, with_random_variations
+from repro.core import LowRankReducer
+from repro.runtime import (
+    CornerPlan,
+    GridPlan,
+    MonteCarloPlan,
+    PWLInput,
+    RampInput,
+    SineInput,
+    StepInput,
+    batch_simulate_transient,
+    batch_step_responses,
+    batch_transient_study,
+    default_horizon,
+)
+
+TOLERANCE = 1e-12
+
+
+def make_dense_model(q=6, num_parameters=2, seed=0):
+    """A small synthetic dense parametric model with SPD ``G``/``C``.
+
+    Time constants are O(1) and the pencil is well conditioned, so no
+    mode is stiff on an O(1) horizon -- unlike the reduced circuit
+    macromodels, whose near-singular ``C`` blocks make trapezoidal
+    integration ring at the timestep scale.  Used for discretization-
+    convergence checks that need a smooth continuous-time limit.
+    """
+    from repro.circuits.statespace import DescriptorSystem
+    from repro.core.model import ParametricReducedModel
+
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((q, q))
+    g0 = a @ a.T + q * np.eye(q)
+    b = rng.standard_normal((q, q))
+    c0 = b @ b.T + q * np.eye(q)
+    dG = [0.05 * (m + m.T) for m in rng.standard_normal((num_parameters, q, q))]
+    dC = [0.05 * (m + m.T) for m in rng.standard_normal((num_parameters, q, q))]
+    nominal = DescriptorSystem(
+        g0, c0, rng.standard_normal((q, 1)), rng.standard_normal((q, 2))
+    )
+    return ParametricReducedModel(nominal, dG, dC)
+
+
+@pytest.fixture(scope="module")
+def ladder_model():
+    parametric = with_random_variations(rc_ladder(15), 2, seed=3)
+    return LowRankReducer(num_moments=4, rank=1).reduce(parametric)
+
+
+@pytest.fixture(scope="module")
+def rlc_model():
+    parametric = with_random_variations(coupled_rlc_bus(), 2, seed=42)
+    return LowRankReducer(num_moments=3, rank=1).reduce(parametric)
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return sample_parameters(5, 2, seed=11)
+
+
+def assert_matches_loop(model, result, waveform, t_final, num_steps, method):
+    """Every stacked slice equals the scalar reference trajectory."""
+    for k, point in enumerate(result.samples):
+        reference = simulate_transient(
+            model.instantiate(point),
+            waveform,
+            t_final,
+            num_steps,
+            method=method,
+            keep_states=result.states is not None,
+        )
+        scale = max(np.abs(reference.outputs).max(), 1e-300)
+        assert np.abs(result.outputs[k] - reference.outputs).max() <= TOLERANCE * scale
+        np.testing.assert_array_equal(result.time, reference.time)
+        if result.states is not None:
+            state_scale = max(np.abs(reference.states).max(), 1e-300)
+            assert (
+                np.abs(result.states[k] - reference.states).max()
+                <= TOLERANCE * state_scale
+            )
+
+
+class TestAgreementWithLoop:
+    @pytest.mark.parametrize("method", ["trapezoidal", "backward_euler"])
+    def test_step_ensemble_matches_loop(self, ladder_model, samples, method):
+        t_final = default_horizon(ladder_model)
+        waveform = StepInput()
+        result = batch_simulate_transient(
+            ladder_model, samples, waveform, t_final, 80, method=method
+        )
+        assert result.outputs.shape == (5, 81, ladder_model.nominal.num_outputs)
+        assert_matches_loop(ladder_model, result, waveform, t_final, 80, method)
+
+    @pytest.mark.parametrize(
+        "waveform",
+        [
+            RampInput(rise_time=3e-11),
+            PWLInput(points=((0.0, 0.0), (2e-11, 1.0), (6e-11, 0.4))),
+            SineInput(frequency=2e10),
+        ],
+        ids=["ramp", "pwl", "sine"],
+    )
+    def test_waveforms_match_loop(self, ladder_model, samples, waveform):
+        t_final = default_horizon(ladder_model)
+        result = batch_simulate_transient(
+            ladder_model, samples, waveform, t_final, 60
+        )
+        assert_matches_loop(ladder_model, result, waveform, t_final, 60, "trapezoidal")
+
+    def test_rlc_ensemble_matches_loop(self, rlc_model, samples):
+        """Multi-port RLC macromodel: multi-output stacking stays exact."""
+        t_final = default_horizon(rlc_model)
+        waveform = StepInput(input_index=1)
+        result = batch_simulate_transient(rlc_model, samples, waveform, t_final, 50)
+        assert result.outputs.shape[2] == rlc_model.nominal.num_outputs
+        assert result.outputs.shape[2] > 1
+        assert_matches_loop(rlc_model, result, waveform, t_final, 50, "trapezoidal")
+
+    def test_step_responses_match_simulate_step(self, ladder_model, samples):
+        t_final = default_horizon(ladder_model)
+        result = batch_step_responses(
+            ladder_model, samples, t_final=t_final, num_steps=40
+        )
+        for k, point in enumerate(samples):
+            reference = simulate_step(
+                ladder_model.instantiate(point), t_final=t_final, num_steps=40
+            )
+            scale = np.abs(reference.outputs).max()
+            assert (
+                np.abs(result.outputs[k] - reference.outputs).max() <= TOLERANCE * scale
+            )
+
+
+class TestEdgeCases:
+    def test_zero_timesteps_rejected(self, ladder_model, samples):
+        with pytest.raises(ValueError, match="num_steps"):
+            batch_simulate_transient(ladder_model, samples, StepInput(), 1e-9, 0)
+        with pytest.raises(ValueError, match="num_steps"):
+            batch_transient_study(ladder_model, samples, num_steps=0)
+
+    def test_negative_horizon_rejected(self, ladder_model, samples):
+        with pytest.raises(ValueError, match="t_final"):
+            batch_simulate_transient(ladder_model, samples, StepInput(), -1e-9, 10)
+
+    def test_unknown_method_rejected(self, ladder_model, samples):
+        with pytest.raises(ValueError, match="method"):
+            batch_simulate_transient(
+                ladder_model, samples, StepInput(), 1e-9, 10, method="euler"
+            )
+
+    def test_single_step(self, ladder_model, samples):
+        """num_steps=1: two time points, still matching the loop."""
+        t_final = default_horizon(ladder_model)
+        result = batch_simulate_transient(
+            ladder_model, samples, StepInput(), t_final, 1
+        )
+        assert result.outputs.shape[1] == 2
+        assert_matches_loop(ladder_model, result, StepInput(), t_final, 1, "trapezoidal")
+
+    def test_scalar_input_function(self, ladder_model, samples):
+        """Plain scalar callables work for single-input models."""
+        t_final = default_horizon(ladder_model)
+        result = batch_simulate_transient(
+            ladder_model, samples, lambda t: 1.0, t_final, 30
+        )
+        reference = batch_simulate_transient(
+            ladder_model, samples, StepInput(), t_final, 30
+        )
+        np.testing.assert_array_equal(result.outputs, reference.outputs)
+
+    def test_wrong_input_shape_rejected(self, ladder_model, samples):
+        with pytest.raises(ValueError, match="input function"):
+            batch_simulate_transient(
+                ladder_model, samples, lambda t: np.ones(3), 1e-9, 5
+            )
+
+    def test_keep_states(self, ladder_model, samples):
+        t_final = default_horizon(ladder_model)
+        result = batch_simulate_transient(
+            ladder_model, samples, StepInput(), t_final, 20, keep_states=True
+        )
+        assert result.states.shape == (5, 21, ladder_model.size)
+        assert_matches_loop(
+            ladder_model, result, StepInput(), t_final, 20, "trapezoidal"
+        )
+        without = batch_simulate_transient(
+            ladder_model, samples, StepInput(), t_final, 20
+        )
+        assert without.states is None
+
+    def test_shared_nonzero_x0(self, ladder_model, samples):
+        """A shared (q,) initial state decays identically in both paths."""
+        t_final = default_horizon(ladder_model)
+        x0 = np.linspace(1.0, 2.0, ladder_model.size)
+        result = batch_simulate_transient(
+            ladder_model, samples, lambda t: 0.0, t_final, 40, x0=x0
+        )
+        for k, point in enumerate(samples):
+            reference = simulate_transient(
+                ladder_model.instantiate(point), lambda t: 0.0, t_final, 40, x0=x0
+            )
+            scale = np.abs(reference.outputs).max()
+            assert (
+                np.abs(result.outputs[k] - reference.outputs).max() <= TOLERANCE * scale
+            )
+
+    def test_per_instance_x0(self, ladder_model, samples):
+        """A per-instance (m, q) initial-state matrix is honored rowwise."""
+        t_final = default_horizon(ladder_model)
+        rng = np.random.default_rng(7)
+        x0 = rng.standard_normal((samples.shape[0], ladder_model.size))
+        result = batch_simulate_transient(
+            ladder_model, samples, lambda t: 0.0, t_final, 25, x0=x0, keep_states=True
+        )
+        np.testing.assert_array_equal(result.states[:, 0], x0)
+        for k, point in enumerate(samples):
+            reference = simulate_transient(
+                ladder_model.instantiate(point), lambda t: 0.0, t_final, 25, x0=x0[k]
+            )
+            scale = max(np.abs(reference.outputs).max(), 1e-300)
+            assert (
+                np.abs(result.outputs[k] - reference.outputs).max() <= TOLERANCE * scale
+            )
+
+    def test_bad_x0_shape_rejected(self, ladder_model, samples):
+        with pytest.raises(ValueError, match="x0"):
+            batch_simulate_transient(
+                ladder_model, samples, StepInput(), 1e-9, 5, x0=np.zeros(3)
+            )
+
+    def test_methods_converge_together_as_h_shrinks(self, samples):
+        """BE is O(h), trapezoidal O(h^2): the gap between the two
+        discretizations of a non-stiff ensemble shrinks linearly in
+        ``h``, so both approach the same continuous-time solution."""
+        model = make_dense_model()
+        t_final = 2.0
+
+        def gap(num_steps):
+            trapezoidal = batch_simulate_transient(
+                model, samples, StepInput(), t_final, num_steps,
+                method="trapezoidal",
+            )
+            euler = batch_simulate_transient(
+                model, samples, StepInput(), t_final, num_steps,
+                method="backward_euler",
+            )
+            scale = np.abs(trapezoidal.outputs).max()
+            return np.abs(trapezoidal.outputs - euler.outputs).max() / scale
+
+        coarse, fine = gap(50), gap(400)
+        assert fine < coarse / 4.0
+        assert fine < 1e-2
+
+
+class TestTransientStudy:
+    def test_plan_composition(self, ladder_model):
+        study = batch_transient_study(ladder_model, CornerPlan(), num_steps=30)
+        assert study.num_samples == CornerPlan().num_samples(2)
+        assert study.plan == CornerPlan()
+        assert study.result.outputs.shape[0] == study.num_samples
+        np.testing.assert_array_equal(
+            study.samples, CornerPlan().sample_matrix(2)
+        )
+
+    @pytest.mark.parametrize(
+        "plan", [MonteCarloPlan(num_instances=6, seed=2), GridPlan(axis_values=(-0.2, 0.2))]
+    )
+    def test_other_plans_compose(self, ladder_model, plan):
+        study = batch_transient_study(ladder_model, plan, num_steps=12)
+        assert study.num_samples == plan.num_samples(2)
+
+    def test_raw_samples_accepted(self, ladder_model, samples):
+        study = batch_transient_study(ladder_model, samples, num_steps=12)
+        assert study.plan is None
+        np.testing.assert_array_equal(study.samples, samples)
+
+    def test_default_horizon_used(self, ladder_model, samples):
+        study = batch_transient_study(ladder_model, samples, num_steps=10)
+        assert study.time[-1] == pytest.approx(default_horizon(ladder_model))
+
+    def test_envelope_brackets_every_instance(self, ladder_model):
+        study = batch_transient_study(ladder_model, CornerPlan(), num_steps=40)
+        low, mean, high = study.output_envelope()
+        waveforms = study.result.outputs[:, :, 0]
+        assert (low <= waveforms + 1e-15).all()
+        assert (waveforms <= high + 1e-15).all()
+        assert (low <= mean + 1e-15).all() and (mean <= high + 1e-15).all()
+
+    def test_delays_monotone_in_threshold(self, ladder_model, samples):
+        study = batch_transient_study(ladder_model, samples, num_steps=400)
+        d25 = study.delays(threshold=0.25)
+        d75 = study.delays(threshold=0.75)
+        assert np.isfinite(d25).all() and np.isfinite(d75).all()
+        assert (d25 < d75).all()
+
+    def test_slews_positive(self, ladder_model, samples):
+        study = batch_transient_study(ladder_model, samples, num_steps=400)
+        slews = study.slews()
+        assert np.isfinite(slews).all()
+        assert (slews > 0).all()
+
+    def test_delays_invariant_to_stimulus_amplitude(self, ladder_model, samples):
+        """Thresholds track the settled level: a 2 V step and a 1 V
+        step report identical relative delays."""
+        unit = batch_transient_study(
+            ladder_model, samples, StepInput(amplitude=1.0), num_steps=400
+        )
+        double = batch_transient_study(
+            ladder_model, samples, StepInput(amplitude=2.0), num_steps=400
+        )
+        np.testing.assert_allclose(double.delays(), unit.delays(), rtol=1e-12)
+        np.testing.assert_allclose(double.slews(), unit.slews(), rtol=1e-12)
+
+    def test_steady_states_scale_with_amplitude(self, ladder_model, samples):
+        unit = batch_transient_study(ladder_model, samples, StepInput(), num_steps=10)
+        double = batch_transient_study(
+            ladder_model, samples, StepInput(amplitude=2.0), num_steps=10
+        )
+        np.testing.assert_allclose(double.steady_states, 2.0 * unit.steady_states)
+        np.testing.assert_allclose(
+            unit.steady_states[:, 0], unit.dc_gains[:, 0, 0], rtol=1e-12
+        )
+
+    def test_pulse_delays_via_peak_reference(self, ladder_model, samples):
+        """A pulse stimulus settles to zero: steady-relative delays are
+        nan, peak-relative delays are finite and inside the window."""
+        t_final = default_horizon(ladder_model)
+        pulse = PWLInput(points=((0.0, 0.0), (t_final / 8, 1.0), (t_final / 4, 0.0)))
+        study = batch_transient_study(
+            ladder_model, samples, pulse, t_final=t_final, num_steps=400
+        )
+        np.testing.assert_array_equal(study.steady_states, 0.0)
+        assert np.isnan(study.delays()).all()
+        peak_delays = study.delays(reference="peak")
+        assert np.isfinite(peak_delays).all()
+        assert ((0 < peak_delays) & (peak_delays < t_final)).all()
+
+    def test_unknown_reference_rejected(self, ladder_model, samples):
+        study = batch_transient_study(ladder_model, samples, num_steps=10)
+        with pytest.raises(ValueError, match="reference"):
+            study.delays(reference="median")
+
+    def test_delays_reject_bad_threshold(self, ladder_model, samples):
+        study = batch_transient_study(ladder_model, samples, num_steps=10)
+        with pytest.raises(ValueError, match="threshold"):
+            study.delays(threshold=1.5)
+
+    def test_slews_reject_bad_band(self, ladder_model, samples):
+        study = batch_transient_study(ladder_model, samples, num_steps=20)
+        with pytest.raises(ValueError, match="low"):
+            study.slews(low=0.9, high=0.1)
+
+    def test_no_crossing_gives_nan_delays(self, ladder_model, samples):
+        """A stimulus delayed past the horizon never crosses: all nan."""
+        t_final = default_horizon(ladder_model)
+        study = batch_transient_study(
+            ladder_model,
+            samples,
+            waveform=StepInput(delay=2 * t_final),
+            t_final=t_final,
+            num_steps=20,
+        )
+        assert np.isnan(study.delays()).all()
+        assert np.isnan(study.slews()).all()
+
+
+class TestDefaultHorizon:
+    def test_eight_dominant_time_constants(self, ladder_model):
+        dominant = ladder_model.nominal.poles(num=1)[0]
+        assert default_horizon(ladder_model) == pytest.approx(
+            8.0 / abs(dominant.real)
+        )
