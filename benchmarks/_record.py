@@ -1,0 +1,80 @@
+"""Benchmark record emission: one ``BENCH_<name>.json`` per benchmark.
+
+Every ``bench_*.py`` writes its headline numbers (timings, speedups,
+errors, model sizes) through :func:`write_record` so the performance
+trajectory of the runtime is tracked *across PRs*: CI uploads
+``benchmarks/records/`` as an artifact on every run, and a record
+carries enough machine context (python / numpy / scipy versions, CPU
+count, smoke flag) to interpret its numbers later.
+
+Records are plain JSON -- numpy scalars and arrays are converted on the
+way out -- and deliberately flat: ``{"benchmark": ..., "machine": ...,
+"results": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from datetime import datetime, timezone
+
+RECORDS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "records")
+
+
+def machine_info() -> dict:
+    """Versions and hardware context stamped into every record."""
+    import numpy
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "smoke": os.environ.get("BENCH_SMOKE") == "1",
+    }
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays into JSON-native types."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return _jsonable(value.tolist())
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.complexfloating,)) or isinstance(value, complex):
+        return {"real": float(value.real), "imag": float(value.imag)}
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def write_record(name: str, results: dict) -> str:
+    """Write ``BENCH_<name>.json`` under ``benchmarks/records/``.
+
+    ``results`` is the benchmark's own payload (timings in seconds,
+    speedup factors, error levels, workload sizes).  Returns the path
+    written, so benchmarks can report it.
+    """
+    os.makedirs(RECORDS_DIR, exist_ok=True)
+    record = {
+        "benchmark": name,
+        "written_at": datetime.now(timezone.utc).isoformat(),
+        "machine": machine_info(),
+        "results": _jsonable(results),
+    }
+    path = os.path.join(RECORDS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -18,6 +18,7 @@ bidiagonalization and subspace iteration) give the same model.
 
 import numpy as np
 
+from benchmarks._record import write_record
 from benchmarks.conftest import format_table
 from repro.core import LowRankReducer
 
@@ -97,6 +98,18 @@ def test_ablation_lowrank(benchmark, report, bus_parametric):
             ],
         ),
     )
+
+    write_record("ablation_lowrank", {
+        "rank_errors": {f"rank{rank}": err for rank, err in rank_errors.items()},
+        "generalized_vs_raw": {"generalized": err_generalized, "raw": err_raw},
+        "dual_subspaces": {
+            "full_size": full_variant.size,
+            "simplified_size": simplified.size,
+            "full_error": err_full,
+            "simplified_error": err_simplified,
+        },
+        "svd_drivers": {"lanczos": err_lanczos, "subspace": err_subspace},
+    })
 
     # (1) rank-1 is sufficient (the paper's claim); higher ranks stay
     # in the same accuracy regime.

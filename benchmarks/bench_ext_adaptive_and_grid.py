@@ -15,6 +15,7 @@ from the design choices DESIGN.md calls out:
 
 import numpy as np
 
+from benchmarks._record import write_record
 from benchmarks.conftest import format_table
 from repro.circuits import power_grid_mesh, with_random_variations
 from repro.core import AdaptiveLowRankReducer, LowRankReducer
@@ -54,6 +55,13 @@ def test_ext_adaptive(benchmark, report, rc767):
         ),
     )
 
+    write_record("ext_adaptive", {
+        "final_order": adaptive_report.final_order,
+        "model_size": model.size,
+        "factorizations": factorizations,
+        "true_error": true_error,
+    })
+
     assert adaptive_report.converged
     assert factorizations == 1
     assert true_error < 100 * reducer.target_error
@@ -79,6 +87,12 @@ def test_ext_power_grid(benchmark, report):
         f"full {parametric.order} states -> reduced {model.size}",
         *format_table(("corner", "response err"), rows),
     )
+
+    write_record("ext_power_grid", {
+        "full_order": parametric.order,
+        "model_size": model.size,
+        "worst_error": worst,
+    })
 
     assert worst < 1e-2
     assert model.size < parametric.order

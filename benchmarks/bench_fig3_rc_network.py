@@ -17,6 +17,7 @@ paper's dramatic miss -- see EXPERIMENTS.md.)
 
 import numpy as np
 
+from benchmarks._record import write_record
 from benchmarks.conftest import format_table, series_lines
 from repro.core import LowRankReducer, MultiPointReducer, NominalReducer, factorial_grid
 
@@ -91,6 +92,17 @@ def test_fig3_rc_network(benchmark, report, rc767):
         *series_lines("Perturbed full |H|", FREQUENCIES, perturbed_curve, 8),
         *series_lines("Low-rank ROM |H| (perturbed)", FREQUENCIES, low_rank_curve, 8),
     )
+
+    write_record("fig3_rc_network", {
+        "model_sizes": {
+            "low_rank": low_rank.size,
+            "multi_point": multi_point.size,
+            "nominal": nominal.size,
+        },
+        "avg_errors": {label: float(np.mean(errs)) for label, errs in errors.items()},
+        "max_errors": {label: float(np.max(errs)) for label, errs in errors.items()},
+        "response_shift": float(np.abs(perturbed_curve - nominal_curve).max()),
+    })
 
     # Paper's qualitative claims.
     avg = {label: np.mean(errs) for label, errs in errors.items()}

@@ -16,6 +16,7 @@ a smaller size than multi-point (whose factorization cost is 3x).
 
 import numpy as np
 
+from benchmarks._record import write_record
 from benchmarks.conftest import format_table, series_lines
 from repro.core import LowRankReducer, MultiPointReducer, NominalReducer
 from repro.linalg import factorization_count, reset_factorization_count
@@ -73,6 +74,15 @@ def test_fig4_rlc_bus(benchmark, report, bus_parametric):
             "Low-rank ROM |Y11|", FREQUENCIES, np.abs(y11(low_rank, PERTURBATION)), 10
         ),
     )
+
+    write_record("fig4_rlc_bus", {
+        "model_sizes": {label: model.size for label, model in models.items()},
+        "errors": errors,
+        "factorizations": {
+            "low_rank": low_rank_factorizations,
+            "multi_point": multi_point_factorizations,
+        },
+    })
 
     # Paper's qualitative claims.
     # (1) RLC frequency response is sensitive to parametric variation.

@@ -15,6 +15,7 @@ low-rank parametric model of size 29 (s-moments to 4th order, others to
 
 import numpy as np
 
+from benchmarks._record import write_record
 from benchmarks.conftest import format_table
 from repro.analysis import monte_carlo_pole_study, pole_error_grid
 from repro.core import LowRankReducer
@@ -63,6 +64,14 @@ def test_fig5_rcneta(benchmark, report, rcneta):
         + ", ".join(f"M6 {v:+.0%}" for v in AXIS),
         *format_table(("", *[f"M6 {v:+.0%}" for v in AXIS]), grid_rows),
     )
+
+    write_record("fig5_rcneta", {
+        "model_size": model.size,
+        "num_instances": study.num_instances,
+        "total_poles": study.total_poles,
+        "max_pole_error": study.max_error,
+        "max_grid_error": float(grid.max()),
+    })
 
     # Paper's quantitative regime: errors completely negligible.
     assert study.max_error < 1e-3  # < 0.1% over all instances and poles

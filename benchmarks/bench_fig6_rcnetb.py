@@ -13,6 +13,7 @@ size 40 matching all multi-parameter moments to 3rd order is evaluated:
 
 import numpy as np
 
+from benchmarks._record import write_record
 from benchmarks.conftest import format_table
 from repro.analysis import monte_carlo_pole_study, pole_error_grid
 from repro.core import LowRankReducer
@@ -59,6 +60,14 @@ def test_fig6_rcnetb(benchmark, report, rcnetb):
         "RIGHT: dominant-pole error vs (M5, M6) width variation",
         *format_table(("", *[f"M6 {v:+.0%}" for v in AXIS]), grid_rows),
     )
+
+    write_record("fig6_rcnetb", {
+        "model_size": model.size,
+        "num_instances": study.num_instances,
+        "total_poles": study.total_poles,
+        "max_pole_error": study.max_error,
+        "max_grid_error": float(grid.max()),
+    })
 
     # Paper's quantitative claims.
     assert study.total_poles == 1000

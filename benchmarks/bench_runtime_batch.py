@@ -30,6 +30,7 @@ import time
 
 import numpy as np
 
+from benchmarks._record import write_record
 from benchmarks.conftest import format_table
 from repro.analysis.metrics import matched_pole_errors
 from repro.analysis.montecarlo import sample_parameters
@@ -124,6 +125,8 @@ def test_runtime_batch_speedup(report, rcneta, rcnetb):
             rows,
         ),
     )
+
+    write_record("runtime_batch", {"rcneta": result_a, "rcnetb": result_b})
 
     # Both paths must agree to 1e-12 regardless of mode.
     assert result_a["response_error"] <= 1e-12

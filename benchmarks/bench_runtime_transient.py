@@ -28,6 +28,7 @@ import time
 
 import numpy as np
 
+from benchmarks._record import write_record
 from benchmarks.conftest import format_table
 from repro.analysis.montecarlo import sample_parameters
 from repro.analysis.timedomain import simulate_transient
@@ -124,6 +125,8 @@ def test_runtime_transient_speedup(report):
             rows,
         ),
     )
+
+    write_record("runtime_transient", results)
 
     # The two paths must agree to 1e-12 relative regardless of mode.
     for result in results.values():

@@ -16,6 +16,7 @@ import time
 
 import numpy as np
 
+from benchmarks._record import write_record
 from benchmarks.conftest import format_table
 from repro.circuits import rc_tree, with_random_variations
 from repro.core import LowRankReducer, MultiPointReducer, NominalReducer, factorial_grid
@@ -82,6 +83,16 @@ def test_table_cost(benchmark, report, rc767):
         "Algorithm 1 wall clock vs parameter count np (400-node tree):",
         *format_table(("np", "time"), np_rows),
     )
+
+    write_record("table_cost", {
+        "factorizations": {
+            "nominal": nominal_factorizations,
+            "low_rank": low_rank_factorizations_per_call,
+            "multi_point": multi_factorizations,
+        },
+        "moment_order_seconds": dict(zip(("k2", "k4", "k8"), k_times)),
+        "parameter_count_seconds": dict(zip(("np1", "np2", "np4"), np_times)),
+    })
 
     assert low_rank_factorizations_per_call == 1
     assert nominal_factorizations == 1

@@ -17,6 +17,7 @@ a shared workload and asserts the orderings the paper argues from.
 
 import numpy as np
 
+from benchmarks._record import write_record
 from benchmarks.conftest import format_table
 from repro.core import (
     LowRankReducer,
@@ -77,6 +78,19 @@ def test_table_model_size(benchmark, report, rc767):
             ],
         ),
     )
+
+    write_record("table_model_size", {
+        "predicted": {
+            "single_point": single_point_size(ORDER, np_count, m),
+            "multi_point": multi_point_size(ORDER, len(grid), m),
+            "low_rank": low_rank_size(ORDER, np_count, m, rank=1),
+        },
+        "measured": {
+            "single_point": single.size,
+            "multi_point": multi.size,
+            "low_rank": low_rank.size,
+        },
+    })
 
     # Measured sizes never exceed the predictions (deflation only shrinks).
     assert single.size <= single_point_size(ORDER, np_count, m)

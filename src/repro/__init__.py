@@ -81,8 +81,11 @@ from repro.runtime import (
     PWLInput,
     RampInput,
     SerialExecutor,
+    SharedMemoryExecutor,
     SineInput,
+    SparsePatternFamily,
     StepInput,
+    ThreadExecutor,
     batch_frequency_response,
     batch_instantiate,
     batch_poles,
@@ -90,6 +93,9 @@ from repro.runtime import (
     batch_transfer,
     batch_transient_study,
     run_frequency_scenarios,
+    sparse_batch_frequency_response,
+    stream_sweep_study,
+    stream_transient_study,
 )
 
 __version__ = "0.1.0"
@@ -111,9 +117,12 @@ __all__ = [
     "ProcessExecutor",
     "RampInput",
     "SerialExecutor",
+    "SharedMemoryExecutor",
     "SineInput",
     "SinglePointReducer",
+    "SparsePatternFamily",
     "StepInput",
+    "ThreadExecutor",
     "__version__",
     "assemble",
     "batch_frequency_response",
@@ -147,7 +156,10 @@ __all__ = [
     "shifted_parametric_system",
     "simulate_step",
     "simulate_transient",
+    "sparse_batch_frequency_response",
     "standard_stack",
+    "stream_sweep_study",
+    "stream_transient_study",
     "sweep",
     "tbr",
     "with_random_variations",

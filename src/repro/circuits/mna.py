@@ -237,7 +237,16 @@ def _check_inductance_psd(netlist: Netlist, c_matrix: sp.spmatrix, index: MNAInd
     if not netlist.mutuals:
         return
     l_rows = sorted(index.inductor_index.values())
-    branch = c_matrix.tocsc()[np.ix_(l_rows, l_rows)].toarray()
+    # Inductor branch indices are a contiguous block by construction
+    # (n_nodes .. n_nodes + n_l), so two cheap contiguous slices extract
+    # the branch inductance submatrix.  The historical fancy-indexed
+    # ``tocsc()[np.ix_(...)]`` built full-size index structures over the
+    # whole (huge) capacitance matrix just to read this small block.
+    lo, hi = l_rows[0], l_rows[-1] + 1
+    if l_rows == list(range(lo, hi)):
+        branch = c_matrix.tocsr()[lo:hi].tocsc()[:, lo:hi].toarray()
+    else:  # pragma: no cover - unreachable with the current index layout
+        branch = c_matrix.tocsr()[l_rows].tocsc()[:, l_rows].toarray()
     eigenvalues = np.linalg.eigvalsh(branch)
     if eigenvalues.min() <= 0:
         raise MNAError(

@@ -18,12 +18,15 @@ The ``info``/``reduce``/``sweep``/``poles`` commands operate on plain
 paper's Section 5.1/5.2 construction,
 :func:`repro.circuits.generators.with_random_variations`) and drive
 the :mod:`repro.runtime` serving layer: batched evaluation kernels,
-scenario plans and input waveforms, and an optional content-addressed
-model cache (``--cache DIR``); ``montecarlo`` additionally
-parallelizes its full-model reference solves (``--jobs N``).
-``transient`` simulates the whole scenario ensemble through the
-batched time-domain kernels and prints the waveform envelope plus a
-threshold-delay summary.
+scenario plans and input waveforms, streaming study drivers with a
+bounded-memory chunk size (``--chunk N``), and an optional
+content-addressed model cache (``--cache DIR``); ``montecarlo``
+additionally parallelizes its full-model reference solves (``--jobs``:
+a worker count, ``thread``, ``process``, or ``shared``) and routes
+sparse full models through the shared-pattern runtime.  ``transient``
+simulates the whole scenario ensemble through the batched time-domain
+kernels and prints the waveform envelope plus a threshold-delay
+summary.
 """
 
 from __future__ import annotations
@@ -189,7 +192,7 @@ def _make_plan(args):
 
 
 def _cmd_batch(args) -> int:
-    from repro.runtime import run_frequency_scenarios
+    from repro.runtime import stream_sweep_study
 
     parametric = _load_parametric(args)
     model = _reduce_parametric(parametric, args)
@@ -201,12 +204,15 @@ def _cmd_batch(args) -> int:
     if not 0 <= args.input < num_inputs:
         raise ValueError(f"--input {args.input} out of range (model has {num_inputs} inputs)")
     frequencies = np.logspace(np.log10(args.fmin), np.log10(args.fmax), args.points)
-    sweep_result = run_frequency_scenarios(model, plan, frequencies)
-    low, mean, high = sweep_result.magnitude_envelope(
+    study = stream_sweep_study(
+        model, frequencies, plan, chunk_size=args.chunk, num_poles=None
+    )
+    low, mean, high = study.magnitude_envelope(
         output_index=args.output, input_index=args.input
     )
     print(f"# plan: {plan!r}")
-    print(f"# instances: {sweep_result.num_samples}  reduced order: {model.size}")
+    print(f"# instances: {study.num_samples}  reduced order: {model.size}  "
+          f"chunks: {study.num_chunks}")
     print("frequency_hz,min_magnitude,mean_magnitude,max_magnitude")
     for i, f in enumerate(frequencies):
         print(f"{f:.6e},{low[i]:.6e},{mean[i]:.6e},{high[i]:.6e}")
@@ -247,7 +253,7 @@ def _make_waveform(args):
 
 
 def _cmd_transient(args) -> int:
-    from repro.runtime import batch_transient_study
+    from repro.runtime import stream_transient_study
 
     parametric = _load_parametric(args)
     model = _reduce_parametric(parametric, args)
@@ -262,23 +268,27 @@ def _cmd_transient(args) -> int:
             f"--input {args.input} out of range (model has "
             f"{model.nominal.num_inputs} inputs)"
         )
+    if not 0.0 < args.threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
     waveform = _make_waveform(args)
-    study = batch_transient_study(
+    study = stream_transient_study(
         model,
         plan,
         waveform=waveform,
         t_final=args.t_final,
         num_steps=args.steps,
         method=args.method,
+        chunk_size=args.chunk,
+        delay_threshold=args.threshold,
+        output_index=args.output,
+        reference=args.delay_reference,
     )
     print(f"# plan: {plan!r}")
     print(f"# waveform: {waveform!r}")
     print(f"# instances: {study.num_samples}  reduced order: {model.size}  "
-          f"steps: {args.steps}  method: {args.method}")
-    delays = study.delays(
-        threshold=args.threshold, output_index=args.output,
-        reference=args.delay_reference,
-    )
+          f"steps: {args.steps}  method: {args.method}  "
+          f"chunks: {study.num_chunks}")
+    delays = study.delays
     crossed = delays[~np.isnan(delays)]
     label = f"# delay({args.threshold * 100:.0f}% of {args.delay_reference})"
     if crossed.size:
@@ -315,6 +325,9 @@ def _add_plan_arguments(subparser) -> None:
                            help="grid plan points per axis")
     subparser.add_argument("--sigma", type=float, default=0.3)
     subparser.add_argument("--seed", type=int, default=0)
+    subparser.add_argument("--chunk", type=int, default=None,
+                           help="streaming chunk size (instances per batch; "
+                                "bounds peak memory, default: one chunk)")
 
 
 def _add_parametric_arguments(subparser) -> None:
@@ -391,7 +404,9 @@ def build_parser() -> argparse.ArgumentParser:
     mc_cmd.add_argument("--seed", type=int, default=0, help="sampling seed")
     mc_cmd.add_argument("--bins", type=int, default=10, help="histogram bins")
     mc_cmd.add_argument("--jobs", type=_executor_spec, default=None,
-                        help="full-solve workers: a count, 'serial', or 'process'")
+                        help="full-solve backend: a worker count, 'serial', "
+                             "'thread', 'process', or 'shared' "
+                             "(shared-memory sample channel)")
     mc_cmd.add_argument("--tolerance", type=float, default=1e-2,
                         help="exit nonzero if the worst pole error exceeds this")
     mc_cmd.set_defaults(func=_cmd_montecarlo)

@@ -32,7 +32,13 @@ from repro.linalg.orth import (
     orthonormalize_against,
     stack_orthonormalize,
 )
-from repro.linalg.sparselu import SparseLU, factorization_count, reset_factorization_count
+from repro.linalg.sparselu import (
+    SparseLU,
+    factorization_count,
+    refactorization_count,
+    reset_factorization_count,
+    reset_refactorization_count,
+)
 from repro.linalg.subspace_svd import subspace_iteration_svd, truncated_svd
 
 __all__ = [
@@ -47,7 +53,9 @@ __all__ = [
     "factorization_count",
     "lanczos_bidiag_svd",
     "orthonormalize_against",
+    "refactorization_count",
     "reset_factorization_count",
+    "reset_refactorization_count",
     "stack_orthonormalize",
     "subspace_iteration_svd",
     "truncated_svd",

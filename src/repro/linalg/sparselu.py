@@ -1,4 +1,4 @@
-"""Shared sparse LU factorization with transpose solves.
+"""Shared sparse LU factorization with transpose solves and pattern reuse.
 
 The paper's complexity argument (Section 4.2) hinges on a single
 observation: *one* LU factorization of the nominal conductance matrix
@@ -19,11 +19,25 @@ factorization counter lets the cost benchmarks report the *measured*
 number of factorizations each reduction algorithm performed, which is
 the paper's headline cost metric (1 for the low-rank method versus one
 per sample point for the multi-point method).
+
+Pattern reuse
+-------------
+
+The runtime serving layer factors thousands of matrices that all share
+*one* sparsity pattern (every pencil ``G(p_k) + s C(p_k)`` of a
+variational system lives on the union pattern of the nominal and
+sensitivity matrices).  :meth:`SparseLU.refactor` exploits that: the
+symbolic analysis -- the CSC structure and the fill-reducing column
+ordering SuperLU selected for the first factorization -- is computed
+once and reused for every subsequent *numeric* factorization, which
+receives only a fresh data array.  Refactorizations are tallied by the
+separate :func:`refactorization_count` counter so the paper's headline
+metric (fresh symbolic factorizations) stays untouched.
 """
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -32,6 +46,7 @@ import scipy.sparse.linalg as spla
 Matrix = Union[np.ndarray, sp.spmatrix]
 
 _FACTORIZATION_COUNT = 0
+_REFACTORIZATION_COUNT = 0
 
 
 def factorization_count() -> int:
@@ -39,6 +54,8 @@ def factorization_count() -> int:
 
     The counter is global (module level) and monotonically increasing;
     use :func:`reset_factorization_count` to start a measurement window.
+    Pattern-reusing :meth:`SparseLU.refactor` calls are counted
+    separately by :func:`refactorization_count`.
     """
     return _FACTORIZATION_COUNT
 
@@ -49,6 +66,57 @@ def reset_factorization_count() -> int:
     old = _FACTORIZATION_COUNT
     _FACTORIZATION_COUNT = 0
     return old
+
+
+def refactorization_count() -> int:
+    """Number of pattern-reusing numeric refactorizations so far."""
+    return _REFACTORIZATION_COUNT
+
+
+def reset_refactorization_count() -> int:
+    """Reset the refactorization counter and return the old value."""
+    global _REFACTORIZATION_COUNT
+    old = _REFACTORIZATION_COUNT
+    _REFACTORIZATION_COUNT = 0
+    return old
+
+
+class _PatternPlan:
+    """Precomputed symbolic state shared by all refactorizations.
+
+    Holds the CSC structure of the factored matrix, the fill-reducing
+    column ordering SuperLU chose for the first factorization, and the
+    gather arrays that apply that ordering to a bare data array without
+    rebuilding any sparse-matrix objects.
+    """
+
+    def __init__(self, indices: np.ndarray, indptr: np.ndarray, shape, perm_c: np.ndarray):
+        self.indices = indices
+        self.indptr = indptr
+        self.shape = shape
+        # SuperLU's perm_c[i] = j places original column i at position j
+        # of A @ Pc; the column gather below wants the inverse map
+        # (position j <- original column perm_c^{-1}[j]).
+        perm_c = np.asarray(perm_c, dtype=np.intp)
+        self.perm_c = np.empty_like(perm_c)
+        self.perm_c[perm_c] = np.arange(perm_c.size, dtype=np.intp)
+        counts = np.diff(indptr)[self.perm_c]
+        self.permuted_indptr = np.concatenate(([0], np.cumsum(counts)))
+        total = int(self.permuted_indptr[-1])
+        # data positions of permuted column j = indptr[perm_c[j]] + 0..counts[j]
+        ends = np.cumsum(counts)
+        starts_out = ends - counts
+        self.gather = (
+            np.arange(total)
+            - np.repeat(starts_out, counts)
+            + np.repeat(np.asarray(indptr)[self.perm_c], counts)
+        )
+        self.permuted_indices = np.asarray(indices)[self.gather]
+
+    @property
+    def nnz(self) -> int:
+        """Stored-entry count of the shared pattern."""
+        return int(self.indptr[-1])
 
 
 class SparseLU:
@@ -72,6 +140,11 @@ class SparseLU:
         global _FACTORIZATION_COUNT
         if sp.issparse(matrix):
             csc = matrix.tocsc()
+            if csc is matrix:
+                # tocsc() on a CSC input returns the caller's own object;
+                # copy before sorting in place (and before aliasing the
+                # structure arrays in the refactor plan below).
+                csc = csc.copy()
         else:
             arr = np.asarray(matrix)
             if arr.ndim != 2:
@@ -79,8 +152,15 @@ class SparseLU:
             csc = sp.csc_matrix(arr)
         if csc.shape[0] != csc.shape[1]:
             raise ValueError(f"matrix must be square, got shape {csc.shape}")
+        csc.sort_indices()
         self._shape = csc.shape
         self._lu = spla.splu(csc)
+        # Symbolic state kept for refactor(): structure + chosen ordering.
+        self._csc_indices = csc.indices
+        self._csc_indptr = csc.indptr
+        self._plan: Optional[_PatternPlan] = None
+        # None = identity (this factor was built directly from the matrix).
+        self._col_perm: Optional[np.ndarray] = None
         _FACTORIZATION_COUNT += 1
 
     @property
@@ -93,6 +173,62 @@ class SparseLU:
         """Dimension of the factored matrix."""
         return self._shape[0]
 
+    @property
+    def nnz(self) -> int:
+        """Stored-entry count of the factored matrix's pattern."""
+        return int(self._csc_indptr[-1])
+
+    # -- pattern reuse --------------------------------------------------
+
+    def _pattern_plan(self) -> _PatternPlan:
+        if self._plan is None:
+            self._plan = _PatternPlan(
+                self._csc_indices, self._csc_indptr, self._shape, self._lu.perm_c
+            )
+        return self._plan
+
+    def refactor(self, data: np.ndarray) -> "SparseLU":
+        """Numeric re-factorization of a same-pattern matrix.
+
+        ``data`` is the CSC data array of a matrix sharing this
+        factorization's sparsity structure exactly (same ``indices`` /
+        ``indptr``, e.g. produced by
+        :class:`repro.runtime.sparse.SparsePatternFamily`).  The
+        symbolic analysis is reused: the fill-reducing column ordering
+        SuperLU selected for *this* factorization is applied up front
+        (a single gather on the data array) and SuperLU is invoked with
+        ``permc_spec="NATURAL"``, so no ordering is recomputed.  Only
+        the numeric factorization runs.
+
+        Returns a new :class:`SparseLU` whose :meth:`solve` /
+        :meth:`solve_transpose` answer in the *original* (unpermuted)
+        ordering.  Complex data is supported -- the shifted pencils
+        ``G + s C`` of a frequency sweep refactor a real template.
+        """
+        global _REFACTORIZATION_COUNT
+        plan = self._pattern_plan()
+        data = np.asarray(data)
+        if data.ndim != 1 or data.size != plan.nnz:
+            raise ValueError(
+                f"data has shape {data.shape}, expected ({plan.nnz},) matching "
+                "the factored pattern"
+            )
+        permuted = sp.csc_matrix(
+            (data[plan.gather], plan.permuted_indices, plan.permuted_indptr),
+            shape=plan.shape,
+        )
+        refactored = object.__new__(SparseLU)
+        refactored._shape = plan.shape
+        refactored._lu = spla.splu(permuted, permc_spec="NATURAL")
+        refactored._csc_indices = self._csc_indices
+        refactored._csc_indptr = self._csc_indptr
+        refactored._plan = plan
+        refactored._col_perm = plan.perm_c
+        _REFACTORIZATION_COUNT += 1
+        return refactored
+
+    # -- solves ---------------------------------------------------------
+
     def _solve(self, rhs: np.ndarray, trans: str) -> np.ndarray:
         rhs = np.asarray(rhs)
         if rhs.shape[0] != self.n:
@@ -100,14 +236,31 @@ class SparseLU:
                 f"right-hand side has leading dimension {rhs.shape[0]}, expected {self.n}"
             )
         if rhs.ndim == 1:
-            return self._lu.solve(rhs, trans=trans)
+            return self._permuted_solve(rhs, trans)
         if rhs.ndim != 2:
             raise ValueError("right-hand side must be a vector or a 2-D block")
         # SuperLU solves blocks column by column internally; one call is fine.
         out = np.empty_like(rhs, dtype=np.result_type(rhs.dtype, np.float64))
         for j in range(rhs.shape[1]):
-            out[:, j] = self._lu.solve(np.ascontiguousarray(rhs[:, j]), trans=trans)
+            out[:, j] = self._permuted_solve(np.ascontiguousarray(rhs[:, j]), trans)
         return out
+
+    def _permuted_solve(self, rhs: np.ndarray, trans: str) -> np.ndarray:
+        """One vector solve, mapping through the reused column ordering.
+
+        With the stored factorization of ``Ap = A[:, perm]``:
+        ``A x = b``   becomes ``Ap y = b`` with ``x[perm] = y``;
+        ``A^T x = b`` becomes ``Ap^T x = b[perm]`` directly.
+        """
+        perm = self._col_perm
+        if perm is None:
+            return self._lu.solve(rhs, trans=trans)
+        if trans == "T":
+            return self._lu.solve(np.ascontiguousarray(rhs[perm]), trans="T")
+        y = self._lu.solve(rhs, trans="N")
+        x = np.empty_like(y)
+        x[perm] = y
+        return x
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``A x = rhs`` for a vector or block right-hand side."""

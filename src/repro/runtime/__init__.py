@@ -23,13 +23,25 @@ that reuse is made fast and declarative:
   :class:`StepInput` / :class:`RampInput` / :class:`PWLInput` /
   :class:`SineInput` that drive both the batched kernels and the
   scalar reference loop from one object.
+- :mod:`repro.runtime.sparse` -- the *full-order* counterpart: every
+  matrix of a variational system shares one union sparsity pattern, so
+  :class:`SparsePatternFamily` instantiates whole sample batches as
+  data-array updates (bit-identical to the scalar path) and factors
+  every pencil through a shared symbolic analysis (tridiagonal/banded
+  LAPACK kernels in RCM order, SuperLU numeric refactorization as the
+  general fallback).
+- :mod:`repro.runtime.stream` -- chunked streaming drivers
+  (:func:`stream_sweep_study` / :func:`stream_transient_study`) that
+  run any plan through the batch kernels under a documented peak-memory
+  bound, with incremental envelope reducers and progress callbacks.
 - :mod:`repro.runtime.cache` -- a content-addressed
   :class:`ModelCache`: hash of (system, reducer config) -> reduced
   model persisted via :mod:`repro.core.io`, so repeated workloads skip
   reduction entirely.
-- :mod:`repro.runtime.executor` -- serial and chunked multiprocessing
-  backends behind one ordered-``map`` interface for the
-  embarrassingly-parallel full-model reference solves.
+- :mod:`repro.runtime.executor` -- serial, thread, chunked
+  multiprocessing, and shared-memory backends behind one
+  ordered-``map`` interface for the embarrassingly-parallel full-model
+  reference solves.
 
 :mod:`repro.analysis.montecarlo`, :mod:`repro.analysis.sensitivity`,
 and :mod:`repro.analysis.delay` are wired onto these kernels; the
@@ -52,7 +64,29 @@ from repro.runtime.cache import (
     reducer_fingerprint,
     system_fingerprint,
 )
-from repro.runtime.executor import ProcessExecutor, SerialExecutor, resolve_executor
+from repro.runtime.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    SharedMemoryExecutor,
+    ThreadExecutor,
+    executor_map_array,
+    resolve_executor,
+)
+from repro.runtime.sparse import (
+    SparsePatternFamily,
+    shared_pattern_family,
+    sparse_batch_frequency_response,
+    sparse_batch_transfer,
+    supports_sparse_batching,
+)
+from repro.runtime.stream import (
+    StreamedSweepStudy,
+    StreamedTransientStudy,
+    stream_sweep_study,
+    stream_transient_study,
+    sweep_chunk_bytes,
+    transient_chunk_bytes,
+)
 from repro.runtime.scenarios import (
     CornerPlan,
     GridPlan,
@@ -88,8 +122,13 @@ __all__ = [
     "ScenarioPlan",
     "ScenarioSweep",
     "SerialExecutor",
+    "SharedMemoryExecutor",
     "SineInput",
+    "SparsePatternFamily",
     "StepInput",
+    "StreamedSweepStudy",
+    "StreamedTransientStudy",
+    "ThreadExecutor",
     "TransientStudy",
     "batch_frequency_response",
     "batch_instantiate",
@@ -101,10 +140,19 @@ __all__ = [
     "batch_transfer_sensitivities",
     "batch_transient_study",
     "default_horizon",
+    "executor_map_array",
     "reducer_fingerprint",
     "resolve_executor",
     "run_frequency_scenarios",
+    "shared_pattern_family",
+    "sparse_batch_frequency_response",
+    "sparse_batch_transfer",
+    "stream_sweep_study",
+    "stream_transient_study",
     "supports_batching",
+    "supports_sparse_batching",
+    "sweep_chunk_bytes",
     "system_fingerprint",
     "systems_from_stacks",
+    "transient_chunk_bytes",
 ]

@@ -59,25 +59,83 @@ def as_sample_matrix(model, samples) -> np.ndarray:
     return matrix
 
 
+_DENSIFY_COUNT = 0
+
+
+def densification_count() -> int:
+    """How many times the kernels densified a model's matrices.
+
+    Diagnostic counter behind the memoization of :func:`_dense_nominal`
+    / :func:`_sensitivity_stacks`: a model evaluated through any number
+    of batched calls should contribute at most two densification passes
+    (one for the nominal pair, one for the sensitivity stacks).
+    """
+    return _DENSIFY_COUNT
+
+
+def reset_densification_count() -> int:
+    """Reset the densification counter and return the old value."""
+    global _DENSIFY_COUNT
+    old = _DENSIFY_COUNT
+    _DENSIFY_COUNT = 0
+    return old
+
+
+def _memo_cache(model) -> Optional[dict]:
+    """The kernels' per-model memo dict, created on first use.
+
+    Models that implement the ``dense_nominal`` / ``sensitivity_stacks``
+    protocol (e.g. :class:`~repro.core.model.ParametricReducedModel`)
+    carry their own cache and never reach this; for everything else the
+    stacks are memoized on the model object, mirroring the PR-1
+    nominal-matrix cache.  Returns ``None`` for objects that reject new
+    attributes (``__slots__``), which then densify per call.
+    """
+    cache = getattr(model, "_batch_dense_cache", None)
+    if cache is None:
+        cache = {}
+        try:
+            model._batch_dense_cache = cache
+        except AttributeError:
+            return None
+    return cache
+
+
 def _dense_nominal(model) -> Tuple[np.ndarray, np.ndarray]:
+    global _DENSIFY_COUNT
     if hasattr(model, "dense_nominal"):
         return model.dense_nominal()
+    cache = _memo_cache(model)
+    if cache is not None and "nominal" in cache:
+        return cache["nominal"]
     g0 = model.nominal.G
     c0 = model.nominal.C
     g0 = np.asarray(g0.toarray() if hasattr(g0, "toarray") else g0, dtype=float)
     c0 = np.asarray(c0.toarray() if hasattr(c0, "toarray") else c0, dtype=float)
+    _DENSIFY_COUNT += 1
+    if cache is not None:
+        cache["nominal"] = (g0, c0)
     return g0, c0
 
 
 def _sensitivity_stacks(model) -> Tuple[np.ndarray, np.ndarray]:
+    global _DENSIFY_COUNT
     if hasattr(model, "sensitivity_stacks"):
         return model.sensitivity_stacks()
+    cache = _memo_cache(model)
+    if cache is not None and "stacks" in cache:
+        return cache["stacks"]
     q = model.nominal.order
     if not model.num_parameters:
-        return np.zeros((0, q, q)), np.zeros((0, q, q))
-    dg = np.stack([np.asarray(gi, dtype=float) for gi in model.dG])
-    dc = np.stack([np.asarray(ci, dtype=float) for ci in model.dC])
-    return dg, dc
+        stacks = np.zeros((0, q, q)), np.zeros((0, q, q))
+    else:
+        dg = np.stack([_dense(gi).astype(float, copy=False) for gi in model.dG])
+        dc = np.stack([_dense(ci).astype(float, copy=False) for ci in model.dC])
+        stacks = dg, dc
+        _DENSIFY_COUNT += 1
+    if cache is not None:
+        cache["stacks"] = stacks
+    return stacks
 
 
 def _dense(matrix) -> np.ndarray:
@@ -120,13 +178,14 @@ def batch_instantiate(
         return g, c
     g = np.broadcast_to(g0, (num_samples,) + g0.shape).copy()
     c = np.broadcast_to(c0, (num_samples,) + c0.shape).copy()
+    dg, dc = _sensitivity_stacks(model)
     for i in range(model.num_parameters):
         weights = matrix[:, i]
         # Matches `if value != 0.0` in the scalar path: rows with a zero
         # coefficient are left untouched rather than having +0.0 added.
         nonzero = (weights != 0.0)[:, None, None]
-        np.add(g, weights[:, None, None] * _dense(model.dG[i]), out=g, where=nonzero)
-        np.add(c, weights[:, None, None] * _dense(model.dC[i]), out=c, where=nonzero)
+        np.add(g, weights[:, None, None] * dg[i], out=g, where=nonzero)
+        np.add(c, weights[:, None, None] * dc[i], out=c, where=nonzero)
     return g, c
 
 
@@ -193,13 +252,45 @@ def _eig_response_factors(model, g: np.ndarray, c: np.ndarray):
     return eigenvalues, lt_v, w
 
 
+# _eig_responses dispatch: the grid contraction wins when few instances
+# sweep a dense frequency axis (one big GEMM per instance); the batched
+# per-frequency kernel wins for wide Monte Carlo ensembles, where each
+# frequency already amortizes over all instances in one matmul.
+_GRID_MAX_SAMPLES = 16
+_GRID_MIN_FREQS = 32
+
+
 def _eig_responses(eigenvalues, lt_v, w, freqs: np.ndarray) -> np.ndarray:
-    out = np.empty(
-        (eigenvalues.shape[0], freqs.size, lt_v.shape[1], w.shape[2]), dtype=complex
-    )
-    for j, f in enumerate(freqs):
-        s = 2j * np.pi * f
-        out[:, j] = lt_v @ (w / (1.0 + s * eigenvalues)[:, :, None])
+    """Rational-sum responses over the whole ``(m, n_freq, q)`` grid.
+
+    Two equivalent vectorized contractions of
+
+    ``H[k, j] = (L^T V_k) diag(1 / (1 + s_j lambda_k)) w_k``
+
+    are dispatched by ensemble shape.  Small ensembles over dense
+    frequency axes (corner plans, CLI sweeps) precompute the
+    frequency-independent residue tensor ``(L^T V_k) odot w_k`` and
+    collapse the whole grid into one ``(n_f, q) @ (q, m_out m_in)``
+    GEMM per instance -- no per-frequency Python iteration.  Wide
+    ensembles (Monte Carlo) keep the per-frequency batched matmul,
+    which amortizes each frequency over all ``m`` instances at once and
+    is bit-identical to the historical loop.  Both paths are pinned to
+    the reference loop by a regression test (grid path to rounding,
+    batched path bit-for-bit).
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    num_samples, q = eigenvalues.shape
+    num_outputs = lt_v.shape[1]
+    num_inputs = w.shape[2]
+    s = 2j * np.pi * freqs
+    if num_samples <= _GRID_MAX_SAMPLES and freqs.size >= _GRID_MIN_FREQS:
+        reciprocal = 1.0 / (1.0 + s[None, :, None] * eigenvalues[:, None, :])
+        residues = lt_v.transpose(0, 2, 1)[:, :, :, None] * w[:, :, None, :]
+        out = reciprocal @ residues.reshape(num_samples, q, num_outputs * num_inputs)
+        return out.reshape(num_samples, freqs.size, num_outputs, num_inputs)
+    out = np.empty((num_samples, freqs.size, num_outputs, num_inputs), dtype=complex)
+    for j in range(freqs.size):
+        out[:, j] = lt_v @ (w / (1.0 + s[j] * eigenvalues)[:, :, None])
     return out
 
 

@@ -3,25 +3,46 @@
 The batched kernels in :mod:`repro.runtime.batch` cover the *reduced*
 side of a study; the *full*-model reference solves (one sparse
 factorization + eigendecomposition per instance) remain independent
-per-sample tasks.  This module puts a serial backend and a chunked
-multiprocessing backend behind one ordered-``map`` interface so
-analysis code can scale out without changing shape:
+per-sample tasks.  This module puts four backends behind one
+ordered-``map`` interface so analysis code can scale out without
+changing shape:
 
 >>> executor = resolve_executor("process")
 >>> results = executor.map(task, items)        # ordered, like map()
 
-Both backends preserve input order and return a list.  The serial
-backend is the default everywhere -- it is deterministic, has zero
-startup cost, and (because each task is a pure function) the process
-backend produces bit-identical results, just faster on multicore
-machines.
+- :class:`SerialExecutor` -- deterministic in-process default;
+- :class:`ThreadExecutor` -- a thread pool.  The kernels that dominate
+  full-model solves (LAPACK eigendecompositions, SuperLU
+  factorizations, batched BLAS) release the GIL, so threads reach real
+  parallelism with zero pickling or process-startup cost;
+- :class:`ProcessExecutor` -- chunked multiprocessing for pure-Python
+  bottlenecks;
+- :class:`SharedMemoryExecutor` -- multiprocessing whose
+  :meth:`~SharedMemoryExecutor.map_array` ships the sample matrix to
+  workers through one :mod:`multiprocessing.shared_memory` block
+  instead of pickling per-item copies: workers attach to the block and
+  read their chunk as a zero-copy numpy view.
+
+Every backend preserves input order and returns a list, and (because
+each task is a pure function) produces bit-identical results -- the
+parallel backends are just faster on multicore machines.  All backends
+also provide ``map_array(fn, matrix)``, mapping ``fn`` over the rows
+of a 2-D array; only the shared-memory backend specializes it, the
+rest fall back to ``map``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Union
+
+import numpy as np
+
+
+def _chunk_bounds(num_items: int, chunksize: int) -> List[tuple]:
+    return [(lo, min(lo + chunksize, num_items)) for lo in range(0, num_items, chunksize)]
 
 
 class SerialExecutor:
@@ -31,8 +52,48 @@ class SerialExecutor:
         """Apply ``fn`` to every item, in order, in this process."""
         return [fn(item) for item in items]
 
+    def map_array(self, fn: Callable, matrix: np.ndarray) -> List:
+        """Apply ``fn`` to every row of a 2-D array, in order."""
+        return self.map(fn, list(np.asarray(matrix)))
+
     def __repr__(self) -> str:
         return "SerialExecutor()"
+
+
+class ThreadExecutor:
+    """Thread-pool execution for GIL-releasing numeric tasks.
+
+    The full-model reference solves spend their time inside LAPACK /
+    SuperLU / BLAS kernels, which drop the GIL -- a thread pool then
+    scales across cores with none of the pickling, fork, or import
+    overhead of a process pool, and shares every model object by
+    reference.  For pure-Python tasks prefer :class:`ProcessExecutor`.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread count (default: ``os.cpu_count()``).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable, items: Iterable) -> List:
+        """Apply ``fn`` to every item across the thread pool; ordered."""
+        items = list(items)
+        if not items:
+            return []
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, items))
+
+    def map_array(self, fn: Callable, matrix: np.ndarray) -> List:
+        """Apply ``fn`` to every row of a 2-D array; ordered."""
+        return self.map(fn, list(np.asarray(matrix)))
+
+    def __repr__(self) -> str:
+        return f"ThreadExecutor(max_workers={self.max_workers})"
 
 
 class ProcessExecutor:
@@ -73,20 +134,145 @@ class ProcessExecutor:
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(fn, items, chunksize=self._effective_chunksize(len(items))))
 
+    def map_array(self, fn: Callable, matrix: np.ndarray) -> List:
+        """Apply ``fn`` to every row of a 2-D array; ordered."""
+        return self.map(fn, list(np.asarray(matrix)))
+
     def __repr__(self) -> str:
         return f"ProcessExecutor(max_workers={self.max_workers}, chunksize={self.chunksize})"
 
 
-ExecutorLike = Union[None, str, int, SerialExecutor, ProcessExecutor]
+def _shared_memory_channel_safe() -> bool:
+    """Whether the zero-copy sample channel is safe on this platform.
+
+    Python 3.13+ attaches with ``track=False``, which is safe under any
+    start method.  On older versions every worker attach registers the
+    segment with the worker's resource tracker; with ``fork`` the
+    workers share the creator's tracker (registration is an idempotent
+    set-add, the creator's single unlink retires it), but with
+    ``spawn``/``forkserver`` each worker's *own* tracker would unlink
+    the still-live segment at worker exit.  In that configuration
+    :meth:`SharedMemoryExecutor.map_array` falls back to the pickling
+    path.
+    """
+    if sys.version_info >= (3, 13):
+        return True
+    import multiprocessing
+
+    return multiprocessing.get_start_method(allow_none=False) == "fork"
+
+
+def _attach_shared_memory(name: str):
+    """Attach to a shared block without taking ownership of its cleanup.
+
+    Python 3.13+ supports ``track=False`` (no resource-tracker
+    registration on attach).  Older versions register every attach, but
+    with the default fork start method the workers share the creator's
+    tracker and registration is a set-add -- idempotent -- so simply
+    attaching is safe: the creator's single ``unlink`` retires the one
+    tracked entry.  (Do NOT unregister here: that would remove the
+    creator's registration out from under it.)
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def _shared_chunk_task(fn, name, shape, dtype_str, bounds):
+    """Worker-side body: attach, map ``fn`` over the chunk's rows, detach.
+
+    Rows are copied out of the shared view before calling ``fn`` so no
+    result can alias the block after it is unlinked.
+    """
+    lo, hi = bounds
+    block = _attach_shared_memory(name)
+    try:
+        matrix = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=block.buf)
+        return [fn(np.array(row)) for row in matrix[lo:hi]]
+    finally:
+        block.close()
+
+
+class SharedMemoryExecutor(ProcessExecutor):
+    """Multiprocessing backend with a zero-copy sample-matrix channel.
+
+    :meth:`map` behaves exactly like :class:`ProcessExecutor.map`.
+    :meth:`map_array` is the specialty: the 2-D array is written to one
+    :class:`multiprocessing.shared_memory.SharedMemory` block, and each
+    worker message carries only ``(block name, shape, dtype, row
+    range)`` -- a few hundred bytes regardless of how many samples the
+    study ships.  Workers attach and read their rows as numpy views, so
+    a million-sample matrix crosses the process boundary once, not once
+    per chunk.
+    """
+
+    def map_array(self, fn: Callable, matrix: np.ndarray) -> List:
+        """Apply ``fn`` to every row, shipping rows via shared memory.
+
+        Falls back to the pickling :meth:`ProcessExecutor.map_array`
+        where worker attaches cannot be made tracker-safe (spawn-based
+        start methods on Python < 3.13) -- same results, just without
+        the zero-copy channel.
+        """
+        from multiprocessing import shared_memory
+
+        matrix = np.ascontiguousarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError(f"map_array expects a 2-D array, got shape {matrix.shape}")
+        if not _shared_memory_channel_safe():
+            return super().map_array(fn, matrix)
+        num_items = matrix.shape[0]
+        if num_items == 0:
+            return []
+        block = shared_memory.SharedMemory(create=True, size=max(matrix.nbytes, 1))
+        try:
+            view = np.ndarray(matrix.shape, dtype=matrix.dtype, buffer=block.buf)
+            view[:] = matrix
+            bounds = _chunk_bounds(num_items, self._effective_chunksize(num_items))
+            results: List = []
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [
+                    pool.submit(
+                        _shared_chunk_task,
+                        fn,
+                        block.name,
+                        matrix.shape,
+                        matrix.dtype.str,
+                        chunk,
+                    )
+                    for chunk in bounds
+                ]
+                for future in futures:
+                    results.extend(future.result())
+            return results
+        finally:
+            block.close()
+            block.unlink()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedMemoryExecutor(max_workers={self.max_workers}, "
+            f"chunksize={self.chunksize})"
+        )
+
+
+ExecutorLike = Union[
+    None, str, int, SerialExecutor, ThreadExecutor, ProcessExecutor, SharedMemoryExecutor
+]
 
 
 def resolve_executor(spec: ExecutorLike):
     """Coerce a user-facing spec into an executor object.
 
-    Accepted specs: ``None``/``"serial"`` (serial), ``"process"`` /
-    ``"processes"`` (process pool with default workers), a positive
-    ``int`` (process pool with that many workers; ``1`` means serial),
-    or any object that already provides an ordered ``map`` method.
+    Accepted specs: ``None``/``"serial"`` (serial), ``"thread"`` /
+    ``"threads"`` (thread pool), ``"process"`` / ``"processes"``
+    (process pool), ``"shared"`` / ``"sharedmem"`` (process pool with
+    the shared-memory sample channel), a positive ``int`` (process pool
+    with that many workers; ``1`` means serial), or any object that
+    already provides an ordered ``map`` method.
     """
     if spec is None:
         return SerialExecutor()
@@ -94,9 +280,16 @@ def resolve_executor(spec: ExecutorLike):
         name = spec.strip().lower()
         if name == "serial":
             return SerialExecutor()
+        if name in ("thread", "threads"):
+            return ThreadExecutor()
         if name in ("process", "processes"):
             return ProcessExecutor()
-        raise ValueError(f"unknown executor spec {spec!r} (use 'serial' or 'process')")
+        if name in ("shared", "sharedmem", "shared-memory"):
+            return SharedMemoryExecutor()
+        raise ValueError(
+            f"unknown executor spec {spec!r} "
+            "(use 'serial', 'thread', 'process', or 'shared')"
+        )
     if isinstance(spec, bool):
         raise ValueError("executor spec must not be a bool")
     if isinstance(spec, int):
@@ -106,3 +299,16 @@ def resolve_executor(spec: ExecutorLike):
     if hasattr(spec, "map"):
         return spec
     raise ValueError(f"cannot interpret executor spec {spec!r}")
+
+
+def executor_map_array(executor, fn: Callable, matrix: np.ndarray) -> List:
+    """``executor.map_array`` with a ``map`` fallback for foreign objects.
+
+    User-supplied executors only promise an ordered ``map``; this
+    adapter lets study drivers use the shared-memory fast path when it
+    exists without narrowing what they accept.
+    """
+    map_array = getattr(executor, "map_array", None)
+    if map_array is not None:
+        return map_array(fn, matrix)
+    return executor.map(fn, list(np.asarray(matrix)))

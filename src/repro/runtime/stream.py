@@ -1,0 +1,434 @@
+"""Chunked streaming studies: million-sample plans in bounded memory.
+
+The one-shot batch kernels materialize every intermediate for the whole
+ensemble at once -- ``(m, q, q)`` system stacks, ``(m, nt + 1, m_out)``
+trajectories, ``(m, n_f, m_out, m_in)`` response grids.  For a
+laptop-scale reduced model that caps ``m`` at a few tens of thousands;
+the paper's protocol (and the ROADMAP's million-user north star) wants
+ensembles far beyond that.
+
+This module runs any scenario plan through the existing batch kernels
+in **fixed-size chunks** with incremental reducers:
+
+- :func:`stream_sweep_study` -- frequency-domain: chunked
+  :func:`~repro.runtime.batch.batch_sweep_study` for dense-batchable
+  models, chunked
+  :meth:`~repro.runtime.sparse.SparsePatternFamily.frequency_response`
+  for sparse full-order models;
+- :func:`stream_transient_study` -- time-domain: chunked
+  :func:`~repro.runtime.transient.batch_transient_study` with the
+  delay/slew metrics extracted per chunk.
+
+Peak-memory bound
+-----------------
+
+Per chunk of ``c`` instances (order ``q``, ``n_f`` frequencies,
+``n_t`` timesteps, ``m_out``/``m_in`` ports), the drivers hold
+
+- sweep:      ``16 c (2 q^2 + q (q + m_in) + n_f m_out m_in)`` bytes
+  (system stacks + eigenfactors + the chunk's response grid),
+- transient:  ``8 c (4 q^2 + n_t q + (n_t + 1) m_out)`` bytes
+  (system stacks + propagators + forcing table + trajectories),
+
+within a small constant factor -- see :func:`sweep_chunk_bytes` and
+:func:`transient_chunk_bytes`.  Everything retained across chunks is
+``O(m)`` scalars per instance (delays, poles, steady states) plus the
+``O(n_f)`` / ``O(n_t)`` envelope accumulators, so total memory is flat
+in the plan size for any fixed ``chunk_size``.
+
+Determinism contract
+--------------------
+
+Every per-instance quantity (responses, poles, trajectories, delays,
+slews, steady states) and the envelope ``min``/``max`` are
+**bit-identical** to the one-shot batched path: the batch kernels
+process instances independently, so slicing the sample matrix into
+chunks cannot change any row's arithmetic.  The envelope ``mean`` is
+accumulated as a running chunk sum and may differ from the one-shot
+``numpy.mean`` (pairwise summation) in the last bits -- the only
+deliberate deviation, and it is documented here.  Progress callbacks
+``progress(done, total)`` fire after every chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.runtime.batch import (
+    as_sample_matrix,
+    batch_sweep_study,
+    supports_batching,
+)
+from repro.runtime.scenarios import ScenarioPlan, StepInput
+from repro.runtime.sparse import shared_pattern_family, supports_sparse_batching
+from repro.runtime.transient import batch_transient_study, default_horizon
+
+ProgressCallback = Callable[[int, int], None]
+
+
+def _realize_samples(model, scenarios) -> Tuple[Optional[ScenarioPlan], np.ndarray]:
+    if isinstance(scenarios, ScenarioPlan) or hasattr(scenarios, "sample_matrix"):
+        return scenarios, scenarios.sample_matrix(model.num_parameters)
+    return None, as_sample_matrix(model, scenarios)
+
+
+def _chunk_slices(num_items: int, chunk_size: Optional[int]):
+    if chunk_size is None:
+        chunk_size = num_items
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    for lo in range(0, num_items, chunk_size):
+        yield lo, min(lo + chunk_size, num_items)
+
+
+def sweep_chunk_bytes(
+    order: int,
+    num_frequencies: int,
+    chunk_size: int,
+    num_outputs: int = 1,
+    num_inputs: int = 1,
+) -> int:
+    """Estimated peak bytes one sweep chunk holds (constant factor ~2).
+
+    ``16 c (2 q^2 + q (q + m_in) + n_f m_out m_in)``: the complex
+    eigenvector stack dominates for big models, the response grid for
+    dense frequency axes.  Use it to size ``chunk_size`` against a
+    memory budget: ``chunk_size ~= budget_bytes / sweep_chunk_bytes(q,
+    n_f, 1, ...)``.
+    """
+    q = order
+    per_instance = 2 * q * q + q * (q + num_inputs) + num_frequencies * num_outputs * num_inputs
+    return int(16 * chunk_size * per_instance)
+
+
+def transient_chunk_bytes(
+    order: int,
+    num_steps: int,
+    chunk_size: int,
+    num_outputs: int = 1,
+) -> int:
+    """Estimated peak bytes one transient chunk holds (constant factor ~2).
+
+    ``8 c (4 q^2 + n_t q + (n_t + 1) m_out)``: system + propagator
+    stacks plus the precomputed forcing table and output trajectories.
+    """
+    q = order
+    per_instance = 4 * q * q + num_steps * q + (num_steps + 1) * num_outputs
+    return int(8 * chunk_size * per_instance)
+
+
+class _EnvelopeAccumulator:
+    """Running per-position min / sum / max over the instance axis."""
+
+    def __init__(self):
+        self.minimum: Optional[np.ndarray] = None
+        self.maximum: Optional[np.ndarray] = None
+        self.total: Optional[np.ndarray] = None
+        self.count = 0
+
+    def update(self, block: np.ndarray) -> None:
+        """Fold in a ``(chunk, ...)`` block of per-instance values."""
+        chunk_min = block.min(axis=0)
+        chunk_max = block.max(axis=0)
+        chunk_sum = block.sum(axis=0)
+        if self.minimum is None:
+            self.minimum = chunk_min
+            self.maximum = chunk_max
+            self.total = chunk_sum
+        else:
+            self.minimum = np.minimum(self.minimum, chunk_min)
+            self.maximum = np.maximum(self.maximum, chunk_max)
+            self.total = self.total + chunk_sum
+        self.count += block.shape[0]
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Chunk-accumulated mean (see the module determinism contract)."""
+        return self.total / self.count
+
+
+@dataclass
+class StreamedSweepStudy:
+    """Incremental result of a chunked frequency-domain study.
+
+    ``envelope_*`` hold the per-(frequency, output, input) magnitude
+    statistics over all instances; ``poles`` is the stacked
+    ``(m, num_poles)`` array (dense-batchable models only);
+    ``responses`` is kept only when the driver was asked to retain the
+    full grid (small studies / regression tests).
+    """
+
+    plan: Optional[ScenarioPlan]
+    samples: np.ndarray
+    frequencies: np.ndarray
+    envelope_min: np.ndarray
+    envelope_mean: np.ndarray
+    envelope_max: np.ndarray
+    num_chunks: int
+    chunk_size: int
+    poles: Optional[np.ndarray] = None
+    responses: Optional[np.ndarray] = None
+
+    @property
+    def num_samples(self) -> int:
+        """Number of evaluated parameter instances."""
+        return self.samples.shape[0]
+
+    def magnitude_envelope(
+        self, output_index: int = 0, input_index: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-frequency ``(min, mean, max)`` of ``|H|`` across instances.
+
+        Signature-compatible with
+        :meth:`~repro.runtime.scenarios.ScenarioSweep.magnitude_envelope`.
+        """
+        index = (slice(None), output_index, input_index)
+        return (
+            self.envelope_min[index],
+            self.envelope_mean[index],
+            self.envelope_max[index],
+        )
+
+
+def stream_sweep_study(
+    model,
+    frequencies: Sequence[float],
+    scenarios,
+    chunk_size: Optional[int] = None,
+    num_poles: Optional[int] = 5,
+    keep_responses: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> StreamedSweepStudy:
+    """Run a scenario plan's frequency study in fixed-size chunks.
+
+    Parameters
+    ----------
+    model:
+        A dense-batchable reduced model (chunked through
+        :func:`~repro.runtime.batch.batch_sweep_study`: responses *and*
+        dominant poles from one eigendecomposition per instance) or a
+        sparse full-order parametric system (chunked through the
+        shared-pattern solver kernels; set ``num_poles=None`` --
+        full-order dense eigendecompositions are not a streaming
+        quantity).
+    frequencies:
+        Frequency axis in hertz.
+    scenarios:
+        A :class:`~repro.runtime.scenarios.ScenarioPlan` or a raw
+        ``(m, n_p)`` sample matrix.
+    chunk_size:
+        Instances per chunk (default: everything in one chunk).  Peak
+        memory scales with this -- see :func:`sweep_chunk_bytes`.
+    num_poles:
+        Dominant poles retained per instance (dense models); ``None``
+        skips pole extraction.
+    keep_responses:
+        Retain the full ``(m, n_f, m_out, m_in)`` grid.  Defeats the
+        memory bound; for small studies and regression tests.
+    progress:
+        ``progress(instances_done, total_instances)`` after each chunk.
+    """
+    dense = supports_batching(model)
+    if not dense and not supports_sparse_batching(model):
+        raise ValueError(
+            f"{model!r} supports neither dense nor sparse batching; "
+            "see repro.runtime.batch.supports_batching"
+        )
+    plan, samples = _realize_samples(model, scenarios)
+    freqs = np.asarray(frequencies, dtype=float)
+    if not dense and num_poles is not None:
+        raise ValueError(
+            "full-order sparse streaming computes responses only; "
+            "pass num_poles=None (dense eigendecompositions of the full "
+            "model are not a streaming quantity)"
+        )
+    family = None if dense else shared_pattern_family(model)
+
+    total = samples.shape[0]
+    if total == 0:
+        raise ValueError("scenario plan produced no samples")
+    envelope = _EnvelopeAccumulator()
+    pole_blocks = [] if (dense and num_poles is not None) else None
+    response_blocks = [] if keep_responses else None
+    num_chunks = 0
+    effective_chunk = chunk_size if chunk_size is not None else max(total, 1)
+    for lo, hi in _chunk_slices(total, chunk_size):
+        block = samples[lo:hi]
+        if dense:
+            responses, poles = batch_sweep_study(
+                model, freqs, block,
+                num_poles=(num_poles if num_poles is not None else 1),
+            )
+        else:
+            responses = family.frequency_response(freqs, block)
+            poles = None
+        envelope.update(np.abs(responses))
+        if pole_blocks is not None:
+            pole_blocks.append(poles)
+        if response_blocks is not None:
+            response_blocks.append(responses)
+        num_chunks += 1
+        if progress is not None:
+            progress(hi, total)
+    return StreamedSweepStudy(
+        plan=plan,
+        samples=samples,
+        frequencies=freqs,
+        envelope_min=envelope.minimum,
+        envelope_mean=envelope.mean,
+        envelope_max=envelope.maximum,
+        num_chunks=num_chunks,
+        chunk_size=effective_chunk,
+        poles=None if pole_blocks is None else np.concatenate(pole_blocks, axis=0),
+        responses=None
+        if response_blocks is None
+        else np.concatenate(response_blocks, axis=0),
+    )
+
+
+@dataclass
+class StreamedTransientStudy:
+    """Incremental result of a chunked time-domain study.
+
+    ``envelope_*`` hold per-(timestep, output) statistics across all
+    instances; ``delays`` / ``slews`` / ``steady_states`` are the
+    per-instance metrics extracted chunk by chunk (bit-identical to the
+    one-shot :class:`~repro.runtime.transient.TransientStudy` methods);
+    ``outputs`` is kept only on request.
+    """
+
+    plan: Optional[ScenarioPlan]
+    waveform: object
+    samples: np.ndarray
+    time: np.ndarray
+    method: str
+    envelope_min: np.ndarray
+    envelope_mean: np.ndarray
+    envelope_max: np.ndarray
+    delays: np.ndarray
+    slews: np.ndarray
+    steady_states: np.ndarray
+    num_chunks: int
+    chunk_size: int
+    outputs: Optional[np.ndarray] = None
+
+    @property
+    def num_samples(self) -> int:
+        """Number of simulated parameter instances."""
+        return self.samples.shape[0]
+
+    def output_envelope(
+        self, output_index: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-timestep ``(min, mean, max)`` across instances."""
+        index = (slice(None), output_index)
+        return (
+            self.envelope_min[index],
+            self.envelope_mean[index],
+            self.envelope_max[index],
+        )
+
+
+def stream_transient_study(
+    model,
+    scenarios,
+    waveform=None,
+    t_final: Optional[float] = None,
+    num_steps: int = 500,
+    method: str = "trapezoidal",
+    chunk_size: Optional[int] = None,
+    delay_threshold: float = 0.5,
+    slew_bounds: Tuple[float, float] = (0.1, 0.9),
+    output_index: int = 0,
+    reference: str = "steady",
+    keep_outputs: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> StreamedTransientStudy:
+    """Run a scenario plan's transient ensemble in fixed-size chunks.
+
+    The streaming face of
+    :func:`~repro.runtime.transient.batch_transient_study`: each chunk
+    is simulated through the batched propagator kernel, the
+    delay/slew/steady-state metrics are extracted immediately (with the
+    given ``delay_threshold`` / ``slew_bounds`` / ``reference``
+    semantics of :class:`~repro.runtime.transient.TransientStudy`), and
+    only ``O(m)`` metrics plus the ``O(n_t)`` envelope survive the
+    chunk.  Peak memory: :func:`transient_chunk_bytes`.
+
+    ``t_final`` defaults to the nominal settling horizon, computed once
+    and shared across all chunks.
+    """
+    if not supports_batching(model):
+        raise ValueError(
+            "stream_transient_study requires a dense-batchable model "
+            "(reduce the system first; full-order sparse ensembles are "
+            "frequency-domain only)"
+        )
+    plan, samples = _realize_samples(model, scenarios)
+    if waveform is None:
+        waveform = StepInput()
+    if t_final is None:
+        t_final = default_horizon(model)
+
+    total = samples.shape[0]
+    if total == 0:
+        raise ValueError("scenario plan produced no samples")
+    envelope = _EnvelopeAccumulator()
+    delay_blocks = []
+    slew_blocks = []
+    steady_blocks = []
+    output_blocks = [] if keep_outputs else None
+    time_axis: Optional[np.ndarray] = None
+    num_chunks = 0
+    effective_chunk = chunk_size if chunk_size is not None else max(total, 1)
+    for lo, hi in _chunk_slices(total, chunk_size):
+        study = batch_transient_study(
+            model,
+            samples[lo:hi],
+            waveform=waveform,
+            t_final=t_final,
+            num_steps=num_steps,
+            method=method,
+        )
+        time_axis = study.time
+        envelope.update(study.result.outputs)
+        delay_blocks.append(
+            study.delays(
+                threshold=delay_threshold,
+                output_index=output_index,
+                reference=reference,
+            )
+        )
+        slew_blocks.append(
+            study.slews(
+                low=slew_bounds[0],
+                high=slew_bounds[1],
+                output_index=output_index,
+                reference=reference,
+            )
+        )
+        steady_blocks.append(study.steady_states)
+        if output_blocks is not None:
+            output_blocks.append(study.result.outputs)
+        num_chunks += 1
+        if progress is not None:
+            progress(hi, total)
+    return StreamedTransientStudy(
+        plan=plan,
+        waveform=waveform,
+        samples=samples,
+        time=time_axis,
+        method=method,
+        envelope_min=envelope.minimum,
+        envelope_mean=envelope.mean,
+        envelope_max=envelope.maximum,
+        delays=np.concatenate(delay_blocks),
+        slews=np.concatenate(slew_blocks),
+        steady_states=np.concatenate(steady_blocks, axis=0),
+        num_chunks=num_chunks,
+        chunk_size=effective_chunk,
+        outputs=None if output_blocks is None else np.concatenate(output_blocks, axis=0),
+    )

@@ -229,13 +229,17 @@ def _simulate_from_stacks(
 
     x = _initial_states(x0, num_samples, q)
     outputs = np.empty((num_samples, num_steps + 1, l_mat.shape[1]))
-    outputs[:, 0] = x @ l_mat
+    # The output projection contracts over q with the ensemble size as a
+    # free GEMM dimension; einsum's fixed per-element reduction keeps the
+    # result independent of the batch (= streaming chunk) size, which the
+    # chunked drivers in runtime.stream rely on for bit-identity.
+    outputs[:, 0] = np.einsum("kq,qo->ko", x, l_mat)
     states = np.empty((num_samples, num_steps + 1, q)) if keep_states else None
     if keep_states:
         states[:, 0] = x
     for step in range(1, num_steps + 1):
         x = np.matmul(m_prop, x[:, :, None])[:, :, 0] + forcing[:, step - 1]
-        outputs[:, step] = x @ l_mat
+        outputs[:, step] = np.einsum("kq,qo->ko", x, l_mat)
         if keep_states:
             states[:, step] = x
     return BatchTransientResult(

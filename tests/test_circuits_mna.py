@@ -87,6 +87,27 @@ class TestStamps:
         with pytest.raises(MNAError, match="indefinite"):
             assemble(net)
 
+    def test_psd_check_on_large_coupled_network(self):
+        """Smoke test: the branch-block PSD check must scale to big buses.
+
+        The historical implementation fancy-indexed the full CSC
+        capacitance matrix to read the (contiguous) inductor block; on
+        multi-thousand-state networks that built index structures over
+        the whole matrix.  Assembly of an 800-segment coupled bus (4802
+        states, 1600 mutual stamps) must succeed and stay PSD-checked.
+        """
+        from repro.circuits.generators import coupled_rlc_bus
+
+        net = coupled_rlc_bus(num_segments=800)
+        system = assemble(net)
+        assert system.order == 4802
+        # The check ran (mutuals present) and accepted the PSD block; a
+        # hostile coupling on the same topology must still be rejected.
+        bad = coupled_rlc_bus(num_segments=10, mutual_coupling=0.999)
+        bad.mutual("Kbad", "L0_0", "L1_1", -0.999)
+        with pytest.raises(MNAError, match="indefinite"):
+            assemble(bad)
+
     def test_voltage_source_structure(self):
         net = Netlist()
         net.resistor("R1", "in", "out", 1.0)

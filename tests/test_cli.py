@@ -132,6 +132,21 @@ class TestMonteCarlo:
         )
         assert code == 0
 
+    def test_jobs_spec_accepts_thread_backend(self, netlist_file, capsys):
+        code = main(
+            ["montecarlo", netlist_file, "--instances", "3", "--poles", "2",
+             "--moments", "3", "--jobs", "thread"]
+        )
+        assert code == 0
+
+    def test_jobs_matches_serial_output(self, netlist_file, capsys):
+        argv = ["montecarlo", netlist_file, "--instances", "3", "--poles", "2",
+                "--moments", "3"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "thread"]) == 0
+        assert capsys.readouterr().out == serial_out
+
     def test_impossible_tolerance_fails(self, netlist_file, capsys):
         code = main(
             ["montecarlo", netlist_file, "--instances", "3", "--poles", "2",
@@ -173,6 +188,19 @@ class TestBatch:
         out = capsys.readouterr().out
         assert code == 0
         assert "# instances: 7" in out
+
+    def test_chunked_streaming_matches_one_shot(self, netlist_file, capsys):
+        argv = ["batch", netlist_file, "--plan", "montecarlo", "--instances",
+                "7", "--moments", "3", "--points", "4"]
+        assert main(argv) == 0
+        one_shot = capsys.readouterr().out
+        assert "chunks: 1" in one_shot
+        assert main(argv + ["--chunk", "3"]) == 0
+        chunked = capsys.readouterr().out
+        assert "chunks: 3" in chunked
+        # Same envelope CSV either way (only the chunk count line differs).
+        csv = lambda text: [l for l in text.splitlines() if not l.startswith("#")]  # noqa: E731
+        assert csv(chunked) == csv(one_shot)
 
 
 class TestTransient:

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.linalg import SparseLU, factorization_count, reset_factorization_count
+from repro.linalg import (
+    SparseLU,
+    factorization_count,
+    refactorization_count,
+    reset_factorization_count,
+    reset_refactorization_count,
+)
 
 
 def random_spd(n, seed=0):
@@ -74,6 +80,84 @@ class TestSparseLU:
         singular = sp.csc_matrix(np.zeros((3, 3)))
         with pytest.raises(Exception):
             SparseLU(singular)
+
+
+def _random_sparse(n, seed=0, density=0.08):
+    """A well-conditioned random sparse CSC matrix with sorted indices."""
+    base = sp.random(n, n, density=density, random_state=seed, format="csc")
+    matrix = (base + sp.eye(n, format="csc") * n).tocsc()
+    matrix.sort_indices()
+    return matrix
+
+
+class TestRefactor:
+    def test_refactor_matches_fresh_factorization(self):
+        a = _random_sparse(40, seed=1)
+        lu = SparseLU(a)
+        scaled_data = a.data * 3.5
+        scaled = sp.csc_matrix((scaled_data, a.indices, a.indptr), shape=a.shape)
+        rng = np.random.default_rng(7)
+        b = rng.standard_normal((40, 3))
+        x = lu.refactor(scaled_data).solve(b)
+        np.testing.assert_allclose(scaled @ x, b, atol=1e-9)
+
+    def test_refactor_complex_pencil(self):
+        """The runtime use case: a complex shifted pencil on a real template."""
+        a = _random_sparse(30, seed=2)
+        lu = SparseLU(a)
+        pencil_data = a.data * (1.0 + 2.0j)
+        pencil = sp.csc_matrix((pencil_data, a.indices, a.indptr), shape=a.shape)
+        b = np.random.default_rng(3).standard_normal(30)
+        x = lu.refactor(pencil_data).solve(b.astype(complex))
+        np.testing.assert_allclose(pencil @ x, b, atol=1e-9)
+
+    def test_refactor_transpose_solve(self):
+        a = _random_sparse(25, seed=4)
+        lu = SparseLU(a)
+        data = a.data * -1.25
+        scaled = sp.csc_matrix((data, a.indices, a.indptr), shape=a.shape)
+        b = np.random.default_rng(5).standard_normal((25, 2))
+        x = lu.refactor(data).solve_transpose(b)
+        np.testing.assert_allclose(scaled.T @ x, b, atol=1e-9)
+
+    def test_refactor_of_refactor_shares_plan(self):
+        a = _random_sparse(20, seed=6)
+        first = SparseLU(a).refactor(a.data * 2.0)
+        second = first.refactor(a.data * 4.0)
+        b = np.ones(20)
+        quad = sp.csc_matrix((a.data * 4.0, a.indices, a.indptr), shape=a.shape)
+        np.testing.assert_allclose(quad @ second.solve(b), b, atol=1e-10)
+
+    def test_refactor_rejects_wrong_length(self):
+        lu = SparseLU(_random_sparse(10, seed=8))
+        with pytest.raises(ValueError, match="matching"):
+            lu.refactor(np.ones(3))
+
+    def test_does_not_mutate_caller_csc(self):
+        """A CSC input with unsorted indices must not be reordered in place."""
+        # A = [[7,0,0],[4,5,0],[0,0,9]]; column 0 stores rows (1, 0) unsorted.
+        rows = np.array([1, 0, 1, 2])
+        data = np.array([4.0, 7.0, 5.0, 9.0])
+        indptr = np.array([0, 2, 3, 4])
+        matrix = sp.csc_matrix((data.copy(), rows.copy(), indptr.copy()), shape=(3, 3))
+        assert list(matrix.indices[:2]) == [1, 0]
+        lu = SparseLU(matrix)
+        np.testing.assert_array_equal(matrix.indices, rows)
+        np.testing.assert_array_equal(matrix.data, data)
+        x = lu.solve(np.array([7.0, 9.0, 9.0]))
+        np.testing.assert_allclose(x, [1.0, 1.0, 1.0], atol=1e-12)
+
+    def test_refactor_counter_separate_from_factorizations(self):
+        reset_factorization_count()
+        reset_refactorization_count()
+        a = _random_sparse(12, seed=9)
+        lu = SparseLU(a)
+        lu.refactor(a.data * 2.0)
+        lu.refactor(a.data * 3.0)
+        assert factorization_count() == 1
+        assert refactorization_count() == 2
+        assert reset_refactorization_count() == 2
+        assert refactorization_count() == 0
 
 
 class TestFactorizationCounter:

@@ -10,15 +10,18 @@ kernels and the per-sample reference loop: bit-identical for
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.timedomain import simulate_transient
 from repro.circuits import coupled_rlc_bus, rc_ladder, with_random_variations
 from repro.circuits.statespace import DescriptorSystem
+from repro.circuits.variational import ParametricSystem
 from repro.core import LowRankReducer
 from repro.core.model import ParametricReducedModel
 from repro.runtime import (
+    SparsePatternFamily,
     StepInput,
     batch_frequency_response,
     batch_instantiate,
@@ -94,6 +97,69 @@ def _reduced_circuit_model(kind):
             parametric = with_random_variations(coupled_rlc_bus(), 2, seed=42)
         _CIRCUIT_MODELS[kind] = LowRankReducer(num_moments=3, rank=1).reduce(parametric)
     return _CIRCUIT_MODELS[kind]
+
+
+@st.composite
+def sparse_parametric_systems(draw):
+    """A random sparse full-order parametric system plus sample points.
+
+    Random CSR patterns (including entries unique to single sensitivity
+    matrices, empty sensitivities, and repeated structural overlap),
+    signed values, and parameter points that include exact zeros -- the
+    territory where a shared-pattern data accumulation could diverge
+    from scipy's per-sample sparse additions.
+    """
+    n = draw(st.integers(min_value=2, max_value=9))
+    num_parameters = draw(st.integers(min_value=1, max_value=3))
+    num_samples = draw(SAMPLE_COUNTS)
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31))
+    rng = np.random.default_rng(seed)
+
+    def random_sparse(density, symmetric=False):
+        mask = rng.random((n, n)) < density
+        values = np.where(mask, rng.standard_normal((n, n)), 0.0)
+        if symmetric:
+            values = values + values.T
+        return sp.csr_matrix(values)
+
+    g0 = sp.csr_matrix(random_sparse(0.4, symmetric=True) + n * sp.identity(n))
+    c0 = sp.csr_matrix(random_sparse(0.3, symmetric=True) + sp.identity(n))
+    dG = [random_sparse(rng.uniform(0.0, 0.5)) for _ in range(num_parameters)]
+    dC = [random_sparse(rng.uniform(0.0, 0.5)) for _ in range(num_parameters)]
+    nominal = DescriptorSystem(g0, c0, np.eye(n, 1), np.eye(n, 1), title="hyp-sparse")
+    model = ParametricSystem(nominal, dG, dC)
+    samples = 0.4 * rng.standard_normal((num_samples, num_parameters))
+    # Zero out random coefficients: the scalar path *skips* them.
+    samples[rng.random(samples.shape) < 0.3] = 0.0
+    return model, samples
+
+
+class TestSparsePatternFamilyProperties:
+    @RELAXED
+    @given(sparse_parametric_systems())
+    def test_instantiate_bit_identical_to_scalar_path(self, ensemble):
+        model, samples = ensemble
+        family = SparsePatternFamily(model)
+        for point in samples:
+            reference = model.instantiate(point)
+            fast = family.instantiate(point)
+            np.testing.assert_array_equal(fast.G.toarray(), reference.G.toarray())
+            np.testing.assert_array_equal(fast.C.toarray(), reference.C.toarray())
+
+    @RELAXED
+    @given(sparse_parametric_systems())
+    def test_batch_data_bit_identical_to_scalar_path(self, ensemble):
+        model, samples = ensemble
+        family = SparsePatternFamily(model)
+        g_data, c_data = family.batch_data(samples, exact=True)
+        for k, point in enumerate(samples):
+            reference = model.instantiate(point)
+            np.testing.assert_array_equal(
+                family.matrix_from_data(g_data[k]).toarray(), reference.G.toarray()
+            )
+            np.testing.assert_array_equal(
+                family.matrix_from_data(c_data[k]).toarray(), reference.C.toarray()
+            )
 
 
 class TestBatchKernelProperties:

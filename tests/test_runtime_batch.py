@@ -183,3 +183,107 @@ class TestBatchSensitivities:
         assert result.shape == (
             3, parametric.nominal.num_outputs, parametric.nominal.num_inputs
         )
+
+
+def _reference_eig_responses(eigenvalues, lt_v, w, freqs):
+    """The historical per-frequency loop, kept verbatim as the oracle."""
+    out = np.empty(
+        (eigenvalues.shape[0], freqs.size, lt_v.shape[1], w.shape[2]), dtype=complex
+    )
+    for j, f in enumerate(freqs):
+        s = 2j * np.pi * f
+        out[:, j] = lt_v @ (w / (1.0 + s * eigenvalues)[:, :, None])
+    return out
+
+
+class TestEigResponsesGrid:
+    """The collapsed (m, n_freq, q) contraction vs the historical loop."""
+
+    def _factors(self, model, num_samples):
+        from repro.runtime.batch import _eig_response_factors
+
+        points = sample_parameters(num_samples, 3, seed=23)
+        g, c = batch_instantiate(model, points, exact=False)
+        return _eig_response_factors(model, g, c)
+
+    def test_grid_contraction_bit_close_to_loop(self, model):
+        """Small ensemble, dense axis: the one-GEMM-per-instance path."""
+        from repro.runtime.batch import _eig_responses
+
+        eigenvalues, lt_v, w = self._factors(model, num_samples=5)
+        freqs = np.logspace(7, 10, 64)
+        collapsed = _eig_responses(eigenvalues, lt_v, w, freqs)
+        reference = _reference_eig_responses(eigenvalues, lt_v, w, freqs)
+        scale = np.abs(reference).max()
+        assert np.abs(collapsed - reference).max() <= 1e-13 * scale
+
+    def test_wide_ensemble_bit_identical_to_loop(self, model):
+        """Monte Carlo shape: the batched kernel must stay bit-exact."""
+        from repro.runtime.batch import _eig_responses
+
+        eigenvalues, lt_v, w = self._factors(model, num_samples=40)
+        freqs = np.logspace(7, 10, 12)
+        batched = _eig_responses(eigenvalues, lt_v, w, freqs)
+        reference = _reference_eig_responses(eigenvalues, lt_v, w, freqs)
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_public_kernel_unchanged_across_regimes(self, model):
+        """batch_frequency_response(method='eig') agrees with 'solve' in both."""
+        freqs = np.logspace(7, 10, 40)
+        for num_samples in (3, 25):
+            points = sample_parameters(num_samples, 3, seed=29)
+            eig = batch_frequency_response(model, freqs, points, method="eig")
+            solve = batch_frequency_response(model, freqs, points, method="solve")
+            scale = np.abs(solve).max()
+            assert np.abs(eig - solve).max() <= 1e-9 * scale
+
+
+class TestDensificationMemo:
+    """Models without their own cache densify once, not per kernel call."""
+
+    def _bare_model(self):
+        """A shape-contract model with no dense_nominal/sensitivity_stacks."""
+        import scipy.sparse as sp
+
+        from repro.circuits.statespace import DescriptorSystem
+
+        class BareModel:
+            def __init__(self):
+                rng = np.random.default_rng(5)
+                g0 = rng.standard_normal((4, 4)) + 4 * np.eye(4)
+                c0 = rng.standard_normal((4, 4)) + 4 * np.eye(4)
+                self.nominal = DescriptorSystem(
+                    sp.csr_matrix(g0), sp.csr_matrix(c0), np.eye(4, 1), np.eye(4, 1)
+                )
+                self.dG = [sp.csr_matrix(0.1 * rng.standard_normal((4, 4)))]
+                self.dC = [sp.csr_matrix(0.1 * rng.standard_normal((4, 4)))]
+                self.num_parameters = 1
+
+        return BareModel()
+
+    def test_densification_happens_once(self):
+        from repro.runtime.batch import densification_count, reset_densification_count
+
+        model = self._bare_model()
+        points = np.array([[0.1], [-0.2], [0.0]])
+        reset_densification_count()
+        batch_instantiate(model, points, exact=True)
+        after_first = densification_count()
+        assert after_first == 2  # one nominal pass + one stack pass
+        batch_instantiate(model, points, exact=True)
+        batch_instantiate(model, points, exact=False)
+        batch_transfer(model, S_POINT, points)
+        assert densification_count() == after_first
+
+    def test_memoized_results_match_scalar_instantiation(self):
+        model = self._bare_model()
+        points = np.array([[0.3], [0.0]])
+        g, c = batch_instantiate(model, points, exact=True)
+        g0 = model.nominal.G.toarray()
+        c0 = model.nominal.C.toarray()
+        expected_g = g0 + 0.3 * model.dG[0].toarray()
+        expected_c = c0 + 0.3 * model.dC[0].toarray()
+        np.testing.assert_array_equal(g[0], expected_g)
+        np.testing.assert_array_equal(c[0], expected_c)
+        np.testing.assert_array_equal(g[1], g0)
+        np.testing.assert_array_equal(c[1], c0)

@@ -1,17 +1,45 @@
 """Execution backends: ordering, resolution, and cross-backend parity."""
 
+import functools
+
 import numpy as np
 import pytest
 
-from repro.analysis.montecarlo import monte_carlo_pole_study
+from repro.analysis.montecarlo import monte_carlo_pole_study, sample_parameters
 from repro.circuits import rcnet_a
 from repro.core import LowRankReducer
-from repro.runtime import ProcessExecutor, SerialExecutor, resolve_executor
+from repro.runtime import (
+    ProcessExecutor,
+    SerialExecutor,
+    SharedMemoryExecutor,
+    ThreadExecutor,
+    batch_sweep_study,
+    executor_map_array,
+    resolve_executor,
+)
+
+FREQUENCIES = np.logspace(7, 10, 5)
 
 
 def _square(x):
     """Module-level so the process backend can pickle it."""
     return x * x
+
+
+def _row_norm(row):
+    """Module-level row task for map_array tests."""
+    return float(np.linalg.norm(row))
+
+
+def _sweep_task(model, point):
+    """A real batch_sweep_study work item (one-sample study)."""
+    responses, poles = batch_sweep_study(model, FREQUENCIES, [point], num_poles=3)
+    return responses[0], poles[0]
+
+
+@pytest.fixture(scope="module")
+def reduced_model():
+    return LowRankReducer(num_moments=2, rank=1).reduce(rcnet_a())
 
 
 class TestSerialExecutor:
@@ -20,6 +48,31 @@ class TestSerialExecutor:
 
     def test_empty(self):
         assert SerialExecutor().map(_square, []) == []
+
+    def test_map_array_rows(self):
+        matrix = np.arange(6.0).reshape(3, 2)
+        expected = [_row_norm(row) for row in matrix]
+        assert SerialExecutor().map_array(_row_norm, matrix) == expected
+
+
+class TestThreadExecutor:
+    def test_matches_serial(self):
+        items = list(range(23))
+        assert ThreadExecutor(max_workers=4).map(_square, items) == [
+            x * x for x in items
+        ]
+
+    def test_empty(self):
+        assert ThreadExecutor(max_workers=2).map(_square, []) == []
+
+    def test_map_array(self):
+        matrix = np.random.default_rng(0).standard_normal((9, 3))
+        expected = [_row_norm(row) for row in matrix]
+        assert ThreadExecutor(max_workers=3).map_array(_row_norm, matrix) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(max_workers=0)
 
 
 class TestProcessExecutor:
@@ -36,11 +89,77 @@ class TestProcessExecutor:
         executor = ProcessExecutor(max_workers=1, chunksize=5)
         assert executor.map(_square, list(range(7))) == [x * x for x in range(7)]
 
+    def test_chunksize_larger_than_workload(self):
+        # A chunksize exceeding the item count must degrade to one chunk,
+        # not drop or duplicate items.
+        executor = ProcessExecutor(max_workers=2, chunksize=1000)
+        items = list(range(11))
+        assert executor.map(_square, items) == [x * x for x in items]
+
+    def test_ordering_one_worker_vs_many(self):
+        items = list(range(31, 0, -1))  # descending input, order must survive
+        expected = [x * x for x in items]
+        assert ProcessExecutor(max_workers=1).map(_square, items) == expected
+        assert ProcessExecutor(max_workers=4, chunksize=3).map(_square, items) == expected
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ProcessExecutor(max_workers=0)
         with pytest.raises(ValueError):
             ProcessExecutor(chunksize=0)
+
+    def test_deterministic_on_real_sweep_study_task(self, reduced_model):
+        """Bit-identical batch_sweep_study results, serial vs process."""
+        points = sample_parameters(6, 3, seed=17)
+        task = functools.partial(_sweep_task, reduced_model)
+        serial = SerialExecutor().map(task, list(points))
+        parallel = ProcessExecutor(max_workers=2, chunksize=2).map(task, list(points))
+        for (h_serial, p_serial), (h_parallel, p_parallel) in zip(serial, parallel):
+            np.testing.assert_array_equal(h_serial, h_parallel)
+            np.testing.assert_array_equal(p_serial, p_parallel)
+
+
+class TestSharedMemoryExecutor:
+    def test_map_array_matches_serial(self):
+        matrix = np.random.default_rng(1).standard_normal((25, 4))
+        serial = SerialExecutor().map_array(_row_norm, matrix)
+        shared = SharedMemoryExecutor(max_workers=2, chunksize=7).map_array(
+            _row_norm, matrix
+        )
+        assert shared == serial
+
+    def test_map_array_empty(self):
+        assert SharedMemoryExecutor(max_workers=1).map_array(
+            _row_norm, np.empty((0, 3))
+        ) == []
+
+    def test_map_array_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            SharedMemoryExecutor().map_array(_row_norm, np.zeros(4))
+
+    def test_plain_map_still_works(self):
+        items = list(range(9))
+        assert SharedMemoryExecutor(max_workers=2).map(_square, items) == [
+            x * x for x in items
+        ]
+
+    def test_unsafe_platform_falls_back_to_pickling(self, monkeypatch):
+        """Spawn-based start methods (pre-3.13) must use the map fallback."""
+        import repro.runtime.executor as executor_module
+
+        monkeypatch.setattr(executor_module, "_shared_memory_channel_safe", lambda: False)
+        matrix = np.random.default_rng(3).standard_normal((7, 2))
+        result = SharedMemoryExecutor(max_workers=2).map_array(_row_norm, matrix)
+        assert result == SerialExecutor().map_array(_row_norm, matrix)
+
+    def test_real_study_task_matches_serial(self, reduced_model):
+        points = sample_parameters(4, 3, seed=19)
+        task = functools.partial(_sweep_task, reduced_model)
+        serial = SerialExecutor().map_array(task, points)
+        shared = SharedMemoryExecutor(max_workers=2, chunksize=2).map_array(task, points)
+        for (h_serial, p_serial), (h_shared, p_shared) in zip(serial, shared):
+            np.testing.assert_array_equal(h_serial, h_shared)
+            np.testing.assert_array_equal(p_serial, p_shared)
 
 
 class TestResolveExecutor:
@@ -48,11 +167,19 @@ class TestResolveExecutor:
         assert isinstance(resolve_executor(None), SerialExecutor)
         assert isinstance(resolve_executor("serial"), SerialExecutor)
 
+    def test_thread_specs(self):
+        assert isinstance(resolve_executor("thread"), ThreadExecutor)
+        assert isinstance(resolve_executor("threads"), ThreadExecutor)
+
     def test_process_specs(self):
         assert isinstance(resolve_executor("process"), ProcessExecutor)
         resolved = resolve_executor(3)
         assert isinstance(resolved, ProcessExecutor)
         assert resolved.max_workers == 3
+
+    def test_shared_specs(self):
+        assert isinstance(resolve_executor("shared"), SharedMemoryExecutor)
+        assert isinstance(resolve_executor("sharedmem"), SharedMemoryExecutor)
 
     def test_one_worker_is_serial(self):
         assert isinstance(resolve_executor(1), SerialExecutor)
@@ -63,7 +190,7 @@ class TestResolveExecutor:
 
     def test_rejects_garbage(self):
         with pytest.raises(ValueError):
-            resolve_executor("threads")
+            resolve_executor("fiber")
         with pytest.raises(ValueError):
             resolve_executor(0)
         with pytest.raises(ValueError):
@@ -71,16 +198,26 @@ class TestResolveExecutor:
         with pytest.raises(ValueError):
             resolve_executor(3.5)
 
+    def test_map_array_adapter_falls_back_to_map(self):
+        class MapOnly:
+            def map(self, fn, items):
+                return [fn(item) for item in items]
+
+        matrix = np.arange(8.0).reshape(4, 2)
+        expected = [_row_norm(row) for row in matrix]
+        assert executor_map_array(MapOnly(), _row_norm, matrix) == expected
+
 
 class TestStudyParity:
-    def test_process_study_bitwise_matches_serial(self):
+    @pytest.mark.parametrize("executor", [2, "thread", "shared"])
+    def test_study_bitwise_matches_serial(self, executor):
         parametric = rcnet_a()
         model = LowRankReducer(num_moments=2, rank=1).reduce(parametric)
         serial = monte_carlo_pole_study(
             parametric, model, 3, num_poles=3, seed=13, executor=None
         )
         parallel = monte_carlo_pole_study(
-            parametric, model, 3, num_poles=3, seed=13, executor=2
+            parametric, model, 3, num_poles=3, seed=13, executor=executor
         )
         np.testing.assert_array_equal(serial.pole_errors, parallel.pole_errors)
         np.testing.assert_array_equal(serial.full_poles, parallel.full_poles)

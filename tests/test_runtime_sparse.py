@@ -1,0 +1,243 @@
+"""Tests for the sparse shared-pattern runtime (full-order batching)."""
+
+import pickle
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.circuits import (
+    power_grid_mesh,
+    rc_ladder,
+    rc_tree,
+    with_random_variations,
+)
+from repro.circuits.statespace import DescriptorSystem
+from repro.circuits.variational import ParametricSystem
+from repro.core import LowRankReducer
+from repro.runtime import (
+    SparsePatternFamily,
+    shared_pattern_family,
+    sparse_batch_frequency_response,
+    sparse_batch_transfer,
+    supports_sparse_batching,
+)
+
+FREQUENCIES = np.logspace(7, 10, 4)
+
+
+def ladder_parametric(num_segments=40, num_parameters=2):
+    return with_random_variations(rc_ladder(num_segments), num_parameters, seed=3)
+
+
+def mesh_parametric():
+    return with_random_variations(power_grid_mesh(5, 24), 2, seed=3)
+
+
+def tree_parametric():
+    return with_random_variations(rc_tree(220, seed=7), 2, seed=3)
+
+
+def samples_for(model, num=5, seed=11):
+    rng = np.random.default_rng(seed)
+    matrix = 0.25 * rng.standard_normal((num, model.num_parameters))
+    matrix[0] = 0.0  # include the nominal point (zero coefficients)
+    return matrix
+
+
+class TestSupportsSparseBatching:
+    def test_sparse_parametric_system(self):
+        assert supports_sparse_batching(ladder_parametric())
+
+    def test_dense_reduced_model_is_not_sparse(self):
+        model = LowRankReducer(num_moments=2, rank=1).reduce(ladder_parametric())
+        assert not supports_sparse_batching(model)
+
+    def test_non_parametric_object(self):
+        assert not supports_sparse_batching(object())
+
+    def test_mixed_sparse_dense_model_rejected(self):
+        """Sparse G but dense C/dG/dC must not pass the gate.
+
+        Such a model previously slipped through (only ``nominal.G`` was
+        checked) and crashed inside the family; it belongs on the
+        per-sample fallback path instead.
+        """
+        base = ladder_parametric(num_segments=6)
+        mixed = ParametricSystem(
+            DescriptorSystem(
+                base.nominal.G,
+                base.nominal.C.toarray(),
+                np.asarray(base.nominal.B.toarray()),
+                np.asarray(base.nominal.L.toarray()),
+            ),
+            [m.toarray() for m in base.dG],
+            [m.toarray() for m in base.dC],
+        )
+        assert not supports_sparse_batching(mixed)
+        with pytest.raises(ValueError, match="sparse parametric"):
+            SparsePatternFamily(mixed)
+
+
+class TestSolverSelection:
+    def test_ladder_is_tridiagonal(self):
+        family = SparsePatternFamily(ladder_parametric())
+        assert family.solver_kind == "tridiagonal"
+        assert family.bandwidth == 1
+
+    def test_mesh_is_banded(self):
+        family = SparsePatternFamily(mesh_parametric())
+        assert family.solver_kind == "banded"
+        assert 1 < family.bandwidth <= 32
+
+    def test_wide_pattern_falls_back_to_superlu(self):
+        family = SparsePatternFamily(tree_parametric())
+        assert family.solver_kind in ("banded", "superlu")
+        forced = SparsePatternFamily(tree_parametric(), max_bandwidth=0)
+        assert forced.solver_kind == "superlu"
+
+    def test_rejects_dense_models(self):
+        model = LowRankReducer(num_moments=2, rank=1).reduce(ladder_parametric())
+        with pytest.raises(ValueError, match="sparse parametric"):
+            SparsePatternFamily(model)
+
+
+class TestInstantiateBitIdentity:
+    @pytest.mark.parametrize(
+        "make_model", [ladder_parametric, mesh_parametric, tree_parametric]
+    )
+    def test_matches_scalar_path_bitwise(self, make_model):
+        model = make_model()
+        family = SparsePatternFamily(model)
+        for point in samples_for(model):
+            reference = model.instantiate(point)
+            fast = family.instantiate(point)
+            np.testing.assert_array_equal(fast.G.toarray(), reference.G.toarray())
+            np.testing.assert_array_equal(fast.C.toarray(), reference.C.toarray())
+
+    def test_batch_data_exact_matches_scalar_path(self):
+        model = ladder_parametric()
+        family = SparsePatternFamily(model)
+        samples = samples_for(model)
+        g_data, c_data = family.batch_data(samples, exact=True)
+        for k, point in enumerate(samples):
+            reference = model.instantiate(point)
+            np.testing.assert_array_equal(
+                family.matrix_from_data(g_data[k]).toarray(), reference.G.toarray()
+            )
+            np.testing.assert_array_equal(
+                family.matrix_from_data(c_data[k]).toarray(), reference.C.toarray()
+            )
+
+    def test_einsum_batch_data_matches_exact(self):
+        model = mesh_parametric()
+        family = SparsePatternFamily(model)
+        samples = samples_for(model)
+        g_exact, c_exact = family.batch_data(samples, exact=True)
+        g_fast, c_fast = family.batch_data(samples, exact=False)
+        scale = max(np.abs(g_exact).max(), np.abs(c_exact).max())
+        assert np.abs(g_fast - g_exact).max() <= 1e-12 * scale
+        assert np.abs(c_fast - c_exact).max() <= 1e-12 * scale
+
+    def test_rejects_bad_point_shape(self):
+        family = SparsePatternFamily(ladder_parametric())
+        with pytest.raises(ValueError, match="parameter point"):
+            family.instantiate([0.1, 0.2, 0.3])
+
+
+class TestPencilSolvers:
+    @pytest.mark.parametrize(
+        "make_model,expected_kind",
+        [
+            (ladder_parametric, "tridiagonal"),
+            (mesh_parametric, "banded"),
+            (tree_parametric, None),
+        ],
+    )
+    def test_frequency_response_matches_loop(self, make_model, expected_kind):
+        model = make_model()
+        family = SparsePatternFamily(model)
+        if expected_kind is not None:
+            assert family.solver_kind == expected_kind
+        samples = samples_for(model)
+        batched = family.frequency_response(FREQUENCIES, samples)
+        for k, point in enumerate(samples):
+            reference = model.instantiate(point).frequency_response(FREQUENCIES)
+            scale = np.abs(reference).max()
+            assert np.abs(batched[k] - reference).max() <= 1e-10 * scale
+
+    def test_forced_superlu_matches_loop(self):
+        model = ladder_parametric()
+        family = SparsePatternFamily(model, max_bandwidth=0)
+        assert family.solver_kind == "superlu"
+        samples = samples_for(model, num=3)
+        batched = family.frequency_response(FREQUENCIES, samples)
+        for k, point in enumerate(samples):
+            reference = model.instantiate(point).frequency_response(FREQUENCIES)
+            scale = np.abs(reference).max()
+            assert np.abs(batched[k] - reference).max() <= 1e-10 * scale
+
+    def test_transfer_matches_loop(self):
+        model = ladder_parametric()
+        samples = samples_for(model)
+        s = 2j * np.pi * 1e9
+        batched = sparse_batch_transfer(model, s, samples)
+        for k, point in enumerate(samples):
+            reference = model.transfer(s, point)
+            scale = np.abs(reference).max()
+            assert np.abs(batched[k] - reference).max() <= 1e-10 * scale
+
+    def test_module_level_frequency_response(self):
+        model = mesh_parametric()
+        samples = samples_for(model, num=2)
+        batched = sparse_batch_frequency_response(model, FREQUENCIES, samples)
+        assert batched.shape == (
+            2,
+            FREQUENCIES.size,
+            model.nominal.num_outputs,
+            model.nominal.num_inputs,
+        )
+
+    def test_singular_pencil_raises(self):
+        zero_g = sp.csr_matrix((2, 2))
+        c0 = sp.identity(2, format="csr")
+        b = np.array([[1.0], [0.0]])
+        nominal = DescriptorSystem(zero_g, c0, b, b, title="singular")
+        model = ParametricSystem(
+            nominal, [sp.csr_matrix((2, 2))], [sp.csr_matrix((2, 2))]
+        )
+        family = SparsePatternFamily(model)
+        with pytest.raises(RuntimeError, match="singular"):
+            # At f = 0 the pencil degenerates to the all-zero G.
+            family.frequency_response([0.0], [[0.0]])
+
+
+class TestFamilyLifecycle:
+    def test_shared_pattern_family_is_memoized(self):
+        model = ladder_parametric()
+        first = shared_pattern_family(model)
+        assert shared_pattern_family(model) is first
+
+    def test_pickle_roundtrip_superlu(self):
+        model = tree_parametric()
+        family = SparsePatternFamily(model, max_bandwidth=0)
+        samples = samples_for(model, num=2)
+        reference = family.frequency_response(FREQUENCIES, samples)
+        clone = pickle.loads(pickle.dumps(family))
+        restored = clone.frequency_response(FREQUENCIES, samples)
+        scale = np.abs(reference).max()
+        assert np.abs(restored - reference).max() <= 1e-12 * scale
+
+    def test_pickle_roundtrip_tridiagonal(self):
+        model = ladder_parametric()
+        family = SparsePatternFamily(model)
+        samples = samples_for(model, num=2)
+        reference = family.frequency_response(FREQUENCIES, samples)
+        clone = pickle.loads(pickle.dumps(family))
+        restored = clone.frequency_response(FREQUENCIES, samples)
+        np.testing.assert_array_equal(restored, reference)
+
+    def test_repr_mentions_solver(self):
+        family = SparsePatternFamily(ladder_parametric())
+        text = repr(family)
+        assert "tridiagonal" in text and "nnz" in text
