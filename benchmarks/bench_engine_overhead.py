@@ -1,0 +1,126 @@
+"""Engine dispatch overhead: ``Study.run()`` vs the direct kernel call.
+
+The ``Study`` engine is the one front door of the runtime; its value
+is routing, not speed.  This benchmark proves the front door is free:
+planning + dispatch must cost < 5% on top of calling the routed kernel
+directly, on a 64-instance RCNetA Monte Carlo sweep (the acceptance
+workload of the runtime subsystem).
+
+- direct:  the internal streaming driver the engine's dense-batch
+  sweep route delegates to, called with precomputed samples -- i.e.
+  exactly the work ``run()`` performs minus the engine;
+- engine:  ``Study(model).scenarios(samples).sweep(freqs).poles(k)``
+  rebuilt and ``run()`` per repetition, so every repetition pays the
+  full builder + planner + dispatch path.
+
+Results are recorded to ``BENCH_engine_overhead.json`` via
+:mod:`benchmarks._record`.  Set ``BENCH_SMOKE=1`` for a tiny
+configuration with the timing assertion disabled.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks._record import write_record
+from benchmarks.conftest import format_table
+from repro.analysis.montecarlo import sample_parameters
+from repro.circuits import rcnet_a
+from repro.core import LowRankReducer
+from repro.runtime import Study
+from repro.runtime.stream import _stream_sweep_study
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+NUM_INSTANCES = 8 if SMOKE else 64
+NUM_POLES = 5
+FREQUENCIES = np.logspace(7, 10, 6 if SMOKE else 120)
+REPEATS = 3 if SMOKE else 30
+SEED = 2005
+OVERHEAD_BUDGET = 0.05
+
+
+def _interleaved_best(fn_a, fn_b, repeats):
+    """Best-of-``repeats`` for two rivals, alternating call order.
+
+    Interleaving makes the comparison robust against CPU frequency
+    drift between two separate timing loops -- the dominant noise when
+    the quantity of interest is a few percent.
+    """
+    best_a = best_b = np.inf
+    for index in range(repeats):
+        pair = (fn_a, fn_b) if index % 2 == 0 else (fn_b, fn_a)
+        for fn in pair:
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            if fn is fn_a:
+                best_a = min(best_a, elapsed)
+            else:
+                best_b = min(best_b, elapsed)
+    return best_a, best_b
+
+
+def test_engine_dispatch_overhead(report, rcneta):
+    model = LowRankReducer(num_moments=4, rank=1).reduce(rcneta)
+    samples = sample_parameters(
+        NUM_INSTANCES, rcneta.num_parameters, three_sigma=0.3, seed=SEED
+    )
+
+    def direct():
+        return _stream_sweep_study(
+            model, FREQUENCIES, samples,
+            chunk_size=NUM_INSTANCES, num_poles=NUM_POLES, keep_responses=True,
+        )
+
+    def engine():
+        return (
+            Study(model)
+            .scenarios(samples)
+            .sweep(FREQUENCIES, keep_responses=True)
+            .poles(NUM_POLES)
+            .run()
+        )
+
+    # Warm both paths (kernel caches, memoized stacks) before timing.
+    direct_result = direct()
+    engine_result = engine()
+    np.testing.assert_array_equal(
+        engine_result.responses, direct_result.responses
+    )
+    np.testing.assert_array_equal(engine_result.poles, direct_result.poles)
+
+    direct_seconds, engine_seconds = _interleaved_best(direct, engine, REPEATS)
+    overhead = engine_seconds / direct_seconds - 1.0
+
+    plan = Study(model).scenarios(samples).sweep(FREQUENCIES).poles(NUM_POLES).plan()
+    report(
+        "=== RUNTIME: engine dispatch vs direct kernel call "
+        f"({NUM_INSTANCES}-instance RCNetA sweep, {FREQUENCIES.size} freqs) ===",
+        *format_table(
+            ("route", "direct", "engine", "overhead"),
+            [(
+                plan.route,
+                f"{direct_seconds * 1e3:.2f}ms",
+                f"{engine_seconds * 1e3:.2f}ms",
+                f"{overhead * 100:+.2f}%",
+            )],
+        ),
+    )
+    write_record("engine_overhead", {
+        "num_instances": NUM_INSTANCES,
+        "num_frequencies": int(FREQUENCIES.size),
+        "model_size": model.size,
+        "route": plan.route,
+        "direct_seconds": direct_seconds,
+        "engine_seconds": engine_seconds,
+        "overhead_fraction": overhead,
+        "budget_fraction": OVERHEAD_BUDGET,
+    })
+
+    if not SMOKE:
+        # The front door must be free: < 5% routing overhead.
+        assert overhead < OVERHEAD_BUDGET, (
+            f"engine dispatch overhead {overhead * 100:.2f}% exceeds "
+            f"{OVERHEAD_BUDGET * 100:.0f}%"
+        )

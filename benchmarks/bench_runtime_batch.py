@@ -12,7 +12,7 @@ log-spaced grid and (b) the 5 most dominant poles.
 - looped:  ``model.frequency_response(freqs, p)`` + ``model.poles(p)``
   per instance -- one ``O(q^3)`` pencil solve per (instance,
   frequency) pair plus one eigendecomposition per instance;
-- batched: :func:`repro.runtime.batch.batch_sweep_study` -- one batched
+- batched: the engine's dense sweep kernel -- one batched
   eigendecomposition per instance serving both the poles and the whole
   frequency axis as rational sums.
 
@@ -35,7 +35,7 @@ from benchmarks.conftest import format_table
 from repro.analysis.metrics import matched_pole_errors
 from repro.analysis.montecarlo import sample_parameters
 from repro.core import LowRankReducer
-from repro.runtime import batch_sweep_study
+from repro.runtime.batch import _sweep_study
 
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 NUM_INSTANCES_A = 10 if SMOKE else 1000
@@ -75,7 +75,7 @@ def _run_study(parametric, num_instances, loop_repeats=1, batch_repeats=3):
     )
     loop_seconds, (loop_h, loop_poles) = _time(lambda: _looped_study(model, samples), loop_repeats)
     batch_seconds, (batch_h, batch_poles) = _time(
-        lambda: batch_sweep_study(model, FREQUENCIES, samples, num_poles=NUM_POLES),
+        lambda: _sweep_study(model, FREQUENCIES, samples, num_poles=NUM_POLES),
         batch_repeats,
     )
 

@@ -5,15 +5,16 @@ Covers the core workflow of the library:
 1. describe a circuit (here: an RC ladder from the builder API),
 2. attach process-variation sensitivities,
 3. reduce with the paper's low-rank algorithm (Algorithm 1),
-4. evaluate the tiny parametric macromodel anywhere in (s, p) space
-   and check it against the full model.
+4. evaluate the tiny parametric macromodel through the declarative
+   ``Study`` engine -- the runtime's one entry point -- and check it
+   against the full model.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import LowRankReducer, rc_ladder, with_random_variations
+from repro import LowRankReducer, Study, rc_ladder, with_random_variations
 
 
 def main():
@@ -33,11 +34,26 @@ def main():
     print(f"reduced model: {model.size} states "
           f"(matches multi-parameter moments to 4th order)\n")
 
-    # 3. Evaluate both models across frequency at a +-40% process corner.
+    # 3. Evaluate both models across frequency at a +-40% process corner
+    #    through the Study engine (one declarative front door; it routes
+    #    the reduced model to the dense batched kernels and the sparse
+    #    full-order system to the shared-pattern solver family).
     frequencies = np.logspace(7, 10, 7)
-    corner = [0.4, -0.4]
-    full = parametric.instantiate(corner).frequency_response(frequencies)
-    reduced = model.frequency_response(frequencies, corner)
+    corner = np.array([[0.4, -0.4]])
+    full_study = (
+        Study(parametric).scenarios(corner)
+        .sweep(frequencies, keep_responses=True)
+    )
+    print(f"full-model route:    {full_study.plan().route} "
+          f"[{full_study.plan().kernel}]")
+    reduced_study = (
+        Study(model).scenarios(corner)
+        .sweep(frequencies, keep_responses=True)
+    )
+    print(f"reduced-model route: {reduced_study.plan().route} "
+          f"[{reduced_study.plan().kernel}]\n")
+    full = full_study.run().responses[0]
+    reduced = reduced_study.run().responses[0]
 
     print("      f (Hz)     |Z_full|    |Z_reduced|   rel.err")
     for i, f in enumerate(frequencies):

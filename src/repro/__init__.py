@@ -22,9 +22,10 @@ Package map
 - :mod:`repro.baselines` -- PRIMA, TBR, AWE, projection fitting [6].
 - :mod:`repro.analysis` -- frequency sweeps, poles, passivity,
   transient simulation, Monte Carlo studies.
-- :mod:`repro.runtime` -- the serving layer: batched evaluation
-  kernels, scenario plans, the content-addressed model cache, and
-  parallel executors.
+- :mod:`repro.runtime` -- the serving layer: the declarative ``Study``
+  engine (one front door routing to batched, sparse shared-pattern,
+  streamed, and executor-parallel kernels), scenario plans, the
+  content-addressed model cache, and parallel executors.
 - :mod:`repro.linalg` -- shared numerical kernels.
 
 See the repository-root ``README.md`` for installation, CLI usage, and
@@ -74,6 +75,7 @@ from repro.core import (
 )
 from repro.runtime import (
     CornerPlan,
+    ExecutionPlan,
     GridPlan,
     ModelCache,
     MonteCarloPlan,
@@ -85,6 +87,7 @@ from repro.runtime import (
     SineInput,
     SparsePatternFamily,
     StepInput,
+    Study,
     ThreadExecutor,
     batch_frequency_response,
     batch_instantiate,
@@ -104,6 +107,7 @@ __all__ = [
     "AdaptiveLowRankReducer",
     "CornerPlan",
     "DescriptorSystem",
+    "ExecutionPlan",
     "GridPlan",
     "LowRankReducer",
     "ModelCache",
@@ -122,6 +126,7 @@ __all__ = [
     "SinglePointReducer",
     "SparsePatternFamily",
     "StepInput",
+    "Study",
     "ThreadExecutor",
     "__version__",
     "assemble",

@@ -186,7 +186,7 @@ def batch_threshold_delays(
     """Threshold-crossing step delays of a whole parameter ensemble.
 
     The batched counterpart of :func:`threshold_delay` for dense
-    parametric models: one :func:`repro.runtime.transient.batch_transient_study`
+    parametric models: one batched transient-study kernel
     run over the ``(m, n_p)`` sample matrix, then one vectorized
     crossing extraction.  ``horizon`` defaults to eight *nominal*
     dominant time constants shared across the ensemble (the scalar
@@ -196,11 +196,11 @@ def batch_threshold_delays(
     the scalar function raises).
     """
     from repro.runtime.scenarios import StepInput
-    from repro.runtime.transient import batch_transient_study
+    from repro.runtime.transient import _transient_study
 
     if not 0.0 < threshold < 1.0:
         raise ValueError("threshold must be in (0, 1)")
-    study = batch_transient_study(
+    study = _transient_study(
         model,
         samples,
         waveform=StepInput(input_index=input_index),
@@ -229,11 +229,11 @@ def batch_slew_times(
     is not crossed.
     """
     from repro.runtime.scenarios import StepInput
-    from repro.runtime.transient import batch_transient_study
+    from repro.runtime.transient import _transient_study
 
     if not 0.0 < low < high < 1.0:
         raise ValueError("need 0 < low < high < 1")
-    study = batch_transient_study(
+    study = _transient_study(
         model,
         samples,
         waveform=StepInput(input_index=input_index),

@@ -7,26 +7,24 @@ dominant poles of the reduced parametric model against the perturbed
 full model over all instances.  This module implements that protocol
 for any full/reduced model pair.
 
-Evaluation runs on the :mod:`repro.runtime` serving layer: the reduced
-model is instantiated for *all* instances at once through the batched
-kernels (bit-identical to the scalar path), and the per-instance
-full-model reference solves go through a pluggable executor
-(serial by default, multiprocessing via ``executor="process"``).
+Evaluation runs on the :class:`repro.runtime.engine.Study` engine: one
+pole study per model routes the reduced side through the batched
+stacked-instantiation kernels (bit-identical to the scalar path) and
+the per-instance full-model reference solves through the
+``executor-full`` route (serial by default, parallel via
+``executor="process"`` etc.; executors built from a spec are shut down
+deterministically by the engine).
 """
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.metrics import matched_pole_errors
-from repro.analysis.poles import dominant_poles
-from repro.runtime.batch import batch_instantiate, supports_batching, systems_from_stacks
-from repro.runtime.executor import executor_map_array, resolve_executor
-from repro.runtime.sparse import shared_pattern_family, supports_sparse_batching
+from repro.runtime.engine import Study
 
 
 def sample_parameters(
@@ -89,29 +87,6 @@ class MonteCarloResult:
         return np.histogram(self.pole_errors.ravel() * 100.0, bins=bins)
 
 
-def _full_dominant_poles_task(full_model, num_poles, point):
-    """Reference solve for one instance: ``dominant_poles`` of the full model.
-
-    Module-level (picklable) so the multiprocessing executor can ship
-    it to workers; the model and pole count are bound once via
-    ``functools.partial`` so only the bare sample point travels with
-    each work item rather than a copy of the full system.
-    """
-    return dominant_poles(full_model, num_poles, point)
-
-
-def _family_dominant_poles_task(family, num_poles, point):
-    """Reference solve through a shared sparsity pattern.
-
-    Instantiation via
-    :class:`~repro.runtime.sparse.SparsePatternFamily` is a data-array
-    update on the precomputed union pattern -- bit-identical matrices
-    without the per-sample chain of scipy sparse additions, so the pole
-    results match :func:`_full_dominant_poles_task` exactly.
-    """
-    return dominant_poles(family.instantiate(point), num_poles)
-
-
 def monte_carlo_pole_study(
     full_model,
     reduced_model,
@@ -158,31 +133,29 @@ def monte_carlo_pole_study(
         )
     else:
         samples = np.atleast_2d(np.asarray(samples, dtype=float))
-    backend = resolve_executor(executor)
     pole_errors = np.empty((samples.shape[0], num_poles))
     full_poles = np.empty((samples.shape[0], num_poles), dtype=complex)
     reduced_poles = np.empty((samples.shape[0], num_poles), dtype=complex)
 
-    if supports_sparse_batching(full_model):
-        # Shared-pattern instantiation: the union pattern and index maps
-        # are computed once (and memoized on the model), each reference
-        # solve then updates a bare data array -- same bits, less work.
-        task = functools.partial(
-            _family_dominant_poles_task, shared_pattern_family(full_model), num_poles
-        )
-    else:
-        task = functools.partial(_full_dominant_poles_task, full_model, num_poles)
-    full_results = executor_map_array(backend, task, samples)
-    if supports_batching(reduced_model):
-        g, c = batch_instantiate(reduced_model, samples, exact=True)
-        reduced_systems = systems_from_stacks(reduced_model, g, c)
-        reduced_results = [
-            dominant_poles(system, 2 * num_poles) for system in reduced_systems
-        ]
-    else:
-        reduced_results = [
-            dominant_poles(reduced_model, 2 * num_poles, point) for point in samples
-        ]
+    # One engine study per side.  The full model always declares an
+    # executor (default serial) so it takes the per-sample
+    # executor-full route -- shared-pattern instantiation for sparse
+    # systems, plain per-sample solves otherwise -- and never
+    # materializes (m, n, n) full-order stacks; the reduced model
+    # routes through the dense-batch stacked instantiation with a 2x
+    # pole budget for matching.  Both are bit-identical to the
+    # historical loops.
+    full_results = (
+        Study(full_model)
+        .scenarios(samples)
+        .poles(num_poles)
+        .executor(executor if executor is not None else "serial")
+        .run()
+        .pole_sets
+    )
+    reduced_results = (
+        Study(reduced_model).scenarios(samples).poles(2 * num_poles).run().pole_sets
+    )
 
     for i, (full_p, reduced_p) in enumerate(zip(full_results, reduced_results)):
         errors, matched = matched_pole_errors(full_p, reduced_p)

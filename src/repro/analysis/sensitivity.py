@@ -18,6 +18,11 @@ for everything the MOR pipeline produces:
 - evaluated on a reduced parametric model it measures how well the
   model tracks not just the response but the response's *slope* in the
   parameters -- a stricter fidelity criterion used by the tests.
+
+Evaluation routes through the :class:`repro.runtime.engine.Study`
+engine: dense models hit the batched runtime kernel (a batch of one),
+sparse full systems the factored-solve scalar path the engine's
+executor route maps per sample.
 """
 
 from __future__ import annotations
@@ -28,31 +33,23 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro.runtime.batch import batch_transfer_sensitivities, supports_batching
+from repro.runtime.batch import supports_batching
+from repro.runtime.sparse import supports_sparse_batching
 
 
-def transfer_sensitivities(
+def _scalar_sensitivities(
     parametric_model,
     s: complex,
-    p: Optional[Sequence[float]] = None,
+    point: np.ndarray,
 ) -> np.ndarray:
-    """Exact ``dH/dp_i`` for all parameters at ``(s, p)``.
+    """Exact per-sample ``dH/dp`` through one factorization at ``point``.
 
-    ``parametric_model`` is a full
-    :class:`~repro.circuits.variational.ParametricSystem` or a reduced
-    :class:`~repro.core.model.ParametricReducedModel`; both expose the
-    sensitivity matrices ``dG``/``dC`` this needs.  Dense models are
-    dispatched through the batched runtime kernel (a batch of one);
-    sparse full systems keep the factored-solve path below.
-
-    Returns an array of shape ``(n_p, m_out, m_in)``.
+    The reference implementation every engine route is pinned to: one
+    (sparse LU or dense) factorization of the pencil, one forward and
+    one adjoint block solve, then one contraction per parameter.  Used
+    directly for sparse full systems and mapped over samples by the
+    engine's ``executor-full`` sensitivity route.
     """
-    num_parameters = parametric_model.num_parameters
-    point = (
-        np.zeros(num_parameters) if p is None else np.asarray(p, dtype=float)
-    )
-    if supports_batching(parametric_model):
-        return batch_transfer_sensitivities(parametric_model, s, point[None, :])[0]
     system = parametric_model.instantiate(point)
     s = complex(s)
 
@@ -72,6 +69,7 @@ def transfer_sensitivities(
         x = np.linalg.solve(pencil, b.astype(complex))
         y = np.linalg.solve(pencil.T, l_mat.astype(complex))
 
+    num_parameters = parametric_model.num_parameters
     sensitivities = np.empty((num_parameters, l_mat.shape[1], b.shape[1]), dtype=complex)
     for i in range(num_parameters):
         gi = parametric_model.dG[i]
@@ -79,6 +77,40 @@ def transfer_sensitivities(
         k_i = gi + s * ci
         sensitivities[i] = -(y.T @ np.asarray(k_i @ x))
     return sensitivities
+
+
+def transfer_sensitivities(
+    parametric_model,
+    s: complex,
+    p: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Exact ``dH/dp_i`` for all parameters at ``(s, p)``.
+
+    ``parametric_model`` is a full
+    :class:`~repro.circuits.variational.ParametricSystem` or a reduced
+    :class:`~repro.core.model.ParametricReducedModel`; both expose the
+    sensitivity matrices ``dG``/``dC`` this needs.  Batchable models
+    (dense or sparse) are dispatched through the ``Study`` engine as a
+    batch of one; anything else falls back to the scalar factored
+    solve directly.
+
+    Returns an array of shape ``(n_p, m_out, m_in)``.
+    """
+    num_parameters = parametric_model.num_parameters
+    point = (
+        np.zeros(num_parameters) if p is None else np.asarray(p, dtype=float)
+    )
+    if supports_batching(parametric_model) or supports_sparse_batching(parametric_model):
+        from repro.runtime.engine import Study
+
+        study = (
+            Study(parametric_model)
+            .scenarios(point[None, :])
+            .sensitivities(s)
+            .run()
+        )
+        return study.sensitivities[0]
+    return _scalar_sensitivities(parametric_model, s, point)
 
 
 def sensitivity_error(

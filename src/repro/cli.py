@@ -17,9 +17,11 @@ The ``info``/``reduce``/``sweep``/``poles`` commands operate on plain
 ``transient`` attach random variational directions to the netlist (the
 paper's Section 5.1/5.2 construction,
 :func:`repro.circuits.generators.with_random_variations`) and drive
-the :mod:`repro.runtime` serving layer: batched evaluation kernels,
-scenario plans and input waveforms, streaming study drivers with a
-bounded-memory chunk size (``--chunk N``), and an optional
+the :mod:`repro.runtime` serving layer through its declarative
+``Study`` engine: the planner inspects the workload and routes to the
+optimal kernel (batched, streamed, sparse shared-pattern), with a
+manual chunk size (``--chunk N``), an automatic one derived from a
+peak-memory bound (``--memory-budget BYTES``), and an optional
 content-addressed model cache (``--cache DIR``); ``montecarlo``
 additionally parallelizes its full-model reference solves (``--jobs``:
 a worker count, ``thread``, ``process``, or ``shared``) and routes
@@ -191,8 +193,21 @@ def _make_plan(args):
     raise ValueError(f"unknown plan {args.plan!r}")
 
 
+def _apply_chunking(study, args):
+    """Wire ``--chunk`` / ``--memory-budget`` into a Study.
+
+    ``--chunk`` is the manual override: when both are given the
+    explicit chunk size wins and the budget is ignored.
+    """
+    if args.chunk is not None:
+        return study.chunk(args.chunk)
+    if args.memory_budget is not None:
+        return study.memory_budget(args.memory_budget)
+    return study
+
+
 def _cmd_batch(args) -> int:
-    from repro.runtime import stream_sweep_study
+    from repro.runtime import Study
 
     parametric = _load_parametric(args)
     model = _reduce_parametric(parametric, args)
@@ -204,13 +219,15 @@ def _cmd_batch(args) -> int:
     if not 0 <= args.input < num_inputs:
         raise ValueError(f"--input {args.input} out of range (model has {num_inputs} inputs)")
     frequencies = np.logspace(np.log10(args.fmin), np.log10(args.fmax), args.points)
-    study = stream_sweep_study(
-        model, frequencies, plan, chunk_size=args.chunk, num_poles=None
-    )
+    engine = _apply_chunking(Study(model).scenarios(plan).sweep(frequencies), args)
+    execution = engine.plan()
+    study = engine.run()
     low, mean, high = study.magnitude_envelope(
         output_index=args.output, input_index=args.input
     )
     print(f"# plan: {plan!r}")
+    print(f"# route: {execution.route} [{execution.kernel}]  "
+          f"peak: ~{execution.estimated_peak_bytes / 2**20:.1f} MiB")
     print(f"# instances: {study.num_samples}  reduced order: {model.size}  "
           f"chunks: {study.num_chunks}")
     print("frequency_hz,min_magnitude,mean_magnitude,max_magnitude")
@@ -253,7 +270,7 @@ def _make_waveform(args):
 
 
 def _cmd_transient(args) -> int:
-    from repro.runtime import stream_transient_study
+    from repro.runtime import Study
 
     parametric = _load_parametric(args)
     model = _reduce_parametric(parametric, args)
@@ -271,19 +288,25 @@ def _cmd_transient(args) -> int:
     if not 0.0 < args.threshold < 1.0:
         raise ValueError("threshold must be in (0, 1)")
     waveform = _make_waveform(args)
-    study = stream_transient_study(
-        model,
-        plan,
-        waveform=waveform,
-        t_final=args.t_final,
-        num_steps=args.steps,
-        method=args.method,
-        chunk_size=args.chunk,
-        delay_threshold=args.threshold,
-        output_index=args.output,
-        reference=args.delay_reference,
+    engine = _apply_chunking(
+        Study(model)
+        .scenarios(plan)
+        .transient(
+            waveform,
+            t_final=args.t_final,
+            num_steps=args.steps,
+            method=args.method,
+            delay_threshold=args.threshold,
+            output_index=args.output,
+            reference=args.delay_reference,
+        ),
+        args,
     )
+    execution = engine.plan()
+    study = engine.run()
     print(f"# plan: {plan!r}")
+    print(f"# route: {execution.route} [{execution.kernel}]  "
+          f"peak: ~{execution.estimated_peak_bytes / 2**20:.1f} MiB")
     print(f"# waveform: {waveform!r}")
     print(f"# instances: {study.num_samples}  reduced order: {model.size}  "
           f"steps: {args.steps}  method: {args.method}  "
@@ -327,7 +350,13 @@ def _add_plan_arguments(subparser) -> None:
     subparser.add_argument("--seed", type=int, default=0)
     subparser.add_argument("--chunk", type=int, default=None,
                            help="streaming chunk size (instances per batch; "
-                                "bounds peak memory, default: one chunk)")
+                                "bounds peak memory, default: one chunk; "
+                                "overrides --memory-budget)")
+    subparser.add_argument("--memory-budget", type=int, default=None,
+                           help="peak-memory bound in bytes; the chunk size "
+                                "is derived from the documented per-chunk "
+                                "estimates (errors out with the estimate when "
+                                "one instance cannot fit)")
 
 
 def _add_parametric_arguments(subparser) -> None:

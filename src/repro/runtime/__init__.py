@@ -5,6 +5,18 @@ Carlo sign-off, corner sweeps, sensitivity studies, timing extraction
 -- evaluates it thousands of times.  This package is the seam where
 that reuse is made fast and declarative:
 
+- :mod:`repro.runtime.engine` -- **the one front door**: the
+  declarative :class:`Study` builder
+  (``Study(model).scenarios(plan).sweep(freqs).run()``) whose planner
+  inspects the target and workload and routes to the optimal kernel
+  below -- dense batched, sparse shared-pattern, streamed under a
+  memory budget, or executor-mapped full-order solves -- with an
+  inspectable :class:`ExecutionPlan` and a bit-identical-to-legacy
+  guarantee on every route.  The historical free functions
+  (``batch_sweep_study``, ``stream_sweep_study``,
+  ``batch_transient_study``, ``run_frequency_scenarios``, the sparse
+  kernels) remain importable as deprecated shims that emit one
+  ``FutureWarning`` per call.
 - :mod:`repro.runtime.batch` -- vectorized instantiation
   ``G(P) = G0 + P . dG`` over whole sample matrices, with batched
   transfer-function, frequency-response, pole, and sensitivity kernels
@@ -64,6 +76,12 @@ from repro.runtime.cache import (
     reducer_fingerprint,
     system_fingerprint,
 )
+from repro.runtime.engine import (
+    ExecutionPlan,
+    PoleStudy,
+    SensitivityStudy,
+    Study,
+)
 from repro.runtime.executor import (
     ProcessExecutor,
     SerialExecutor,
@@ -112,15 +130,18 @@ from repro.runtime.transient import (
 __all__ = [
     "BatchTransientResult",
     "CornerPlan",
+    "ExecutionPlan",
     "GridPlan",
     "InputWaveform",
     "ModelCache",
     "MonteCarloPlan",
     "PWLInput",
+    "PoleStudy",
     "ProcessExecutor",
     "RampInput",
     "ScenarioPlan",
     "ScenarioSweep",
+    "SensitivityStudy",
     "SerialExecutor",
     "SharedMemoryExecutor",
     "SineInput",
@@ -128,6 +149,7 @@ __all__ = [
     "StepInput",
     "StreamedSweepStudy",
     "StreamedTransientStudy",
+    "Study",
     "ThreadExecutor",
     "TransientStudy",
     "batch_frequency_response",

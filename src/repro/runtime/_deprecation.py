@@ -1,0 +1,33 @@
+"""FutureWarning machinery for the pre-engine runtime entry points.
+
+PRs 1-3 grew the runtime as free functions (``batch_sweep_study``,
+``stream_sweep_study``, ...); the :mod:`repro.runtime.engine` ``Study``
+builder is now the one front door.  The legacy names remain importable
+and bit-identical -- each is a thin shim over the same internal
+implementation the engine routes to -- but every call emits exactly one
+:class:`FutureWarning` pointing at the ``Study`` equivalent.
+
+Internal code (analysis, CLI, examples, the engine itself) calls the
+internal implementations directly and must never trip these shims; CI
+enforces that by running the test suite with ``-W
+error::FutureWarning``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_legacy(old_name: str, study_equivalent: str) -> None:
+    """Emit the single FutureWarning a legacy shim owes per call.
+
+    ``stacklevel=3`` points the warning at the shim's caller
+    (``warn_legacy`` -> shim -> caller).
+    """
+    warnings.warn(
+        f"{old_name} is deprecated and will become engine-internal; use the "
+        f"Study engine instead: {study_equivalent} "
+        "(see the README section 'One entry point').",
+        FutureWarning,
+        stacklevel=3,
+    )

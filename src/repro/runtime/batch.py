@@ -370,7 +370,7 @@ def batch_poles(model, samples, num: Optional[int] = None) -> np.ndarray:
     return _poles_from_eigenvalues(np.linalg.eigvals(a), num)
 
 
-def batch_sweep_study(
+def _sweep_study(
     model,
     frequencies: Sequence[float],
     samples,
@@ -384,12 +384,40 @@ def batch_sweep_study(
     eigenvalues give the poles, the eigenvectors give the rational form
     of ``H``.  Returns ``(responses, poles)`` with shapes
     ``(m, n_f, m_out, m_in)`` and ``(m, num_poles)``.
+
+    This is the engine-internal kernel behind the dense sweep routes of
+    :class:`repro.runtime.engine.Study`; the historical public name
+    :func:`batch_sweep_study` is a deprecated shim over it.
     """
     freqs = np.asarray(frequencies, dtype=float)
     g, c = batch_instantiate(model, samples, exact=False)
     eigenvalues, lt_v, w = _eig_response_factors(model, g, c)
     responses = _eig_responses(eigenvalues, lt_v, w, freqs)
     return responses, _poles_from_eigenvalues(eigenvalues, num_poles)
+
+
+def batch_sweep_study(
+    model,
+    frequencies: Sequence[float],
+    samples,
+    num_poles: Optional[int] = 5,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deprecated shim: responses + poles of a sampled ensemble.
+
+    Delegates to the identical internal kernel the engine uses, so
+    results are bit-for-bit what they always were; emits one
+    :class:`FutureWarning` per call.  Use
+    ``Study(model).scenarios(samples).sweep(frequencies,
+    keep_responses=True).poles(num_poles).run()`` instead.
+    """
+    from repro.runtime._deprecation import warn_legacy
+
+    warn_legacy(
+        "batch_sweep_study",
+        "Study(model).scenarios(samples).sweep(frequencies, "
+        "keep_responses=True).poles(num_poles).run()",
+    )
+    return _sweep_study(model, frequencies, samples, num_poles=num_poles)
 
 
 def batch_transfer_sensitivities(model, s: complex, samples) -> np.ndarray:

@@ -1,0 +1,779 @@
+"""One front door: the declarative ``Study`` engine.
+
+PRs 1-3 built the fast kernels of the serving layer -- dense batched
+evaluation, the sparse shared-pattern family, chunked streaming
+drivers, parallel executors -- but shipped them as a menu of free
+functions the caller had to pick between by hand.  This module is the
+single declarative entry point that routes to the optimal kernel
+automatically:
+
+>>> study = (
+...     Study(model)
+...     .scenarios(MonteCarloPlan(num_instances=10_000, seed=7))
+...     .sweep(np.logspace(7, 10, 200))
+...     .poles(5)
+...     .memory_budget(256 * 2**20)
+... )
+>>> print(study.plan())          # inspect before paying for anything
+>>> result = study.run()         # bit-identical to the legacy kernels
+
+``Study`` is a builder: ``scenarios`` + one workload (``sweep`` /
+``transient`` / ``poles`` / ``sensitivities``) plus optional execution
+directives (``executor``, ``chunk`` or ``memory_budget``, ``cached`` +
+``reduced``, ``progress``).  :meth:`Study.plan` inspects the target and
+workload and returns an :class:`ExecutionPlan` naming the chosen route,
+kernel tier, chunk count, and estimated peak bytes; :meth:`Study.run`
+executes that plan.
+
+Routes
+------
+
+- ``dense-batch`` -- dense-batchable targets (reduced macromodels) in
+  one chunk: the eig-amortized sweep kernel, the propagator transient
+  kernel, stacked instantiation for poles/sensitivities.
+- ``dense-stream`` -- the same kernels chunked under ``chunk`` /
+  ``memory_budget``, with incremental envelope reducers.
+- ``sparse-family`` -- sparse full-order parametric systems: batched
+  data-array instantiation on the shared union pattern, pencils through
+  the tridiagonal / banded / SuperLU-refactorization tier.
+- ``executor-full`` -- per-sample full-order reference solves (poles,
+  sensitivities) fanned out over the configured executor; executors the
+  engine constructs from a spec are shut down deterministically when
+  the run finishes.
+
+Determinism contract
+--------------------
+
+Every route delegates to the same internal implementation the
+historical free functions wrapped, so each result is **bit-identical**
+to its legacy path: sweeps to ``batch_sweep_study`` /
+``stream_sweep_study``, transients to ``batch_transient_study`` /
+``stream_transient_study``, pole studies to the Monte Carlo protocol
+of :func:`repro.analysis.montecarlo.monte_carlo_pole_study`, and
+sensitivities to
+:func:`repro.analysis.sensitivity.transfer_sensitivities`.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.batch import (
+    as_sample_matrix,
+    batch_instantiate,
+    batch_transfer_sensitivities,
+    supports_batching,
+    systems_from_stacks,
+)
+from repro.runtime.executor import (
+    SerialExecutor,
+    executor_map_array,
+    resolve_executor,
+)
+from repro.runtime.scenarios import ScenarioPlan
+from repro.runtime.sparse import shared_pattern_family, supports_sparse_batching
+from repro.runtime.stream import (
+    _stream_sweep_study,
+    _stream_transient_study,
+    sweep_chunk_bytes,
+    transient_chunk_bytes,
+)
+
+ProgressCallback = Callable[[int, int], None]
+
+
+# -- executor-route task bodies (module level: picklable) --------------
+
+
+def _pole_task_model(model, num_poles: int, point: np.ndarray):
+    """Reference solve for one instance: dominant poles of the model."""
+    from repro.analysis.poles import dominant_poles
+
+    return dominant_poles(model, num_poles, point)
+
+
+def _pole_task_family(family, num_poles: int, point: np.ndarray):
+    """Reference solve through the shared sparsity pattern.
+
+    :meth:`SparsePatternFamily.instantiate` is bit-identical to the
+    scalar instantiation, so the poles match :func:`_pole_task_model`
+    exactly while skipping the per-sample pattern merges.
+    """
+    from repro.analysis.poles import dominant_poles
+
+    return dominant_poles(family.instantiate(point), num_poles)
+
+
+def _sensitivity_task(model, s: complex, point: np.ndarray):
+    """Exact per-sample ``dH/dp`` through the factored-solve path."""
+    from repro.analysis.sensitivity import _scalar_sensitivities
+
+    return _scalar_sensitivities(model, s, point)
+
+
+# -- results for the non-sweep workloads --------------------------------
+
+
+@dataclass
+class PoleStudy:
+    """Dominant poles of every sampled instance (the Figs. 5-6 quantity).
+
+    ``pole_sets[k]`` holds instance ``k``'s dominant poles in dominance
+    order -- ragged, because residue filtering and coincidence merging
+    can retain fewer than ``num_poles`` entries.  :attr:`poles` stacks
+    them into a ``nan``-padded ``(m, num_poles)`` array.
+    """
+
+    samples: np.ndarray
+    num_poles: int
+    pole_sets: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of evaluated parameter instances."""
+        return self.samples.shape[0]
+
+    @property
+    def poles(self) -> np.ndarray:
+        """``(m, num_poles)`` stacked poles, ``nan``-padded per row."""
+        out = np.full(
+            (len(self.pole_sets), self.num_poles), np.nan + 1j * np.nan, dtype=complex
+        )
+        for k, row in enumerate(self.pole_sets):
+            row = np.asarray(row, dtype=complex)[: self.num_poles]
+            out[k, : row.size] = row
+        return out
+
+
+@dataclass
+class SensitivityStudy:
+    """Exact transfer-function parameter slopes of a sampled ensemble.
+
+    ``sensitivities`` has shape ``(m, n_p, m_out, m_in)``: instance
+    ``k``'s ``dH/dp_i`` at the study's expansion point ``s``.
+    """
+
+    samples: np.ndarray
+    s: complex
+    sensitivities: np.ndarray
+
+    @property
+    def num_samples(self) -> int:
+        """Number of evaluated parameter instances."""
+        return self.samples.shape[0]
+
+
+# -- the inspectable plan ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """What :meth:`Study.run` will do, decided before anything runs.
+
+    ``route`` is one of ``"dense-batch"``, ``"dense-stream"``,
+    ``"sparse-family"``, ``"executor-full"``; ``kernel`` names the
+    numeric kernel tier inside the route (e.g. the shared-pattern
+    solver chosen by RCM bandwidth).  ``estimated_peak_bytes`` is the
+    documented working-set estimate of the chunked drivers (constant
+    factor ~2); for executor routes it is a rough per-worker figure.
+    """
+
+    route: str
+    kernel: str
+    workload: str
+    target: str
+    num_samples: int
+    chunk_size: int
+    num_chunks: int
+    estimated_peak_bytes: int
+    executor: str
+    notes: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """Multi-line human-readable plan summary."""
+        lines = [
+            f"route:     {self.route}",
+            f"kernel:    {self.kernel}",
+            f"workload:  {self.workload}",
+            f"target:    {self.target}",
+            f"samples:   {self.num_samples}"
+            f" ({self.num_chunks} chunk(s) of {self.chunk_size})",
+            f"peak:      ~{self.estimated_peak_bytes / 2**20:.1f} MiB",
+            f"executor:  {self.executor}",
+        ]
+        for note in self.notes:
+            lines.append(f"note:      {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class Study:
+    """Declarative scenario-evaluation study over any supported target.
+
+    ``target`` is a dense-batchable reduced macromodel, a sparse
+    full-order parametric system, or (with :meth:`reduced`) a full
+    system to be reduced first.  Builder methods return ``self`` so a
+    study reads as one chained declaration; nothing is evaluated until
+    :meth:`plan` (routing + reduction only) or :meth:`run`.
+    """
+
+    def __init__(self, target):
+        self._target = target
+        self._reducer = None
+        self._cache = None
+        self._scenarios = None
+        self._frequencies: Optional[np.ndarray] = None
+        self._keep_responses = False
+        self._transient_options: Optional[dict] = None
+        self._num_poles: Optional[int] = None
+        self._sensitivity_point: Optional[complex] = None
+        self._executor_spec = None
+        self._chunk_size: Optional[int] = None
+        self._memory_budget: Optional[int] = None
+        self._progress: Optional[ProgressCallback] = None
+        self._resolved_target = None
+        self._sample_matrix: Optional[np.ndarray] = None
+        self._plan_cache: Optional[ExecutionPlan] = None
+
+    # -- builder -------------------------------------------------------
+
+    def _invalidate(self) -> "Study":
+        self._sample_matrix = None
+        self._plan_cache = None
+        return self
+
+    def scenarios(self, plan_or_samples) -> "Study":
+        """Declare which parameter instances to visit.
+
+        Accepts a :class:`~repro.runtime.scenarios.ScenarioPlan` (or
+        any object with ``sample_matrix``) or a raw ``(m, n_p)`` sample
+        matrix.
+        """
+        self._scenarios = plan_or_samples
+        return self._invalidate()
+
+    def sweep(self, frequencies: Sequence[float], keep_responses: bool = False) -> "Study":
+        """Declare a frequency-domain workload over ``frequencies`` (Hz).
+
+        ``keep_responses`` retains the full ``(m, n_f, m_out, m_in)``
+        grid on the result (defeats the streaming memory bound; meant
+        for small studies and regression tests).
+        """
+        self._frequencies = np.asarray(frequencies, dtype=float)
+        self._keep_responses = bool(keep_responses)
+        return self._invalidate()
+
+    def transient(
+        self,
+        waveform=None,
+        t_final: Optional[float] = None,
+        num_steps: int = 500,
+        method: str = "trapezoidal",
+        delay_threshold: float = 0.5,
+        slew_bounds: Tuple[float, float] = (0.1, 0.9),
+        output_index: int = 0,
+        reference: str = "steady",
+        keep_outputs: bool = False,
+    ) -> "Study":
+        """Declare a time-domain workload.
+
+        ``waveform`` is any :class:`~repro.runtime.scenarios.InputWaveform`
+        (default: unit step); ``t_final`` defaults to the nominal
+        settling horizon.  The remaining options carry the delay/slew
+        extraction semantics of the transient study kernel.
+        """
+        self._transient_options = dict(
+            waveform=waveform,
+            t_final=t_final,
+            num_steps=num_steps,
+            method=method,
+            delay_threshold=delay_threshold,
+            slew_bounds=slew_bounds,
+            output_index=output_index,
+            reference=reference,
+            keep_outputs=keep_outputs,
+        )
+        return self._invalidate()
+
+    def poles(self, num: int = 5) -> "Study":
+        """Request dominant poles.
+
+        Combined with :meth:`sweep` (dense targets) the poles ride the
+        sweep's eigendecomposition for free, with the raw-dominance
+        ordering of the spectral kernel.  As a standalone workload the
+        engine runs the residue-weighted
+        :func:`~repro.analysis.poles.dominant_poles` protocol per
+        instance -- the Monte Carlo reference semantics.  Dense targets
+        with no declared executor use stacked batched instantiation;
+        declaring an executor (via :meth:`executor`) switches to the
+        per-sample executor route, which bounds memory to one instance
+        per worker and is bit-identical to the stacked path.
+        """
+        if num < 0:
+            raise ValueError("num must be >= 0")
+        self._num_poles = int(num)
+        return self._invalidate()
+
+    def sensitivities(self, s: complex) -> "Study":
+        """Request exact ``dH/dp_i`` at the complex frequency ``s``."""
+        self._sensitivity_point = complex(s)
+        return self._invalidate()
+
+    def executor(self, spec) -> "Study":
+        """Executor for the per-sample full-order routes.
+
+        Accepts anything :func:`~repro.runtime.executor.resolve_executor`
+        does.  Specs (``"thread"``, ``"process"``, a worker count) are
+        constructed *and deterministically shut down* by the engine;
+        already-constructed executor instances pass through untouched
+        and stay owned by the caller.
+        """
+        self._executor_spec = spec
+        return self._invalidate()
+
+    def memory_budget(self, num_bytes: int) -> "Study":
+        """Bound peak memory; the chunk size is derived automatically.
+
+        Uses the documented per-chunk estimates
+        (:func:`~repro.runtime.stream.sweep_chunk_bytes` /
+        :func:`~repro.runtime.stream.transient_chunk_bytes`).  Raises at
+        plan time, quoting the single-instance estimate, when even one
+        instance cannot fit.  Mutually exclusive with :meth:`chunk`.
+        """
+        if num_bytes < 1:
+            raise ValueError("memory budget must be >= 1 byte")
+        if self._chunk_size is not None:
+            raise ValueError("chunk(...) and memory_budget(...) are mutually exclusive")
+        self._memory_budget = int(num_bytes)
+        return self._invalidate()
+
+    def chunk(self, chunk_size: int) -> "Study":
+        """Set the streaming chunk size by hand (instances per batch).
+
+        Mutually exclusive with :meth:`memory_budget`.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self._memory_budget is not None:
+            raise ValueError("chunk(...) and memory_budget(...) are mutually exclusive")
+        self._chunk_size = int(chunk_size)
+        return self._invalidate()
+
+    def reduced(self, reducer) -> "Study":
+        """Reduce the target with ``reducer`` before evaluation.
+
+        ``reducer.reduce(target)`` runs lazily at plan time (once;
+        memoized).  Combine with :meth:`cached` to skip reduction on
+        repeat workloads.
+        """
+        self._reducer = reducer
+        self._resolved_target = None
+        return self._invalidate()
+
+    def cached(self, cache) -> "Study":
+        """Route the :meth:`reduced` reduction through a ModelCache."""
+        self._cache = cache
+        self._resolved_target = None
+        return self._invalidate()
+
+    def progress(self, callback: ProgressCallback) -> "Study":
+        """Register ``callback(instances_done, total_instances)``."""
+        self._progress = callback
+        return self._invalidate()
+
+    # -- resolution ----------------------------------------------------
+
+    def _resolve_target(self):
+        """The object the kernels evaluate (after any cached reduction)."""
+        if self._resolved_target is not None:
+            return self._resolved_target
+        target = self._target
+        if self._cache is not None and self._reducer is None:
+            raise ValueError("cached(cache) requires reduced(reducer)")
+        if self._reducer is not None:
+            model = None
+            key = None
+            if self._cache is not None:
+                key = self._cache.key(target, self._reducer)
+                model = self._cache.load(key)
+            if model is None:
+                model = self._reducer.reduce(target)
+                if isinstance(model, tuple):  # adaptive reducers return (model, report)
+                    model = model[0]
+                if key is not None:
+                    self._cache.store(key, model)
+            target = model
+        self._resolved_target = target
+        return target
+
+    def _target_kind(self) -> str:
+        target = self._resolve_target()
+        if supports_batching(target):
+            return "dense"
+        if supports_sparse_batching(target):
+            return "sparse"
+        return "other"
+
+    def _workload(self) -> str:
+        declared = [
+            name
+            for name, present in (
+                ("sweep", self._frequencies is not None),
+                ("transient", self._transient_options is not None),
+                ("sensitivities", self._sensitivity_point is not None),
+            )
+            if present
+        ]
+        if len(declared) > 1:
+            raise ValueError(f"declare exactly one workload, got {declared}")
+        if not declared:
+            if self._num_poles is None:
+                raise ValueError(
+                    "no workload declared: call .sweep(...), .transient(...), "
+                    ".poles(...), or .sensitivities(...)"
+                )
+            return "poles"
+        workload = declared[0]
+        if self._num_poles is not None:
+            if workload != "sweep":
+                raise ValueError(f"poles(...) cannot be combined with {workload}(...)")
+            return "sweep+poles"
+        return workload
+
+    def _samples(self) -> np.ndarray:
+        if self._sample_matrix is not None:
+            return self._sample_matrix
+        if self._scenarios is None:
+            raise ValueError("no scenarios: call .scenarios(plan_or_samples) first")
+        target = self._resolve_target()
+        if isinstance(self._scenarios, ScenarioPlan) or hasattr(
+            self._scenarios, "sample_matrix"
+        ):
+            samples = self._scenarios.sample_matrix(target.num_parameters)
+        else:
+            samples = as_sample_matrix(target, self._scenarios)
+        self._sample_matrix = samples
+        return samples
+
+    def _scenario_plan(self) -> Optional[ScenarioPlan]:
+        if isinstance(self._scenarios, ScenarioPlan) or hasattr(
+            self._scenarios, "sample_matrix"
+        ):
+            return self._scenarios
+        return None
+
+    # -- planning ------------------------------------------------------
+
+    def _per_instance_bytes(self, workload: str, kind: str) -> Tuple[int, int]:
+        """``(per_instance, fixed)`` bytes of one streamed chunk slot."""
+        target = self._resolve_target()
+        if workload in ("sweep", "sweep+poles"):
+            n_f = self._frequencies.size
+            m_out = target.nominal.L.shape[1]
+            m_in = target.nominal.B.shape[1]
+            if kind == "sparse":
+                family = shared_pattern_family(target)
+                # Two (c, nnz) data stacks + the chunk's response grid,
+                # plus the per-sample (n_f, nnz) pencil workspace.
+                per = 16 * (2 * family.nnz + n_f * m_out * m_in)
+                return per, 16 * n_f * family.nnz
+            return sweep_chunk_bytes(target.nominal.order, n_f, 1, m_out, m_in), 0
+        num_steps = self._transient_options["num_steps"]
+        m_out = target.nominal.L.shape[1]
+        return transient_chunk_bytes(target.nominal.order, num_steps, 1, m_out), 0
+
+    def _chunk_plan(self, workload: str, kind: str, num_samples: int):
+        """``(chunk_size, num_chunks, estimated_peak_bytes)`` for streams."""
+        per_instance, fixed = self._per_instance_bytes(workload, kind)
+        if self._chunk_size is not None:
+            chunk = min(self._chunk_size, max(num_samples, 1))
+        elif self._memory_budget is not None:
+            chunk = (self._memory_budget - fixed) // max(per_instance, 1)
+            if chunk < 1:
+                raise ValueError(
+                    f"memory budget {self._memory_budget} bytes cannot fit a "
+                    f"single instance: one instance of this workload needs "
+                    f"~{per_instance + fixed} bytes "
+                    f"({per_instance} per instance + {fixed} fixed); raise the "
+                    "budget or shrink the frequency/timestep axis"
+                )
+            chunk = min(int(chunk), max(num_samples, 1))
+        else:
+            chunk = max(num_samples, 1)
+        num_chunks = -(-num_samples // chunk) if num_samples else 0
+        return chunk, num_chunks, int(chunk * per_instance + fixed)
+
+    def _executor_workers(self) -> int:
+        backend = resolve_executor(self._executor_spec)
+        if isinstance(backend, SerialExecutor):
+            return 1
+        return getattr(backend, "max_workers", None) or os.cpu_count() or 1
+
+    def _describe_target(self, kind: str) -> str:
+        target = self._resolve_target()
+        if kind == "dense":
+            return f"dense-reduced (q={target.nominal.order})"
+        if kind == "sparse":
+            # Nominal pattern only -- describing a target must not pay
+            # for the union-pattern family (sweep routes build it anyway,
+            # memoized; per-sample sensitivity routes never need it).
+            nominal = target.nominal
+            return f"sparse-full (n={nominal.order}, nnz={nominal.G.nnz})"
+        return f"full ({type(target).__name__})"
+
+    def plan(self) -> ExecutionPlan:
+        """Decide (and report) the route without evaluating anything.
+
+        Resolving the plan runs any :meth:`reduced` reduction (memoized
+        across calls) because routing depends on the resolved target's
+        shape; everything else is pure accounting.  The plan itself is
+        memoized until the next builder call, so ``plan()`` followed by
+        ``run()`` (which replans internally) pays once.
+        """
+        if self._plan_cache is not None:
+            return self._plan_cache
+        self._plan_cache = self._build_plan()
+        return self._plan_cache
+
+    def _build_plan(self) -> ExecutionPlan:
+        workload = self._workload()
+        kind = self._target_kind()
+        target = self._resolve_target()
+        notes: List[str] = []
+
+        if workload in ("sweep", "sweep+poles", "transient"):
+            # Route validation first: it must not depend on sample
+            # realization (which needs a parametric target to begin with).
+            if kind == "other":
+                raise ValueError(
+                    f"{target!r} supports neither dense nor sparse batching; "
+                    "see repro.runtime.batch.supports_batching"
+                )
+            if workload == "transient" and kind == "sparse":
+                raise ValueError(
+                    "transient studies require a dense-batchable model "
+                    "(reduce the system first; full-order sparse ensembles are "
+                    "frequency-domain only)"
+                )
+            if workload == "sweep+poles" and kind == "sparse":
+                raise ValueError(
+                    "full-order sparse sweeps compute responses only; drop "
+                    ".poles(...) (dense eigendecompositions of the full model "
+                    "are not a streaming quantity)"
+                )
+            num_samples = self._samples().shape[0]
+            chunk, num_chunks, peak = self._chunk_plan(workload, kind, num_samples)
+            if workload == "transient":
+                kernel = "transient-propagator[gesv]"
+                if self._transient_options["keep_outputs"]:
+                    m_out = target.nominal.L.shape[1]
+                    peak += 8 * num_samples * (self._transient_options["num_steps"] + 1) * m_out
+                    notes.append("keep_outputs retains the full trajectory grid")
+            elif kind == "sparse":
+                family = shared_pattern_family(target)
+                kernel = f"shared-pattern[{family.solver_kind}]"
+            else:
+                kernel = "eig-rational[sweep-study]"
+            if workload in ("sweep", "sweep+poles") and self._keep_responses:
+                m_out = target.nominal.L.shape[1]
+                m_in = target.nominal.B.shape[1]
+                peak += 16 * num_samples * self._frequencies.size * m_out * m_in
+                notes.append("keep_responses retains the full response grid")
+            if kind == "sparse":
+                route = "sparse-family"
+            else:
+                route = "dense-batch" if num_chunks <= 1 else "dense-stream"
+            if self._executor_spec is not None:
+                notes.append("executor is unused on batched in-process routes")
+            return ExecutionPlan(
+                route=route,
+                kernel=kernel,
+                workload=workload,
+                target=self._describe_target(kind),
+                num_samples=num_samples,
+                chunk_size=chunk,
+                num_chunks=num_chunks,
+                estimated_peak_bytes=peak,
+                executor="SerialExecutor()",
+                notes=tuple(notes),
+            )
+
+        # Per-sample workloads: poles / sensitivities.
+        num_samples = self._samples().shape[0]
+        if self._chunk_size is not None or self._memory_budget is not None:
+            notes.append("chunking directives are unused on per-sample routes")
+        workers = self._executor_workers()
+        executor_repr = repr(resolve_executor(self._executor_spec))
+        # Order is only needed for the (rough) peak estimate; duck-typed
+        # targets that expose just instantiate/num_parameters still run.
+        q_or_n = getattr(getattr(target, "nominal", None), "order", 0)
+        if workload == "poles":
+            if kind == "dense" and self._executor_spec is None:
+                # Stacked batched instantiation: fastest for reduced-scale
+                # models, but it materializes (m, q, q) stacks -- so an
+                # explicitly requested executor switches to the bounded
+                # per-sample route below (bit-identical either way: exact
+                # batched instantiation reproduces the scalar accumulation).
+                route, kernel = "dense-batch", "dominant-poles[stacked-instantiate]"
+                peak = 16 * num_samples * q_or_n * q_or_n
+            elif kind == "dense":
+                route, kernel = "executor-full", "dominant-poles[instantiate]"
+                peak = workers * 48 * q_or_n * q_or_n
+            elif kind == "sparse":
+                family = shared_pattern_family(target)
+                route = "executor-full"
+                kernel = f"dominant-poles[shared-pattern/{family.solver_kind}]"
+                peak = workers * (16 * family.nnz + 48 * q_or_n * q_or_n)
+            else:
+                route, kernel = "executor-full", "dominant-poles[instantiate]"
+                peak = workers * 48 * q_or_n * q_or_n
+        else:  # sensitivities
+            if kind == "dense":
+                route, kernel = "dense-batch", "batch-sensitivities[gesv]"
+                peak = 48 * num_samples * q_or_n * q_or_n
+                if self._executor_spec is not None:
+                    notes.append("dense sensitivities run in-process (batched solves)")
+            else:
+                route, kernel = "executor-full", "sensitivities[sparse-lu]"
+                # Estimate straight off the nominal pattern: the task
+                # factors per-sample instantiations, it never needs the
+                # shared-pattern family, so don't pay to build one here.
+                nominal_g = getattr(getattr(target, "nominal", None), "G", None)
+                nnz = getattr(nominal_g, "nnz", q_or_n * q_or_n)
+                peak = workers * 64 * nnz
+        return ExecutionPlan(
+            route=route,
+            kernel=kernel,
+            workload=workload,
+            target=self._describe_target(kind),
+            num_samples=num_samples,
+            chunk_size=num_samples,
+            num_chunks=1 if num_samples else 0,
+            estimated_peak_bytes=int(peak),
+            executor=executor_repr,
+            notes=tuple(notes),
+        )
+
+    # -- execution -----------------------------------------------------
+
+    def run(self):
+        """Execute the planned route.
+
+        Returns the route's canonical result object:
+        :class:`~repro.runtime.stream.StreamedSweepStudy` for sweeps,
+        :class:`~repro.runtime.stream.StreamedTransientStudy` for
+        transients, :class:`PoleStudy` for pole studies,
+        :class:`SensitivityStudy` for sensitivities -- each bit-identical
+        to the legacy kernel the route wraps.
+        """
+        plan = self.plan()
+        workload = plan.workload
+        target = self._resolve_target()
+        samples = self._samples()
+
+        if workload in ("sweep", "sweep+poles"):
+            result = _stream_sweep_study(
+                target,
+                self._frequencies,
+                samples,
+                chunk_size=plan.chunk_size,
+                num_poles=self._num_poles,
+                keep_responses=self._keep_responses,
+                progress=self._progress,
+            )
+            result.plan = self._scenario_plan()
+            return result
+        if workload == "transient":
+            options = self._transient_options
+            result = _stream_transient_study(
+                target,
+                samples,
+                waveform=options["waveform"],
+                t_final=options["t_final"],
+                num_steps=options["num_steps"],
+                method=options["method"],
+                chunk_size=plan.chunk_size,
+                delay_threshold=options["delay_threshold"],
+                slew_bounds=options["slew_bounds"],
+                output_index=options["output_index"],
+                reference=options["reference"],
+                keep_outputs=options["keep_outputs"],
+                progress=self._progress,
+            )
+            result.plan = self._scenario_plan()
+            return result
+        if workload == "poles":
+            return self._run_poles(plan, target, samples)
+        return self._run_sensitivities(plan, target, samples)
+
+    def _owned_executor(self):
+        """``(executor, owned)``: engine-built executors get closed."""
+        owned = not (
+            self._executor_spec is not None and hasattr(self._executor_spec, "map")
+        )
+        return resolve_executor(self._executor_spec), owned
+
+    def _run_poles(self, plan: ExecutionPlan, target, samples) -> PoleStudy:
+        num_poles = self._num_poles
+        if plan.route == "dense-batch":
+            g, c = batch_instantiate(target, samples, exact=True)
+            from repro.analysis.poles import dominant_poles
+
+            results = [
+                dominant_poles(system, num_poles)
+                for system in systems_from_stacks(target, g, c)
+            ]
+        else:
+            if supports_sparse_batching(target):
+                task = functools.partial(
+                    _pole_task_family, shared_pattern_family(target), num_poles
+                )
+            else:
+                task = functools.partial(_pole_task_model, target, num_poles)
+            results = self._map_with_owned_executor(task, samples)
+        if self._progress is not None:
+            self._progress(samples.shape[0], samples.shape[0])
+        return PoleStudy(samples=samples, num_poles=num_poles, pole_sets=list(results))
+
+    def _run_sensitivities(
+        self, plan: ExecutionPlan, target, samples
+    ) -> SensitivityStudy:
+        s = self._sensitivity_point
+        if plan.route == "dense-batch":
+            sensitivities = batch_transfer_sensitivities(target, s, samples)
+        else:
+            task = functools.partial(_sensitivity_task, target, s)
+            sensitivities = np.stack(self._map_with_owned_executor(task, samples))
+        if self._progress is not None:
+            self._progress(samples.shape[0], samples.shape[0])
+        return SensitivityStudy(samples=samples, s=s, sensitivities=sensitivities)
+
+    def _map_with_owned_executor(self, task, samples) -> List:
+        backend, owned = self._owned_executor()
+        if owned and hasattr(backend, "__enter__"):
+            with backend:
+                return executor_map_array(backend, task, samples)
+        return executor_map_array(backend, task, samples)
+
+    def __repr__(self) -> str:
+        directives = []
+        if self._scenarios is not None:
+            directives.append(f"scenarios={self._scenarios!r}")
+        if self._frequencies is not None:
+            directives.append(f"sweep[{self._frequencies.size} freqs]")
+        if self._transient_options is not None:
+            directives.append(
+                f"transient[{self._transient_options['num_steps']} steps]"
+            )
+        if self._num_poles is not None:
+            directives.append(f"poles[{self._num_poles}]")
+        if self._sensitivity_point is not None:
+            directives.append(f"sensitivities[s={self._sensitivity_point}]")
+        return f"Study({type(self._target).__name__}, {', '.join(directives)})"

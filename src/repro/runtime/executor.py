@@ -29,6 +29,21 @@ parallel backends are just faster on multicore machines.  All backends
 also provide ``map_array(fn, matrix)``, mapping ``fn`` over the rows
 of a 2-D array; only the shared-memory backend specializes it, the
 rest fall back to ``map``.
+
+Pool lifecycle
+--------------
+
+Every executor is a context manager.  Outside a ``with`` block the
+pool-backed executors spin a fresh pool per call and tear it down
+before returning -- no workers ever outlive a ``map``.  Inside a
+``with`` block (or between explicit ``__enter__``/``close`` calls) one
+persistent pool is reused across calls and shut down deterministically
+on exit, which is how the :class:`~repro.runtime.engine.Study` engine
+runs the executors it constructs:
+
+>>> with ProcessExecutor(max_workers=4) as executor:
+...     first = executor.map(task, items)      # same pool ...
+...     second = executor.map(task, more)      # ... reused
 """
 
 from __future__ import annotations
@@ -56,11 +71,58 @@ class SerialExecutor:
         """Apply ``fn`` to every row of a 2-D array, in order."""
         return self.map(fn, list(np.asarray(matrix)))
 
+    def close(self) -> None:
+        """No pool to release; kept for interface symmetry."""
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
     def __repr__(self) -> str:
         return "SerialExecutor()"
 
 
-class ThreadExecutor:
+class _PooledExecutor:
+    """Shared pool lifecycle for the thread/process backends.
+
+    Subclasses implement :meth:`_make_pool`.  Outside a context the
+    pool is ephemeral per call; between ``__enter__`` and ``close``
+    one persistent pool is reused and shut down deterministically.
+    """
+
+    _pool = None
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def _run_pooled(self, body: Callable):
+        """Run ``body(pool)`` on the persistent pool or an ephemeral one."""
+        if self._pool is not None:
+            return body(self._pool)
+        with self._make_pool() as pool:
+            return body(pool)
+
+    def close(self) -> None:
+        """Shut down the persistent pool (joining its workers), if any."""
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self):
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+class ThreadExecutor(_PooledExecutor):
     """Thread-pool execution for GIL-releasing numeric tasks.
 
     The full-model reference solves spend their time inside LAPACK /
@@ -80,13 +142,15 @@ class ThreadExecutor:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
 
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(max_workers=self.max_workers)
+
     def map(self, fn: Callable, items: Iterable) -> List:
         """Apply ``fn`` to every item across the thread pool; ordered."""
         items = list(items)
         if not items:
             return []
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(fn, items))
+        return self._run_pooled(lambda pool: list(pool.map(fn, items)))
 
     def map_array(self, fn: Callable, matrix: np.ndarray) -> List:
         """Apply ``fn`` to every row of a 2-D array; ordered."""
@@ -96,7 +160,7 @@ class ThreadExecutor:
         return f"ThreadExecutor(max_workers={self.max_workers})"
 
 
-class ProcessExecutor:
+class ProcessExecutor(_PooledExecutor):
     """Chunked multiprocessing execution over a process pool.
 
     Parameters
@@ -120,6 +184,9 @@ class ProcessExecutor:
         self.max_workers = max_workers
         self.chunksize = chunksize
 
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
     def _effective_chunksize(self, num_items: int) -> int:
         if self.chunksize is not None:
             return self.chunksize
@@ -131,8 +198,10 @@ class ProcessExecutor:
         items = list(items)
         if not items:
             return []
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(fn, items, chunksize=self._effective_chunksize(len(items))))
+        chunksize = self._effective_chunksize(len(items))
+        return self._run_pooled(
+            lambda pool: list(pool.map(fn, items, chunksize=chunksize))
+        )
 
     def map_array(self, fn: Callable, matrix: np.ndarray) -> List:
         """Apply ``fn`` to every row of a 2-D array; ordered."""
@@ -232,8 +301,8 @@ class SharedMemoryExecutor(ProcessExecutor):
             view = np.ndarray(matrix.shape, dtype=matrix.dtype, buffer=block.buf)
             view[:] = matrix
             bounds = _chunk_bounds(num_items, self._effective_chunksize(num_items))
-            results: List = []
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+
+            def body(pool) -> List:
                 futures = [
                     pool.submit(
                         _shared_chunk_task,
@@ -245,9 +314,12 @@ class SharedMemoryExecutor(ProcessExecutor):
                     )
                     for chunk in bounds
                 ]
+                collected: List = []
                 for future in futures:
-                    results.extend(future.result())
-            return results
+                    collected.extend(future.result())
+                return collected
+
+            return self._run_pooled(body)
         finally:
             block.close()
             block.unlink()
@@ -263,7 +335,6 @@ ExecutorLike = Union[
     None, str, int, SerialExecutor, ThreadExecutor, ProcessExecutor, SharedMemoryExecutor
 ]
 
-
 def resolve_executor(spec: ExecutorLike):
     """Coerce a user-facing spec into an executor object.
 
@@ -271,8 +342,10 @@ def resolve_executor(spec: ExecutorLike):
     ``"threads"`` (thread pool), ``"process"`` / ``"processes"``
     (process pool), ``"shared"`` / ``"sharedmem"`` (process pool with
     the shared-memory sample channel), a positive ``int`` (process pool
-    with that many workers; ``1`` means serial), or any object that
-    already provides an ordered ``map`` method.
+    with that many workers; ``1`` means serial), or an
+    already-constructed executor instance -- ours or any foreign object
+    with an ordered ``map`` method -- which passes through as-is,
+    pool state included (the final ``hasattr`` branch).
     """
     if spec is None:
         return SerialExecutor()

@@ -342,7 +342,7 @@ class ScenarioSweep:
         return magnitude.min(axis=0), magnitude.mean(axis=0), magnitude.max(axis=0)
 
 
-def run_frequency_scenarios(
+def _frequency_scenarios(
     model,
     plan: ScenarioPlan,
     frequencies: Sequence[float],
@@ -351,7 +351,9 @@ def run_frequency_scenarios(
     """Evaluate ``model`` over every (instance, frequency) pair of a plan.
 
     ``num_parameters`` defaults to ``model.num_parameters``.  Uses the
-    batched kernels end to end; returns a :class:`ScenarioSweep`.
+    batched pencil-solve kernel end to end; returns a
+    :class:`ScenarioSweep`.  The historical public name
+    :func:`run_frequency_scenarios` is a deprecated shim over this.
     """
     if num_parameters is None:
         num_parameters = model.num_parameters
@@ -359,3 +361,27 @@ def run_frequency_scenarios(
     freqs = np.asarray(frequencies, dtype=float)
     responses = batch_frequency_response(model, freqs, samples)
     return ScenarioSweep(plan=plan, samples=samples, frequencies=freqs, responses=responses)
+
+
+def run_frequency_scenarios(
+    model,
+    plan: ScenarioPlan,
+    frequencies: Sequence[float],
+    num_parameters: Optional[int] = None,
+) -> ScenarioSweep:
+    """Deprecated shim: batched frequency responses over a plan.
+
+    Delegates to the identical internal implementation, so results are
+    bit-for-bit what they always were; emits one
+    :class:`FutureWarning` per call.  Use
+    ``Study(model).scenarios(plan).sweep(frequencies,
+    keep_responses=True).run()`` instead.
+    """
+    from repro.runtime._deprecation import warn_legacy
+
+    warn_legacy(
+        "run_frequency_scenarios",
+        "Study(model).scenarios(plan).sweep(frequencies, "
+        "keep_responses=True).run()",
+    )
+    return _frequency_scenarios(model, plan, frequencies, num_parameters=num_parameters)

@@ -478,20 +478,39 @@ class SparsePatternFamily:
 
 
 def sparse_batch_transfer(model, s: complex, samples) -> np.ndarray:
-    """Stacked ``H(s, p_k)`` of a sparse full-order parametric model.
+    """Deprecated shim: stacked ``H(s, p_k)`` of a sparse full model.
 
-    The sparse counterpart of :func:`repro.runtime.batch.batch_transfer`
-    (which requires dense models); the shared-pattern family is built
-    on first use and memoized on the model.
+    Delegates to the identical shared-pattern family method the engine
+    routes to (:meth:`SparsePatternFamily.transfer`), so results are
+    bit-for-bit what they always were; emits one
+    :class:`FutureWarning` per call.  Use
+    ``shared_pattern_family(model).transfer(s, samples)`` directly, or
+    the ``Study`` engine for whole sweeps.
     """
+    from repro.runtime._deprecation import warn_legacy
+
+    warn_legacy(
+        "sparse_batch_transfer",
+        "shared_pattern_family(model).transfer(s, samples)",
+    )
     return shared_pattern_family(model).transfer(s, samples)
 
 
 def sparse_batch_frequency_response(model, frequencies: Sequence[float], samples) -> np.ndarray:
-    """``H(j 2 pi f, p_k)`` of a sparse full-order parametric model.
+    """Deprecated shim: ``H(j 2 pi f, p_k)`` of a sparse full model.
 
-    The sparse counterpart of
-    :func:`repro.runtime.batch.batch_frequency_response`; returns shape
-    ``(m, n_f, m_out, m_in)``.
+    Delegates to the identical shared-pattern family method the engine
+    routes to (:meth:`SparsePatternFamily.frequency_response`), so
+    results are bit-for-bit what they always were; emits one
+    :class:`FutureWarning` per call.  Use
+    ``Study(model).scenarios(samples).sweep(frequencies,
+    keep_responses=True).run()`` instead.
     """
+    from repro.runtime._deprecation import warn_legacy
+
+    warn_legacy(
+        "sparse_batch_frequency_response",
+        "Study(model).scenarios(samples).sweep(frequencies, "
+        "keep_responses=True).run()",
+    )
     return shared_pattern_family(model).frequency_response(frequencies, samples)

@@ -58,13 +58,13 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.runtime.batch import (
+    _sweep_study,
     as_sample_matrix,
-    batch_sweep_study,
     supports_batching,
 )
 from repro.runtime.scenarios import ScenarioPlan, StepInput
 from repro.runtime.sparse import shared_pattern_family, supports_sparse_batching
-from repro.runtime.transient import batch_transient_study, default_horizon
+from repro.runtime.transient import _transient_study, default_horizon
 
 ProgressCallback = Callable[[int, int], None]
 
@@ -193,7 +193,7 @@ class StreamedSweepStudy:
         )
 
 
-def stream_sweep_study(
+def _stream_sweep_study(
     model,
     frequencies: Sequence[float],
     scenarios,
@@ -203,6 +203,10 @@ def stream_sweep_study(
     progress: Optional[ProgressCallback] = None,
 ) -> StreamedSweepStudy:
     """Run a scenario plan's frequency study in fixed-size chunks.
+
+    This is the engine-internal driver behind every sweep route of
+    :class:`repro.runtime.engine.Study`; the historical public name
+    :func:`stream_sweep_study` is a deprecated shim over it.
 
     Parameters
     ----------
@@ -258,7 +262,7 @@ def stream_sweep_study(
     for lo, hi in _chunk_slices(total, chunk_size):
         block = samples[lo:hi]
         if dense:
-            responses, poles = batch_sweep_study(
+            responses, poles = _sweep_study(
                 model, freqs, block,
                 num_poles=(num_poles if num_poles is not None else 1),
             )
@@ -286,6 +290,43 @@ def stream_sweep_study(
         responses=None
         if response_blocks is None
         else np.concatenate(response_blocks, axis=0),
+    )
+
+
+def stream_sweep_study(
+    model,
+    frequencies: Sequence[float],
+    scenarios,
+    chunk_size: Optional[int] = None,
+    num_poles: Optional[int] = 5,
+    keep_responses: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> StreamedSweepStudy:
+    """Deprecated shim: chunked frequency-domain scenario study.
+
+    Delegates to the identical internal driver the engine uses, so
+    results are bit-for-bit what they always were; emits one
+    :class:`FutureWarning` per call.  Use
+    ``Study(model).scenarios(scenarios).sweep(frequencies)
+    .poles(num_poles).chunk(chunk_size).run()`` instead (the engine
+    skips pole extraction unless ``.poles(...)`` is declared, where
+    this shim defaulted to ``num_poles=5``).
+    """
+    from repro.runtime._deprecation import warn_legacy
+
+    warn_legacy(
+        "stream_sweep_study",
+        "Study(model).scenarios(scenarios).sweep(frequencies)"
+        ".poles(num_poles).chunk(chunk_size).run()",
+    )
+    return _stream_sweep_study(
+        model,
+        frequencies,
+        scenarios,
+        chunk_size=chunk_size,
+        num_poles=num_poles,
+        keep_responses=keep_responses,
+        progress=progress,
     )
 
 
@@ -332,7 +373,7 @@ class StreamedTransientStudy:
         )
 
 
-def stream_transient_study(
+def _stream_transient_study(
     model,
     scenarios,
     waveform=None,
@@ -349,17 +390,20 @@ def stream_transient_study(
 ) -> StreamedTransientStudy:
     """Run a scenario plan's transient ensemble in fixed-size chunks.
 
-    The streaming face of
-    :func:`~repro.runtime.transient.batch_transient_study`: each chunk
-    is simulated through the batched propagator kernel, the
-    delay/slew/steady-state metrics are extracted immediately (with the
-    given ``delay_threshold`` / ``slew_bounds`` / ``reference``
-    semantics of :class:`~repro.runtime.transient.TransientStudy`), and
-    only ``O(m)`` metrics plus the ``O(n_t)`` envelope survive the
-    chunk.  Peak memory: :func:`transient_chunk_bytes`.
+    The streaming face of the batched propagator kernel: each chunk
+    is simulated through it, the delay/slew/steady-state metrics are
+    extracted immediately (with the given ``delay_threshold`` /
+    ``slew_bounds`` / ``reference`` semantics of
+    :class:`~repro.runtime.transient.TransientStudy`), and only
+    ``O(m)`` metrics plus the ``O(n_t)`` envelope survive the chunk.
+    Peak memory: :func:`transient_chunk_bytes`.
 
     ``t_final`` defaults to the nominal settling horizon, computed once
     and shared across all chunks.
+
+    This is the engine-internal driver behind every transient route of
+    :class:`repro.runtime.engine.Study`; the historical public name
+    :func:`stream_transient_study` is a deprecated shim over it.
     """
     if not supports_batching(model):
         raise ValueError(
@@ -385,7 +429,7 @@ def stream_transient_study(
     num_chunks = 0
     effective_chunk = chunk_size if chunk_size is not None else max(total, 1)
     for lo, hi in _chunk_slices(total, chunk_size):
-        study = batch_transient_study(
+        study = _transient_study(
             model,
             samples[lo:hi],
             waveform=waveform,
@@ -431,4 +475,51 @@ def stream_transient_study(
         num_chunks=num_chunks,
         chunk_size=effective_chunk,
         outputs=None if output_blocks is None else np.concatenate(output_blocks, axis=0),
+    )
+
+
+def stream_transient_study(
+    model,
+    scenarios,
+    waveform=None,
+    t_final: Optional[float] = None,
+    num_steps: int = 500,
+    method: str = "trapezoidal",
+    chunk_size: Optional[int] = None,
+    delay_threshold: float = 0.5,
+    slew_bounds: Tuple[float, float] = (0.1, 0.9),
+    output_index: int = 0,
+    reference: str = "steady",
+    keep_outputs: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> StreamedTransientStudy:
+    """Deprecated shim: chunked time-domain scenario study.
+
+    Delegates to the identical internal driver the engine uses, so
+    results are bit-for-bit what they always were; emits one
+    :class:`FutureWarning` per call.  Use
+    ``Study(model).scenarios(scenarios).transient(waveform, t_final,
+    num_steps).chunk(chunk_size).run()`` instead.
+    """
+    from repro.runtime._deprecation import warn_legacy
+
+    warn_legacy(
+        "stream_transient_study",
+        "Study(model).scenarios(scenarios).transient(waveform, t_final, "
+        "num_steps).chunk(chunk_size).run()",
+    )
+    return _stream_transient_study(
+        model,
+        scenarios,
+        waveform=waveform,
+        t_final=t_final,
+        num_steps=num_steps,
+        method=method,
+        chunk_size=chunk_size,
+        delay_threshold=delay_threshold,
+        slew_bounds=slew_bounds,
+        output_index=output_index,
+        reference=reference,
+        keep_outputs=keep_outputs,
+        progress=progress,
     )

@@ -402,7 +402,7 @@ class TransientStudy:
         return t_high - t_low
 
 
-def batch_transient_study(
+def _transient_study(
     model,
     scenarios,
     waveform=None,
@@ -414,14 +414,17 @@ def batch_transient_study(
 ) -> TransientStudy:
     """Simulate a scenario plan's whole ensemble through one batched run.
 
-    The time-domain sibling of
-    :func:`repro.runtime.scenarios.run_frequency_scenarios`:
-    ``scenarios`` is either a :class:`ScenarioPlan` (realized with
+    The time-domain sibling of the dense sweep kernel: ``scenarios`` is
+    either a :class:`ScenarioPlan` (realized with
     ``model.num_parameters``) or a raw ``(m, n_p)`` sample matrix, and
     ``waveform`` any :class:`InputWaveform` (default: unit
     :class:`StepInput`).  ``t_final`` defaults to
     :func:`default_horizon`.  Returns a :class:`TransientStudy` with
     batched delay/slew extraction attached.
+
+    This is the engine-internal kernel behind the transient routes of
+    :class:`repro.runtime.engine.Study`; the historical public name
+    :func:`batch_transient_study` is a deprecated shim over it.
     """
     if isinstance(scenarios, ScenarioPlan) or hasattr(scenarios, "sample_matrix"):
         plan: Optional[ScenarioPlan] = scenarios
@@ -451,4 +454,41 @@ def batch_transient_study(
         result=result,
         dc_gains=dc_gains,
         steady_states=steady_states,
+    )
+
+
+def batch_transient_study(
+    model,
+    scenarios,
+    waveform=None,
+    t_final: Optional[float] = None,
+    num_steps: int = 500,
+    method: str = "trapezoidal",
+    keep_states: bool = False,
+    x0: Union[np.ndarray, None] = None,
+) -> TransientStudy:
+    """Deprecated shim: one-shot batched transient ensemble study.
+
+    Delegates to the identical internal kernel the engine uses, so
+    results are bit-for-bit what they always were; emits one
+    :class:`FutureWarning` per call.  Use
+    ``Study(model).scenarios(scenarios).transient(waveform, t_final,
+    num_steps).run()`` instead.
+    """
+    from repro.runtime._deprecation import warn_legacy
+
+    warn_legacy(
+        "batch_transient_study",
+        "Study(model).scenarios(scenarios).transient(waveform, t_final, "
+        "num_steps).run()",
+    )
+    return _transient_study(
+        model,
+        scenarios,
+        waveform=waveform,
+        t_final=t_final,
+        num_steps=num_steps,
+        method=method,
+        keep_states=keep_states,
+        x0=x0,
     )

@@ -26,6 +26,18 @@ def netlist_file(tmp_path):
     return str(path)
 
 
+def _reduced_model(netlist_file):
+    """The model the parametric CLI commands build for ``--moments 3``."""
+    from repro.circuits.generators import with_random_variations
+    from repro.circuits.parser import parse_netlist
+    from repro.core import LowRankReducer
+
+    parametric = with_random_variations(
+        parse_netlist(NETLIST, title=netlist_file), 2, seed=0, relative_spread=0.5
+    )
+    return LowRankReducer(num_moments=3, rank=1).reduce(parametric)
+
+
 class TestInfo:
     def test_reports_stats(self, netlist_file, capsys):
         assert main(["info", netlist_file]) == 0
@@ -195,12 +207,55 @@ class TestBatch:
         assert main(argv) == 0
         one_shot = capsys.readouterr().out
         assert "chunks: 1" in one_shot
+        assert "# route: dense-batch" in one_shot
         assert main(argv + ["--chunk", "3"]) == 0
         chunked = capsys.readouterr().out
         assert "chunks: 3" in chunked
+        assert "# route: dense-stream" in chunked
         # Same envelope CSV either way (only the chunk count line differs).
         csv = lambda text: [l for l in text.splitlines() if not l.startswith("#")]  # noqa: E731
         assert csv(chunked) == csv(one_shot)
+
+    def test_memory_budget_derives_chunk_size(self, netlist_file, capsys):
+        argv = ["batch", netlist_file, "--plan", "montecarlo", "--instances",
+                "7", "--moments", "3", "--points", "4"]
+        assert main(argv) == 0
+        one_shot = capsys.readouterr().out
+        # A generous budget streams in one chunk ...
+        assert main(argv + ["--memory-budget", str(64 * 2**20)]) == 0
+        generous = capsys.readouterr().out
+        assert "chunks: 1" in generous
+        # ... a tight (but sufficient) budget forces several chunks with
+        # an identical envelope CSV.  Sized off the actual reduced order.
+        from repro.runtime import sweep_chunk_bytes
+
+        per = sweep_chunk_bytes(_reduced_model(netlist_file).size, 4, 1)
+        assert main(argv + ["--memory-budget", str(3 * per)]) == 0
+        tight = capsys.readouterr().out
+        assert "# route: dense-stream" in tight
+        csv = lambda text: [l for l in text.splitlines() if not l.startswith("#")]  # noqa: E731
+        assert csv(tight) == csv(one_shot) == csv(generous)
+
+    def test_memory_budget_too_small_reports_estimate(self, netlist_file, capsys):
+        code = main(
+            ["batch", netlist_file, "--plan", "montecarlo", "--instances", "4",
+             "--moments", "3", "--points", "4", "--memory-budget", "8"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cannot fit a single instance" in err
+        assert "bytes" in err
+
+    def test_chunk_overrides_memory_budget(self, netlist_file, capsys):
+        # --chunk is the manual override: the tiny budget would error out
+        # on its own, but the explicit chunk size wins.
+        code = main(
+            ["batch", netlist_file, "--plan", "montecarlo", "--instances", "6",
+             "--moments", "3", "--points", "4", "--memory-budget", "8",
+             "--chunk", "2"]
+        )
+        assert code == 0
+        assert "chunks: 3" in capsys.readouterr().out
 
 
 class TestTransient:
@@ -274,11 +329,11 @@ class TestTransient:
         assert "method: backward_euler" in out
 
     def test_matches_api_envelope(self, netlist_file, capsys):
-        """CLI numbers equal a direct batch_transient_study call."""
+        """CLI numbers equal a direct engine transient study."""
         from repro.circuits.generators import with_random_variations
         from repro.circuits.parser import parse_netlist
         from repro.core import LowRankReducer
-        from repro.runtime import CornerPlan, batch_transient_study
+        from repro.runtime import CornerPlan, Study
 
         code = main(
             ["transient", netlist_file, "--plan", "corners", "--moments", "3",
@@ -291,7 +346,7 @@ class TestTransient:
             relative_spread=0.5,
         )
         model = LowRankReducer(num_moments=3, rank=1).reduce(parametric)
-        study = batch_transient_study(model, CornerPlan(), num_steps=5)
+        study = Study(model).scenarios(CornerPlan()).transient(num_steps=5).run()
         low, _, high = study.output_envelope()
         rows = [line for line in out.strip().splitlines()
                 if not line.startswith(("#", "time_s"))]
@@ -320,6 +375,20 @@ class TestTransient:
         out = capsys.readouterr().out
         assert "# delay(50% of peak):" in out
         assert "3/3 crossed" in out
+
+    def test_memory_budget_streams_transient(self, netlist_file, capsys):
+        argv = ["transient", netlist_file, "--plan", "corners", "--moments",
+                "3", "--steps", "12"]
+        assert main(argv) == 0
+        one_shot = capsys.readouterr().out
+        from repro.runtime import transient_chunk_bytes
+
+        per = transient_chunk_bytes(_reduced_model(netlist_file).size, 12, 1)
+        assert main(argv + ["--memory-budget", str(2 * per)]) == 0
+        tight = capsys.readouterr().out
+        assert "# route: dense-stream" in tight
+        csv = lambda text: [l for l in text.splitlines() if not l.startswith("#")]  # noqa: E731
+        assert csv(tight) == csv(one_shot)
 
     def test_bad_threshold_reports_error(self, netlist_file, capsys):
         code = main(

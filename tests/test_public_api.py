@@ -61,6 +61,95 @@ class TestVersion:
         assert repro.__version__.count(".") == 2
 
 
+ROOT_ALL_SNAPSHOT = [
+    "AdaptiveLowRankReducer", "CornerPlan", "DescriptorSystem",
+    "ExecutionPlan", "GridPlan", "LowRankReducer", "ModelCache",
+    "MonteCarloPlan", "MultiPointReducer", "Netlist", "NominalReducer",
+    "PWLInput", "ParametricReducedModel", "ParametricSystem",
+    "ProcessExecutor", "RampInput", "SerialExecutor",
+    "SharedMemoryExecutor", "SineInput", "SinglePointReducer",
+    "SparsePatternFamily", "StepInput", "Study", "ThreadExecutor",
+    "__version__", "assemble", "batch_frequency_response",
+    "batch_instantiate", "batch_poles", "batch_simulate_transient",
+    "batch_transfer", "batch_transient_study", "clock_tree",
+    "compare_frequency_responses", "coupled_rlc_bus", "dominant_poles",
+    "factorial_grid", "finite_difference_sensitivities",
+    "fit_projection_model", "match_poles", "monte_carlo_pole_study",
+    "parse_netlist", "passivity_report", "pole_error_grid",
+    "power_grid_mesh", "prima", "prima_projection", "rc_ladder",
+    "rc_network_767", "rc_tree", "rcnet_a", "rcnet_b",
+    "run_frequency_scenarios", "sample_parameters",
+    "shifted_parametric_system", "simulate_step", "simulate_transient",
+    "sparse_batch_frequency_response", "standard_stack",
+    "stream_sweep_study", "stream_transient_study", "sweep", "tbr",
+    "with_random_variations",
+]
+
+RUNTIME_ALL_SNAPSHOT = [
+    "BatchTransientResult", "CornerPlan", "ExecutionPlan", "GridPlan",
+    "InputWaveform", "ModelCache", "MonteCarloPlan", "PWLInput",
+    "PoleStudy", "ProcessExecutor", "RampInput", "ScenarioPlan",
+    "ScenarioSweep", "SensitivityStudy", "SerialExecutor",
+    "SharedMemoryExecutor", "SineInput", "SparsePatternFamily",
+    "StepInput", "StreamedSweepStudy", "StreamedTransientStudy", "Study",
+    "ThreadExecutor", "TransientStudy", "batch_frequency_response",
+    "batch_instantiate", "batch_poles", "batch_simulate_transient",
+    "batch_step_responses", "batch_sweep_study", "batch_transfer",
+    "batch_transfer_sensitivities", "batch_transient_study",
+    "default_horizon", "executor_map_array", "reducer_fingerprint",
+    "resolve_executor", "run_frequency_scenarios",
+    "shared_pattern_family", "sparse_batch_frequency_response",
+    "sparse_batch_transfer", "stream_sweep_study",
+    "stream_transient_study", "supports_batching",
+    "supports_sparse_batching", "sweep_chunk_bytes", "system_fingerprint",
+    "systems_from_stacks", "transient_chunk_bytes",
+]
+
+ENGINE_NAMES_SNAPSHOT = ["ExecutionPlan", "PoleStudy", "SensitivityStudy", "Study"]
+
+
+class TestApiSnapshot:
+    """Accidental surface changes must fail CI, not surprise users.
+
+    If a change to these lists is *intentional*, update the snapshot in
+    the same PR that changes the surface -- the diff then documents the
+    API change explicitly.
+    """
+
+    def test_root_all_matches_snapshot(self):
+        import repro
+
+        assert list(repro.__all__) == ROOT_ALL_SNAPSHOT
+
+    def test_runtime_all_matches_snapshot(self):
+        runtime = importlib.import_module("repro.runtime")
+        assert list(runtime.__all__) == RUNTIME_ALL_SNAPSHOT
+
+    def test_engine_names_present_and_constructible(self):
+        engine = importlib.import_module("repro.runtime.engine")
+        for name in ENGINE_NAMES_SNAPSHOT:
+            assert hasattr(engine, name), f"engine.{name} missing"
+        # Study is the front door: the builder surface itself is API.
+        study_methods = [
+            "scenarios", "sweep", "transient", "poles", "sensitivities",
+            "executor", "memory_budget", "chunk", "cached", "reduced",
+            "progress", "plan", "run",
+        ]
+        for method in study_methods:
+            assert callable(getattr(engine.Study, method)), f"Study.{method} missing"
+
+    def test_legacy_entry_points_still_exported(self):
+        """The deprecated shims stay importable until a major release."""
+        runtime = importlib.import_module("repro.runtime")
+        for name in (
+            "batch_sweep_study", "stream_sweep_study",
+            "stream_transient_study", "batch_transient_study",
+            "run_frequency_scenarios", "sparse_batch_transfer",
+            "sparse_batch_frequency_response",
+        ):
+            assert name in runtime.__all__
+
+
 class TestCliModule:
     def test_cli_importable_and_has_parser(self):
         from repro.cli import build_parser

@@ -15,11 +15,11 @@ from repro.analysis.montecarlo import sample_parameters
 from repro.analysis.sensitivity import transfer_sensitivities
 from repro.circuits import rcnet_a
 from repro.core import LowRankReducer
+from repro.runtime.batch import _sweep_study
 from repro.runtime import (
     batch_frequency_response,
     batch_instantiate,
     batch_poles,
-    batch_sweep_study,
     batch_transfer,
     batch_transfer_sensitivities,
     supports_batching,
@@ -132,7 +132,7 @@ class TestBatchFrequencyResponse:
 class TestBatchSweepStudy:
     def test_matches_separate_kernels(self, model, samples):
         frequencies = np.logspace(7, 10, 5)
-        responses, poles = batch_sweep_study(model, frequencies, samples, num_poles=4)
+        responses, poles = _sweep_study(model, frequencies, samples, num_poles=4)
         direct = batch_frequency_response(model, frequencies, samples)
         scale = np.abs(direct).max()
         assert np.abs(responses - direct).max() <= 1e-12 * scale

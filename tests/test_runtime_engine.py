@@ -1,0 +1,533 @@
+"""The ``Study`` engine: builder validation, routing, bit-identity.
+
+The engine's contract is threefold: (1) ``plan()`` picks the right
+route for each (target, workload) pair and reports honest accounting;
+(2) every route's result is bit-identical to the legacy kernel it
+wraps; (3) execution directives (chunking, memory budgets, executors,
+caches) compose without changing any numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import sample_parameters
+from repro.analysis.poles import dominant_poles
+from repro.circuits import rc_ladder, rc_tree, rcnet_a, with_random_variations
+from repro.core import LowRankReducer
+from repro.runtime import (
+    CornerPlan,
+    ExecutionPlan,
+    ModelCache,
+    MonteCarloPlan,
+    PoleStudy,
+    SensitivityStudy,
+    StreamedSweepStudy,
+    StreamedTransientStudy,
+    Study,
+    ThreadExecutor,
+    sweep_chunk_bytes,
+    transient_chunk_bytes,
+)
+from repro.runtime.batch import (
+    _sweep_study,
+    batch_instantiate,
+    batch_transfer_sensitivities,
+    systems_from_stacks,
+)
+from repro.runtime.sparse import shared_pattern_family
+
+FREQUENCIES = np.logspace(7, 10, 6)
+
+
+@pytest.fixture(scope="module")
+def parametric():
+    return rcnet_a()
+
+
+@pytest.fixture(scope="module")
+def model(parametric):
+    return LowRankReducer(num_moments=3, rank=1).reduce(parametric)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return MonteCarloPlan(num_instances=13, seed=7)
+
+
+@pytest.fixture(scope="module")
+def samples(parametric, plan):
+    return plan.sample_matrix(parametric.num_parameters)
+
+
+class TestBuilderValidation:
+    def test_requires_scenarios(self, model):
+        with pytest.raises(ValueError, match="no scenarios"):
+            Study(model).sweep(FREQUENCIES).plan()
+
+    def test_requires_workload(self, model, plan):
+        with pytest.raises(ValueError, match="no workload"):
+            Study(model).scenarios(plan).plan()
+
+    def test_rejects_two_workloads(self, model, plan):
+        study = Study(model).scenarios(plan).sweep(FREQUENCIES).transient()
+        with pytest.raises(ValueError, match="exactly one workload"):
+            study.plan()
+
+    def test_poles_combine_only_with_sweep(self, model, plan):
+        study = Study(model).scenarios(plan).transient(num_steps=5).poles(3)
+        with pytest.raises(ValueError, match="cannot be combined"):
+            study.plan()
+
+    def test_chunk_and_budget_mutually_exclusive(self, model):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            Study(model).chunk(4).memory_budget(1 << 20)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            Study(model).memory_budget(1 << 20).chunk(4)
+
+    def test_cached_requires_reducer(self, parametric, plan, tmp_path):
+        study = (
+            Study(parametric)
+            .scenarios(plan)
+            .sweep(FREQUENCIES)
+            .cached(ModelCache(tmp_path / "models"))
+        )
+        with pytest.raises(ValueError, match="requires reduced"):
+            study.plan()
+
+    def test_builder_chains_return_self(self, model, plan):
+        study = Study(model)
+        assert study.scenarios(plan) is study
+        assert study.sweep(FREQUENCIES) is study
+        assert study.chunk(3) is study
+        assert study.progress(lambda done, total: None) is study
+        assert "Study" in repr(study)
+
+
+class TestRouteSelection:
+    """plan() coverage: dense-reduced, sparse-full, streamed, executor."""
+
+    def test_dense_one_shot_routes_dense_batch(self, model, plan):
+        execution = Study(model).scenarios(plan).sweep(FREQUENCIES).plan()
+        assert isinstance(execution, ExecutionPlan)
+        assert execution.route == "dense-batch"
+        assert execution.kernel == "eig-rational[sweep-study]"
+        assert execution.num_chunks == 1
+        assert execution.num_samples == 13
+        assert "dense-reduced" in execution.target
+
+    def test_dense_chunked_routes_dense_stream(self, model, plan):
+        execution = Study(model).scenarios(plan).sweep(FREQUENCIES).chunk(4).plan()
+        assert execution.route == "dense-stream"
+        assert execution.num_chunks == 4
+        assert execution.chunk_size == 4
+
+    def test_sparse_sweep_routes_family_with_solver_tier(self, parametric, samples):
+        execution = Study(parametric).scenarios(samples).sweep(FREQUENCIES).plan()
+        family = shared_pattern_family(parametric)
+        assert execution.route == "sparse-family"
+        assert execution.kernel == f"shared-pattern[{family.solver_kind}]"
+        assert "sparse-full" in execution.target
+
+    def test_full_order_poles_route_executor_full(self, parametric, samples):
+        execution = (
+            Study(parametric).scenarios(samples).poles(3).executor("thread").plan()
+        )
+        assert execution.route == "executor-full"
+        assert "shared-pattern" in execution.kernel
+        assert "ThreadExecutor" in execution.executor
+
+    def test_dense_pole_study_routes_dense_batch(self, model, samples):
+        execution = Study(model).scenarios(samples).poles(3).plan()
+        assert execution.route == "dense-batch"
+        assert "dominant-poles" in execution.kernel
+
+    def test_dense_pole_study_with_executor_stays_per_sample(self, model, samples):
+        """A declared executor must be honored, not silently dropped.
+
+        The per-sample route also bounds memory to one instance per
+        worker instead of materializing (m, q, q) stacks -- the legacy
+        contract for executor-mapped full-model reference solves.
+        """
+        study = Study(model).scenarios(samples).poles(3).executor("thread")
+        execution = study.plan()
+        assert execution.route == "executor-full"
+        assert execution.kernel == "dominant-poles[instantiate]"
+        assert "ThreadExecutor" in execution.executor
+        # ... and bit-identical to the stacked in-process route.
+        stacked = Study(model).scenarios(samples).poles(3).run()
+        for a, b in zip(stacked.pole_sets, study.run().pole_sets):
+            np.testing.assert_array_equal(a, b)
+
+    def test_transient_routes(self, model, plan):
+        one_shot = Study(model).scenarios(plan).transient(num_steps=10).plan()
+        assert one_shot.route == "dense-batch"
+        assert one_shot.kernel == "transient-propagator[gesv]"
+        chunked = Study(model).scenarios(plan).transient(num_steps=10).chunk(5).plan()
+        assert chunked.route == "dense-stream"
+        assert chunked.num_chunks == 3
+
+    def test_describe_mentions_route_and_peak(self, model, plan):
+        text = str(Study(model).scenarios(plan).sweep(FREQUENCIES).plan())
+        assert "route:" in text and "dense-batch" in text
+        assert "peak:" in text and "MiB" in text
+
+    def test_plan_is_stable_across_calls(self, model, plan):
+        study = Study(model).scenarios(plan).sweep(FREQUENCIES).chunk(4)
+        assert study.plan() == study.plan()
+
+
+class TestPeakByteAccounting:
+    def test_dense_sweep_estimate_uses_documented_formula(self, model, plan):
+        execution = Study(model).scenarios(plan).sweep(FREQUENCIES).chunk(4).plan()
+        q = model.nominal.order
+        m_out = model.nominal.L.shape[1]
+        m_in = model.nominal.B.shape[1]
+        assert execution.estimated_peak_bytes == sweep_chunk_bytes(
+            q, FREQUENCIES.size, 4, m_out, m_in
+        )
+
+    def test_transient_estimate_uses_documented_formula(self, model, plan):
+        execution = (
+            Study(model).scenarios(plan).transient(num_steps=25).chunk(5).plan()
+        )
+        q = model.nominal.order
+        m_out = model.nominal.L.shape[1]
+        assert execution.estimated_peak_bytes == transient_chunk_bytes(
+            q, 25, 5, m_out
+        )
+
+    def test_keep_responses_adds_retained_grid(self, model, plan):
+        base = Study(model).scenarios(plan).sweep(FREQUENCIES).chunk(4).plan()
+        kept = (
+            Study(model)
+            .scenarios(plan)
+            .sweep(FREQUENCIES, keep_responses=True)
+            .chunk(4)
+            .plan()
+        )
+        m_out = model.nominal.L.shape[1]
+        m_in = model.nominal.B.shape[1]
+        grid = 16 * 13 * FREQUENCIES.size * m_out * m_in
+        assert kept.estimated_peak_bytes == base.estimated_peak_bytes + grid
+        assert any("keep_responses" in note for note in kept.notes)
+
+    def test_estimate_covers_measured_allocations(self, model, plan):
+        """The estimate bounds the arrays the route actually materializes."""
+        study = (
+            Study(model)
+            .scenarios(plan)
+            .sweep(FREQUENCIES, keep_responses=True)
+            .poles(4)
+        )
+        execution = study.plan()
+        result = study.run()
+        g, c = batch_instantiate(model, result.samples)
+        measured = result.responses.nbytes + g.nbytes + c.nbytes
+        assert execution.estimated_peak_bytes >= measured
+        # ... without being uselessly loose (documented factor ~2 on the
+        # eigenvector/workspace terms).
+        assert execution.estimated_peak_bytes <= 4 * max(
+            measured, 16 * 13 * model.nominal.order ** 2
+        )
+
+
+class TestMemoryBudget:
+    def test_budget_derives_chunk_size(self, model, plan):
+        q = model.nominal.order
+        m_out = model.nominal.L.shape[1]
+        m_in = model.nominal.B.shape[1]
+        per = sweep_chunk_bytes(q, FREQUENCIES.size, 1, m_out, m_in)
+        execution = (
+            Study(model).scenarios(plan).sweep(FREQUENCIES).memory_budget(3 * per).plan()
+        )
+        assert execution.chunk_size == 3
+        assert execution.num_chunks == 5  # ceil(13 / 3)
+        assert execution.estimated_peak_bytes <= 3 * per
+
+    def test_budget_too_small_raises_with_estimate(self, model, plan):
+        study = Study(model).scenarios(plan).sweep(FREQUENCIES).memory_budget(64)
+        with pytest.raises(ValueError, match="cannot fit a single instance"):
+            study.plan()
+
+    def test_budget_results_bit_identical_to_one_shot(self, model, plan, samples):
+        reference, _ = _sweep_study(model, FREQUENCIES, samples, num_poles=1)
+        q = model.nominal.order
+        per = sweep_chunk_bytes(
+            q, FREQUENCIES.size, 1, model.nominal.L.shape[1], model.nominal.B.shape[1]
+        )
+        result = (
+            Study(model)
+            .scenarios(plan)
+            .sweep(FREQUENCIES, keep_responses=True)
+            .memory_budget(2 * per)
+            .run()
+        )
+        assert result.num_chunks == 7  # ceil(13 / 2)
+        np.testing.assert_array_equal(result.responses, reference)
+
+    def test_sparse_budget_accounts_for_pencil_workspace(self, parametric, samples):
+        family = shared_pattern_family(parametric)
+        m_out = parametric.nominal.L.shape[1]
+        m_in = parametric.nominal.B.shape[1]
+        per = 16 * (2 * family.nnz + FREQUENCIES.size * m_out * m_in)
+        fixed = 16 * FREQUENCIES.size * family.nnz
+        study = (
+            Study(parametric)
+            .scenarios(samples)
+            .sweep(FREQUENCIES)
+            .memory_budget(fixed + 2 * per)
+        )
+        execution = study.plan()
+        assert execution.route == "sparse-family"
+        assert execution.chunk_size == 2
+        assert execution.estimated_peak_bytes == 2 * per + fixed
+        # Too small for the fixed workspace alone -> actionable error.
+        tiny = Study(parametric).scenarios(samples).sweep(FREQUENCIES).memory_budget(
+            fixed // 2 if fixed >= 2 else 1
+        )
+        with pytest.raises(ValueError, match="cannot fit a single instance"):
+            tiny.plan()
+
+    def test_transient_budget(self, model, plan):
+        q = model.nominal.order
+        per = transient_chunk_bytes(q, 20, 1, model.nominal.L.shape[1])
+        execution = (
+            Study(model)
+            .scenarios(plan)
+            .transient(num_steps=20)
+            .memory_budget(4 * per)
+            .plan()
+        )
+        assert execution.chunk_size == 4
+        assert execution.route == "dense-stream"
+
+
+class TestRunBitIdentity:
+    def test_sweep_result_type_and_identity(self, model, plan, samples):
+        reference_h, reference_p = _sweep_study(model, FREQUENCIES, samples, num_poles=5)
+        result = (
+            Study(model)
+            .scenarios(plan)
+            .sweep(FREQUENCIES, keep_responses=True)
+            .poles(5)
+            .run()
+        )
+        assert isinstance(result, StreamedSweepStudy)
+        assert result.plan == plan
+        np.testing.assert_array_equal(result.responses, reference_h)
+        np.testing.assert_array_equal(result.poles, reference_p)
+
+    def test_transient_result_type_and_identity(self, model, plan, samples):
+        from repro.runtime.transient import _transient_study
+
+        reference = _transient_study(model, samples, num_steps=30)
+        result = Study(model).scenarios(plan).transient(num_steps=30).run()
+        assert isinstance(result, StreamedTransientStudy)
+        assert result.plan == plan
+        np.testing.assert_array_equal(result.delays, reference.delays())
+        np.testing.assert_array_equal(result.steady_states, reference.steady_states)
+
+    def test_dense_pole_study_matches_stacked_protocol(self, model, samples):
+        result = Study(model).scenarios(samples).poles(4).run()
+        assert isinstance(result, PoleStudy)
+        g, c = batch_instantiate(model, samples, exact=True)
+        reference = [
+            dominant_poles(system, 4) for system in systems_from_stacks(model, g, c)
+        ]
+        assert len(result.pole_sets) == len(reference)
+        for got, expected in zip(result.pole_sets, reference):
+            np.testing.assert_array_equal(got, expected)
+        stacked = result.poles
+        assert stacked.shape == (samples.shape[0], 4)
+
+    def test_sparse_pole_study_matches_scalar_protocol(self, parametric, samples):
+        result = Study(parametric).scenarios(samples[:4]).poles(3).run()
+        for got, point in zip(result.pole_sets, samples[:4]):
+            np.testing.assert_array_equal(got, dominant_poles(parametric, 3, point))
+
+    def test_pole_study_thread_executor_bit_identical(self, parametric, samples):
+        serial = Study(parametric).scenarios(samples[:4]).poles(3).run()
+        threaded = (
+            Study(parametric)
+            .scenarios(samples[:4])
+            .poles(3)
+            .executor(ThreadExecutor(max_workers=2))
+            .run()
+        )
+        for a, b in zip(serial.pole_sets, threaded.pole_sets):
+            np.testing.assert_array_equal(a, b)
+
+    def test_dense_sensitivities_match_batch_kernel(self, model, samples):
+        s = 2j * np.pi * 1e9
+        result = Study(model).scenarios(samples[:5]).sensitivities(s).run()
+        assert isinstance(result, SensitivityStudy)
+        np.testing.assert_array_equal(
+            result.sensitivities, batch_transfer_sensitivities(model, s, samples[:5])
+        )
+
+    def test_sparse_sensitivities_match_scalar_path(self, parametric, samples):
+        from repro.analysis.sensitivity import _scalar_sensitivities
+
+        s = 2j * np.pi * 1e9
+        result = Study(parametric).scenarios(samples[:3]).sensitivities(s).run()
+        for got, point in zip(result.sensitivities, samples[:3]):
+            np.testing.assert_array_equal(
+                got, _scalar_sensitivities(parametric, s, point)
+            )
+
+    def test_mixed_model_pole_fallback_route(self, samples):
+        """Neither dense- nor sparse-batchable -> per-sample fallback."""
+        from repro.circuits.statespace import DescriptorSystem
+        from repro.circuits.variational import ParametricSystem
+
+        base = with_random_variations(rc_ladder(6), 2, seed=3)
+        mixed = ParametricSystem(
+            DescriptorSystem(
+                base.nominal.G,  # sparse G, dense everything else
+                base.nominal.C.toarray(),
+                np.asarray(base.nominal.B.toarray()),
+                np.asarray(base.nominal.L.toarray()),
+            ),
+            [m.toarray() for m in base.dG],
+            [m.toarray() for m in base.dC],
+        )
+        study = Study(mixed).scenarios(samples[:3, :2]).poles(2)
+        execution = study.plan()
+        assert execution.route == "executor-full"
+        assert execution.kernel == "dominant-poles[instantiate]"
+        result = study.run()
+        for got, point in zip(result.pole_sets, samples[:3, :2]):
+            np.testing.assert_array_equal(got, dominant_poles(mixed, 2, point))
+
+    def test_duck_typed_model_pole_fallback(self, model, samples):
+        """Targets exposing only instantiate/num_parameters still run.
+
+        The legacy Monte Carlo fallback loop supported such models;
+        plan() must not require a ``nominal`` attribute for the
+        per-sample routes (it is only used for the peak estimate).
+        """
+
+        class DuckModel:
+            num_parameters = model.num_parameters
+
+            def instantiate(self, p):
+                return model.instantiate(p)
+
+        duck = DuckModel()
+        study = Study(duck).scenarios(samples[:3]).poles(2)
+        execution = study.plan()
+        assert execution.route == "executor-full"
+        assert execution.kernel == "dominant-poles[instantiate]"
+        result = study.run()
+        for got, point in zip(result.pole_sets, samples[:3]):
+            np.testing.assert_array_equal(got, dominant_poles(model, 2, point))
+
+    def test_progress_fires_on_per_sample_routes(self, parametric, samples):
+        seen = []
+        (
+            Study(parametric)
+            .scenarios(samples[:3])
+            .poles(2)
+            .progress(lambda done, total: seen.append((done, total)))
+            .run()
+        )
+        assert seen == [(3, 3)]
+
+
+class TestReducedAndCached:
+    def test_reduced_resolves_target_through_reducer(self, parametric, plan):
+        reducer = LowRankReducer(num_moments=3, rank=1)
+        study = Study(parametric).scenarios(plan).sweep(FREQUENCIES).reduced(reducer)
+        execution = study.plan()
+        assert execution.route == "dense-batch"
+        assert "dense-reduced" in execution.target
+        # Same numbers as reducing by hand.
+        model = reducer.reduce(parametric)
+        samples = plan.sample_matrix(parametric.num_parameters)
+        reference, _ = _sweep_study(model, FREQUENCIES, samples, num_poles=1)
+        result = (
+            Study(parametric)
+            .scenarios(plan)
+            .sweep(FREQUENCIES, keep_responses=True)
+            .reduced(reducer)
+            .run()
+        )
+        np.testing.assert_array_equal(result.responses, reference)
+
+    def test_cached_reduction_hits_on_second_study(self, parametric, plan, tmp_path):
+        cache = ModelCache(tmp_path / "models")
+
+        class CountingReducer(LowRankReducer):
+            """Counts reduce() calls in an underscore (non-keyed) attr."""
+
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self._calls = []
+
+            def reduce(self, system):
+                self._calls.append(1)
+                return super().reduce(system)
+
+        reducer = CountingReducer(num_moments=3, rank=1)
+
+        def build():
+            return (
+                Study(parametric)
+                .scenarios(plan)
+                .sweep(FREQUENCIES)
+                .reduced(reducer)
+                .cached(cache)
+            )
+
+        first = build().run()
+        assert len(reducer._calls) == 1
+        assert cache.load(cache.key(parametric, reducer)) is not None
+        # Second study, same (system, reducer) key: loaded, not re-reduced.
+        cache_hit = build().run()
+        assert len(reducer._calls) == 1
+        np.testing.assert_array_equal(cache_hit.envelope_max, first.envelope_max)
+
+    def test_adaptive_reducer_tuple_result_unwrapped(self, plan):
+        from repro.core import AdaptiveLowRankReducer
+
+        parametric = with_random_variations(rc_tree(40, seed=5), 2, seed=7)
+        study = (
+            Study(parametric)
+            .scenarios(MonteCarloPlan(num_instances=3, seed=1))
+            .sweep(FREQUENCIES)
+            .reduced(AdaptiveLowRankReducer(target_error=1e-3, max_order=8))
+        )
+        execution = study.plan()
+        assert "dense-reduced" in execution.target
+        result = study.run()
+        assert result.num_samples == 3
+
+
+class TestExecutorOwnership:
+    def test_spec_executors_are_closed_after_run(self, parametric, samples, monkeypatch):
+        """Engine-built pools must be shut down deterministically."""
+        import repro.runtime.engine as engine_module
+
+        closed = []
+        real_resolve = engine_module.resolve_executor
+
+        def tracking_resolve(spec):
+            backend = real_resolve(spec)
+            original_close = backend.close
+
+            def close():
+                closed.append(True)
+                return original_close()
+
+            backend.close = close
+            return backend
+
+        monkeypatch.setattr(engine_module, "resolve_executor", tracking_resolve)
+        (
+            Study(parametric)
+            .scenarios(samples[:2])
+            .poles(2)
+            .executor("thread")
+            .run()
+        )
+        assert closed  # close() ran via the context manager

@@ -8,12 +8,12 @@ import pytest
 from repro.analysis.montecarlo import monte_carlo_pole_study, sample_parameters
 from repro.circuits import rcnet_a
 from repro.core import LowRankReducer
+from repro.runtime.batch import _sweep_study
 from repro.runtime import (
     ProcessExecutor,
     SerialExecutor,
     SharedMemoryExecutor,
     ThreadExecutor,
-    batch_sweep_study,
     executor_map_array,
     resolve_executor,
 )
@@ -32,8 +32,8 @@ def _row_norm(row):
 
 
 def _sweep_task(model, point):
-    """A real batch_sweep_study work item (one-sample study)."""
-    responses, poles = batch_sweep_study(model, FREQUENCIES, [point], num_poles=3)
+    """A real sweep-study work item (one-sample study)."""
+    responses, poles = _sweep_study(model, FREQUENCIES, [point], num_poles=3)
     return responses[0], poles[0]
 
 
@@ -109,7 +109,7 @@ class TestProcessExecutor:
             ProcessExecutor(chunksize=0)
 
     def test_deterministic_on_real_sweep_study_task(self, reduced_model):
-        """Bit-identical batch_sweep_study results, serial vs process."""
+        """Bit-identical sweep-study results, serial vs process."""
         points = sample_parameters(6, 3, seed=17)
         task = functools.partial(_sweep_task, reduced_model)
         serial = SerialExecutor().map(task, list(points))
@@ -162,6 +162,95 @@ class TestSharedMemoryExecutor:
             np.testing.assert_array_equal(p_serial, p_shared)
 
 
+class TestContextManagement:
+    """All executors are context managers with deterministic shutdown."""
+
+    def test_serial_context_is_noop(self):
+        executor = SerialExecutor()
+        with executor as entered:
+            assert entered is executor
+            assert entered.map(_square, [2]) == [4]
+
+    def test_thread_pool_persists_inside_context(self):
+        executor = ThreadExecutor(max_workers=2)
+        assert executor._pool is None
+        with executor:
+            first_pool = executor._pool
+            assert first_pool is not None
+            executor.map(_square, [1, 2])
+            executor.map(_square, [3])
+            assert executor._pool is first_pool  # reused, not respawned
+        assert executor._pool is None  # deterministically shut down
+
+    def test_process_pool_persists_inside_context(self):
+        executor = ProcessExecutor(max_workers=1, chunksize=2)
+        with executor:
+            pool = executor._pool
+            assert pool is not None
+            assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+            assert executor._pool is pool
+        assert executor._pool is None
+
+    def test_shared_memory_pool_persists_inside_context(self):
+        matrix = np.arange(8.0).reshape(4, 2)
+        expected = [_row_norm(row) for row in matrix]
+        executor = SharedMemoryExecutor(max_workers=1, chunksize=2)
+        with executor:
+            assert executor.map_array(_row_norm, matrix) == expected
+            assert executor._pool is not None
+        assert executor._pool is None
+
+    def test_outside_context_no_pool_survives_a_call(self):
+        executor = ThreadExecutor(max_workers=2)
+        executor.map(_square, [1, 2])
+        assert executor._pool is None
+
+    def test_close_is_idempotent(self):
+        executor = ProcessExecutor(max_workers=1)
+        executor.__enter__()
+        executor.close()
+        executor.close()
+        assert executor._pool is None
+
+    def test_results_identical_inside_and_outside_context(self):
+        items = list(range(13))
+        executor = ProcessExecutor(max_workers=2, chunksize=3)
+        outside = executor.map(_square, items)
+        with executor:
+            inside = executor.map(_square, items)
+        assert inside == outside == [x * x for x in items]
+
+    def test_engine_closes_executors_it_builds(self, reduced_model):
+        """A Study given a spec string shuts the pool down after run()."""
+        from repro.circuits import rcnet_a
+        from repro.runtime import Study
+
+        study = (
+            Study(rcnet_a())
+            .scenarios(sample_parameters(3, 3, seed=5))
+            .poles(3)
+            .executor("thread")
+        )
+        result = study.run()
+        assert len(result.pole_sets) == 3
+
+    def test_engine_leaves_user_instances_open(self):
+        """A pass-through executor instance stays owned by the caller."""
+        from repro.circuits import rcnet_a
+        from repro.runtime import Study
+
+        with ThreadExecutor(max_workers=2) as executor:
+            study = (
+                Study(rcnet_a())
+                .scenarios(sample_parameters(2, 3, seed=5))
+                .poles(2)
+                .executor(executor)
+            )
+            study.run()
+            assert executor._pool is not None  # engine did not close it
+        assert executor._pool is None
+
+
 class TestResolveExecutor:
     def test_default_is_serial(self):
         assert isinstance(resolve_executor(None), SerialExecutor)
@@ -187,6 +276,18 @@ class TestResolveExecutor:
     def test_passthrough_object(self):
         executor = SerialExecutor()
         assert resolve_executor(executor) is executor
+
+    def test_passthrough_constructed_instances(self):
+        """Already-built executors pass through with their pool state."""
+        for executor in (
+            ThreadExecutor(max_workers=3),
+            ProcessExecutor(max_workers=2, chunksize=7),
+            SharedMemoryExecutor(max_workers=2),
+        ):
+            assert resolve_executor(executor) is executor
+        with ThreadExecutor(max_workers=1) as entered:
+            assert resolve_executor(entered) is entered
+            assert entered._pool is not None
 
     def test_rejects_garbage(self):
         with pytest.raises(ValueError):

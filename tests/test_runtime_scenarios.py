@@ -6,6 +6,7 @@ import pytest
 from repro.analysis.montecarlo import monte_carlo_pole_study, sample_parameters
 from repro.circuits import rcnet_a
 from repro.core import LowRankReducer
+from repro.runtime.scenarios import _frequency_scenarios
 from repro.runtime import (
     CornerPlan,
     GridPlan,
@@ -14,7 +15,6 @@ from repro.runtime import (
     RampInput,
     SineInput,
     StepInput,
-    run_frequency_scenarios,
 )
 from repro.runtime.scenarios import MAX_PLAN_SAMPLES
 
@@ -162,10 +162,10 @@ class TestInputWaveforms:
 
 
 class TestComposition:
-    def test_run_frequency_scenarios(self, model):
+    def test__frequency_scenarios(self, model):
         plan = CornerPlan(magnitude=0.2)
         frequencies = np.logspace(7, 10, 6)
-        result = run_frequency_scenarios(model, plan, frequencies)
+        result = _frequency_scenarios(model, plan, frequencies)
         assert result.responses.shape == (
             plan.num_samples(model.num_parameters),
             6,

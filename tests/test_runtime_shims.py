@@ -1,0 +1,188 @@
+"""The deprecated runtime entry points: importable, warned, bit-identical.
+
+This is the one module allowed to call the legacy free functions; the
+rest of the suite runs under ``-W error::FutureWarning`` (see CI) to
+prove internal code no longer touches them.  Contract per shim: still
+importable from its historical locations, emits **exactly one**
+FutureWarning per call, and returns bit-identical results to the
+internal implementation the engine routes to.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import sample_parameters
+from repro.circuits import rc_ladder, rcnet_a, with_random_variations
+from repro.core import LowRankReducer
+from repro.runtime import MonteCarloPlan
+
+FREQUENCIES = np.logspace(7, 10, 5)
+
+
+@pytest.fixture(scope="module")
+def parametric():
+    return rcnet_a()
+
+
+@pytest.fixture(scope="module")
+def model(parametric):
+    return LowRankReducer(num_moments=3, rank=1).reduce(parametric)
+
+
+@pytest.fixture(scope="module")
+def sparse_full():
+    return with_random_variations(rc_ladder(25), 2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return sample_parameters(4, 3, seed=11)
+
+
+def _call_counting_warnings(fn, *args, **kwargs):
+    """Run ``fn`` returning ``(result, [FutureWarning records])``."""
+    with warnings.catch_warnings(record=True) as records:
+        warnings.simplefilter("always")
+        result = fn(*args, **kwargs)
+    return result, [r for r in records if issubclass(r.category, FutureWarning)]
+
+
+class TestShimWarnings:
+    def test_batch_sweep_study(self, model, samples):
+        from repro.runtime import batch_sweep_study
+        from repro.runtime.batch import _sweep_study
+
+        (h, p), warned = _call_counting_warnings(
+            batch_sweep_study, model, FREQUENCIES, samples, num_poles=3
+        )
+        assert len(warned) == 1
+        assert "Study" in str(warned[0].message)
+        ref_h, ref_p = _sweep_study(model, FREQUENCIES, samples, num_poles=3)
+        np.testing.assert_array_equal(h, ref_h)
+        np.testing.assert_array_equal(p, ref_p)
+
+    def test_stream_sweep_study(self, model, samples):
+        from repro.runtime import stream_sweep_study
+        from repro.runtime.stream import _stream_sweep_study
+
+        result, warned = _call_counting_warnings(
+            stream_sweep_study, model, FREQUENCIES, samples,
+            chunk_size=2, keep_responses=True,
+        )
+        assert len(warned) == 1
+        reference = _stream_sweep_study(
+            model, FREQUENCIES, samples, chunk_size=2, keep_responses=True
+        )
+        np.testing.assert_array_equal(result.responses, reference.responses)
+        np.testing.assert_array_equal(result.poles, reference.poles)
+        np.testing.assert_array_equal(result.envelope_mean, reference.envelope_mean)
+
+    def test_stream_transient_study(self, model, samples):
+        from repro.runtime import stream_transient_study
+        from repro.runtime.stream import _stream_transient_study
+
+        result, warned = _call_counting_warnings(
+            stream_transient_study, model, samples, num_steps=12, chunk_size=2,
+        )
+        assert len(warned) == 1
+        reference = _stream_transient_study(model, samples, num_steps=12, chunk_size=2)
+        np.testing.assert_array_equal(result.delays, reference.delays)
+        np.testing.assert_array_equal(result.envelope_max, reference.envelope_max)
+
+    def test_batch_transient_study(self, model, samples):
+        from repro.runtime import batch_transient_study
+        from repro.runtime.transient import _transient_study
+
+        result, warned = _call_counting_warnings(
+            batch_transient_study, model, samples, num_steps=10
+        )
+        assert len(warned) == 1
+        reference = _transient_study(model, samples, num_steps=10)
+        np.testing.assert_array_equal(result.result.outputs, reference.result.outputs)
+        np.testing.assert_array_equal(result.delays(), reference.delays())
+
+    def test_run_frequency_scenarios(self, model):
+        from repro.runtime import run_frequency_scenarios
+        from repro.runtime.scenarios import _frequency_scenarios
+
+        plan = MonteCarloPlan(num_instances=3, seed=2)
+        result, warned = _call_counting_warnings(
+            run_frequency_scenarios, model, plan, FREQUENCIES
+        )
+        assert len(warned) == 1
+        reference = _frequency_scenarios(model, plan, FREQUENCIES)
+        np.testing.assert_array_equal(result.responses, reference.responses)
+
+    def test_sparse_batch_transfer(self, sparse_full):
+        from repro.runtime import sparse_batch_transfer
+        from repro.runtime.sparse import shared_pattern_family
+
+        points = sample_parameters(3, 2, seed=5)
+        s = 2j * np.pi * 1e9
+        result, warned = _call_counting_warnings(
+            sparse_batch_transfer, sparse_full, s, points
+        )
+        assert len(warned) == 1
+        np.testing.assert_array_equal(
+            result, shared_pattern_family(sparse_full).transfer(s, points)
+        )
+
+    def test_sparse_batch_frequency_response(self, sparse_full):
+        from repro.runtime import sparse_batch_frequency_response
+        from repro.runtime.sparse import shared_pattern_family
+
+        points = sample_parameters(2, 2, seed=5)
+        result, warned = _call_counting_warnings(
+            sparse_batch_frequency_response, sparse_full, FREQUENCIES, points
+        )
+        assert len(warned) == 1
+        np.testing.assert_array_equal(
+            result,
+            shared_pattern_family(sparse_full).frequency_response(FREQUENCIES, points),
+        )
+
+
+class TestShimSurface:
+    def test_all_legacy_names_importable_from_root_and_runtime(self):
+        import repro
+        import repro.runtime as runtime
+
+        for name in (
+            "batch_sweep_study",
+            "stream_sweep_study",
+            "stream_transient_study",
+            "batch_transient_study",
+            "run_frequency_scenarios",
+            "sparse_batch_frequency_response",
+        ):
+            assert callable(getattr(runtime, name))
+        for name in (
+            "batch_transient_study",
+            "run_frequency_scenarios",
+            "sparse_batch_frequency_response",
+            "stream_sweep_study",
+            "stream_transient_study",
+        ):
+            assert callable(getattr(repro, name))
+        assert callable(repro.runtime.sparse_batch_transfer)
+
+    def test_importing_packages_does_not_warn(self):
+        """Warn on call, never on import (checked in a fresh interpreter)."""
+        import subprocess
+        import sys
+
+        code = (
+            "import warnings\n"
+            "warnings.simplefilter('error', FutureWarning)\n"
+            "import repro\n"
+            "import repro.runtime\n"
+            "import repro.analysis\n"
+            "print('clean')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stderr
+        assert "clean" in result.stdout

@@ -18,8 +18,6 @@ from repro.core import LowRankReducer
 from repro.runtime import (
     SparsePatternFamily,
     shared_pattern_family,
-    sparse_batch_frequency_response,
-    sparse_batch_transfer,
     supports_sparse_batching,
 )
 
@@ -181,7 +179,7 @@ class TestPencilSolvers:
         model = ladder_parametric()
         samples = samples_for(model)
         s = 2j * np.pi * 1e9
-        batched = sparse_batch_transfer(model, s, samples)
+        batched = shared_pattern_family(model).transfer(s, samples)
         for k, point in enumerate(samples):
             reference = model.transfer(s, point)
             scale = np.abs(reference).max()
@@ -190,7 +188,7 @@ class TestPencilSolvers:
     def test_module_level_frequency_response(self):
         model = mesh_parametric()
         samples = samples_for(model, num=2)
-        batched = sparse_batch_frequency_response(model, FREQUENCIES, samples)
+        batched = shared_pattern_family(model).frequency_response(FREQUENCIES, samples)
         assert batched.shape == (
             2,
             FREQUENCIES.size,

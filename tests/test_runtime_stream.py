@@ -1,4 +1,9 @@
-"""Streaming studies: bit-identity to the one-shot path, bounded state."""
+"""Streaming studies: bit-identity to the one-shot path, bounded state.
+
+Streaming is now driven through the ``Study`` engine (``.chunk(n)`` /
+``.memory_budget(bytes)``); these tests pin the chunked results to the
+one-shot internal kernels bit for bit.
+"""
 
 import numpy as np
 import pytest
@@ -9,14 +14,12 @@ from repro.core import LowRankReducer
 from repro.runtime import (
     MonteCarloPlan,
     RampInput,
-    batch_sweep_study,
-    batch_transient_study,
-    run_frequency_scenarios,
-    stream_sweep_study,
-    stream_transient_study,
+    Study,
     sweep_chunk_bytes,
     transient_chunk_bytes,
 )
+from repro.runtime.batch import _sweep_study
+from repro.runtime.transient import _transient_study
 
 FREQUENCIES = np.logspace(7, 10, 6)
 
@@ -40,11 +43,16 @@ class TestStreamSweepStudy:
     def test_bit_identical_to_one_shot_batched_path(self, model, plan):
         """Acceptance: chunked results == one-shot results, bit for bit."""
         samples = plan.sample_matrix(model.num_parameters)
-        one_shot_responses, one_shot_poles = batch_sweep_study(
+        one_shot_responses, one_shot_poles = _sweep_study(
             model, FREQUENCIES, samples, num_poles=4
         )
-        streamed = stream_sweep_study(
-            model, FREQUENCIES, plan, chunk_size=4, num_poles=4, keep_responses=True
+        streamed = (
+            Study(model)
+            .scenarios(plan)
+            .sweep(FREQUENCIES, keep_responses=True)
+            .poles(4)
+            .chunk(4)
+            .run()
         )
         assert streamed.num_chunks == 4  # 13 instances in chunks of 4
         np.testing.assert_array_equal(streamed.responses, one_shot_responses)
@@ -57,47 +65,58 @@ class TestStreamSweepStudy:
             streamed.envelope_mean, magnitude.mean(axis=0), rtol=1e-13
         )
 
-    def test_matches_run_frequency_scenarios_envelope(self, model, plan):
-        sweep = run_frequency_scenarios(model, plan, FREQUENCIES)
-        streamed = stream_sweep_study(model, FREQUENCIES, plan, chunk_size=5)
+    def test_matches_solve_kernel_envelope(self, model, plan):
+        from repro.runtime.scenarios import _frequency_scenarios
+
+        sweep = _frequency_scenarios(model, plan, FREQUENCIES)
+        streamed = Study(model).scenarios(plan).sweep(FREQUENCIES).chunk(5).run()
         low, _, high = sweep.magnitude_envelope()
         s_low, _, s_high = streamed.magnitude_envelope()
         np.testing.assert_allclose(s_low, low, rtol=1e-12)
         np.testing.assert_allclose(s_high, high, rtol=1e-12)
 
     def test_single_chunk_default(self, model, plan):
-        streamed = stream_sweep_study(model, FREQUENCIES, plan)
+        streamed = Study(model).scenarios(plan).sweep(FREQUENCIES).run()
         assert streamed.num_chunks == 1
         assert streamed.num_samples == 13
 
     def test_zero_poles_matches_one_shot_shape(self, model, plan):
         """num_poles=0 must not be coerced to 1 (bit-identity contract)."""
         samples = plan.sample_matrix(model.num_parameters)
-        _, one_shot_poles = batch_sweep_study(model, FREQUENCIES, samples, num_poles=0)
-        streamed = stream_sweep_study(model, FREQUENCIES, plan, chunk_size=4, num_poles=0)
+        _, one_shot_poles = _sweep_study(model, FREQUENCIES, samples, num_poles=0)
+        streamed = (
+            Study(model).scenarios(plan).sweep(FREQUENCIES).poles(0).chunk(4).run()
+        )
         assert one_shot_poles.shape == (13, 0)
         assert streamed.poles.shape == (13, 0)
 
     def test_progress_callback_sequence(self, model, plan):
         seen = []
-        stream_sweep_study(
-            model, FREQUENCIES, plan, chunk_size=5,
-            progress=lambda done, total: seen.append((done, total)),
+        (
+            Study(model)
+            .scenarios(plan)
+            .sweep(FREQUENCIES)
+            .chunk(5)
+            .progress(lambda done, total: seen.append((done, total)))
+            .run()
         )
         assert seen == [(5, 13), (10, 13), (13, 13)]
 
     def test_raw_sample_matrix_accepted(self, model):
         samples = sample_parameters(6, 3, seed=3)
-        streamed = stream_sweep_study(model, FREQUENCIES, samples, chunk_size=2)
+        streamed = Study(model).scenarios(samples).sweep(FREQUENCIES).chunk(2).run()
         assert streamed.plan is None
         assert streamed.num_samples == 6
 
     def test_sparse_full_order_model_streams_responses(self):
         full = with_random_variations(rc_ladder(40), 2, seed=3)
         samples = sample_parameters(5, 2, seed=9)
-        streamed = stream_sweep_study(
-            full, FREQUENCIES, samples, chunk_size=2, num_poles=None,
-            keep_responses=True,
+        streamed = (
+            Study(full)
+            .scenarios(samples)
+            .sweep(FREQUENCIES, keep_responses=True)
+            .chunk(2)
+            .run()
         )
         assert streamed.poles is None
         for k, point in enumerate(samples):
@@ -107,16 +126,23 @@ class TestStreamSweepStudy:
 
     def test_sparse_model_rejects_pole_request(self):
         full = with_random_variations(rc_ladder(20), 2, seed=3)
-        with pytest.raises(ValueError, match="num_poles=None"):
-            stream_sweep_study(full, FREQUENCIES, sample_parameters(2, 2), chunk_size=1)
+        study = (
+            Study(full)
+            .scenarios(sample_parameters(2, 2))
+            .sweep(FREQUENCIES)
+            .poles(3)
+        )
+        with pytest.raises(ValueError, match="responses only"):
+            study.plan()
 
     def test_rejects_unbatchable_model(self):
+        study = Study(object()).scenarios(np.zeros((2, 1))).sweep(FREQUENCIES)
         with pytest.raises(ValueError, match="neither dense nor sparse"):
-            stream_sweep_study(object(), FREQUENCIES, np.zeros((2, 1)))
+            study.run()
 
     def test_rejects_bad_chunk_size(self, model, plan):
         with pytest.raises(ValueError, match="chunk_size"):
-            stream_sweep_study(model, FREQUENCIES, plan, chunk_size=0)
+            Study(model).scenarios(plan).sweep(FREQUENCIES).chunk(0)
 
 
 class TestStreamTransientStudy:
@@ -124,12 +150,15 @@ class TestStreamTransientStudy:
         """Acceptance: chunked transient study == one-shot, bit for bit."""
         samples = plan.sample_matrix(model.num_parameters)
         waveform = RampInput(rise_time=2e-10)
-        one_shot = batch_transient_study(
+        one_shot = _transient_study(
             model, samples, waveform=waveform, num_steps=40
         )
-        streamed = stream_transient_study(
-            model, plan, waveform=waveform, num_steps=40, chunk_size=4,
-            keep_outputs=True,
+        streamed = (
+            Study(model)
+            .scenarios(plan)
+            .transient(waveform, num_steps=40, keep_outputs=True)
+            .chunk(4)
+            .run()
         )
         np.testing.assert_array_equal(streamed.time, one_shot.time)
         np.testing.assert_array_equal(streamed.outputs, one_shot.result.outputs)
@@ -144,24 +173,29 @@ class TestStreamTransientStudy:
         )
 
     def test_output_envelope_slicing(self, model, plan):
-        streamed = stream_transient_study(model, plan, num_steps=25, chunk_size=6)
+        streamed = Study(model).scenarios(plan).transient(num_steps=25).chunk(6).run()
         low, mean, high = streamed.output_envelope(output_index=0)
         assert low.shape == mean.shape == high.shape == (26,)
         assert (low <= high).all()
 
     def test_progress_and_chunk_count(self, model, plan):
         seen = []
-        streamed = stream_transient_study(
-            model, plan, num_steps=10, chunk_size=6,
-            progress=lambda done, total: seen.append((done, total)),
+        streamed = (
+            Study(model)
+            .scenarios(plan)
+            .transient(num_steps=10)
+            .chunk(6)
+            .progress(lambda done, total: seen.append((done, total)))
+            .run()
         )
         assert streamed.num_chunks == 3
         assert seen == [(6, 13), (12, 13), (13, 13)]
 
     def test_rejects_sparse_model(self):
         full = with_random_variations(rc_ladder(20), 2, seed=3)
+        study = Study(full).scenarios(sample_parameters(2, 2)).transient(num_steps=5)
         with pytest.raises(ValueError, match="dense-batchable"):
-            stream_transient_study(full, sample_parameters(2, 2), num_steps=5)
+            study.run()
 
 
 class TestChunkBytesEstimates:

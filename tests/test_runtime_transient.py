@@ -15,6 +15,7 @@ from repro.analysis.montecarlo import sample_parameters
 from repro.analysis.timedomain import simulate_step, simulate_transient
 from repro.circuits import coupled_rlc_bus, rc_ladder, with_random_variations
 from repro.core import LowRankReducer
+from repro.runtime.transient import _transient_study
 from repro.runtime import (
     CornerPlan,
     GridPlan,
@@ -25,7 +26,6 @@ from repro.runtime import (
     StepInput,
     batch_simulate_transient,
     batch_step_responses,
-    batch_transient_study,
     default_horizon,
 )
 
@@ -152,7 +152,7 @@ class TestEdgeCases:
         with pytest.raises(ValueError, match="num_steps"):
             batch_simulate_transient(ladder_model, samples, StepInput(), 1e-9, 0)
         with pytest.raises(ValueError, match="num_steps"):
-            batch_transient_study(ladder_model, samples, num_steps=0)
+            _transient_study(ladder_model, samples, num_steps=0)
 
     def test_negative_horizon_rejected(self, ladder_model, samples):
         with pytest.raises(ValueError, match="t_final"):
@@ -270,7 +270,7 @@ class TestEdgeCases:
 
 class TestTransientStudy:
     def test_plan_composition(self, ladder_model):
-        study = batch_transient_study(ladder_model, CornerPlan(), num_steps=30)
+        study = _transient_study(ladder_model, CornerPlan(), num_steps=30)
         assert study.num_samples == CornerPlan().num_samples(2)
         assert study.plan == CornerPlan()
         assert study.result.outputs.shape[0] == study.num_samples
@@ -282,20 +282,20 @@ class TestTransientStudy:
         "plan", [MonteCarloPlan(num_instances=6, seed=2), GridPlan(axis_values=(-0.2, 0.2))]
     )
     def test_other_plans_compose(self, ladder_model, plan):
-        study = batch_transient_study(ladder_model, plan, num_steps=12)
+        study = _transient_study(ladder_model, plan, num_steps=12)
         assert study.num_samples == plan.num_samples(2)
 
     def test_raw_samples_accepted(self, ladder_model, samples):
-        study = batch_transient_study(ladder_model, samples, num_steps=12)
+        study = _transient_study(ladder_model, samples, num_steps=12)
         assert study.plan is None
         np.testing.assert_array_equal(study.samples, samples)
 
     def test_default_horizon_used(self, ladder_model, samples):
-        study = batch_transient_study(ladder_model, samples, num_steps=10)
+        study = _transient_study(ladder_model, samples, num_steps=10)
         assert study.time[-1] == pytest.approx(default_horizon(ladder_model))
 
     def test_envelope_brackets_every_instance(self, ladder_model):
-        study = batch_transient_study(ladder_model, CornerPlan(), num_steps=40)
+        study = _transient_study(ladder_model, CornerPlan(), num_steps=40)
         low, mean, high = study.output_envelope()
         waveforms = study.result.outputs[:, :, 0]
         assert (low <= waveforms + 1e-15).all()
@@ -303,14 +303,14 @@ class TestTransientStudy:
         assert (low <= mean + 1e-15).all() and (mean <= high + 1e-15).all()
 
     def test_delays_monotone_in_threshold(self, ladder_model, samples):
-        study = batch_transient_study(ladder_model, samples, num_steps=400)
+        study = _transient_study(ladder_model, samples, num_steps=400)
         d25 = study.delays(threshold=0.25)
         d75 = study.delays(threshold=0.75)
         assert np.isfinite(d25).all() and np.isfinite(d75).all()
         assert (d25 < d75).all()
 
     def test_slews_positive(self, ladder_model, samples):
-        study = batch_transient_study(ladder_model, samples, num_steps=400)
+        study = _transient_study(ladder_model, samples, num_steps=400)
         slews = study.slews()
         assert np.isfinite(slews).all()
         assert (slews > 0).all()
@@ -318,18 +318,18 @@ class TestTransientStudy:
     def test_delays_invariant_to_stimulus_amplitude(self, ladder_model, samples):
         """Thresholds track the settled level: a 2 V step and a 1 V
         step report identical relative delays."""
-        unit = batch_transient_study(
+        unit = _transient_study(
             ladder_model, samples, StepInput(amplitude=1.0), num_steps=400
         )
-        double = batch_transient_study(
+        double = _transient_study(
             ladder_model, samples, StepInput(amplitude=2.0), num_steps=400
         )
         np.testing.assert_allclose(double.delays(), unit.delays(), rtol=1e-12)
         np.testing.assert_allclose(double.slews(), unit.slews(), rtol=1e-12)
 
     def test_steady_states_scale_with_amplitude(self, ladder_model, samples):
-        unit = batch_transient_study(ladder_model, samples, StepInput(), num_steps=10)
-        double = batch_transient_study(
+        unit = _transient_study(ladder_model, samples, StepInput(), num_steps=10)
+        double = _transient_study(
             ladder_model, samples, StepInput(amplitude=2.0), num_steps=10
         )
         np.testing.assert_allclose(double.steady_states, 2.0 * unit.steady_states)
@@ -342,7 +342,7 @@ class TestTransientStudy:
         nan, peak-relative delays are finite and inside the window."""
         t_final = default_horizon(ladder_model)
         pulse = PWLInput(points=((0.0, 0.0), (t_final / 8, 1.0), (t_final / 4, 0.0)))
-        study = batch_transient_study(
+        study = _transient_study(
             ladder_model, samples, pulse, t_final=t_final, num_steps=400
         )
         np.testing.assert_array_equal(study.steady_states, 0.0)
@@ -352,24 +352,24 @@ class TestTransientStudy:
         assert ((0 < peak_delays) & (peak_delays < t_final)).all()
 
     def test_unknown_reference_rejected(self, ladder_model, samples):
-        study = batch_transient_study(ladder_model, samples, num_steps=10)
+        study = _transient_study(ladder_model, samples, num_steps=10)
         with pytest.raises(ValueError, match="reference"):
             study.delays(reference="median")
 
     def test_delays_reject_bad_threshold(self, ladder_model, samples):
-        study = batch_transient_study(ladder_model, samples, num_steps=10)
+        study = _transient_study(ladder_model, samples, num_steps=10)
         with pytest.raises(ValueError, match="threshold"):
             study.delays(threshold=1.5)
 
     def test_slews_reject_bad_band(self, ladder_model, samples):
-        study = batch_transient_study(ladder_model, samples, num_steps=20)
+        study = _transient_study(ladder_model, samples, num_steps=20)
         with pytest.raises(ValueError, match="low"):
             study.slews(low=0.9, high=0.1)
 
     def test_no_crossing_gives_nan_delays(self, ladder_model, samples):
         """A stimulus delayed past the horizon never crosses: all nan."""
         t_final = default_horizon(ladder_model)
-        study = batch_transient_study(
+        study = _transient_study(
             ladder_model,
             samples,
             waveform=StepInput(delay=2 * t_final),
