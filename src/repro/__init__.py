@@ -87,7 +87,9 @@ from repro.runtime import (
     SineInput,
     SparsePatternFamily,
     StepInput,
+    StoreError,
     Study,
+    StudyStore,
     ThreadExecutor,
     batch_frequency_response,
     batch_instantiate,
@@ -126,7 +128,9 @@ __all__ = [
     "SinglePointReducer",
     "SparsePatternFamily",
     "StepInput",
+    "StoreError",
     "Study",
+    "StudyStore",
     "ThreadExecutor",
     "__version__",
     "assemble",

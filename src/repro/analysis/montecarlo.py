@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.analysis.metrics import matched_pole_errors
 from repro.runtime.engine import Study
+from repro.runtime.store import NothingToResumeError, StudyStore
 
 
 def sample_parameters(
@@ -96,6 +97,10 @@ def monte_carlo_pole_study(
     seed: int = 0,
     samples: Optional[Sequence[Sequence[float]]] = None,
     executor=None,
+    store=None,
+    shard: Optional[tuple] = None,
+    resume: bool = False,
+    chunk_size: Optional[int] = None,
 ) -> MonteCarloResult:
     """Run the Figs. 5-6 protocol.
 
@@ -105,6 +110,14 @@ def monte_carlo_pole_study(
     Results are bit-identical to the historical per-sample loop for
     every executor backend: each instance's computation is a pure
     function of its sample point.
+
+    ``store`` (a directory or :class:`~repro.runtime.store.StudyStore`)
+    makes the study durable: both pole studies checkpoint their chunks
+    (``chunk_size`` instances per checkpoint unit) under one store, so
+    an interrupted sign-off resumes (``resume=True``) and a 0-based
+    ``shard=(i, n)`` split runs on ``n`` machines -- each shard's
+    result covers its own instances, and a final resumed run with no
+    shard merges everything bit-identically to a one-shot study.
 
     Parameters
     ----------
@@ -126,6 +139,8 @@ def monte_carlo_pole_study(
         Executor spec for the full-model solves (anything
         :func:`repro.runtime.executor.resolve_executor` accepts;
         default serial).
+    store, shard, resume, chunk_size:
+        Durable-study pass-through (see above); default: not durable.
     """
     if samples is None:
         samples = sample_parameters(
@@ -133,9 +148,41 @@ def monte_carlo_pole_study(
         )
     else:
         samples = np.atleast_2d(np.asarray(samples, dtype=float))
-    pole_errors = np.empty((samples.shape[0], num_poles))
-    full_poles = np.empty((samples.shape[0], num_poles), dtype=complex)
-    reduced_poles = np.empty((samples.shape[0], num_poles), dtype=complex)
+
+    if resume:
+        if store is None:
+            raise ValueError("resume=True requires store=...")
+        store = store if isinstance(store, StudyStore) else StudyStore(store)
+        if not list(store.directory.glob("manifest-*.json")):
+            raise NothingToResumeError(
+                f"nothing to resume: no study manifests in "
+                f"{str(store.directory)!r}"
+            )
+
+    def _durable(study: Study) -> Study:
+        if store is not None:
+            study = study.store(store)
+        if chunk_size is not None:
+            study = study.chunk(chunk_size)
+        if shard is not None:
+            study = study.shard(*shard)
+        if resume:
+            study = study.resume()
+        return study
+
+    def _run_durable(study: Study):
+        """Run one side of the sign-off durably.
+
+        A crash can land between the two pole studies (the full-model
+        phase runs first), so on a resumed sign-off the side that never
+        reached its first checkpoint simply runs fresh against the
+        store -- strictness for the sign-off as a whole is enforced by
+        the manifest pre-check above.
+        """
+        try:
+            return _durable(study).run()
+        except NothingToResumeError:
+            return study.resume(False).run()
 
     # One engine study per side.  The full model always declares an
     # executor (default serial) so it takes the per-sample
@@ -145,18 +192,24 @@ def monte_carlo_pole_study(
     # routes through the dense-batch stacked instantiation with a 2x
     # pole budget for matching.  Both are bit-identical to the
     # historical loops.
-    full_results = (
+    full_study = _run_durable(
         Study(full_model)
         .scenarios(samples)
         .poles(num_poles)
         .executor(executor if executor is not None else "serial")
-        .run()
-        .pole_sets
     )
-    reduced_results = (
-        Study(reduced_model).scenarios(samples).poles(2 * num_poles).run().pole_sets
+    reduced_study = _run_durable(
+        Study(reduced_model).scenarios(samples).poles(2 * num_poles)
     )
+    full_results = full_study.pole_sets
+    reduced_results = reduced_study.pole_sets
+    if shard is not None:
+        # Sharded sign-off: the result covers this shard's instances.
+        samples = full_study.samples
 
+    pole_errors = np.empty((samples.shape[0], num_poles))
+    full_poles = np.empty((samples.shape[0], num_poles), dtype=complex)
+    reduced_poles = np.empty((samples.shape[0], num_poles), dtype=complex)
     for i, (full_p, reduced_p) in enumerate(zip(full_results, reduced_results)):
         errors, matched = matched_pole_errors(full_p, reduced_p)
         pole_errors[i] = errors

@@ -10,6 +10,8 @@ python -m repro poles      netlist.sp --num 5
 python -m repro montecarlo netlist.sp --instances 200 --jobs 4
 python -m repro batch      netlist.sp --plan corners --points 30
 python -m repro transient  netlist.sp --plan corners --waveform ramp --rise-time 2e-10
+python -m repro batch      netlist.sp --chunk 8 --store run1 --shard 1/2
+python -m repro batch      netlist.sp --chunk 8 --store run1 --resume
 ```
 
 The ``info``/``reduce``/``sweep``/``poles`` commands operate on plain
@@ -22,7 +24,14 @@ the :mod:`repro.runtime` serving layer through its declarative
 optimal kernel (batched, streamed, sparse shared-pattern), with a
 manual chunk size (``--chunk N``), an automatic one derived from a
 peak-memory bound (``--memory-budget BYTES``), and an optional
-content-addressed model cache (``--cache DIR``); ``montecarlo``
+content-addressed model cache (``--cache DIR``).  All three study
+commands are durable on request: ``--store DIR`` checkpoints every
+chunk to a :class:`~repro.runtime.store.StudyStore`, ``--shard I/N``
+(1-based) runs one slice of the chunk grid, and ``--resume`` reuses
+and merges existing checkpoints -- bit-identically to a one-shot run.
+Store misuse (invalid shard spec, missing/corrupt manifest, unwritable
+store directory) exits with code 2 and a one-line diagnostic.
+``montecarlo``
 additionally parallelizes its full-model reference solves (``--jobs``:
 a worker count, ``thread``, ``process``, or ``shared``) and routes
 sparse full models through the shared-pattern runtime.  ``transient``
@@ -41,6 +50,7 @@ import numpy as np
 
 from repro import __version__
 from repro.analysis.passivity import passivity_report
+from repro.runtime.store import StoreError, parse_shard
 from repro.baselines.prima import prima
 from repro.baselines.rational_arnoldi import logspaced_shifts, rational_arnoldi
 from repro.baselines.tbr import tbr
@@ -153,6 +163,7 @@ def _reduce_parametric(parametric, args):
 def _cmd_montecarlo(args) -> int:
     from repro.analysis.montecarlo import monte_carlo_pole_study
 
+    shard = _shard_arg(args)
     parametric = _load_parametric(args)
     model = _reduce_parametric(parametric, args)
     study = monte_carlo_pole_study(
@@ -163,7 +174,14 @@ def _cmd_montecarlo(args) -> int:
         three_sigma=args.sigma,
         seed=args.seed,
         executor=args.jobs,
+        store=args.store or None,
+        shard=shard,
+        resume=args.resume,
+        chunk_size=args.chunk,
     )
+    banner = _store_banner(args)
+    if banner:
+        print(banner)
     print(f"full order:     {parametric.order}")
     print(f"reduced order:  {model.size}")
     print(f"parameters:     {parametric.num_parameters}")
@@ -206,6 +224,37 @@ def _apply_chunking(study, args):
     return study
 
 
+def _shard_arg(args):
+    """Validated 0-based ``(index, of)`` from ``--shard``, or ``None``."""
+    if (args.shard or args.resume) and not args.store:
+        raise StoreError("--shard and --resume require --store DIR")
+    return parse_shard(args.shard) if args.shard else None
+
+
+def _apply_store(study, args):
+    """Wire ``--store`` / ``--shard`` / ``--resume`` into a Study."""
+    shard = _shard_arg(args)
+    if args.store:
+        study = study.store(args.store)
+    if shard is not None:
+        study = study.shard(*shard)
+    if args.resume:
+        study = study.resume()
+    return study
+
+
+def _store_banner(args) -> Optional[str]:
+    """The ``# store:`` line a durable study command prints."""
+    if not args.store:
+        return None
+    line = f"# store: {args.store}"
+    if args.shard:
+        line += f"  shard: {args.shard}"
+    if args.resume:
+        line += "  (resumed)"
+    return line
+
+
 def _cmd_batch(args) -> int:
     from repro.runtime import Study
 
@@ -219,7 +268,9 @@ def _cmd_batch(args) -> int:
     if not 0 <= args.input < num_inputs:
         raise ValueError(f"--input {args.input} out of range (model has {num_inputs} inputs)")
     frequencies = np.logspace(np.log10(args.fmin), np.log10(args.fmax), args.points)
-    engine = _apply_chunking(Study(model).scenarios(plan).sweep(frequencies), args)
+    engine = _apply_store(
+        _apply_chunking(Study(model).scenarios(plan).sweep(frequencies), args), args
+    )
     execution = engine.plan()
     study = engine.run()
     low, mean, high = study.magnitude_envelope(
@@ -228,6 +279,9 @@ def _cmd_batch(args) -> int:
     print(f"# plan: {plan!r}")
     print(f"# route: {execution.route} [{execution.kernel}]  "
           f"peak: ~{execution.estimated_peak_bytes / 2**20:.1f} MiB")
+    banner = _store_banner(args)
+    if banner:
+        print(banner)
     print(f"# instances: {study.num_samples}  reduced order: {model.size}  "
           f"chunks: {study.num_chunks}")
     print("frequency_hz,min_magnitude,mean_magnitude,max_magnitude")
@@ -288,17 +342,20 @@ def _cmd_transient(args) -> int:
     if not 0.0 < args.threshold < 1.0:
         raise ValueError("threshold must be in (0, 1)")
     waveform = _make_waveform(args)
-    engine = _apply_chunking(
-        Study(model)
-        .scenarios(plan)
-        .transient(
-            waveform,
-            t_final=args.t_final,
-            num_steps=args.steps,
-            method=args.method,
-            delay_threshold=args.threshold,
-            output_index=args.output,
-            reference=args.delay_reference,
+    engine = _apply_store(
+        _apply_chunking(
+            Study(model)
+            .scenarios(plan)
+            .transient(
+                waveform,
+                t_final=args.t_final,
+                num_steps=args.steps,
+                method=args.method,
+                delay_threshold=args.threshold,
+                output_index=args.output,
+                reference=args.delay_reference,
+            ),
+            args,
         ),
         args,
     )
@@ -307,6 +364,9 @@ def _cmd_transient(args) -> int:
     print(f"# plan: {plan!r}")
     print(f"# route: {execution.route} [{execution.kernel}]  "
           f"peak: ~{execution.estimated_peak_bytes / 2**20:.1f} MiB")
+    banner = _store_banner(args)
+    if banner:
+        print(banner)
     print(f"# waveform: {waveform!r}")
     print(f"# instances: {study.num_samples}  reduced order: {model.size}  "
           f"steps: {args.steps}  method: {args.method}  "
@@ -357,6 +417,22 @@ def _add_plan_arguments(subparser) -> None:
                                 "is derived from the documented per-chunk "
                                 "estimates (errors out with the estimate when "
                                 "one instance cannot fit)")
+
+
+def _add_store_arguments(subparser) -> None:
+    """Durable-study options shared by montecarlo/batch/transient."""
+    subparser.add_argument("--store", default=None, metavar="DIR",
+                           help="durable study store: every chunk is "
+                                "checkpointed to DIR (npz shards + a JSON "
+                                "manifest keyed by content fingerprints)")
+    subparser.add_argument("--shard", default=None, metavar="I/N",
+                           help="run shard I of N (1-based) of the chunk "
+                                "grid; shards share --store and a final "
+                                "--resume run merges them")
+    subparser.add_argument("--resume", action="store_true",
+                           help="require and reuse checkpoints from --store "
+                                "(skips completed chunks bit-identically; "
+                                "errors when there is nothing to resume)")
 
 
 def _add_parametric_arguments(subparser) -> None:
@@ -425,6 +501,10 @@ def build_parser() -> argparse.ArgumentParser:
         "montecarlo", help="Monte Carlo pole-accuracy study (batched runtime)"
     )
     _add_parametric_arguments(mc_cmd)
+    _add_store_arguments(mc_cmd)
+    mc_cmd.add_argument("--chunk", type=int, default=None,
+                        help="checkpoint unit for --store: instances per "
+                             "persisted pole-study chunk")
     mc_cmd.add_argument("--instances", type=int, default=200)
     mc_cmd.add_argument("--poles", type=int, default=5,
                         help="dominant poles compared per instance")
@@ -445,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parametric_arguments(batch_cmd)
     _add_plan_arguments(batch_cmd)
+    _add_store_arguments(batch_cmd)
     batch_cmd.add_argument("--fmin", type=float, default=1e7)
     batch_cmd.add_argument("--fmax", type=float, default=1e10)
     batch_cmd.add_argument("--points", type=int, default=30)
@@ -457,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parametric_arguments(transient_cmd)
     _add_plan_arguments(transient_cmd)
+    _add_store_arguments(transient_cmd)
     transient_cmd.add_argument("--waveform", choices=("step", "ramp", "pwl", "sine"),
                                default="step", help="input stimulus plan")
     transient_cmd.add_argument("--amplitude", type=float, default=1.0,
@@ -493,6 +575,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except StoreError as exc:
+        # Store misuse (bad shard spec, nothing to resume, corrupt
+        # manifest, unwritable directory): exit 2, one line, no trace.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

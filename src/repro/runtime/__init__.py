@@ -50,6 +50,13 @@ that reuse is made fast and declarative:
   :class:`ModelCache`: hash of (system, reducer config) -> reduced
   model persisted via :mod:`repro.core.io`, so repeated workloads skip
   reduction entirely.
+- :mod:`repro.runtime.store` -- the durability layer: a
+  :class:`StudyStore` persists every streamed chunk as an ``.npz``
+  checkpoint unit plus a JSON manifest keyed by the same content
+  fingerprints the cache uses, so a crashed, killed, or sharded study
+  resumes (``Study.store/.shard/.resume``) and merges bit-identically
+  to an uninterrupted run -- with per-chunk checksums so persisted
+  results stay independently re-checkable.
 - :mod:`repro.runtime.executor` -- serial, thread, chunked
   multiprocessing, and shared-memory backends behind one
   ordered-``map`` interface for the embarrassingly-parallel full-model
@@ -73,8 +80,10 @@ from repro.runtime.batch import (
 )
 from repro.runtime.cache import (
     ModelCache,
+    array_fingerprint,
     reducer_fingerprint,
     system_fingerprint,
+    target_fingerprint,
 )
 from repro.runtime.engine import (
     ExecutionPlan,
@@ -89,6 +98,15 @@ from repro.runtime.executor import (
     ThreadExecutor,
     executor_map_array,
     resolve_executor,
+    resolve_owned_executor,
+)
+from repro.runtime.store import (
+    NothingToResumeError,
+    StoreError,
+    StudyCheckpoint,
+    StudyStore,
+    parse_shard,
+    study_fingerprint,
 )
 from repro.runtime.sparse import (
     SparsePatternFamily,
@@ -135,6 +153,7 @@ __all__ = [
     "InputWaveform",
     "ModelCache",
     "MonteCarloPlan",
+    "NothingToResumeError",
     "PWLInput",
     "PoleStudy",
     "ProcessExecutor",
@@ -147,11 +166,15 @@ __all__ = [
     "SineInput",
     "SparsePatternFamily",
     "StepInput",
+    "StoreError",
     "StreamedSweepStudy",
     "StreamedTransientStudy",
     "Study",
+    "StudyCheckpoint",
+    "StudyStore",
     "ThreadExecutor",
     "TransientStudy",
+    "array_fingerprint",
     "batch_frequency_response",
     "batch_instantiate",
     "batch_poles",
@@ -163,18 +186,22 @@ __all__ = [
     "batch_transient_study",
     "default_horizon",
     "executor_map_array",
+    "parse_shard",
     "reducer_fingerprint",
     "resolve_executor",
+    "resolve_owned_executor",
     "run_frequency_scenarios",
     "shared_pattern_family",
     "sparse_batch_frequency_response",
     "sparse_batch_transfer",
     "stream_sweep_study",
     "stream_transient_study",
+    "study_fingerprint",
     "supports_batching",
     "supports_sparse_batching",
     "sweep_chunk_bytes",
     "system_fingerprint",
     "systems_from_stacks",
+    "target_fingerprint",
     "transient_chunk_bytes",
 ]

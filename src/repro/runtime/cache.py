@@ -64,6 +64,39 @@ def system_fingerprint(parametric) -> str:
     return digest.hexdigest()
 
 
+def array_fingerprint(array) -> str:
+    """SHA-256 over an array's dtype, shape, and raw bytes.
+
+    The building block the :class:`~repro.runtime.store.StudyStore`
+    manifests use to key sample matrices and frequency axes: two
+    studies share a fingerprint component iff the arrays are
+    bit-identical, which is exactly the granularity the resumable
+    chunk records promise.
+    """
+    array = np.ascontiguousarray(np.asarray(array))
+    digest = hashlib.sha256()
+    digest.update(str(array.dtype).encode())
+    digest.update(np.asarray(array.shape, dtype=np.int64).tobytes())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def target_fingerprint(target) -> str:
+    """Content fingerprint of any evaluation target the engine accepts.
+
+    Parametric objects (full systems *and* reduced macromodels share
+    the ``nominal`` + ``dG``/``dC`` shape contract) reuse
+    :func:`system_fingerprint`, so a study persisted against a cached
+    reduction and one persisted against a freshly-reduced copy of the
+    same model land on the same manifest key.  Duck-typed targets
+    without the parametric contract fall back to a hash of their
+    ``repr``.
+    """
+    if all(hasattr(target, name) for name in ("nominal", "dG", "dC")):
+        return system_fingerprint(target)
+    return hashlib.sha256(repr(target).encode()).hexdigest()
+
+
 def _stable_config_value(value):
     if isinstance(value, np.ndarray):
         return ["ndarray", list(value.shape), hashlib.sha256(

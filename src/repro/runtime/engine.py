@@ -20,7 +20,8 @@ automatically:
 ``Study`` is a builder: ``scenarios`` + one workload (``sweep`` /
 ``transient`` / ``poles`` / ``sensitivities``) plus optional execution
 directives (``executor``, ``chunk`` or ``memory_budget``, ``cached`` +
-``reduced``, ``progress``).  :meth:`Study.plan` inspects the target and
+``reduced``, ``progress``, and the durability trio ``store`` /
+``shard`` / ``resume``).  :meth:`Study.plan` inspects the target and
 workload and returns an :class:`ExecutionPlan` naming the chosen route,
 kernel tier, chunk count, and estimated peak bytes; :meth:`Study.run`
 executes that plan.
@@ -70,19 +71,24 @@ from repro.runtime.batch import (
     supports_batching,
     systems_from_stacks,
 )
+from repro.runtime.cache import array_fingerprint
 from repro.runtime.executor import (
     SerialExecutor,
     executor_map_array,
     resolve_executor,
+    resolve_owned_executor,
 )
-from repro.runtime.scenarios import ScenarioPlan
+from repro.runtime.scenarios import ScenarioPlan, StepInput
 from repro.runtime.sparse import shared_pattern_family, supports_sparse_batching
+from repro.runtime.store import StudyStore, study_fingerprint
 from repro.runtime.stream import (
+    _owned_chunks,
     _stream_sweep_study,
     _stream_transient_study,
     sweep_chunk_bytes,
     transient_chunk_bytes,
 )
+from repro.runtime.transient import default_horizon
 
 ProgressCallback = Callable[[int, int], None]
 
@@ -119,6 +125,31 @@ def _sensitivity_task(model, s: complex, point: np.ndarray):
 # -- results for the non-sweep workloads --------------------------------
 
 
+def _pack_pole_sets(pole_sets) -> dict:
+    """Ragged pole sets -> a rectangular ``.npz``-storable payload.
+
+    Residue filtering can retain fewer than ``num_poles`` entries per
+    instance, so the sets are zero-padded into one complex matrix with
+    a per-row length vector; :func:`_unpack_pole_sets` reverses this
+    exactly (values and row counts round-trip bit-for-bit).
+    """
+    rows = [np.asarray(p, dtype=complex).ravel() for p in pole_sets]
+    lengths = np.array([row.size for row in rows], dtype=np.int64)
+    width = int(lengths.max()) if lengths.size else 0
+    padded = np.zeros((len(rows), width), dtype=complex)
+    for k, row in enumerate(rows):
+        padded[k, : row.size] = row
+    return {"poles_padded": padded, "poles_lengths": lengths}
+
+
+def _unpack_pole_sets(payload: dict) -> List[np.ndarray]:
+    """Inverse of :func:`_pack_pole_sets`."""
+    padded = payload["poles_padded"]
+    return [
+        np.array(padded[k, : int(n)]) for k, n in enumerate(payload["poles_lengths"])
+    ]
+
+
 @dataclass
 class PoleStudy:
     """Dominant poles of every sampled instance (the Figs. 5-6 quantity).
@@ -126,12 +157,16 @@ class PoleStudy:
     ``pole_sets[k]`` holds instance ``k``'s dominant poles in dominance
     order -- ragged, because residue filtering and coincidence merging
     can retain fewer than ``num_poles`` entries.  :attr:`poles` stacks
-    them into a ``nan``-padded ``(m, num_poles)`` array.
+    them into a ``nan``-padded ``(m, num_poles)`` array.  Sharded runs
+    cover only their own chunk rows: ``samples`` is then the covered
+    subset and ``instance_indices`` maps it back to plan rows.
     """
 
     samples: np.ndarray
     num_poles: int
     pole_sets: List[np.ndarray] = field(default_factory=list)
+    shard: Optional[Tuple[int, int]] = None
+    instance_indices: Optional[np.ndarray] = None
 
     @property
     def num_samples(self) -> int:
@@ -193,6 +228,8 @@ class ExecutionPlan:
     estimated_peak_bytes: int
     executor: str
     notes: Tuple[str, ...] = ()
+    store: Optional[str] = None
+    shard: Optional[Tuple[int, int]] = None
 
     def describe(self) -> str:
         """Multi-line human-readable plan summary."""
@@ -206,6 +243,10 @@ class ExecutionPlan:
             f"peak:      ~{self.estimated_peak_bytes / 2**20:.1f} MiB",
             f"executor:  {self.executor}",
         ]
+        if self.store is not None:
+            lines.append(f"store:     {self.store}")
+        if self.shard is not None:
+            lines.append(f"shard:     {self.shard[0] + 1}/{self.shard[1]}")
         for note in self.notes:
             lines.append(f"note:      {note}")
         return "\n".join(lines)
@@ -237,6 +278,9 @@ class Study:
         self._executor_spec = None
         self._chunk_size: Optional[int] = None
         self._memory_budget: Optional[int] = None
+        self._store: Optional[StudyStore] = None
+        self._shard: Optional[Tuple[int, int]] = None
+        self._resume = False
         self._progress: Optional[ProgressCallback] = None
         self._resolved_target = None
         self._sample_matrix: Optional[np.ndarray] = None
@@ -366,6 +410,59 @@ class Study:
         self._chunk_size = int(chunk_size)
         return self._invalidate()
 
+    def store(self, store) -> "Study":
+        """Persist results and checkpoints under a durable study store.
+
+        Accepts a directory path or an existing
+        :class:`~repro.runtime.store.StudyStore`.  Each streamed chunk
+        (and each checkpoint unit of a chunked pole study) is written
+        to disk the moment it completes, keyed by the study's content
+        fingerprint; a re-run of the same study loads completed chunks
+        instead of recomputing them and is bit-identical to an
+        uninterrupted run.  See :mod:`repro.runtime.store` for the
+        on-disk layout and the provenance (manifest fingerprint +
+        per-chunk checksums) every persisted result carries.
+        """
+        self._store = store if isinstance(store, StudyStore) else StudyStore(store)
+        return self._invalidate()
+
+    def shard(self, index: int, of: int) -> "Study":
+        """Restrict this run to its slice of the global chunk grid.
+
+        ``index`` is 0-based in ``[0, of)``; chunk ``j`` belongs to
+        shard ``index`` when ``j % of == index``, so ``of`` machines
+        running the same declaration with different indices split the
+        study without coordination.  The shard's result covers only its
+        own instances (``instance_indices`` maps them back); combine
+        with :meth:`store` and a final :meth:`resume` run to merge all
+        shards into the one full result set.  (The CLI's ``--shard
+        I/N`` spec is 1-based; :func:`repro.runtime.store.parse_shard`
+        converts.)
+        """
+        of = int(of)
+        index = int(index)
+        if of < 1 or not 0 <= index < of:
+            raise ValueError(
+                f"shard index must satisfy 0 <= index < of, got index={index} of={of}"
+            )
+        self._shard = (index, of)
+        return self._invalidate()
+
+    def resume(self, flag: bool = True) -> "Study":
+        """Require (and reuse) persisted checkpoints from :meth:`store`.
+
+        A store-backed run always skips chunks that are already
+        persisted; ``resume()`` additionally *asserts* there is
+        something to resume -- it raises
+        :class:`~repro.runtime.store.StoreError` when the store holds
+        no manifest for this study's fingerprint (or a corrupt or
+        layout-incompatible one), instead of silently starting over.
+        A resumed run with no shard declared merges every shard's
+        chunks into the one full result set.
+        """
+        self._resume = bool(flag)
+        return self._invalidate()
+
     def reduced(self, reducer) -> "Study":
         """Reduce the target with ``reducer`` before evaluation.
 
@@ -472,22 +569,35 @@ class Study:
     # -- planning ------------------------------------------------------
 
     def _per_instance_bytes(self, workload: str, kind: str) -> Tuple[int, int]:
-        """``(per_instance, fixed)`` bytes of one streamed chunk slot."""
+        """``(per_instance, fixed)`` bytes of one streamed chunk slot.
+
+        ``fixed`` covers what lives across chunks: the streaming
+        reducer's envelope accumulator (three float64 arrays shaped
+        like one instance's statistic grid -- running min, sum, max)
+        and, on the sparse route, the per-sample pencil workspace.
+        The accumulator was historically omitted, which understated
+        the peak on every streamed route (most visibly the
+        cached+reduced one, where the chunk arrays are smallest).
+        """
         target = self._resolve_target()
         if workload in ("sweep", "sweep+poles"):
             n_f = self._frequencies.size
             m_out = target.nominal.L.shape[1]
             m_in = target.nominal.B.shape[1]
+            accumulator = 24 * n_f * m_out * m_in
             if kind == "sparse":
                 family = shared_pattern_family(target)
                 # Two (c, nnz) data stacks + the chunk's response grid,
                 # plus the per-sample (n_f, nnz) pencil workspace.
                 per = 16 * (2 * family.nnz + n_f * m_out * m_in)
-                return per, 16 * n_f * family.nnz
-            return sweep_chunk_bytes(target.nominal.order, n_f, 1, m_out, m_in), 0
+                return per, 16 * n_f * family.nnz + accumulator
+            per = sweep_chunk_bytes(target.nominal.order, n_f, 1, m_out, m_in)
+            return per, accumulator
         num_steps = self._transient_options["num_steps"]
         m_out = target.nominal.L.shape[1]
-        return transient_chunk_bytes(target.nominal.order, num_steps, 1, m_out), 0
+        accumulator = 24 * (num_steps + 1) * m_out
+        per = transient_chunk_bytes(target.nominal.order, num_steps, 1, m_out)
+        return per, accumulator
 
     def _chunk_plan(self, workload: str, kind: str, num_samples: int):
         """``(chunk_size, num_chunks, estimated_peak_bytes)`` for streams."""
@@ -509,6 +619,19 @@ class Study:
             chunk = max(num_samples, 1)
         num_chunks = -(-num_samples // chunk) if num_samples else 0
         return chunk, num_chunks, int(chunk * per_instance + fixed)
+
+    def _validate_shard(self, num_chunks: int) -> None:
+        """Refuse a shard split wider than the chunk grid at plan time.
+
+        (:func:`repro.runtime.stream._owned_chunks` guards the same
+        invariant at driver level for direct kernel callers.)
+        """
+        if self._shard is not None and self._shard[1] > num_chunks:
+            raise ValueError(
+                f"shard {self._shard[0] + 1}/{self._shard[1]} owns no chunks: "
+                f"the study has only {num_chunks} chunk(s); lower the shard "
+                "count or the chunk size"
+            )
 
     def _executor_workers(self) -> int:
         backend = resolve_executor(self._executor_spec)
@@ -547,6 +670,11 @@ class Study:
         kind = self._target_kind()
         target = self._resolve_target()
         notes: List[str] = []
+        if self._resume and self._store is None:
+            raise ValueError("resume() requires store(directory)")
+        if self._shard is not None and self._store is None:
+            notes.append("shard without store(...) computes but does not persist")
+        store_path = None if self._store is None else str(self._store.directory)
 
         if workload in ("sweep", "sweep+poles", "transient"):
             # Route validation first: it must not depend on sample
@@ -570,6 +698,7 @@ class Study:
                 )
             num_samples = self._samples().shape[0]
             chunk, num_chunks, peak = self._chunk_plan(workload, kind, num_samples)
+            self._validate_shard(num_chunks)
             if workload == "transient":
                 kernel = "transient-propagator[gesv]"
                 if self._transient_options["keep_outputs"]:
@@ -603,11 +732,36 @@ class Study:
                 estimated_peak_bytes=peak,
                 executor="SerialExecutor()",
                 notes=tuple(notes),
+                store=store_path,
+                shard=self._shard,
             )
 
         # Per-sample workloads: poles / sensitivities.
         num_samples = self._samples().shape[0]
-        if self._chunk_size is not None or self._memory_budget is not None:
+        if workload == "sensitivities" and (
+            self._store is not None or self._shard is not None
+        ):
+            raise ValueError(
+                "sensitivity studies do not support store()/shard(); "
+                "durable checkpointing covers sweep, transient, and pole studies"
+            )
+        chunk_size = num_samples
+        num_chunks = 1 if num_samples else 0
+        if workload == "poles" and (
+            self._store is not None or self._shard is not None
+        ):
+            # With a store (or shard) attached, pole studies process
+            # their samples in checkpoint units of chunk(...) instances.
+            if self._chunk_size is not None:
+                chunk_size = min(self._chunk_size, max(num_samples, 1))
+                num_chunks = -(-num_samples // chunk_size) if num_samples else 0
+            notes.append(
+                f"pole checkpoint unit: {chunk_size} instance(s) per chunk"
+            )
+            if self._memory_budget is not None:
+                notes.append("memory_budget is unused on per-sample routes")
+            self._validate_shard(num_chunks)
+        elif self._chunk_size is not None or self._memory_budget is not None:
             notes.append("chunking directives are unused on per-sample routes")
         workers = self._executor_workers()
         executor_repr = repr(resolve_executor(self._executor_spec))
@@ -654,11 +808,13 @@ class Study:
             workload=workload,
             target=self._describe_target(kind),
             num_samples=num_samples,
-            chunk_size=num_samples,
-            num_chunks=1 if num_samples else 0,
+            chunk_size=chunk_size,
+            num_chunks=num_chunks,
             estimated_peak_bytes=int(peak),
             executor=executor_repr,
             notes=tuple(notes),
+            store=store_path,
+            shard=self._shard,
         )
 
     # -- execution -----------------------------------------------------
@@ -679,6 +835,11 @@ class Study:
         samples = self._samples()
 
         if workload in ("sweep", "sweep+poles"):
+            config = {
+                "frequencies": array_fingerprint(self._frequencies),
+                "num_poles": self._num_poles,
+                "keep_responses": self._keep_responses,
+            }
             result = _stream_sweep_study(
                 target,
                 self._frequencies,
@@ -687,11 +848,30 @@ class Study:
                 num_poles=self._num_poles,
                 keep_responses=self._keep_responses,
                 progress=self._progress,
+                checkpoint=self._open_checkpoint(plan, target, samples, config),
+                shard=self._shard,
             )
             result.plan = self._scenario_plan()
             return result
         if workload == "transient":
-            options = self._transient_options
+            options = dict(self._transient_options)
+            # Resolve the defaults before fingerprinting so a resumed
+            # study keys on the waveform/horizon it actually ran with.
+            if options["waveform"] is None:
+                options["waveform"] = StepInput()
+            if options["t_final"] is None:
+                options["t_final"] = default_horizon(target)
+            config = {
+                "waveform": repr(options["waveform"]),
+                "t_final": float(options["t_final"]),
+                "num_steps": int(options["num_steps"]),
+                "method": options["method"],
+                "delay_threshold": float(options["delay_threshold"]),
+                "slew_bounds": [float(b) for b in options["slew_bounds"]],
+                "output_index": int(options["output_index"]),
+                "reference": options["reference"],
+                "keep_outputs": bool(options["keep_outputs"]),
+            }
             result = _stream_transient_study(
                 target,
                 samples,
@@ -706,6 +886,8 @@ class Study:
                 reference=options["reference"],
                 keep_outputs=options["keep_outputs"],
                 progress=self._progress,
+                checkpoint=self._open_checkpoint(plan, target, samples, config),
+                shard=self._shard,
             )
             result.plan = self._scenario_plan()
             return result
@@ -713,23 +895,38 @@ class Study:
             return self._run_poles(plan, target, samples)
         return self._run_sensitivities(plan, target, samples)
 
+    def _open_checkpoint(self, plan: ExecutionPlan, target, samples, config: dict):
+        """The run's :class:`StudyCheckpoint`, or ``None`` without a store."""
+        if self._store is None:
+            return None
+        fingerprint = study_fingerprint(target, plan.workload, samples, config)
+        return self._store.checkpoint(
+            fingerprint,
+            chunk_size=plan.chunk_size,
+            num_chunks=plan.num_chunks,
+            num_samples=plan.num_samples,
+            shard=self._shard,
+            resume=self._resume,
+        )
+
     def _owned_executor(self):
         """``(executor, owned)``: engine-built executors get closed."""
-        owned = not (
-            self._executor_spec is not None and hasattr(self._executor_spec, "map")
-        )
-        return resolve_executor(self._executor_spec), owned
+        return resolve_owned_executor(self._executor_spec)
 
     def _run_poles(self, plan: ExecutionPlan, target, samples) -> PoleStudy:
         num_poles = self._num_poles
-        if plan.route == "dense-batch":
-            g, c = batch_instantiate(target, samples, exact=True)
-            from repro.analysis.poles import dominant_poles
+        from repro.analysis.poles import dominant_poles
 
-            results = [
-                dominant_poles(system, num_poles)
-                for system in systems_from_stacks(target, g, c)
-            ]
+        if plan.route == "dense-batch":
+            backend, owned = None, False
+
+            def eval_block(block):
+                g, c = batch_instantiate(target, block, exact=True)
+                return [
+                    dominant_poles(system, num_poles)
+                    for system in systems_from_stacks(target, g, c)
+                ]
+
         else:
             if supports_sparse_batching(target):
                 task = functools.partial(
@@ -737,10 +934,52 @@ class Study:
                 )
             else:
                 task = functools.partial(_pole_task_model, target, num_poles)
-            results = self._map_with_owned_executor(task, samples)
-        if self._progress is not None:
-            self._progress(samples.shape[0], samples.shape[0])
-        return PoleStudy(samples=samples, num_poles=num_poles, pole_sets=list(results))
+            backend, owned = self._owned_executor()
+
+            def eval_block(block):
+                return executor_map_array(backend, task, block)
+
+        checkpoint = self._open_checkpoint(
+            plan, target, samples, {"num_poles": num_poles}
+        )
+        chunks = _owned_chunks(samples.shape[0], plan.chunk_size, self._shard)
+        shard_total = sum(hi - lo for _, lo, hi in chunks)
+        results: List[np.ndarray] = []
+        done = 0
+        # Per-shard executor ownership: one engine-built pool serves
+        # every chunk of this shard's run and is joined when it ends;
+        # two shards of the same study never share pool state.
+        entered = owned and hasattr(backend, "__enter__")
+        if entered:
+            backend.__enter__()
+        try:
+            for index, lo, hi in chunks:
+                payload = checkpoint.load(index) if checkpoint is not None else None
+                if payload is None:
+                    pole_sets = eval_block(samples[lo:hi])
+                    if checkpoint is not None:
+                        checkpoint.save(index, lo, hi, _pack_pole_sets(pole_sets))
+                else:
+                    pole_sets = _unpack_pole_sets(payload)
+                results.extend(pole_sets)
+                done += hi - lo
+                if self._progress is not None:
+                    self._progress(done, shard_total)
+        finally:
+            if entered:
+                backend.close()
+        if self._shard is None:
+            covered, indices = samples, None
+        else:
+            indices = np.concatenate([np.arange(lo, hi) for _, lo, hi in chunks])
+            covered = samples[indices]
+        return PoleStudy(
+            samples=covered,
+            num_poles=num_poles,
+            pole_sets=results,
+            shard=self._shard,
+            instance_indices=indices,
+        )
 
     def _run_sensitivities(
         self, plan: ExecutionPlan, target, samples

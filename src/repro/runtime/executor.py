@@ -374,6 +374,23 @@ def resolve_executor(spec: ExecutorLike):
     raise ValueError(f"cannot interpret executor spec {spec!r}")
 
 
+def resolve_owned_executor(spec: ExecutorLike):
+    """``(executor, owned)``: resolve a spec and say who shuts it down.
+
+    Executors the caller merely *names* (``None``, ``"thread"``, a
+    worker count) are constructed here and are ``owned`` by the
+    resolving scope, which must close them deterministically --
+    :class:`~repro.runtime.engine.Study` holds its owned executor open
+    across every chunk of a (sharded) run and joins the workers when
+    that shard's run finishes, so two shards of one study never share
+    pool state.  Already-constructed executor instances (anything with
+    a ``map``) pass through with ``owned=False`` and stay the caller's
+    responsibility, pool lifecycle included.
+    """
+    owned = not (spec is not None and hasattr(spec, "map"))
+    return resolve_executor(spec), owned
+
+
 def executor_map_array(executor, fn: Callable, matrix: np.ndarray) -> List:
     """``executor.map_array`` with a ``map`` fallback for foreign objects.
 

@@ -1,0 +1,428 @@
+"""Durable studies: the on-disk :class:`StudyStore` under every route.
+
+A 10^5-instance Monte Carlo study only pays off at production scale
+when it can survive a crash, be split across machines, and be
+re-verified against known-good numerics.  This module is that
+durability layer: the streaming drivers already advance chunk by
+chunk, so each chunk becomes a **checkpoint unit** -- its per-instance
+results and envelope contributions are persisted as one ``.npz`` shard
+and recorded in a JSON manifest the moment the chunk finishes.  A
+re-run of the same study (same target, samples, workload, chunk
+layout) loads completed chunks instead of recomputing them, folds them
+through the same incremental reducers in the same order, and is
+therefore **bit-identical** to an uninterrupted run.
+
+Layout of a store directory::
+
+    store/
+      manifest-<key16>.json                 # unsharded run
+      manifest-<key16>.shard01of02.json     # shard 0 of a 2-way split
+      chunks/<key16>/chunk-00007.npz        # one checkpoint unit
+
+``<key16>`` is the leading 16 hex digits of the **study key**: a
+SHA-256 over the target's content fingerprint (the same
+:func:`~repro.runtime.cache.system_fingerprint` the
+:class:`~repro.runtime.cache.ModelCache` uses), the realized sample
+matrix, and the workload configuration.  Several studies -- e.g. the
+full- and reduced-model sides of one Monte Carlo sign-off -- can share
+a store directory without touching each other's records.
+
+Following the claim-verification spirit of Proof-Carrying Numbers
+(PCN), every manifest carries enough provenance to re-check its
+results independently: the full fingerprint components (what was
+evaluated), the chunk layout (how it was split), and a SHA-256 per
+chunk archive (what was produced).  :meth:`StudyCheckpoint.load`
+verifies the recorded checksum on every read, so a bit-rotted or
+hand-edited chunk can never silently flow into a merged result.
+
+Sharding assigns chunk index ``j`` to shard ``i`` of ``n`` when
+``j % n == i``; shards write disjoint chunk files and their own
+manifest, so ``n`` machines can share one directory (or their
+manifests can be copied together afterwards).  A resumed run with no
+shard declared merges every shard's records into the one result set.
+
+All persistence failures raise :class:`StoreError` -- one exception
+type the CLI maps to exit code 2 with a one-line diagnostic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.cache import array_fingerprint, target_fingerprint
+
+MANIFEST_FORMAT = "repro-study-store/v1"
+
+_KEY_PREFIX = 16
+
+
+class StoreError(RuntimeError):
+    """A study-store operation failed (unwritable directory, missing or
+    corrupt manifest, checksum mismatch, invalid shard spec).
+
+    Deliberately *not* a :class:`ValueError`/:class:`OSError` subclass:
+    the CLI catches it separately and exits with code 2 and a one-line
+    diagnostic instead of a traceback.
+    """
+
+
+class NothingToResumeError(StoreError):
+    """``resume`` was requested but the store holds no manifest for the
+    study.
+
+    A distinct subclass so multi-study workflows (e.g. the two pole
+    studies inside one Monte Carlo sign-off) can fall back to a fresh
+    store-backed run for the side that never reached its first
+    checkpoint, while genuine store corruption still propagates.
+    """
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a CLI shard spec ``"I/N"`` (1-based) into ``(index, of)``.
+
+    Returns the 0-based ``(index, of)`` pair the engine's
+    :meth:`~repro.runtime.engine.Study.shard` expects; raises
+    :class:`StoreError` for malformed or out-of-range specs (e.g. the
+    classic ``3/2``).
+    """
+    match = re.fullmatch(r"\s*(\d+)\s*/\s*(\d+)\s*", text or "")
+    if match is None:
+        raise StoreError(
+            f"invalid shard spec {text!r}: expected I/N (e.g. --shard 1/2)"
+        )
+    index, of = int(match.group(1)), int(match.group(2))
+    if of < 1 or not 1 <= index <= of:
+        raise StoreError(
+            f"invalid shard spec {text!r}: need 1 <= I <= N, got I={index} N={of}"
+        )
+    return index - 1, of
+
+
+def study_fingerprint(target, workload: str, samples, config: dict) -> Dict[str, str]:
+    """Content fingerprint of one study: what, on what, over what.
+
+    ``target`` is fingerprinted through
+    :func:`~repro.runtime.cache.target_fingerprint` (shared with the
+    :class:`~repro.runtime.cache.ModelCache`, so the manifest key of a
+    study over a cached reduction matches a fresh reduction of the same
+    system); ``samples`` through
+    :func:`~repro.runtime.cache.array_fingerprint`; ``config`` is the
+    workload's canonical option record (frequency-axis digest, waveform
+    repr, thresholds, ...).  The returned dict carries the components
+    *and* the combined ``key`` so manifests stay independently
+    re-checkable.
+    """
+    record = {
+        "target": target_fingerprint(target),
+        "samples": array_fingerprint(np.asarray(samples, dtype=float)),
+        "workload": workload,
+        "config": config,
+    }
+    key = hashlib.sha256(
+        json.dumps(record, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+    return {**record, "key": key}
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+class StudyStore:
+    """Directory-backed persistence for study results and checkpoints.
+
+    Parameters
+    ----------
+    directory:
+        Store root; created if missing.  The constructor probes
+        writability immediately (one empty file, created and removed)
+        so a read-only target fails up front with a one-line
+        :class:`StoreError` instead of half-way through a study.
+
+    Most callers never touch this class directly: attach it (or just
+    the directory path) to a study via
+    :meth:`repro.runtime.engine.Study.store` and the engine opens one
+    :class:`StudyCheckpoint` per run.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            probe = self.directory / f".write-probe-{os.getpid()}"
+            probe.write_bytes(b"")
+            probe.unlink()
+        except OSError as exc:
+            raise StoreError(
+                f"store directory {str(self.directory)!r} is not writable: {exc}"
+            ) from None
+
+    # -- paths ---------------------------------------------------------
+
+    def _key_prefix(self, key: str) -> str:
+        return key[:_KEY_PREFIX]
+
+    def manifest_path(self, key: str, shard: Optional[Tuple[int, int]] = None) -> Path:
+        """Manifest location for ``key`` (and shard, when sharded)."""
+        stem = f"manifest-{self._key_prefix(key)}"
+        if shard is not None:
+            index, of = shard
+            stem += f".shard{index + 1:02d}of{of:02d}"
+        return self.directory / f"{stem}.json"
+
+    def manifest_paths(self, key: str):
+        """Every existing manifest file for ``key`` (all shards), sorted."""
+        return sorted(self.directory.glob(f"manifest-{self._key_prefix(key)}*.json"))
+
+    def chunk_path(self, key: str, index: int) -> Path:
+        """On-disk location of checkpoint unit ``index`` for ``key``."""
+        return self.directory / "chunks" / self._key_prefix(key) / f"chunk-{index:05d}.npz"
+
+    # -- manifests -----------------------------------------------------
+
+    def _read_manifest(self, path: Path) -> dict:
+        try:
+            with open(path) as handle:
+                manifest = json.load(handle)
+        except OSError as exc:
+            raise StoreError(f"cannot read manifest {str(path)!r}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"corrupt manifest {str(path)!r}: {exc} (delete it to start over)"
+            ) from None
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise StoreError(
+                f"manifest {str(path)!r} has unsupported format "
+                f"{manifest.get('format')!r} (expected {MANIFEST_FORMAT!r})"
+            )
+        # Schema-validate the chunk records: a JSON-valid but hand-edited
+        # or truncated manifest must still surface as a one-line
+        # StoreError, never a KeyError deep inside a resumed run.
+        chunks = manifest.get("chunks", {})
+        if not isinstance(chunks, dict):
+            raise StoreError(
+                f"corrupt manifest {str(path)!r}: 'chunks' is not an object "
+                "(delete it to start over)"
+            )
+        for index, record in chunks.items():
+            if not (
+                isinstance(index, str)
+                and index.isdigit()
+                and isinstance(record, dict)
+                and isinstance(record.get("file"), str)
+                and isinstance(record.get("sha256"), str)
+                and isinstance(record.get("lo"), int)
+                and isinstance(record.get("hi"), int)
+            ):
+                raise StoreError(
+                    f"corrupt manifest {str(path)!r}: malformed record for "
+                    f"chunk {index!r} (delete it to start over)"
+                )
+        return manifest
+
+    def load_manifests(self, key: str):
+        """All parsed manifests for ``key`` (raises on corruption)."""
+        return [self._read_manifest(path) for path in self.manifest_paths(key)]
+
+    def completed_chunks(self, key: str) -> Dict[int, dict]:
+        """Merged ``{chunk_index: record}`` across every shard manifest."""
+        completed: Dict[int, dict] = {}
+        for manifest in self.load_manifests(key):
+            for index, record in manifest.get("chunks", {}).items():
+                completed[int(index)] = record
+        return completed
+
+    def checkpoint(
+        self,
+        fingerprint: Dict[str, str],
+        chunk_size: int,
+        num_chunks: int,
+        num_samples: int,
+        shard: Optional[Tuple[int, int]] = None,
+        resume: bool = False,
+    ) -> "StudyCheckpoint":
+        """Open the checkpoint for one study run, validating any history.
+
+        Every existing manifest for the study key is parsed (corruption
+        raises), and its recorded chunk layout must match the current
+        plan -- a resume with a different ``chunk_size`` would silently
+        change the envelope-mean accumulation order, so it is refused
+        instead.  ``resume=True`` additionally requires at least one
+        manifest to exist.
+        """
+        key = fingerprint["key"]
+        layout = {
+            "num_samples": int(num_samples),
+            "chunk_size": int(chunk_size),
+            "num_chunks": int(num_chunks),
+        }
+        manifests = self.load_manifests(key)
+        if resume and not manifests:
+            raise NothingToResumeError(
+                f"nothing to resume: no manifest for study {key[:12]}... in "
+                f"{str(self.directory)!r} (was it stored with a different "
+                "target, sample plan, or workload?)"
+            )
+        for manifest in manifests:
+            if manifest.get("study_key") != key:
+                raise StoreError(
+                    f"manifest {str(self.manifest_path(key))!r} belongs to a "
+                    "different study (fingerprint mismatch)"
+                )
+            if manifest.get("layout") != layout:
+                raise StoreError(
+                    f"study {key[:12]}... was stored with chunk layout "
+                    f"{manifest.get('layout')}, but this run plans {layout}; "
+                    "re-run with the original chunk size or use a fresh store"
+                )
+        return StudyCheckpoint(
+            self, key, fingerprint, layout, shard=shard
+        )
+
+    def __repr__(self) -> str:
+        manifests = len(list(self.directory.glob("manifest-*.json")))
+        return f"StudyStore({str(self.directory)!r}, manifests={manifests})"
+
+
+class StudyCheckpoint:
+    """One run's view of a store: load completed chunks, record new ones.
+
+    ``completed`` merges the chunk records of *every* shard manifest
+    for the study key, so a merge run sees all shards' work;
+    :meth:`save` appends to this run's own manifest only (the one named
+    by its shard), keeping concurrent shard writers independent.
+    """
+
+    def __init__(self, store, key, fingerprint, layout, shard=None):
+        self.store = store
+        self.key = key
+        self.fingerprint = fingerprint
+        self.layout = layout
+        self.shard = shard
+        self.completed = store.completed_chunks(key)
+        own = store.manifest_path(key, shard)
+        self._own_records: Dict[int, dict] = {}
+        if own.exists():
+            manifest = store._read_manifest(own)
+            self._own_records = {
+                int(index): record
+                for index, record in manifest.get("chunks", {}).items()
+            }
+        self.loaded_chunks = 0
+        self.saved_chunks = 0
+
+    @property
+    def num_completed(self) -> int:
+        """How many chunk checkpoints exist across all shards."""
+        return len(self.completed)
+
+    def load(self, index: int) -> Optional[Dict[str, np.ndarray]]:
+        """The persisted payload of chunk ``index``, or ``None``.
+
+        Verifies the manifest's recorded SHA-256 against the archive
+        bytes before deserializing -- a checksum mismatch or missing
+        file raises :class:`StoreError` rather than poisoning a merged
+        result.
+        """
+        record = self.completed.get(index)
+        if record is None:
+            return None
+        path = self.store.directory / record["file"]
+        if not path.exists():
+            raise StoreError(
+                f"chunk {index} of study {self.key[:12]}... is recorded in the "
+                f"manifest but its archive {record['file']!r} is missing"
+            )
+        actual = _sha256_file(path)
+        if actual != record["sha256"]:
+            raise StoreError(
+                f"chunk {index} archive {record['file']!r} fails its recorded "
+                f"checksum (manifest {record['sha256'][:12]}..., file "
+                f"{actual[:12]}...); the store is corrupt"
+            )
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        self.loaded_chunks += 1
+        return payload
+
+    def save(self, index: int, lo: int, hi: int, payload: Dict[str, np.ndarray]) -> None:
+        """Persist chunk ``index`` and record it -- the checkpoint unit.
+
+        The archive is written to a temporary sibling and atomically
+        renamed, then the manifest is rewritten the same way, so a kill
+        at any instant leaves either a fully recorded chunk or no
+        record at all -- never a half-written checkpoint.
+        """
+        # Serialize (and hash) in memory so the hot streaming path pays
+        # one disk write per checkpoint, not a write plus a read-back.
+        buffer = io.BytesIO()
+        np.savez(buffer, **{k: v for k, v in payload.items() if v is not None})
+        data = buffer.getvalue()
+        path = self.store.chunk_path(self.key, index)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            scratch = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+            try:
+                scratch.write_bytes(data)
+                os.replace(scratch, path)
+            finally:
+                scratch.unlink(missing_ok=True)
+        except OSError as exc:
+            raise StoreError(
+                f"cannot write chunk {index} of study {self.key[:12]}...: {exc}"
+            ) from None
+        record = {
+            "file": str(path.relative_to(self.store.directory)),
+            "lo": int(lo),
+            "hi": int(hi),
+            "rows": int(hi - lo),
+            "sha256": hashlib.sha256(data).hexdigest(),
+        }
+        self._own_records[index] = record
+        self.completed[index] = record
+        self.saved_chunks += 1
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "study_key": self.key,
+            "fingerprint": self.fingerprint,
+            "layout": self.layout,
+            "shard": None if self.shard is None else list(self.shard),
+            "chunks": {
+                str(index): self._own_records[index]
+                for index in sorted(self._own_records)
+            },
+        }
+        path = self.store.manifest_path(self.key, self.shard)
+        scratch = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            try:
+                scratch.write_text(json.dumps(manifest, indent=1, sort_keys=True))
+                os.replace(scratch, path)
+            finally:
+                scratch.unlink(missing_ok=True)
+        except OSError as exc:
+            raise StoreError(
+                f"cannot write manifest {str(path)!r}: {exc}"
+            ) from None
+
+    def __repr__(self) -> str:
+        total = self.layout["num_chunks"]
+        return (
+            f"StudyCheckpoint(study={self.key[:12]}..., "
+            f"completed={self.num_completed}/{total}, shard={self.shard})"
+        )

@@ -34,7 +34,25 @@ within a small constant factor -- see :func:`sweep_chunk_bytes` and
 :func:`transient_chunk_bytes`.  Everything retained across chunks is
 ``O(m)`` scalars per instance (delays, poles, steady states) plus the
 ``O(n_f)`` / ``O(n_t)`` envelope accumulators, so total memory is flat
-in the plan size for any fixed ``chunk_size``.
+in the plan size for any fixed ``chunk_size``.  (The accumulator's
+three running arrays are part of the working set and are included in
+the engine's :class:`~repro.runtime.engine.ExecutionPlan` peak
+estimate as a fixed term.)
+
+Checkpoint units
+----------------
+
+Each chunk is also the **checkpoint unit** of the durable-study layer
+(:mod:`repro.runtime.store`): the drivers accept a
+:class:`~repro.runtime.store.StudyCheckpoint` and, per chunk, either
+load the persisted payload (envelope contributions + per-instance
+blocks) or compute it and persist it before folding.  Because the
+folded arrays round-trip ``.npz`` bit-exactly and are folded in the
+same chunk order, a resumed or sharded-then-merged study is
+bit-identical to an uninterrupted one.  ``shard=(i, n)`` restricts a
+driver to the chunks with ``index % n == i``; the result then covers
+only those instances (``instance_indices`` maps them back to plan
+rows).
 
 Determinism contract
 --------------------
@@ -84,6 +102,29 @@ def _chunk_slices(num_items: int, chunk_size: Optional[int]):
         yield lo, min(lo + chunk_size, num_items)
 
 
+def _owned_chunks(num_items: int, chunk_size: Optional[int], shard):
+    """``(index, lo, hi)`` for the chunks this run executes.
+
+    ``shard=(i, n)`` keeps the chunks with ``index % n == i`` (the
+    global chunk grid is identical for every shard, so shards own
+    disjoint checkpoint units and a merge sees no gaps or overlaps).
+    """
+    chunks = [
+        (index, lo, hi)
+        for index, (lo, hi) in enumerate(_chunk_slices(num_items, chunk_size))
+    ]
+    if shard is None:
+        return chunks
+    index, of = shard
+    owned = [chunk for chunk in chunks if chunk[0] % of == index]
+    if not owned:
+        raise ValueError(
+            f"shard {index + 1}/{of} owns no chunks: the study has only "
+            f"{len(chunks)} chunk(s); lower the shard count or the chunk size"
+        )
+    return owned
+
+
 def sweep_chunk_bytes(
     order: int,
     num_frequencies: int,
@@ -131,9 +172,26 @@ class _EnvelopeAccumulator:
 
     def update(self, block: np.ndarray) -> None:
         """Fold in a ``(chunk, ...)`` block of per-instance values."""
-        chunk_min = block.min(axis=0)
-        chunk_max = block.max(axis=0)
-        chunk_sum = block.sum(axis=0)
+        self.merge(
+            block.min(axis=0), block.max(axis=0), block.sum(axis=0), block.shape[0]
+        )
+
+    def merge(
+        self,
+        chunk_min: np.ndarray,
+        chunk_max: np.ndarray,
+        chunk_sum: np.ndarray,
+        count: int,
+    ) -> None:
+        """Fold in one chunk's already-reduced ``(min, max, sum, count)``.
+
+        This is the seam the durable-study checkpoints use: the same
+        three arrays :meth:`update` reduces from a live block are
+        persisted per chunk and folded back through this method on
+        resume, in the same order, so the accumulated state (including
+        the chunk-ordered ``total`` behind :attr:`mean`) is
+        bit-identical either way.
+        """
         if self.minimum is None:
             self.minimum = chunk_min
             self.maximum = chunk_max
@@ -142,7 +200,7 @@ class _EnvelopeAccumulator:
             self.minimum = np.minimum(self.minimum, chunk_min)
             self.maximum = np.maximum(self.maximum, chunk_max)
             self.total = self.total + chunk_sum
-        self.count += block.shape[0]
+        self.count += count
 
     @property
     def mean(self) -> np.ndarray:
@@ -171,6 +229,8 @@ class StreamedSweepStudy:
     chunk_size: int
     poles: Optional[np.ndarray] = None
     responses: Optional[np.ndarray] = None
+    shard: Optional[Tuple[int, int]] = None
+    instance_indices: Optional[np.ndarray] = None
 
     @property
     def num_samples(self) -> int:
@@ -201,12 +261,18 @@ def _stream_sweep_study(
     num_poles: Optional[int] = 5,
     keep_responses: bool = False,
     progress: Optional[ProgressCallback] = None,
+    checkpoint=None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> StreamedSweepStudy:
     """Run a scenario plan's frequency study in fixed-size chunks.
 
     This is the engine-internal driver behind every sweep route of
     :class:`repro.runtime.engine.Study`; the historical public name
     :func:`stream_sweep_study` is a deprecated shim over it.
+    ``checkpoint`` (a :class:`~repro.runtime.store.StudyCheckpoint`)
+    turns every chunk into a persisted checkpoint unit; ``shard=(i,
+    n)`` restricts the run to its slice of the global chunk grid --
+    see the module notes on checkpoint units.
 
     Parameters
     ----------
@@ -259,27 +325,52 @@ def _stream_sweep_study(
     response_blocks = [] if keep_responses else None
     num_chunks = 0
     effective_chunk = chunk_size if chunk_size is not None else max(total, 1)
-    for lo, hi in _chunk_slices(total, chunk_size):
-        block = samples[lo:hi]
-        if dense:
-            responses, poles = _sweep_study(
-                model, freqs, block,
-                num_poles=(num_poles if num_poles is not None else 1),
-            )
-        else:
-            responses = family.frequency_response(freqs, block)
-            poles = None
-        envelope.update(np.abs(responses))
+    owned = _owned_chunks(total, chunk_size, shard)
+    shard_total = sum(hi - lo for _, lo, hi in owned)
+    done = 0
+    for index, lo, hi in owned:
+        payload = checkpoint.load(index) if checkpoint is not None else None
+        if payload is None:
+            block = samples[lo:hi]
+            if dense:
+                responses, poles = _sweep_study(
+                    model, freqs, block,
+                    num_poles=(num_poles if num_poles is not None else 1),
+                )
+            else:
+                responses = family.frequency_response(freqs, block)
+                poles = None
+            magnitudes = np.abs(responses)
+            payload = {
+                "env_min": magnitudes.min(axis=0),
+                "env_max": magnitudes.max(axis=0),
+                "env_sum": magnitudes.sum(axis=0),
+            }
+            if pole_blocks is not None:
+                payload["poles"] = poles
+            if response_blocks is not None:
+                payload["responses"] = responses
+            if checkpoint is not None:
+                checkpoint.save(index, lo, hi, payload)
+        envelope.merge(
+            payload["env_min"], payload["env_max"], payload["env_sum"], hi - lo
+        )
         if pole_blocks is not None:
-            pole_blocks.append(poles)
+            pole_blocks.append(payload["poles"])
         if response_blocks is not None:
-            response_blocks.append(responses)
+            response_blocks.append(payload["responses"])
         num_chunks += 1
+        done += hi - lo
         if progress is not None:
-            progress(hi, total)
+            progress(done, shard_total)
+    if shard is None:
+        covered, indices = samples, None
+    else:
+        indices = np.concatenate([np.arange(lo, hi) for _, lo, hi in owned])
+        covered = samples[indices]
     return StreamedSweepStudy(
         plan=plan,
-        samples=samples,
+        samples=covered,
         frequencies=freqs,
         envelope_min=envelope.minimum,
         envelope_mean=envelope.mean,
@@ -290,6 +381,8 @@ def _stream_sweep_study(
         responses=None
         if response_blocks is None
         else np.concatenate(response_blocks, axis=0),
+        shard=shard,
+        instance_indices=indices,
     )
 
 
@@ -355,6 +448,8 @@ class StreamedTransientStudy:
     num_chunks: int
     chunk_size: int
     outputs: Optional[np.ndarray] = None
+    shard: Optional[Tuple[int, int]] = None
+    instance_indices: Optional[np.ndarray] = None
 
     @property
     def num_samples(self) -> int:
@@ -387,6 +482,8 @@ def _stream_transient_study(
     reference: str = "steady",
     keep_outputs: bool = False,
     progress: Optional[ProgressCallback] = None,
+    checkpoint=None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> StreamedTransientStudy:
     """Run a scenario plan's transient ensemble in fixed-size chunks.
 
@@ -396,7 +493,9 @@ def _stream_transient_study(
     ``slew_bounds`` / ``reference`` semantics of
     :class:`~repro.runtime.transient.TransientStudy`), and only
     ``O(m)`` metrics plus the ``O(n_t)`` envelope survive the chunk.
-    Peak memory: :func:`transient_chunk_bytes`.
+    Peak memory: :func:`transient_chunk_bytes`.  ``checkpoint`` /
+    ``shard`` have the checkpoint-unit semantics described in the
+    module notes.
 
     ``t_final`` defaults to the nominal settling horizon, computed once
     and shared across all chunks.
@@ -425,45 +524,68 @@ def _stream_transient_study(
     slew_blocks = []
     steady_blocks = []
     output_blocks = [] if keep_outputs else None
-    time_axis: Optional[np.ndarray] = None
+    # Reconstructed, not captured from a simulated chunk: a fully
+    # resumed run loads every chunk from the store and simulates none.
+    time_axis = np.linspace(0.0, t_final, num_steps + 1)
     num_chunks = 0
     effective_chunk = chunk_size if chunk_size is not None else max(total, 1)
-    for lo, hi in _chunk_slices(total, chunk_size):
-        study = _transient_study(
-            model,
-            samples[lo:hi],
-            waveform=waveform,
-            t_final=t_final,
-            num_steps=num_steps,
-            method=method,
-        )
-        time_axis = study.time
-        envelope.update(study.result.outputs)
-        delay_blocks.append(
-            study.delays(
-                threshold=delay_threshold,
-                output_index=output_index,
-                reference=reference,
+    owned = _owned_chunks(total, chunk_size, shard)
+    shard_total = sum(hi - lo for _, lo, hi in owned)
+    done = 0
+    for index, lo, hi in owned:
+        payload = checkpoint.load(index) if checkpoint is not None else None
+        if payload is None:
+            study = _transient_study(
+                model,
+                samples[lo:hi],
+                waveform=waveform,
+                t_final=t_final,
+                num_steps=num_steps,
+                method=method,
             )
+            outputs = study.result.outputs
+            payload = {
+                "env_min": outputs.min(axis=0),
+                "env_max": outputs.max(axis=0),
+                "env_sum": outputs.sum(axis=0),
+                "delays": study.delays(
+                    threshold=delay_threshold,
+                    output_index=output_index,
+                    reference=reference,
+                ),
+                "slews": study.slews(
+                    low=slew_bounds[0],
+                    high=slew_bounds[1],
+                    output_index=output_index,
+                    reference=reference,
+                ),
+                "steady_states": study.steady_states,
+            }
+            if output_blocks is not None:
+                payload["outputs"] = outputs
+            if checkpoint is not None:
+                checkpoint.save(index, lo, hi, payload)
+        envelope.merge(
+            payload["env_min"], payload["env_max"], payload["env_sum"], hi - lo
         )
-        slew_blocks.append(
-            study.slews(
-                low=slew_bounds[0],
-                high=slew_bounds[1],
-                output_index=output_index,
-                reference=reference,
-            )
-        )
-        steady_blocks.append(study.steady_states)
+        delay_blocks.append(payload["delays"])
+        slew_blocks.append(payload["slews"])
+        steady_blocks.append(payload["steady_states"])
         if output_blocks is not None:
-            output_blocks.append(study.result.outputs)
+            output_blocks.append(payload["outputs"])
         num_chunks += 1
+        done += hi - lo
         if progress is not None:
-            progress(hi, total)
+            progress(done, shard_total)
+    if shard is None:
+        covered, indices = samples, None
+    else:
+        indices = np.concatenate([np.arange(lo, hi) for _, lo, hi in owned])
+        covered = samples[indices]
     return StreamedTransientStudy(
         plan=plan,
         waveform=waveform,
-        samples=samples,
+        samples=covered,
         time=time_axis,
         method=method,
         envelope_min=envelope.minimum,
@@ -475,6 +597,8 @@ def _stream_transient_study(
         num_chunks=num_chunks,
         chunk_size=effective_chunk,
         outputs=None if output_blocks is None else np.concatenate(output_blocks, axis=0),
+        shard=shard,
+        instance_indices=indices,
     )
 
 

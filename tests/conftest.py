@@ -20,6 +20,26 @@ from repro.circuits import (
 )
 
 
+def pytest_addoption(parser):
+    """``--regen-goldens``: rewrite the tests/golden/*.npz fixtures.
+
+    The golden-reference harness (tests/test_golden.py) compares the
+    current kernels against committed known-good numerics; after an
+    *intentional* numeric change, regenerate with
+
+        pytest tests/test_golden.py --regen-goldens
+
+    and commit the updated fixtures in the same PR, so the diff
+    documents the numeric change explicitly.
+    """
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate the committed golden-reference fixtures",
+    )
+
+
 @pytest.fixture(scope="session")
 def ladder_system():
     """A 12-segment RC ladder (13 states, 1 port + 1 observation)."""

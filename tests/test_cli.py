@@ -421,6 +421,124 @@ class TestVersion:
         assert capsys.readouterr().out.strip() == repro.__version__
 
 
+class TestDurableStore:
+    """``--store`` / ``--shard`` / ``--resume`` on the study commands.
+
+    The failure contract: store misuse exits with code 2 and a
+    one-line ``error:`` diagnostic on stderr -- never a traceback.
+    """
+
+    BATCH = ["--plan", "montecarlo", "--instances", "8", "--moments", "3",
+             "--points", "4", "--chunk", "2"]
+
+    @staticmethod
+    def _csv(text):
+        return [line for line in text.splitlines() if not line.startswith("#")]
+
+    def test_sharded_runs_merge_into_one_shot_csv(self, netlist_file, tmp_path, capsys):
+        argv = ["batch", netlist_file, *self.BATCH]
+        assert main(argv) == 0
+        one_shot = capsys.readouterr().out
+        store = str(tmp_path / "store")
+        assert main(argv + ["--store", store, "--shard", "1/2"]) == 0
+        first = capsys.readouterr().out
+        assert "# store:" in first and "shard: 1/2" in first
+        assert "# instances: 4" in first
+        assert main(argv + ["--store", store, "--shard", "2/2"]) == 0
+        capsys.readouterr()
+        assert main(argv + ["--store", store, "--resume"]) == 0
+        merged = capsys.readouterr().out
+        assert "(resumed)" in merged
+        # The merged envelope CSV is bit-identical to the one-shot run.
+        assert self._csv(merged) == self._csv(one_shot)
+
+    def test_transient_resume_matches_one_shot_csv(self, netlist_file, tmp_path, capsys):
+        argv = ["transient", netlist_file, "--plan", "montecarlo", "--instances",
+                "6", "--moments", "3", "--steps", "10", "--chunk", "2"]
+        assert main(argv) == 0
+        one_shot = capsys.readouterr().out
+        store = str(tmp_path / "store")
+        assert main(argv + ["--store", store]) == 0
+        capsys.readouterr()
+        assert main(argv + ["--store", store, "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert self._csv(resumed) == self._csv(one_shot)
+
+    def test_montecarlo_store_roundtrip(self, netlist_file, tmp_path, capsys):
+        argv = ["montecarlo", netlist_file, "--instances", "6", "--moments", "3",
+                "--poles", "2", "--tolerance", "1.0"]
+        assert main(argv) == 0
+        one_shot = capsys.readouterr().out
+        store = str(tmp_path / "store")
+        assert main(argv + ["--store", store, "--chunk", "2"]) == 0
+        capsys.readouterr()
+        assert main(argv + ["--store", store, "--chunk", "2", "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert self._csv(resumed) == self._csv(one_shot)
+
+    def test_invalid_shard_spec_exits_2_with_one_line(self, netlist_file, tmp_path, capsys):
+        code = main(["batch", netlist_file, *self.BATCH,
+                     "--store", str(tmp_path), "--shard", "3/2"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: invalid shard spec '3/2'")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_resume_with_missing_manifest_exits_2(self, netlist_file, tmp_path, capsys):
+        code = main(["batch", netlist_file, *self.BATCH,
+                     "--store", str(tmp_path / "empty"), "--resume"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: nothing to resume" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_resume_with_corrupt_manifest_exits_2(self, netlist_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        argv = ["batch", netlist_file, *self.BATCH, "--store", store]
+        assert main(argv) == 0
+        capsys.readouterr()
+        manifest = next((tmp_path / "store").glob("manifest-*.json"))
+        manifest.write_text("{ definitely not json")
+        code = main(argv + ["--resume"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: corrupt manifest" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_unwritable_store_directory_exits_2(self, netlist_file, tmp_path, capsys):
+        # A path under a regular file cannot be created -- the portable
+        # stand-in for a read-only directory (chmod is moot under root,
+        # which is what CI containers run as).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("file, not dir")
+        code = main(["batch", netlist_file, *self.BATCH,
+                     "--store", str(blocker / "store")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: store directory" in captured.err
+        assert "not writable" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_shard_without_store_exits_2(self, netlist_file, capsys):
+        code = main(["batch", netlist_file, *self.BATCH, "--shard", "1/2"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: --shard and --resume require --store" in captured.err
+
+    @pytest.mark.parametrize("command", ["montecarlo", "batch", "transient"])
+    def test_store_flags_registered_on_all_study_commands(self, command):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [command, "net.sp", "--store", "d", "--shard", "1/2", "--resume"]
+        )
+        assert args.store == "d" and args.shard == "1/2" and args.resume
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -105,10 +105,12 @@ class TestDenseRouteEquivalence:
         m_out = model.nominal.L.shape[1]
         m_in = model.nominal.B.shape[1]
         effective = min(chunk, samples.shape[0])
-        # Exactly the documented estimator ...
+        # Exactly the documented estimator: the chunk arrays plus the
+        # streaming reducer's three cross-chunk accumulator arrays.
+        accumulator = 24 * FREQUENCIES.size * m_out * m_in
         assert plan.estimated_peak_bytes == sweep_chunk_bytes(
             q, FREQUENCIES.size, effective, m_out, m_in
-        )
+        ) + accumulator
         # ... which bounds the measured per-chunk allocation shapes: the
         # instantiated (c, q, q) system stacks and the chunk's complex
         # (c, n_f, m_out, m_in) response grid.

@@ -68,7 +68,8 @@ ROOT_ALL_SNAPSHOT = [
     "PWLInput", "ParametricReducedModel", "ParametricSystem",
     "ProcessExecutor", "RampInput", "SerialExecutor",
     "SharedMemoryExecutor", "SineInput", "SinglePointReducer",
-    "SparsePatternFamily", "StepInput", "Study", "ThreadExecutor",
+    "SparsePatternFamily", "StepInput", "StoreError", "Study",
+    "StudyStore", "ThreadExecutor",
     "__version__", "assemble", "batch_frequency_response",
     "batch_instantiate", "batch_poles", "batch_simulate_transient",
     "batch_transfer", "batch_transient_study", "clock_tree",
@@ -87,22 +88,27 @@ ROOT_ALL_SNAPSHOT = [
 
 RUNTIME_ALL_SNAPSHOT = [
     "BatchTransientResult", "CornerPlan", "ExecutionPlan", "GridPlan",
-    "InputWaveform", "ModelCache", "MonteCarloPlan", "PWLInput",
+    "InputWaveform", "ModelCache", "MonteCarloPlan",
+    "NothingToResumeError", "PWLInput",
     "PoleStudy", "ProcessExecutor", "RampInput", "ScenarioPlan",
     "ScenarioSweep", "SensitivityStudy", "SerialExecutor",
     "SharedMemoryExecutor", "SineInput", "SparsePatternFamily",
-    "StepInput", "StreamedSweepStudy", "StreamedTransientStudy", "Study",
-    "ThreadExecutor", "TransientStudy", "batch_frequency_response",
+    "StepInput", "StoreError", "StreamedSweepStudy",
+    "StreamedTransientStudy", "Study", "StudyCheckpoint", "StudyStore",
+    "ThreadExecutor", "TransientStudy", "array_fingerprint",
+    "batch_frequency_response",
     "batch_instantiate", "batch_poles", "batch_simulate_transient",
     "batch_step_responses", "batch_sweep_study", "batch_transfer",
     "batch_transfer_sensitivities", "batch_transient_study",
-    "default_horizon", "executor_map_array", "reducer_fingerprint",
-    "resolve_executor", "run_frequency_scenarios",
+    "default_horizon", "executor_map_array", "parse_shard",
+    "reducer_fingerprint",
+    "resolve_executor", "resolve_owned_executor",
+    "run_frequency_scenarios",
     "shared_pattern_family", "sparse_batch_frequency_response",
     "sparse_batch_transfer", "stream_sweep_study",
-    "stream_transient_study", "supports_batching",
+    "stream_transient_study", "study_fingerprint", "supports_batching",
     "supports_sparse_batching", "sweep_chunk_bytes", "system_fingerprint",
-    "systems_from_stacks", "transient_chunk_bytes",
+    "systems_from_stacks", "target_fingerprint", "transient_chunk_bytes",
 ]
 
 ENGINE_NAMES_SNAPSHOT = ["ExecutionPlan", "PoleStudy", "SensitivityStudy", "Study"]

@@ -182,9 +182,12 @@ class TestPeakByteAccounting:
         q = model.nominal.order
         m_out = model.nominal.L.shape[1]
         m_in = model.nominal.B.shape[1]
+        # Chunk arrays plus the envelope reducer's three cross-chunk
+        # accumulator arrays (running min / sum / max, float64).
+        accumulator = 24 * FREQUENCIES.size * m_out * m_in
         assert execution.estimated_peak_bytes == sweep_chunk_bytes(
             q, FREQUENCIES.size, 4, m_out, m_in
-        )
+        ) + accumulator
 
     def test_transient_estimate_uses_documented_formula(self, model, plan):
         execution = (
@@ -192,9 +195,10 @@ class TestPeakByteAccounting:
         )
         q = model.nominal.order
         m_out = model.nominal.L.shape[1]
+        accumulator = 24 * (25 + 1) * m_out
         assert execution.estimated_peak_bytes == transient_chunk_bytes(
             q, 25, 5, m_out
-        )
+        ) + accumulator
 
     def test_keep_responses_adds_retained_grid(self, model, plan):
         base = Study(model).scenarios(plan).sweep(FREQUENCIES).chunk(4).plan()
@@ -230,6 +234,44 @@ class TestPeakByteAccounting:
             measured, 16 * 13 * model.nominal.order ** 2
         )
 
+    def test_cached_reduced_stream_estimate_covers_accumulator(
+        self, parametric, plan, tmp_path
+    ):
+        """The cached+reduced streamed route must budget the reducer's
+        accumulator.
+
+        The streaming envelope reducer keeps three cross-chunk arrays
+        (running min / sum / max) alive for the whole run; the estimate
+        historically omitted them, which understated the peak most
+        visibly here, where the reduced model's chunk arrays are tiny.
+        The estimate must cover the *measured* accumulator allocations
+        and equal the documented per-chunk formula plus that fixed term.
+        """
+        reducer = LowRankReducer(num_moments=3, rank=1)
+        study = (
+            Study(parametric)
+            .reduced(reducer)
+            .cached(ModelCache(tmp_path))
+            .scenarios(plan)
+            .sweep(FREQUENCIES)
+            .chunk(2)
+        )
+        execution = study.plan()
+        result = study.run()
+        accumulator_measured = (
+            result.envelope_min.nbytes
+            + result.envelope_mean.nbytes
+            + result.envelope_max.nbytes
+        )
+        reduced = reducer.reduce(parametric)
+        q = reduced.nominal.order
+        m_out = reduced.nominal.L.shape[1]
+        m_in = reduced.nominal.B.shape[1]
+        chunk_arrays = sweep_chunk_bytes(q, FREQUENCIES.size, 2, m_out, m_in)
+        assert accumulator_measured == 24 * FREQUENCIES.size * m_out * m_in
+        assert execution.estimated_peak_bytes == chunk_arrays + accumulator_measured
+        assert execution.estimated_peak_bytes >= accumulator_measured
+
 
 class TestMemoryBudget:
     def test_budget_derives_chunk_size(self, model, plan):
@@ -237,12 +279,17 @@ class TestMemoryBudget:
         m_out = model.nominal.L.shape[1]
         m_in = model.nominal.B.shape[1]
         per = sweep_chunk_bytes(q, FREQUENCIES.size, 1, m_out, m_in)
+        accumulator = 24 * FREQUENCIES.size * m_out * m_in
         execution = (
-            Study(model).scenarios(plan).sweep(FREQUENCIES).memory_budget(3 * per).plan()
+            Study(model)
+            .scenarios(plan)
+            .sweep(FREQUENCIES)
+            .memory_budget(3 * per + accumulator)
+            .plan()
         )
         assert execution.chunk_size == 3
         assert execution.num_chunks == 5  # ceil(13 / 3)
-        assert execution.estimated_peak_bytes <= 3 * per
+        assert execution.estimated_peak_bytes <= 3 * per + accumulator
 
     def test_budget_too_small_raises_with_estimate(self, model, plan):
         study = Study(model).scenarios(plan).sweep(FREQUENCIES).memory_budget(64)
@@ -252,14 +299,15 @@ class TestMemoryBudget:
     def test_budget_results_bit_identical_to_one_shot(self, model, plan, samples):
         reference, _ = _sweep_study(model, FREQUENCIES, samples, num_poles=1)
         q = model.nominal.order
-        per = sweep_chunk_bytes(
-            q, FREQUENCIES.size, 1, model.nominal.L.shape[1], model.nominal.B.shape[1]
-        )
+        m_out = model.nominal.L.shape[1]
+        m_in = model.nominal.B.shape[1]
+        per = sweep_chunk_bytes(q, FREQUENCIES.size, 1, m_out, m_in)
+        accumulator = 24 * FREQUENCIES.size * m_out * m_in
         result = (
             Study(model)
             .scenarios(plan)
             .sweep(FREQUENCIES, keep_responses=True)
-            .memory_budget(2 * per)
+            .memory_budget(2 * per + accumulator)
             .run()
         )
         assert result.num_chunks == 7  # ceil(13 / 2)
@@ -270,7 +318,7 @@ class TestMemoryBudget:
         m_out = parametric.nominal.L.shape[1]
         m_in = parametric.nominal.B.shape[1]
         per = 16 * (2 * family.nnz + FREQUENCIES.size * m_out * m_in)
-        fixed = 16 * FREQUENCIES.size * family.nnz
+        fixed = 16 * FREQUENCIES.size * family.nnz + 24 * FREQUENCIES.size * m_out * m_in
         study = (
             Study(parametric)
             .scenarios(samples)
@@ -290,12 +338,14 @@ class TestMemoryBudget:
 
     def test_transient_budget(self, model, plan):
         q = model.nominal.order
-        per = transient_chunk_bytes(q, 20, 1, model.nominal.L.shape[1])
+        m_out = model.nominal.L.shape[1]
+        per = transient_chunk_bytes(q, 20, 1, m_out)
+        accumulator = 24 * (20 + 1) * m_out
         execution = (
             Study(model)
             .scenarios(plan)
             .transient(num_steps=20)
-            .memory_budget(4 * per)
+            .memory_budget(4 * per + accumulator)
             .plan()
         )
         assert execution.chunk_size == 4
@@ -505,11 +555,17 @@ class TestReducedAndCached:
 
 class TestExecutorOwnership:
     def test_spec_executors_are_closed_after_run(self, parametric, samples, monkeypatch):
-        """Engine-built pools must be shut down deterministically."""
-        import repro.runtime.engine as engine_module
+        """Engine-built pools must be shut down deterministically.
+
+        The engine resolves its owned executor through
+        ``resolve_owned_executor``, which looks the constructor up in
+        :mod:`repro.runtime.executor` -- that module is the seam to
+        instrument.
+        """
+        import repro.runtime.executor as executor_module
 
         closed = []
-        real_resolve = engine_module.resolve_executor
+        real_resolve = executor_module.resolve_executor
 
         def tracking_resolve(spec):
             backend = real_resolve(spec)
@@ -522,7 +578,7 @@ class TestExecutorOwnership:
             backend.close = close
             return backend
 
-        monkeypatch.setattr(engine_module, "resolve_executor", tracking_resolve)
+        monkeypatch.setattr(executor_module, "resolve_executor", tracking_resolve)
         (
             Study(parametric)
             .scenarios(samples[:2])

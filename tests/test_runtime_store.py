@@ -1,0 +1,347 @@
+"""The durable-study store: persistence, resume, sharding, provenance.
+
+Complementing the hypothesis round-trip suite
+(tests/test_properties_store.py), these tests pin the store's
+*contracts*: manifest/chunk layout on disk, fingerprint keying,
+checksum verification, shard ownership, the builder validation rules,
+and -- the one that matters operationally -- that a resumed run loads
+checkpoints instead of recomputing (verified by making recomputation
+impossible).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.runtime.stream as stream_module
+from repro.analysis.montecarlo import monte_carlo_pole_study, sample_parameters
+from repro.core import LowRankReducer
+from repro.runtime import (
+    MonteCarloPlan,
+    NothingToResumeError,
+    StoreError,
+    Study,
+    StudyStore,
+    parse_shard,
+    study_fingerprint,
+    system_fingerprint,
+    target_fingerprint,
+)
+
+FREQUENCIES = np.logspace(7, 10, 6)
+
+
+@pytest.fixture(scope="module")
+def model(small_parametric):
+    return LowRankReducer(num_moments=3, rank=1).reduce(small_parametric)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return MonteCarloPlan(num_instances=13, seed=7)
+
+
+def _sweep(model, plan):
+    """The canonical store-backed workload: 13 instances in 4 chunks."""
+    return (
+        Study(model)
+        .scenarios(plan)
+        .sweep(FREQUENCIES, keep_responses=True)
+        .poles(3)
+        .chunk(4)
+    )
+
+
+class TestParseShard:
+    @pytest.mark.parametrize("text,expected", [("1/2", (0, 2)), ("2/2", (1, 2)),
+                                               (" 3 / 4 ", (2, 4)), ("1/1", (0, 1))])
+    def test_valid(self, text, expected):
+        assert parse_shard(text) == expected
+
+    @pytest.mark.parametrize("text", ["3/2", "0/2", "2", "a/b", "", "1/0", "-1/2"])
+    def test_invalid(self, text):
+        with pytest.raises(StoreError, match="invalid shard spec"):
+            parse_shard(text)
+
+
+class TestFingerprints:
+    def test_target_fingerprint_reuses_cache_fingerprint(self, small_parametric, model):
+        """Manifest keys reuse the ModelCache content fingerprints."""
+        assert target_fingerprint(small_parametric) == system_fingerprint(small_parametric)
+        assert target_fingerprint(model) == system_fingerprint(model)
+
+    def test_key_is_stable_and_content_sensitive(self, model):
+        samples = np.zeros((4, model.num_parameters))
+        base = study_fingerprint(model, "sweep", samples, {"num_poles": 3})
+        again = study_fingerprint(model, "sweep", samples, {"num_poles": 3})
+        assert base["key"] == again["key"]
+        other_samples = study_fingerprint(
+            model, "sweep", samples + 1e-9, {"num_poles": 3}
+        )
+        other_config = study_fingerprint(model, "sweep", samples, {"num_poles": 4})
+        other_workload = study_fingerprint(model, "poles", samples, {"num_poles": 3})
+        keys = {base["key"], other_samples["key"], other_config["key"],
+                other_workload["key"]}
+        assert len(keys) == 4
+
+    def test_fingerprint_carries_components(self, model):
+        fingerprint = study_fingerprint(model, "sweep", np.zeros((2, 2)), {"a": 1})
+        assert set(fingerprint) == {"target", "samples", "workload", "config", "key"}
+
+
+class TestStudyStore:
+    def test_unwritable_directory_raises_store_error(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        with pytest.raises(StoreError, match="not writable"):
+            StudyStore(blocker / "store")
+
+    def test_checkpoint_roundtrip_and_layout(self, tmp_path, model, plan):
+        store = StudyStore(tmp_path)
+        result = _sweep(model, plan).store(store).run()
+        manifests = list(tmp_path.glob("manifest-*.json"))
+        assert len(manifests) == 1
+        manifest = json.loads(manifests[0].read_text())
+        assert manifest["format"] == "repro-study-store/v1"
+        assert manifest["layout"] == {
+            "num_samples": 13, "chunk_size": 4, "num_chunks": 4,
+        }
+        assert manifest["shard"] is None
+        assert sorted(manifest["chunks"]) == ["0", "1", "2", "3"]
+        for record in manifest["chunks"].values():
+            assert (tmp_path / record["file"]).exists()
+            assert len(record["sha256"]) == 64
+        # ... and the fingerprint provenance is complete (PCN spirit).
+        assert manifest["fingerprint"]["target"] == target_fingerprint(model)
+        assert manifest["study_key"] == manifest["fingerprint"]["key"]
+        assert result.num_chunks == 4
+
+    def test_resume_loads_instead_of_recomputing(
+        self, tmp_path, model, plan, monkeypatch
+    ):
+        reference = _sweep(model, plan).run()
+        _sweep(model, plan).store(tmp_path).run()
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("resumed run re-entered the sweep kernel")
+
+        monkeypatch.setattr(stream_module, "_sweep_study", forbidden)
+        resumed = _sweep(model, plan).store(tmp_path).resume().run()
+        np.testing.assert_array_equal(resumed.responses, reference.responses)
+        np.testing.assert_array_equal(resumed.poles, reference.poles)
+        np.testing.assert_array_equal(resumed.envelope_mean, reference.envelope_mean)
+
+    def test_corrupt_manifest_raises_store_error(self, tmp_path, model, plan):
+        _sweep(model, plan).store(tmp_path).run()
+        manifest = next(tmp_path.glob("manifest-*.json"))
+        manifest.write_text("{ not json")
+        with pytest.raises(StoreError, match="corrupt manifest"):
+            _sweep(model, plan).store(tmp_path).resume().run()
+
+    def test_structurally_invalid_manifest_raises_store_error(
+        self, tmp_path, model, plan
+    ):
+        """JSON-valid but hand-edited manifests must fail as StoreError,
+        not as a KeyError deep inside a resumed run."""
+        _sweep(model, plan).store(tmp_path).run()
+        manifest = next(tmp_path.glob("manifest-*.json"))
+        data = json.loads(manifest.read_text())
+        first = next(iter(data["chunks"]))
+        del data["chunks"][first]["file"]
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(StoreError, match="malformed record"):
+            _sweep(model, plan).store(tmp_path).resume().run()
+
+    def test_checksum_mismatch_raises_store_error(self, tmp_path, model, plan):
+        _sweep(model, plan).store(tmp_path).run()
+        chunk = sorted((tmp_path / "chunks").rglob("chunk-*.npz"))[1]
+        chunk.write_bytes(b"rotten")
+        with pytest.raises(StoreError, match="checksum"):
+            _sweep(model, plan).store(tmp_path).resume().run()
+
+    def test_chunk_layout_mismatch_is_refused(self, tmp_path, model, plan):
+        _sweep(model, plan).store(tmp_path).run()
+        mismatched = (
+            Study(model)
+            .scenarios(plan)
+            .sweep(FREQUENCIES, keep_responses=True)
+            .poles(3)
+            .chunk(5)
+            .store(tmp_path)
+        )
+        with pytest.raises(StoreError, match="chunk layout"):
+            mismatched.run()
+
+    def test_resume_without_history_raises(self, tmp_path, model, plan):
+        with pytest.raises(StoreError, match="nothing to resume"):
+            _sweep(model, plan).store(tmp_path).resume().run()
+
+    def test_different_studies_share_one_store(self, tmp_path, model, plan):
+        """E.g. the two sides of one Monte Carlo sign-off."""
+        _sweep(model, plan).store(tmp_path).run()
+        (
+            Study(model)
+            .scenarios(plan)
+            .transient(num_steps=10)
+            .chunk(4)
+            .store(tmp_path)
+            .run()
+        )
+        assert len(list(tmp_path.glob("manifest-*.json"))) == 2
+
+
+class TestBuilderValidation:
+    def test_resume_requires_store(self, model, plan):
+        with pytest.raises(ValueError, match="requires store"):
+            _sweep(model, plan).resume().plan()
+
+    def test_shard_index_bounds(self, model, plan):
+        with pytest.raises(ValueError, match="shard index"):
+            _sweep(model, plan).shard(2, 2)
+        with pytest.raises(ValueError, match="shard index"):
+            _sweep(model, plan).shard(-1, 2)
+
+    def test_shard_owning_no_chunks_is_refused(self, model, plan, tmp_path):
+        study = _sweep(model, plan).store(tmp_path).shard(4, 5)
+        with pytest.raises(ValueError, match="owns no chunks"):
+            study.plan()
+
+    def test_sensitivities_reject_store(self, model, plan, tmp_path):
+        study = Study(model).scenarios(plan).sensitivities(1e9j).store(tmp_path)
+        with pytest.raises(ValueError, match="do not support store"):
+            study.plan()
+
+    def test_plan_reports_store_and_shard(self, model, plan, tmp_path):
+        execution = _sweep(model, plan).store(tmp_path).shard(1, 2).plan()
+        assert execution.store == str(tmp_path)
+        assert execution.shard == (1, 2)
+        text = execution.describe()
+        assert "store:" in text and "shard:     2/2" in text
+
+
+class TestSharding:
+    def test_shard_results_cover_disjoint_instances(self, model, plan, tmp_path):
+        full = _sweep(model, plan).run()
+        parts = [
+            _sweep(model, plan).store(tmp_path).shard(i, 2).run() for i in range(2)
+        ]
+        indices = np.concatenate([part.instance_indices for part in parts])
+        assert sorted(indices.tolist()) == list(range(13))
+        for part in parts:
+            np.testing.assert_array_equal(
+                part.samples, full.samples[part.instance_indices]
+            )
+            np.testing.assert_array_equal(
+                part.responses, full.responses[part.instance_indices]
+            )
+
+    def test_merge_after_shards_is_bit_identical(self, model, plan, tmp_path):
+        full = _sweep(model, plan).run()
+        for i in range(2):
+            _sweep(model, plan).store(tmp_path).shard(i, 2).run()
+        merged = _sweep(model, plan).store(tmp_path).resume().run()
+        assert merged.shard is None and merged.instance_indices is None
+        np.testing.assert_array_equal(merged.responses, full.responses)
+        np.testing.assert_array_equal(merged.poles, full.poles)
+        np.testing.assert_array_equal(merged.envelope_min, full.envelope_min)
+        np.testing.assert_array_equal(merged.envelope_mean, full.envelope_mean)
+        np.testing.assert_array_equal(merged.envelope_max, full.envelope_max)
+
+    def test_shard_manifests_are_separate_files(self, model, plan, tmp_path):
+        for i in range(2):
+            _sweep(model, plan).store(tmp_path).shard(i, 2).run()
+        names = sorted(path.name for path in tmp_path.glob("manifest-*.json"))
+        assert [n.split(".")[-2] for n in names] == ["shard01of02", "shard02of02"]
+
+
+class TestPoleCheckpoints:
+    def test_pole_study_resumes_without_recomputing(
+        self, small_parametric, tmp_path, monkeypatch
+    ):
+        samples = np.random.default_rng(3).normal(0.0, 0.05, size=(6, 2))
+        reference = Study(small_parametric).scenarios(samples).poles(3).run()
+        (
+            Study(small_parametric)
+            .scenarios(samples)
+            .poles(3)
+            .chunk(2)
+            .store(tmp_path)
+            .run()
+        )
+        import repro.analysis.poles as poles_module
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("resumed pole study re-entered dominant_poles")
+
+        monkeypatch.setattr(poles_module, "dominant_poles", forbidden)
+        resumed = (
+            Study(small_parametric)
+            .scenarios(samples)
+            .poles(3)
+            .chunk(2)
+            .store(tmp_path)
+            .resume()
+            .run()
+        )
+        assert len(resumed.pole_sets) == len(reference.pole_sets)
+        for resumed_set, reference_set in zip(resumed.pole_sets, reference.pole_sets):
+            np.testing.assert_array_equal(resumed_set, reference_set)
+
+    def test_montecarlo_resume_after_crash_before_reduced_phase(
+        self, small_parametric, tmp_path
+    ):
+        """A sign-off killed during the full-model phase must resume.
+
+        The reduced-model study never reached its first checkpoint, so
+        it has no manifest -- the resumed sign-off runs that side fresh
+        instead of refusing, and still matches the one-shot study
+        bit-for-bit.
+        """
+        model = LowRankReducer(num_moments=3, rank=1).reduce(small_parametric)
+        samples = sample_parameters(6, small_parametric.num_parameters, seed=9)
+        reference = monte_carlo_pole_study(
+            small_parametric, model, num_instances=6, num_poles=2, samples=samples
+        )
+        # Simulate the crash aftermath: only the full-model side (the
+        # first phase, and the exact study montecarlo declares) has
+        # checkpoints in the store.
+        (
+            Study(small_parametric)
+            .scenarios(samples)
+            .poles(2)
+            .executor("serial")
+            .chunk(2)
+            .store(tmp_path)
+            .run()
+        )
+        resumed = monte_carlo_pole_study(
+            small_parametric, model, num_instances=6, num_poles=2,
+            samples=samples, store=tmp_path, chunk_size=2, resume=True,
+        )
+        np.testing.assert_array_equal(resumed.pole_errors, reference.pole_errors)
+        np.testing.assert_array_equal(resumed.full_poles, reference.full_poles)
+
+    def test_montecarlo_resume_with_empty_store_raises(
+        self, small_parametric, tmp_path
+    ):
+        model = LowRankReducer(num_moments=3, rank=1).reduce(small_parametric)
+        with pytest.raises(NothingToResumeError, match="nothing to resume"):
+            monte_carlo_pole_study(
+                small_parametric, model, num_instances=4, num_poles=2,
+                store=tmp_path, chunk_size=2, resume=True,
+            )
+
+    def test_pole_plan_reports_checkpoint_unit(self, small_parametric, tmp_path):
+        samples = np.zeros((6, 2))
+        execution = (
+            Study(small_parametric)
+            .scenarios(samples)
+            .poles(2)
+            .chunk(2)
+            .store(tmp_path)
+            .plan()
+        )
+        assert execution.num_chunks == 3
+        assert execution.chunk_size == 2
+        assert any("checkpoint unit" in note for note in execution.notes)
