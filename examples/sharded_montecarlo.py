@@ -11,11 +11,16 @@ study.
 
 Every persisted chunk carries provenance (content fingerprint, chunk
 layout, SHA-256 per archive) in the store manifests, so the merged
-result can be independently re-verified.
+result can be independently re-verified.  Each shard additionally
+writes a JSONL span trace (``repro.obs``); merging the two shard
+traces reconstructs one complete per-chunk lineage whose SHA-256s are
+checked against the store manifests bit-for-bit -- the traces and the
+store tell the same provenance story.
 
 Run:  python examples/sharded_montecarlo.py
 """
 
+import json
 import tempfile
 from pathlib import Path
 
@@ -23,6 +28,7 @@ import numpy as np
 
 from repro import LowRankReducer, monte_carlo_pole_study, rc_tree, with_random_variations
 from repro.analysis.montecarlo import MonteCarloResult
+from repro.obs import chunk_lineage, read_trace
 
 INSTANCES = 24
 CHUNK = 4  # instances per checkpoint unit
@@ -37,6 +43,65 @@ def report(label: str, study: MonteCarloResult) -> None:
     print(f"  mean error    {errors.mean():.6e}")
 
 
+def lineage_by_study(records):
+    """Per-study chunk lineages from (possibly merged) trace records.
+
+    A Monte Carlo sign-off traces *two* studies per run (full-model and
+    reduced-model pole studies), so chunk indices repeat across the
+    records; grouping each chunk span under its ``study.run`` root's
+    ``study_key`` separates the studies before the lineage join.
+    """
+    spans = [r for r in records if r.get("type") == "span"]
+    root_key = {
+        s["span_id"]: s["attrs"].get("study_key")
+        for s in spans
+        if s["name"] == "study.run"
+    }
+    chunk_study = {
+        s["span_id"]: root_key.get(s["parent_id"])
+        for s in spans
+        if s["name"] == "study.chunk"
+    }
+    grouped = {}
+    for record in spans:
+        if record["name"] == "study.chunk":
+            key = chunk_study[record["span_id"]]
+        elif record["name"] in ("store.save", "store.load"):
+            key = chunk_study.get(record["parent_id"])
+        else:
+            continue
+        if key is not None:
+            grouped.setdefault(key, []).append(record)
+    return {key: chunk_lineage(group) for key, group in grouped.items()}
+
+
+def manifest_hashes(store_dir):
+    """``{study_key: {chunk_index: sha256}}`` over every manifest file."""
+    hashes = {}
+    for path in Path(store_dir).glob("manifest-*.json"):
+        manifest = json.loads(path.read_text())
+        per_study = hashes.setdefault(manifest["study_key"], {})
+        for index, record in manifest["chunks"].items():
+            per_study[int(index)] = record["sha256"]
+    return hashes
+
+
+def verify_lineages(lineages, recorded, expect_source):
+    """Every chunk hash in every lineage must match its manifest record."""
+    for key, lineage in lineages.items():
+        indices = [entry["index"] for entry in lineage]
+        assert indices == sorted(recorded[key]), (
+            f"study {key[:12]}...: lineage covers chunks {indices}, "
+            f"manifest records {sorted(recorded[key])}"
+        )
+        for entry in lineage:
+            assert entry["source"] == expect_source
+            assert entry["sha256"] == recorded[key][entry["index"]], (
+                f"study {key[:12]}... chunk {entry['index']}: trace hash "
+                "differs from the manifest record"
+            )
+
+
 def main():
     parametric = with_random_variations(rc_tree(40, seed=5), 2, seed=7)
     model = LowRankReducer(num_moments=4, rank=1).reduce(parametric)
@@ -48,12 +113,12 @@ def main():
         # "Machine A" and "machine B": the same study declaration, each
         # running its half of the chunk grid against the shared store.
         # (shard=(i, n) owns the chunks with index % n == i.)
-        shards = []
         for index in range(2):
             shard_study = monte_carlo_pole_study(
                 parametric, model,
                 num_instances=INSTANCES, num_poles=3, seed=11,
                 store=store_dir, chunk_size=CHUNK, shard=(index, 2),
+                trace=f"{store_dir}/shard{index}.trace",
             )
             report(f"shard {index + 1}/2 (its own instances only)", shard_study)
         print()
@@ -65,6 +130,7 @@ def main():
             parametric, model,
             num_instances=INSTANCES, num_poles=3, seed=11,
             store=store_dir, chunk_size=CHUNK, resume=True,
+            trace=f"{store_dir}/merge.trace",
         )
         report("merged (both shards, one statistics report)", merged)
 
@@ -78,6 +144,32 @@ def main():
             path.name for path in Path(store_dir).glob("manifest-*.json")
         )
         print(f"\n  store manifests: {manifests}")
+
+        # The two shard traces merge into ONE complete per-chunk
+        # lineage per study: shard 0 computed the even chunks, shard 1
+        # the odd ones, and globally-unique span ids make the
+        # concatenated records unambiguous.
+        recorded = manifest_hashes(store_dir)
+        shard_records = read_trace(f"{store_dir}/shard0.trace") + read_trace(
+            f"{store_dir}/shard1.trace"
+        )
+        shard_lineages = lineage_by_study(shard_records)
+        verify_lineages(shard_lineages, recorded, expect_source="computed")
+        print("\n  merged shard-trace lineage (full-model pole study):")
+        full_key = max(shard_lineages, key=lambda k: len(shard_lineages[k]))
+        for entry in shard_lineages[full_key]:
+            print(f"  chunk {entry['index']}  rows [{entry['lo']:2d}, "
+                  f"{entry['hi']:2d})  shard {entry['shard']}  "
+                  f"{entry['source']:8s}  sha256 {entry['sha256'][:12]}...")
+
+        # The resumed merge run traced every chunk too -- as loads; its
+        # lineage covers the same chunks with the same hashes.
+        merge_lineages = lineage_by_study(read_trace(f"{store_dir}/merge.trace"))
+        verify_lineages(merge_lineages, recorded, expect_source="resumed")
+        total = sum(len(lineage) for lineage in merge_lineages.values())
+        print(f"\n  trace lineages match the manifests bit-for-bit: "
+              f"{total} chunk(s) across {len(merge_lineages)} studies, "
+              "computed by the shards, resumed by the merge")
 
     # The whole point: sharded + merged == one-shot, to the last bit.
     one_shot = monte_carlo_pole_study(

@@ -14,12 +14,17 @@ CLI:
 3. verify the store is consistent (1 <= completed chunks < total, every
    recorded chunk archive present and matching its manifest SHA-256 --
    recomputed here, independently of the library),
-4. ``--resume`` the study to completion in a new process,
+4. ``--resume`` the study to completion in a new process, with a JSONL
+   span trace (``--trace``) recording the run,
 5. diff the resumed envelope CSV against a one-shot run without a
-   store: they must be byte-identical.
+   store: they must be byte-identical,
+6. reconstruct the per-chunk lineage from the resumed trace and check
+   every chunk's SHA-256 against the manifest record bit-for-bit --
+   the trace and the store must tell the same provenance story.
 
-Exit code 0 means the drill passed.  CI uploads the store manifests as
-an artifact so a failure can be debugged from the provenance records.
+Exit code 0 means the drill passed.  CI uploads the store manifests
+and the resume trace as artifacts so a failure can be debugged from
+the provenance records.
 
 Usage:  python scripts/ci_kill_resume.py [--workdir DIR]
 """
@@ -140,8 +145,11 @@ def main() -> int:
     print(f"store is consistent: {len(completed)}/{total} chunks checkpointed, "
           "all checksums verified")
 
-    # -- 4: resume to completion in a fresh process --------------------
-    resumed = run_cli(base_cmd + ["--resume"], capture_output=True)
+    # -- 4: resume to completion in a fresh process, traced ------------
+    trace_path = workdir / "resume.trace"
+    resumed = run_cli(
+        base_cmd + ["--resume", "--trace", str(trace_path)], capture_output=True
+    )
     if resumed.returncode != 0:
         print(f"FAIL: resume exited {resumed.returncode}:\n{resumed.stderr}")
         return 1
@@ -158,6 +166,31 @@ def main() -> int:
         return 1
     print("resumed study is byte-identical to the one-shot run "
           f"({len(csv_lines(one_shot.stdout)) - 1} envelope rows)")
+
+    # -- 6: trace lineage vs manifest, bit-for-bit ---------------------
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs import chunk_lineage, read_trace  # zero-dependency
+
+    lineage = chunk_lineage(read_trace(trace_path))
+    final_manifest = json.loads(manifest_path.read_text())
+    recorded = {int(i): r["sha256"] for i, r in final_manifest["chunks"].items()}
+    if len(lineage) != total:
+        print(f"FAIL: resumed trace covers {len(lineage)}/{total} chunks")
+        return 1
+    for entry in lineage:
+        if entry["sha256"] != recorded.get(entry["index"]):
+            print(f"FAIL: chunk {entry['index']} trace sha256 {entry['sha256']} "
+                  f"!= manifest {recorded.get(entry['index'])}")
+            return 1
+    sources = {entry["source"] for entry in lineage}
+    if sources != {"resumed", "computed"}:
+        print(f"FAIL: a mid-stream kill must resume some chunks and compute "
+              f"the rest; trace says {sorted(sources)}")
+        return 1
+    resumed_count = sum(1 for e in lineage if e["source"] == "resumed")
+    print(f"trace lineage matches the manifest: {total} chunks "
+          f"({resumed_count} resumed, {total - resumed_count} computed), "
+          "all SHA-256s bit-identical")
     return 0
 
 

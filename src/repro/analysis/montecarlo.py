@@ -101,6 +101,7 @@ def monte_carlo_pole_study(
     shard: Optional[tuple] = None,
     resume: bool = False,
     chunk_size: Optional[int] = None,
+    trace=None,
 ) -> MonteCarloResult:
     """Run the Figs. 5-6 protocol.
 
@@ -141,6 +142,11 @@ def monte_carlo_pole_study(
         default serial).
     store, shard, resume, chunk_size:
         Durable-study pass-through (see above); default: not durable.
+    trace:
+        Optional trace sink -- a path (JSONL file), an object with an
+        ``emit(record)`` method, or a sequence of either -- applied to
+        both internal studies via :meth:`Study.trace`, so one merged
+        trace covers the full-model and reduced-model phases.
     """
     if samples is None:
         samples = sample_parameters(
@@ -159,7 +165,13 @@ def monte_carlo_pole_study(
                 f"{str(store.directory)!r}"
             )
 
+    trace_sinks = () if trace is None else (
+        trace if isinstance(trace, (list, tuple)) else (trace,)
+    )
+
     def _durable(study: Study) -> Study:
+        for sink in trace_sinks:
+            study = study.trace(sink)
         if store is not None:
             study = study.store(store)
         if chunk_size is not None:

@@ -12,6 +12,8 @@ python -m repro batch      netlist.sp --plan corners --points 30
 python -m repro transient  netlist.sp --plan corners --waveform ramp --rise-time 2e-10
 python -m repro batch      netlist.sp --chunk 8 --store run1 --shard 1/2
 python -m repro batch      netlist.sp --chunk 8 --store run1 --resume
+python -m repro batch      netlist.sp --chunk 8 --trace run1.trace --progress
+python -m repro trace summarize run1.trace
 ```
 
 The ``info``/``reduce``/``sweep``/``poles`` commands operate on plain
@@ -31,6 +33,12 @@ chunk to a :class:`~repro.runtime.store.StudyStore`, ``--shard I/N``
 and merges existing checkpoints -- bit-identically to a one-shot run.
 Store misuse (invalid shard spec, missing/corrupt manifest, unwritable
 store directory) exits with code 2 and a one-line diagnostic.
+All three study commands are observable on request: ``--trace FILE``
+appends a JSONL span trace (``repro-trace/v1``) of the run, and
+``--progress`` prints a uniform chunk progress line to stderr (both
+built on :mod:`repro.obs`; setting the ``REPRO_TRACE`` environment
+variable traces any command process-wide).  ``trace summarize``
+renders one or more trace files as a human report.
 ``montecarlo``
 additionally parallelizes its full-model reference solves (``--jobs``:
 a worker count, ``thread``, ``process``, or ``shared``) and routes
@@ -160,6 +168,24 @@ def _reduce_parametric(parametric, args):
     return reducer.reduce(parametric)
 
 
+def _obs_sinks(args, label):
+    """Realize ``--trace`` / ``--progress`` as ``Study.trace`` sinks.
+
+    Paths stay paths (the engine opens and closes the JSONL sink per
+    run, which keeps one file valid across montecarlo's back-to-back
+    studies); ``--progress`` becomes a reporter writing to stderr so
+    CSV output on stdout stays clean.
+    """
+    sinks = []
+    if args.trace:
+        sinks.append(args.trace)
+    if args.progress:
+        from repro.obs import ProgressReporter
+
+        sinks.append(ProgressReporter(label=label))
+    return sinks
+
+
 def _cmd_montecarlo(args) -> int:
     from repro.analysis.montecarlo import monte_carlo_pole_study
 
@@ -178,6 +204,7 @@ def _cmd_montecarlo(args) -> int:
         shard=shard,
         resume=args.resume,
         chunk_size=args.chunk,
+        trace=_obs_sinks(args, "montecarlo") or None,
     )
     banner = _store_banner(args)
     if banner:
@@ -243,6 +270,13 @@ def _apply_store(study, args):
     return study
 
 
+def _apply_obs(study, args, label):
+    """Wire ``--trace`` / ``--progress`` into a Study."""
+    for sink in _obs_sinks(args, label):
+        study = study.trace(sink)
+    return study
+
+
 def _store_banner(args) -> Optional[str]:
     """The ``# store:`` line a durable study command prints."""
     if not args.store:
@@ -268,8 +302,13 @@ def _cmd_batch(args) -> int:
     if not 0 <= args.input < num_inputs:
         raise ValueError(f"--input {args.input} out of range (model has {num_inputs} inputs)")
     frequencies = np.logspace(np.log10(args.fmin), np.log10(args.fmax), args.points)
-    engine = _apply_store(
-        _apply_chunking(Study(model).scenarios(plan).sweep(frequencies), args), args
+    engine = _apply_obs(
+        _apply_store(
+            _apply_chunking(Study(model).scenarios(plan).sweep(frequencies), args),
+            args,
+        ),
+        args,
+        "batch",
     )
     execution = engine.plan()
     study = engine.run()
@@ -342,22 +381,26 @@ def _cmd_transient(args) -> int:
     if not 0.0 < args.threshold < 1.0:
         raise ValueError("threshold must be in (0, 1)")
     waveform = _make_waveform(args)
-    engine = _apply_store(
-        _apply_chunking(
-            Study(model)
-            .scenarios(plan)
-            .transient(
-                waveform,
-                t_final=args.t_final,
-                num_steps=args.steps,
-                method=args.method,
-                delay_threshold=args.threshold,
-                output_index=args.output,
-                reference=args.delay_reference,
+    engine = _apply_obs(
+        _apply_store(
+            _apply_chunking(
+                Study(model)
+                .scenarios(plan)
+                .transient(
+                    waveform,
+                    t_final=args.t_final,
+                    num_steps=args.steps,
+                    method=args.method,
+                    delay_threshold=args.threshold,
+                    output_index=args.output,
+                    reference=args.delay_reference,
+                ),
+                args,
             ),
             args,
         ),
         args,
+        "transient",
     )
     execution = engine.plan()
     study = engine.run()
@@ -388,6 +431,16 @@ def _cmd_transient(args) -> int:
     print("time_s,min_output,mean_output,max_output")
     for j, t in enumerate(study.time):
         print(f"{t:.6e},{low[j]:.6e},{mean[j]:.6e},{high[j]:.6e}")
+    return 0
+
+
+def _cmd_trace_summarize(args) -> int:
+    from repro.obs import read_trace, summarize_trace
+
+    records = []
+    for path in args.trace_file:
+        records.extend(read_trace(path))
+    print(summarize_trace(records))
     return 0
 
 
@@ -433,6 +486,17 @@ def _add_store_arguments(subparser) -> None:
                            help="require and reuse checkpoints from --store "
                                 "(skips completed chunks bit-identically; "
                                 "errors when there is nothing to resume)")
+
+
+def _add_obs_arguments(subparser) -> None:
+    """Observability options shared by montecarlo/batch/transient."""
+    subparser.add_argument("--trace", default=None, metavar="FILE",
+                           help="append a JSONL span trace (repro-trace/v1) "
+                                "of the run to FILE (summarize with "
+                                "'repro trace summarize FILE')")
+    subparser.add_argument("--progress", action="store_true",
+                           help="print a chunk progress line to stderr "
+                                "(chunks done/total, instances/s)")
 
 
 def _add_parametric_arguments(subparser) -> None:
@@ -502,6 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parametric_arguments(mc_cmd)
     _add_store_arguments(mc_cmd)
+    _add_obs_arguments(mc_cmd)
     mc_cmd.add_argument("--chunk", type=int, default=None,
                         help="checkpoint unit for --store: instances per "
                              "persisted pole-study chunk")
@@ -526,6 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parametric_arguments(batch_cmd)
     _add_plan_arguments(batch_cmd)
     _add_store_arguments(batch_cmd)
+    _add_obs_arguments(batch_cmd)
     batch_cmd.add_argument("--fmin", type=float, default=1e7)
     batch_cmd.add_argument("--fmax", type=float, default=1e10)
     batch_cmd.add_argument("--points", type=int, default=30)
@@ -539,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parametric_arguments(transient_cmd)
     _add_plan_arguments(transient_cmd)
     _add_store_arguments(transient_cmd)
+    _add_obs_arguments(transient_cmd)
     transient_cmd.add_argument("--waveform", choices=("step", "ramp", "pwl", "sine"),
                                default="step", help="input stimulus plan")
     transient_cmd.add_argument("--amplitude", type=float, default=1.0,
@@ -566,13 +633,29 @@ def build_parser() -> argparse.ArgumentParser:
     transient_cmd.add_argument("--input", type=int, default=0)
     transient_cmd.set_defaults(func=_cmd_transient)
 
+    trace_cmd = commands.add_parser(
+        "trace", help="inspect JSONL trace files (repro-trace/v1)"
+    )
+    trace_actions = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    summarize_cmd = trace_actions.add_parser(
+        "summarize",
+        help="human report: phase time tree, solver tiers, throughput",
+    )
+    summarize_cmd.add_argument("trace_file", nargs="+",
+                               help="trace file(s); several shards' files "
+                                    "are merged into one report")
+    summarize_cmd.set_defaults(func=_cmd_trace_summarize)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    from repro.obs import configure_from_env, remove_sink
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    env_sink = configure_from_env()
     try:
         return args.func(args)
     except StoreError as exc:
@@ -583,6 +666,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if env_sink is not None:
+            remove_sink(env_sink)
+            env_sink.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -43,42 +43,43 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.obs import metrics as obs_metrics
+
 Matrix = Union[np.ndarray, sp.spmatrix]
 
-_FACTORIZATION_COUNT = 0
-_REFACTORIZATION_COUNT = 0
+# The historical module-global tallies now live on the process-wide
+# metrics registry (``repro.obs``); the functions below are live views
+# over the same counter objects, so the measurement-window API
+# (read / reset-returning-old) is unchanged.
+_FACTORIZATIONS = obs_metrics.counter("linalg.sparselu.factorizations")
+_REFACTORIZATIONS = obs_metrics.counter("linalg.sparselu.refactorizations")
 
 
 def factorization_count() -> int:
     """Return the number of :class:`SparseLU` factorizations so far.
 
-    The counter is global (module level) and monotonically increasing;
-    use :func:`reset_factorization_count` to start a measurement window.
-    Pattern-reusing :meth:`SparseLU.refactor` calls are counted
-    separately by :func:`refactorization_count`.
+    The counter is global (the ``linalg.sparselu.factorizations``
+    counter of the :mod:`repro.obs` metrics registry) and monotonically
+    increasing; use :func:`reset_factorization_count` to start a
+    measurement window.  Pattern-reusing :meth:`SparseLU.refactor`
+    calls are counted separately by :func:`refactorization_count`.
     """
-    return _FACTORIZATION_COUNT
+    return _FACTORIZATIONS.value
 
 
 def reset_factorization_count() -> int:
     """Reset the global factorization counter and return the old value."""
-    global _FACTORIZATION_COUNT
-    old = _FACTORIZATION_COUNT
-    _FACTORIZATION_COUNT = 0
-    return old
+    return _FACTORIZATIONS.reset()
 
 
 def refactorization_count() -> int:
     """Number of pattern-reusing numeric refactorizations so far."""
-    return _REFACTORIZATION_COUNT
+    return _REFACTORIZATIONS.value
 
 
 def reset_refactorization_count() -> int:
     """Reset the refactorization counter and return the old value."""
-    global _REFACTORIZATION_COUNT
-    old = _REFACTORIZATION_COUNT
-    _REFACTORIZATION_COUNT = 0
-    return old
+    return _REFACTORIZATIONS.reset()
 
 
 class _PatternPlan:
@@ -137,7 +138,6 @@ class SparseLU:
     """
 
     def __init__(self, matrix: Matrix):
-        global _FACTORIZATION_COUNT
         if sp.issparse(matrix):
             csc = matrix.tocsc()
             if csc is matrix:
@@ -161,7 +161,7 @@ class SparseLU:
         self._plan: Optional[_PatternPlan] = None
         # None = identity (this factor was built directly from the matrix).
         self._col_perm: Optional[np.ndarray] = None
-        _FACTORIZATION_COUNT += 1
+        _FACTORIZATIONS.inc()
 
     @property
     def shape(self) -> tuple:
@@ -205,7 +205,6 @@ class SparseLU:
         ordering.  Complex data is supported -- the shifted pencils
         ``G + s C`` of a frequency sweep refactor a real template.
         """
-        global _REFACTORIZATION_COUNT
         plan = self._pattern_plan()
         data = np.asarray(data)
         if data.ndim != 1 or data.size != plan.nnz:
@@ -224,7 +223,7 @@ class SparseLU:
         refactored._csc_indptr = self._csc_indptr
         refactored._plan = plan
         refactored._col_perm = plan.perm_c
-        _REFACTORIZATION_COUNT += 1
+        _REFACTORIZATIONS.inc()
         return refactored
 
     # -- solves ---------------------------------------------------------

@@ -1,0 +1,66 @@
+"""Uniform progress line driven by ``study.chunk`` span events.
+
+One reporter serves ``batch``, ``transient``, and ``montecarlo`` alike:
+it is a trace *sink*, so the chunk loop needs no bespoke callback --
+the same span that feeds JSONL traces feeds the terminal line::
+
+    chunks 3/8 · 24/64 instances · 412.0 instances/s
+
+Spans close when a chunk finishes, so the line advances once per chunk
+and ends with a newline when the final chunk of a run lands.  A run
+boundary (chunk counter going backwards, as when a Monte Carlo study
+runs its full-model and reduced-model sweeps back to back) resets the
+rate clock.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Trace sink rendering chunk completions as one updating line."""
+
+    def __init__(self, stream=None, label=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self._started = None
+        self._instances = 0
+        self._last_done = None
+
+    def emit(self, record):
+        """Consume one trace record; react only to ``study.chunk`` spans."""
+        if record.get("type") != "span" or record.get("name") != "study.chunk":
+            return
+        attrs = record.get("attrs", {})
+        done = attrs.get("done")
+        total = attrs.get("total")
+        chunks_done = attrs.get("chunks_done")
+        num_chunks = attrs.get("num_chunks")
+        if done is None or chunks_done is None:
+            return
+        now = time.perf_counter()
+        if self._started is None or (
+            self._last_done is not None and done < self._last_done
+        ):
+            self._started = now
+            self._instances = 0
+        self._last_done = done
+        self._instances += attrs.get("instances", 0)
+        elapsed = now - self._started
+        rate = self._instances / elapsed if elapsed > 1e-9 else 0.0
+        prefix = f"[{self.label}] " if self.label else ""
+        line = (
+            f"\r{prefix}chunks {chunks_done}/{num_chunks}"
+            f" · {done}/{total} instances"
+            f" · {rate:.1f} instances/s"
+        )
+        self.stream.write(line)
+        if num_chunks is not None and chunks_done == num_chunks:
+            self.stream.write("\n")
+            self._last_done = None
+            self._started = None
+        self.stream.flush()

@@ -32,6 +32,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.circuits.statespace import DescriptorSystem
+from repro.obs import metrics as obs_metrics
 
 
 def supports_batching(model) -> bool:
@@ -59,26 +60,28 @@ def as_sample_matrix(model, samples) -> np.ndarray:
     return matrix
 
 
-_DENSIFY_COUNT = 0
+# Historical module global, now a live view over the process-wide
+# metrics registry (``repro.obs``): same read/reset API, one shared
+# counter object.
+_DENSIFICATIONS = obs_metrics.counter("runtime.batch.densifications")
 
 
 def densification_count() -> int:
     """How many times the kernels densified a model's matrices.
 
-    Diagnostic counter behind the memoization of :func:`_dense_nominal`
-    / :func:`_sensitivity_stacks`: a model evaluated through any number
-    of batched calls should contribute at most two densification passes
-    (one for the nominal pair, one for the sensitivity stacks).
+    Diagnostic counter (the ``runtime.batch.densifications`` counter of
+    the :mod:`repro.obs` metrics registry) behind the memoization of
+    :func:`_dense_nominal` / :func:`_sensitivity_stacks`: a model
+    evaluated through any number of batched calls should contribute at
+    most two densification passes (one for the nominal pair, one for
+    the sensitivity stacks).
     """
-    return _DENSIFY_COUNT
+    return _DENSIFICATIONS.value
 
 
 def reset_densification_count() -> int:
     """Reset the densification counter and return the old value."""
-    global _DENSIFY_COUNT
-    old = _DENSIFY_COUNT
-    _DENSIFY_COUNT = 0
-    return old
+    return _DENSIFICATIONS.reset()
 
 
 def _memo_cache(model) -> Optional[dict]:
@@ -102,7 +105,6 @@ def _memo_cache(model) -> Optional[dict]:
 
 
 def _dense_nominal(model) -> Tuple[np.ndarray, np.ndarray]:
-    global _DENSIFY_COUNT
     if hasattr(model, "dense_nominal"):
         return model.dense_nominal()
     cache = _memo_cache(model)
@@ -112,14 +114,13 @@ def _dense_nominal(model) -> Tuple[np.ndarray, np.ndarray]:
     c0 = model.nominal.C
     g0 = np.asarray(g0.toarray() if hasattr(g0, "toarray") else g0, dtype=float)
     c0 = np.asarray(c0.toarray() if hasattr(c0, "toarray") else c0, dtype=float)
-    _DENSIFY_COUNT += 1
+    _DENSIFICATIONS.inc()
     if cache is not None:
         cache["nominal"] = (g0, c0)
     return g0, c0
 
 
 def _sensitivity_stacks(model) -> Tuple[np.ndarray, np.ndarray]:
-    global _DENSIFY_COUNT
     if hasattr(model, "sensitivity_stacks"):
         return model.sensitivity_stacks()
     cache = _memo_cache(model)
@@ -132,7 +133,7 @@ def _sensitivity_stacks(model) -> Tuple[np.ndarray, np.ndarray]:
         dg = np.stack([_dense(gi).astype(float, copy=False) for gi in model.dG])
         dc = np.stack([_dense(ci).astype(float, copy=False) for ci in model.dC])
         stacks = dg, dc
-        _DENSIFY_COUNT += 1
+        _DENSIFICATIONS.inc()
     if cache is not None:
         cache["stacks"] = stacks
     return stacks

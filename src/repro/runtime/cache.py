@@ -27,6 +27,10 @@ import scipy.sparse as sp
 
 from repro.core.io import load_model, save_model
 from repro.core.model import ParametricReducedModel
+from repro.obs import metrics as obs_metrics
+
+_CACHE_HITS = obs_metrics.counter("cache.hits")
+_CACHE_MISSES = obs_metrics.counter("cache.misses")
 
 
 def _hash_matrix(digest, tag: str, matrix) -> None:
@@ -164,10 +168,18 @@ class ModelCache:
         return self.directory / f"{key}.npz"
 
     def load(self, key: str) -> Optional[ParametricReducedModel]:
-        """The cached model for ``key``, or ``None`` when absent."""
+        """The cached model for ``key``, or ``None`` when absent.
+
+        Every lookup is tallied on the process-wide ``cache.hits`` /
+        ``cache.misses`` counters of the :mod:`repro.obs` metrics
+        registry (the per-instance ``hits``/``misses`` attributes keep
+        their historical :meth:`get_or_reduce`-only semantics).
+        """
         path = self.path_for(key)
         if not path.exists():
+            _CACHE_MISSES.inc()
             return None
+        _CACHE_HITS.inc()
         return load_model(path)
 
     def store(self, key: str, model: ParametricReducedModel) -> Path:

@@ -59,11 +59,15 @@ from __future__ import annotations
 
 import functools
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.export import JsonlSink
 from repro.runtime.batch import (
     as_sample_matrix,
     batch_instantiate,
@@ -82,6 +86,8 @@ from repro.runtime.scenarios import ScenarioPlan, StepInput
 from repro.runtime.sparse import shared_pattern_family, supports_sparse_batching
 from repro.runtime.store import StudyStore, study_fingerprint
 from repro.runtime.stream import (
+    _chunk_telemetry,
+    _observe_chunk,
     _owned_chunks,
     _stream_sweep_study,
     _stream_transient_study,
@@ -100,7 +106,8 @@ def _pole_task_model(model, num_poles: int, point: np.ndarray):
     """Reference solve for one instance: dominant poles of the model."""
     from repro.analysis.poles import dominant_poles
 
-    return dominant_poles(model, num_poles, point)
+    with obs_trace.span("poles.instance", kernel="instantiate"):
+        return dominant_poles(model, num_poles, point)
 
 
 def _pole_task_family(family, num_poles: int, point: np.ndarray):
@@ -112,14 +119,16 @@ def _pole_task_family(family, num_poles: int, point: np.ndarray):
     """
     from repro.analysis.poles import dominant_poles
 
-    return dominant_poles(family.instantiate(point), num_poles)
+    with obs_trace.span("poles.instance", kernel="shared-pattern"):
+        return dominant_poles(family.instantiate(point), num_poles)
 
 
 def _sensitivity_task(model, s: complex, point: np.ndarray):
     """Exact per-sample ``dH/dp`` through the factored-solve path."""
     from repro.analysis.sensitivity import _scalar_sensitivities
 
-    return _scalar_sensitivities(model, s, point)
+    with obs_trace.span("sensitivities.instance"):
+        return _scalar_sensitivities(model, s, point)
 
 
 # -- results for the non-sweep workloads --------------------------------
@@ -282,6 +291,8 @@ class Study:
         self._shard: Optional[Tuple[int, int]] = None
         self._resume = False
         self._progress: Optional[ProgressCallback] = None
+        self._trace_sinks: List = []
+        self._last_metrics: dict = {}
         self._resolved_target = None
         self._sample_matrix: Optional[np.ndarray] = None
         self._plan_cache: Optional[ExecutionPlan] = None
@@ -485,6 +496,39 @@ class Study:
         self._progress = callback
         return self._invalidate()
 
+    def trace(self, sink) -> "Study":
+        """Attach an observability sink for this study's runs.
+
+        ``sink`` is either a path (a JSONL trace file is opened for the
+        duration of each :meth:`run` and closed afterwards) or any sink
+        object with an ``emit(record)`` method -- e.g.
+        :class:`~repro.obs.trace.MemorySink`,
+        :class:`~repro.obs.export.JsonlSink` (then caller-owned, left
+        open), or :class:`~repro.obs.progress.ProgressReporter`.  Sinks
+        accumulate: several may observe the same run.  While at least
+        one sink is installed the engine, the streaming drivers, the
+        store, and the sparse solvers emit spans (``study.run`` >
+        ``study.chunk`` > ``store.save`` / ``sparse.refactor`` / ...);
+        spans raised inside executor workers are captured there and
+        re-parented onto this run's chunk spans.  With no sink
+        attached every span site short-circuits to a shared no-op.
+        """
+        self._trace_sinks.append(sink)
+        return self
+
+    def metrics(self) -> dict:
+        """Metrics-registry delta of the most recent :meth:`run`.
+
+        Returns ``{"counters": ..., "gauges": ..., "histograms": ...}``
+        with only the instruments the run moved (e.g.
+        ``study.instances_evaluated``, ``store.chunks_saved``,
+        ``linalg.sparselu.refactorizations``); ``{}`` before the first
+        run.  The underlying instruments are process-global (see
+        :func:`repro.obs.registry`); this view isolates one run's
+        contribution.
+        """
+        return self._last_metrics
+
     # -- resolution ----------------------------------------------------
 
     def _resolve_target(self):
@@ -662,7 +706,11 @@ class Study:
         """
         if self._plan_cache is not None:
             return self._plan_cache
-        self._plan_cache = self._build_plan()
+        with obs_trace.span("study.plan") as plan_span:
+            self._plan_cache = self._build_plan()
+            plan_span.set(
+                route=self._plan_cache.route, kernel=self._plan_cache.kernel
+            )
         return self._plan_cache
 
     def _build_plan(self) -> ExecutionPlan:
@@ -819,6 +867,24 @@ class Study:
 
     # -- execution -----------------------------------------------------
 
+    def _resolve_trace_sinks(self) -> Tuple[List, List]:
+        """``(installed, owned)``: sinks to install, and which to close.
+
+        Paths become run-scoped :class:`~repro.obs.export.JsonlSink`
+        files (opened lazily, closed when the run finishes); sink
+        objects pass through and stay caller-owned.
+        """
+        installed: List = []
+        owned: List = []
+        for spec in self._trace_sinks:
+            if isinstance(spec, (str, os.PathLike)):
+                sink = JsonlSink(spec)
+                owned.append(sink)
+                installed.append(sink)
+            else:
+                installed.append(spec)
+        return installed, owned
+
     def run(self):
         """Execute the planned route.
 
@@ -828,8 +894,46 @@ class Study:
         transients, :class:`PoleStudy` for pole studies,
         :class:`SensitivityStudy` for sensitivities -- each bit-identical
         to the legacy kernel the route wraps.
+
+        Observability: the run executes under a ``study.run`` root span
+        (emitted to any :meth:`trace` sinks plus globally installed
+        ones), and :meth:`metrics` afterwards reports the registry
+        delta the run produced.  Neither affects any numeric result.
         """
-        plan = self.plan()
+        sinks, owned_sinks = self._resolve_trace_sinks()
+        for sink in sinks:
+            obs_trace.add_sink(sink)
+        try:
+            before = obs_metrics.registry().snapshot()
+            with obs_trace.span("study.run") as root:
+                plan = self.plan()
+                root.set(
+                    route=plan.route,
+                    kernel=plan.kernel,
+                    workload=plan.workload,
+                    num_samples=plan.num_samples,
+                    chunk_size=plan.chunk_size,
+                    num_chunks=plan.num_chunks,
+                    executor=plan.executor,
+                    store=plan.store,
+                    shard=None if plan.shard is None else list(plan.shard),
+                )
+                result = self._execute(plan)
+            self._last_metrics = obs_metrics.snapshot_delta(
+                before, obs_metrics.registry().snapshot()
+            )
+            if obs_trace.enabled():
+                obs_trace.emit_record(
+                    {"type": "metrics", "delta": self._last_metrics}
+                )
+            return result
+        finally:
+            for sink in sinks:
+                obs_trace.remove_sink(sink)
+            for sink in owned_sinks:
+                sink.close()
+
+    def _execute(self, plan: ExecutionPlan):
         workload = plan.workload
         target = self._resolve_target()
         samples = self._samples()
@@ -900,6 +1004,9 @@ class Study:
         if self._store is None:
             return None
         fingerprint = study_fingerprint(target, plan.workload, samples, config)
+        # Stamp the durable identity onto the enclosing study.run span,
+        # so a trace line can be joined back to its manifest by key.
+        obs_trace.annotate(study_key=fingerprint["key"])
         return self._store.checkpoint(
             fingerprint,
             chunk_size=plan.chunk_size,
@@ -907,6 +1014,12 @@ class Study:
             num_samples=plan.num_samples,
             shard=self._shard,
             resume=self._resume,
+            context={
+                "route": plan.route,
+                "kernel": plan.kernel,
+                "workload": plan.workload,
+                "executor": plan.executor,
+            },
         )
 
     def _owned_executor(self):
@@ -937,7 +1050,12 @@ class Study:
             backend, owned = self._owned_executor()
 
             def eval_block(block):
-                return executor_map_array(backend, task, block)
+                # wrap_task/unwrap_results ship worker-raised spans back
+                # with each result and re-parent them onto the chunk
+                # span active here; with tracing off both are identity.
+                return obs_trace.unwrap_results(
+                    executor_map_array(backend, obs_trace.wrap_task(task), block)
+                )
 
         checkpoint = self._open_checkpoint(
             plan, target, samples, {"num_poles": num_poles}
@@ -952,17 +1070,38 @@ class Study:
         entered = owned and hasattr(backend, "__enter__")
         if entered:
             backend.__enter__()
+        num_owned = len(chunks)
+        chunks_done = 0
         try:
             for index, lo, hi in chunks:
-                payload = checkpoint.load(index) if checkpoint is not None else None
-                if payload is None:
-                    pole_sets = eval_block(samples[lo:hi])
-                    if checkpoint is not None:
-                        checkpoint.save(index, lo, hi, _pack_pole_sets(pole_sets))
-                else:
-                    pole_sets = _unpack_pole_sets(payload)
-                results.extend(pole_sets)
-                done += hi - lo
+                with obs_trace.span(
+                    "study.chunk", workload="poles", index=index, lo=lo, hi=hi,
+                    instances=hi - lo,
+                    shard=None if self._shard is None else list(self._shard),
+                ) as chunk_span:
+                    wall0 = time.perf_counter()
+                    cpu0 = time.process_time()
+                    payload = (
+                        checkpoint.load(index) if checkpoint is not None else None
+                    )
+                    loaded = payload is not None
+                    if payload is None:
+                        pole_sets = eval_block(samples[lo:hi])
+                        if checkpoint is not None:
+                            checkpoint.save(
+                                index, lo, hi, _pack_pole_sets(pole_sets),
+                                telemetry=_chunk_telemetry(wall0, cpu0, hi - lo),
+                            )
+                    else:
+                        pole_sets = _unpack_pole_sets(payload)
+                    results.extend(pole_sets)
+                    done += hi - lo
+                    chunks_done += 1
+                    _observe_chunk(wall0, cpu0, hi - lo)
+                    chunk_span.set(
+                        loaded=loaded, done=done, total=shard_total,
+                        chunks_done=chunks_done, num_chunks=num_owned,
+                    )
                 if self._progress is not None:
                     self._progress(done, shard_total)
         finally:
@@ -996,10 +1135,16 @@ class Study:
 
     def _map_with_owned_executor(self, task, samples) -> List:
         backend, owned = self._owned_executor()
+        # Capture-and-replay worker spans (identity with tracing off).
+        wrapped = obs_trace.wrap_task(task)
         if owned and hasattr(backend, "__enter__"):
             with backend:
-                return executor_map_array(backend, task, samples)
-        return executor_map_array(backend, task, samples)
+                return obs_trace.unwrap_results(
+                    executor_map_array(backend, wrapped, samples)
+                )
+        return obs_trace.unwrap_results(
+            executor_map_array(backend, wrapped, samples)
+        )
 
     def __repr__(self) -> str:
         directives = []

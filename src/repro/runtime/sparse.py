@@ -40,6 +40,8 @@ from scipy.sparse.csgraph import reverse_cuthill_mckee
 
 from repro.circuits.statespace import DescriptorSystem
 from repro.linalg.sparselu import SparseLU
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.batch import as_sample_matrix
 
 _FAMILY_ATTR = "_sparse_pattern_family"
@@ -240,6 +242,10 @@ class SparsePatternFamily:
             self._csc_indptr = np.concatenate(
                 ([0], np.cumsum(np.bincount(self.indices, minlength=n)))
             )
+        # One tally per family build: which solver tier the pattern
+        # earned (the tier-mix of a study is then readable off the
+        # metrics registry without re-deriving bandwidths).
+        obs_metrics.counter(f"sparse.solver_tier.{self.solver_kind}").inc()
 
     def _superlu_template(self) -> SparseLU:
         """The shared symbolic template, built lazily (and after unpickling).
@@ -432,11 +438,16 @@ class SparsePatternFamily:
         return out
 
     def _solve_pencils(self, pencil_data: np.ndarray) -> np.ndarray:
-        if self.solver_kind == "tridiagonal":
-            return self._solve_tridiagonal(pencil_data)
-        if self.solver_kind == "banded":
-            return self._solve_banded(pencil_data)
-        return self._solve_superlu(pencil_data)
+        with obs_trace.span(
+            "sparse.refactor",
+            solver=self.solver_kind,
+            pencils=int(pencil_data.shape[0]),
+        ):
+            if self.solver_kind == "tridiagonal":
+                return self._solve_tridiagonal(pencil_data)
+            if self.solver_kind == "banded":
+                return self._solve_banded(pencil_data)
+            return self._solve_superlu(pencil_data)
 
     def transfer(self, s: complex, samples) -> np.ndarray:
         """Stacked full-order transfer matrices ``H(s, p_k)``.

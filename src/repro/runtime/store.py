@@ -57,9 +57,16 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.cache import array_fingerprint, target_fingerprint
 
 MANIFEST_FORMAT = "repro-study-store/v1"
+
+_CHUNKS_SAVED = obs_metrics.counter("store.chunks_saved")
+_CHUNKS_LOADED = obs_metrics.counter("store.chunks_loaded")
+_BYTES_WRITTEN = obs_metrics.counter("store.bytes_written")
+_BYTES_READ = obs_metrics.counter("store.bytes_read")
 
 _KEY_PREFIX = 16
 
@@ -252,6 +259,7 @@ class StudyStore:
         num_samples: int,
         shard: Optional[Tuple[int, int]] = None,
         resume: bool = False,
+        context: Optional[dict] = None,
     ) -> "StudyCheckpoint":
         """Open the checkpoint for one study run, validating any history.
 
@@ -260,7 +268,9 @@ class StudyStore:
         plan -- a resume with a different ``chunk_size`` would silently
         change the envelope-mean accumulation order, so it is refused
         instead.  ``resume=True`` additionally requires at least one
-        manifest to exist.
+        manifest to exist.  ``context`` (e.g. the engine's route /
+        kernel / executor choice) is recorded verbatim in the
+        manifest's telemetry block.
         """
         key = fingerprint["key"]
         layout = {
@@ -288,7 +298,7 @@ class StudyStore:
                     "re-run with the original chunk size or use a fresh store"
                 )
         return StudyCheckpoint(
-            self, key, fingerprint, layout, shard=shard
+            self, key, fingerprint, layout, shard=shard, context=context
         )
 
     def __repr__(self) -> str:
@@ -305,12 +315,13 @@ class StudyCheckpoint:
     by its shard), keeping concurrent shard writers independent.
     """
 
-    def __init__(self, store, key, fingerprint, layout, shard=None):
+    def __init__(self, store, key, fingerprint, layout, shard=None, context=None):
         self.store = store
         self.key = key
         self.fingerprint = fingerprint
         self.layout = layout
         self.shard = shard
+        self.context = context
         self.completed = store.completed_chunks(key)
         own = store.manifest_path(key, shard)
         self._own_records: Dict[int, dict] = {}
@@ -322,6 +333,7 @@ class StudyCheckpoint:
             }
         self.loaded_chunks = 0
         self.saved_chunks = 0
+        self.bytes_written = 0
 
     @property
     def num_completed(self) -> int:
@@ -340,71 +352,117 @@ class StudyCheckpoint:
         if record is None:
             return None
         path = self.store.directory / record["file"]
-        if not path.exists():
-            raise StoreError(
-                f"chunk {index} of study {self.key[:12]}... is recorded in the "
-                f"manifest but its archive {record['file']!r} is missing"
-            )
-        actual = _sha256_file(path)
-        if actual != record["sha256"]:
-            raise StoreError(
-                f"chunk {index} archive {record['file']!r} fails its recorded "
-                f"checksum (manifest {record['sha256'][:12]}..., file "
-                f"{actual[:12]}...); the store is corrupt"
-            )
-        with np.load(path) as archive:
-            payload = {name: archive[name] for name in archive.files}
-        self.loaded_chunks += 1
+        with obs_trace.span(
+            "store.load", index=index, file=record["file"]
+        ) as load_span:
+            if not path.exists():
+                raise StoreError(
+                    f"chunk {index} of study {self.key[:12]}... is recorded in the "
+                    f"manifest but its archive {record['file']!r} is missing"
+                )
+            actual = _sha256_file(path)
+            if actual != record["sha256"]:
+                raise StoreError(
+                    f"chunk {index} archive {record['file']!r} fails its recorded "
+                    f"checksum (manifest {record['sha256'][:12]}..., file "
+                    f"{actual[:12]}...); the store is corrupt"
+                )
+            with np.load(path) as archive:
+                payload = {name: archive[name] for name in archive.files}
+            size = path.stat().st_size
+            self.loaded_chunks += 1
+            _CHUNKS_LOADED.inc()
+            _BYTES_READ.inc(size)
+            load_span.set(sha256=actual, bytes=size)
         return payload
 
-    def save(self, index: int, lo: int, hi: int, payload: Dict[str, np.ndarray]) -> None:
+    def save(
+        self,
+        index: int,
+        lo: int,
+        hi: int,
+        payload: Dict[str, np.ndarray],
+        telemetry: Optional[dict] = None,
+    ) -> dict:
         """Persist chunk ``index`` and record it -- the checkpoint unit.
 
         The archive is written to a temporary sibling and atomically
         renamed, then the manifest is rewritten the same way, so a kill
         at any instant leaves either a fully recorded chunk or no
-        record at all -- never a half-written checkpoint.
+        record at all -- never a half-written checkpoint.  ``telemetry``
+        (the producing run's per-chunk wall/CPU/instance numbers) rides
+        along in the chunk's manifest record; the record dict is
+        returned so callers can surface the recorded SHA-256.
         """
-        # Serialize (and hash) in memory so the hot streaming path pays
-        # one disk write per checkpoint, not a write plus a read-back.
-        buffer = io.BytesIO()
-        np.savez(buffer, **{k: v for k, v in payload.items() if v is not None})
-        data = buffer.getvalue()
-        path = self.store.chunk_path(self.key, index)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            scratch = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+        with obs_trace.span("store.save", index=index, lo=lo, hi=hi) as save_span:
+            # Serialize (and hash) in memory so the hot streaming path
+            # pays one disk write per checkpoint, not a write plus a
+            # read-back.
+            buffer = io.BytesIO()
+            np.savez(buffer, **{k: v for k, v in payload.items() if v is not None})
+            data = buffer.getvalue()
+            path = self.store.chunk_path(self.key, index)
             try:
-                scratch.write_bytes(data)
-                os.replace(scratch, path)
-            finally:
-                scratch.unlink(missing_ok=True)
-        except OSError as exc:
-            raise StoreError(
-                f"cannot write chunk {index} of study {self.key[:12]}...: {exc}"
-            ) from None
-        record = {
-            "file": str(path.relative_to(self.store.directory)),
-            "lo": int(lo),
-            "hi": int(hi),
-            "rows": int(hi - lo),
-            "sha256": hashlib.sha256(data).hexdigest(),
-        }
-        self._own_records[index] = record
-        self.completed[index] = record
-        self.saved_chunks += 1
-        self._write_manifest()
+                path.parent.mkdir(parents=True, exist_ok=True)
+                scratch = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+                try:
+                    scratch.write_bytes(data)
+                    os.replace(scratch, path)
+                finally:
+                    scratch.unlink(missing_ok=True)
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot write chunk {index} of study {self.key[:12]}...: {exc}"
+                ) from None
+            record = {
+                "file": str(path.relative_to(self.store.directory)),
+                "lo": int(lo),
+                "hi": int(hi),
+                "rows": int(hi - lo),
+                "sha256": hashlib.sha256(data).hexdigest(),
+            }
+            if telemetry is not None:
+                record["telemetry"] = telemetry
+            self._own_records[index] = record
+            self.completed[index] = record
+            self.saved_chunks += 1
+            self.bytes_written += len(data)
+            _CHUNKS_SAVED.inc()
+            _BYTES_WRITTEN.inc(len(data))
+            save_span.set(sha256=record["sha256"], bytes=len(data))
+            self._write_manifest()
+        return record
 
     def _write_manifest(self) -> None:
+        records = {
+            str(index): self._own_records[index]
+            for index in sorted(self._own_records)
+        }
         manifest = {
             "format": MANIFEST_FORMAT,
             "study_key": self.key,
             "fingerprint": self.fingerprint,
             "layout": self.layout,
             "shard": None if self.shard is None else list(self.shard),
-            "chunks": {
-                str(index): self._own_records[index]
-                for index in sorted(self._own_records)
+            "chunks": records,
+            # Run telemetry (see README, "Store layout and manifest
+            # schema"): how the most
+            # recent writing run produced what the manifest records.
+            # Older readers ignore the extra key; the layout-equality
+            # resume check never touches it.
+            "telemetry": {
+                "writer_pid": os.getpid(),
+                "context": self.context,
+                "chunks_saved": self.saved_chunks,
+                "chunks_loaded": self.loaded_chunks,
+                "bytes_written": self.bytes_written,
+                "wall_seconds": round(
+                    sum(
+                        record.get("telemetry", {}).get("wall_seconds", 0.0)
+                        for record in records.values()
+                    ),
+                    6,
+                ),
             },
         }
         path = self.store.manifest_path(self.key, self.shard)

@@ -70,11 +70,14 @@ deliberate deviation, and it is documented here.  Progress callbacks
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.batch import (
     _sweep_study,
     as_sample_matrix,
@@ -85,6 +88,15 @@ from repro.runtime.sparse import shared_pattern_family, supports_sparse_batching
 from repro.runtime.transient import _transient_study, default_horizon
 
 ProgressCallback = Callable[[int, int], None]
+
+# Per-chunk instruments, shared by the sweep/transient drivers and the
+# engine's pole loop.  Counters/histograms are always live (a handful of
+# attribute updates per *chunk*); spans additionally fire only while a
+# trace sink is installed.
+_CHUNKS_COMPLETED = obs_metrics.counter("study.chunks_completed")
+_INSTANCES_EVALUATED = obs_metrics.counter("study.instances_evaluated")
+_CHUNK_WALL = obs_metrics.histogram("study.chunk_wall_seconds")
+_CHUNK_CPU = obs_metrics.histogram("study.chunk_cpu_seconds")
 
 
 def _realize_samples(model, scenarios) -> Tuple[Optional[ScenarioPlan], np.ndarray]:
@@ -159,6 +171,23 @@ def transient_chunk_bytes(
     q = order
     per_instance = 4 * q * q + num_steps * q + (num_steps + 1) * num_outputs
     return int(8 * chunk_size * per_instance)
+
+
+def _chunk_telemetry(wall0: float, cpu0: float, instances: int) -> dict:
+    """Per-chunk compute telemetry persisted into the store manifest."""
+    return {
+        "wall_seconds": time.perf_counter() - wall0,
+        "cpu_seconds": time.process_time() - cpu0,
+        "instances": int(instances),
+    }
+
+
+def _observe_chunk(wall0: float, cpu0: float, instances: int) -> None:
+    """Fold one finished chunk into the global metrics registry."""
+    _CHUNKS_COMPLETED.inc()
+    _INSTANCES_EVALUATED.inc(instances)
+    _CHUNK_WALL.observe(time.perf_counter() - wall0)
+    _CHUNK_CPU.observe(time.process_time() - cpu0)
 
 
 class _EnvelopeAccumulator:
@@ -328,39 +357,55 @@ def _stream_sweep_study(
     owned = _owned_chunks(total, chunk_size, shard)
     shard_total = sum(hi - lo for _, lo, hi in owned)
     done = 0
+    num_owned = len(owned)
     for index, lo, hi in owned:
-        payload = checkpoint.load(index) if checkpoint is not None else None
-        if payload is None:
-            block = samples[lo:hi]
-            if dense:
-                responses, poles = _sweep_study(
-                    model, freqs, block,
-                    num_poles=(num_poles if num_poles is not None else 1),
-                )
-            else:
-                responses = family.frequency_response(freqs, block)
-                poles = None
-            magnitudes = np.abs(responses)
-            payload = {
-                "env_min": magnitudes.min(axis=0),
-                "env_max": magnitudes.max(axis=0),
-                "env_sum": magnitudes.sum(axis=0),
-            }
+        with obs_trace.span(
+            "study.chunk", workload="sweep", index=index, lo=lo, hi=hi,
+            instances=hi - lo, shard=None if shard is None else list(shard),
+        ) as chunk_span:
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+            payload = checkpoint.load(index) if checkpoint is not None else None
+            loaded = payload is not None
+            if payload is None:
+                block = samples[lo:hi]
+                if dense:
+                    responses, poles = _sweep_study(
+                        model, freqs, block,
+                        num_poles=(num_poles if num_poles is not None else 1),
+                    )
+                else:
+                    responses = family.frequency_response(freqs, block)
+                    poles = None
+                magnitudes = np.abs(responses)
+                payload = {
+                    "env_min": magnitudes.min(axis=0),
+                    "env_max": magnitudes.max(axis=0),
+                    "env_sum": magnitudes.sum(axis=0),
+                }
+                if pole_blocks is not None:
+                    payload["poles"] = poles
+                if response_blocks is not None:
+                    payload["responses"] = responses
+                if checkpoint is not None:
+                    checkpoint.save(
+                        index, lo, hi, payload,
+                        telemetry=_chunk_telemetry(wall0, cpu0, hi - lo),
+                    )
+            envelope.merge(
+                payload["env_min"], payload["env_max"], payload["env_sum"], hi - lo
+            )
             if pole_blocks is not None:
-                payload["poles"] = poles
+                pole_blocks.append(payload["poles"])
             if response_blocks is not None:
-                payload["responses"] = responses
-            if checkpoint is not None:
-                checkpoint.save(index, lo, hi, payload)
-        envelope.merge(
-            payload["env_min"], payload["env_max"], payload["env_sum"], hi - lo
-        )
-        if pole_blocks is not None:
-            pole_blocks.append(payload["poles"])
-        if response_blocks is not None:
-            response_blocks.append(payload["responses"])
-        num_chunks += 1
-        done += hi - lo
+                response_blocks.append(payload["responses"])
+            num_chunks += 1
+            done += hi - lo
+            _observe_chunk(wall0, cpu0, hi - lo)
+            chunk_span.set(
+                loaded=loaded, done=done, total=shard_total,
+                chunks_done=num_chunks, num_chunks=num_owned,
+            )
         if progress is not None:
             progress(done, shard_total)
     if shard is None:
@@ -532,49 +577,65 @@ def _stream_transient_study(
     owned = _owned_chunks(total, chunk_size, shard)
     shard_total = sum(hi - lo for _, lo, hi in owned)
     done = 0
+    num_owned = len(owned)
     for index, lo, hi in owned:
-        payload = checkpoint.load(index) if checkpoint is not None else None
-        if payload is None:
-            study = _transient_study(
-                model,
-                samples[lo:hi],
-                waveform=waveform,
-                t_final=t_final,
-                num_steps=num_steps,
-                method=method,
+        with obs_trace.span(
+            "study.chunk", workload="transient", index=index, lo=lo, hi=hi,
+            instances=hi - lo, shard=None if shard is None else list(shard),
+        ) as chunk_span:
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+            payload = checkpoint.load(index) if checkpoint is not None else None
+            loaded = payload is not None
+            if payload is None:
+                study = _transient_study(
+                    model,
+                    samples[lo:hi],
+                    waveform=waveform,
+                    t_final=t_final,
+                    num_steps=num_steps,
+                    method=method,
+                )
+                outputs = study.result.outputs
+                payload = {
+                    "env_min": outputs.min(axis=0),
+                    "env_max": outputs.max(axis=0),
+                    "env_sum": outputs.sum(axis=0),
+                    "delays": study.delays(
+                        threshold=delay_threshold,
+                        output_index=output_index,
+                        reference=reference,
+                    ),
+                    "slews": study.slews(
+                        low=slew_bounds[0],
+                        high=slew_bounds[1],
+                        output_index=output_index,
+                        reference=reference,
+                    ),
+                    "steady_states": study.steady_states,
+                }
+                if output_blocks is not None:
+                    payload["outputs"] = outputs
+                if checkpoint is not None:
+                    checkpoint.save(
+                        index, lo, hi, payload,
+                        telemetry=_chunk_telemetry(wall0, cpu0, hi - lo),
+                    )
+            envelope.merge(
+                payload["env_min"], payload["env_max"], payload["env_sum"], hi - lo
             )
-            outputs = study.result.outputs
-            payload = {
-                "env_min": outputs.min(axis=0),
-                "env_max": outputs.max(axis=0),
-                "env_sum": outputs.sum(axis=0),
-                "delays": study.delays(
-                    threshold=delay_threshold,
-                    output_index=output_index,
-                    reference=reference,
-                ),
-                "slews": study.slews(
-                    low=slew_bounds[0],
-                    high=slew_bounds[1],
-                    output_index=output_index,
-                    reference=reference,
-                ),
-                "steady_states": study.steady_states,
-            }
+            delay_blocks.append(payload["delays"])
+            slew_blocks.append(payload["slews"])
+            steady_blocks.append(payload["steady_states"])
             if output_blocks is not None:
-                payload["outputs"] = outputs
-            if checkpoint is not None:
-                checkpoint.save(index, lo, hi, payload)
-        envelope.merge(
-            payload["env_min"], payload["env_max"], payload["env_sum"], hi - lo
-        )
-        delay_blocks.append(payload["delays"])
-        slew_blocks.append(payload["slews"])
-        steady_blocks.append(payload["steady_states"])
-        if output_blocks is not None:
-            output_blocks.append(payload["outputs"])
-        num_chunks += 1
-        done += hi - lo
+                output_blocks.append(payload["outputs"])
+            num_chunks += 1
+            done += hi - lo
+            _observe_chunk(wall0, cpu0, hi - lo)
+            chunk_span.set(
+                loaded=loaded, done=done, total=shard_total,
+                chunks_done=num_chunks, num_chunks=num_owned,
+            )
         if progress is not None:
             progress(done, shard_total)
     if shard is None:

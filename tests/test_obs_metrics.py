@@ -1,0 +1,157 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    registry,
+    snapshot_delta,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_reset_returns_previous_value(self):
+        c = Counter("c")
+        c.inc(7)
+        assert c.reset() == 7
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("g")
+        g.set(3.5)
+        g.set(1.0)
+        assert g.value == 1.0
+
+
+class TestHistogram:
+    def test_streaming_summary(self):
+        h = Histogram("h")
+        for value in (1.0, 3.0, 2.0):
+            h.observe(value)
+        summary = h.summary()
+        assert summary["count"] == 3
+        assert summary["total"] == pytest.approx(6.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_reset_clears_state(self):
+        h = Histogram("h")
+        h.observe(2.0)
+        h.reset()
+        assert h.summary()["count"] == 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_is_plain_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.counter("a").inc(1)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"]["b"] == 2
+        assert snap["gauges"]["g"] == 0.5
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_zeroes_in_place(self):
+        """Module-held instrument references survive a registry reset."""
+        reg = MetricsRegistry()
+        held = reg.counter("kept")
+        held.inc(9)
+        reg.reset()
+        assert held.value == 0
+        assert reg.counter("kept") is held
+
+    def test_global_registry_shared(self):
+        name = "test.obs.metrics.shared"
+        c = counter(name)
+        before = c.value
+        counter(name).inc()
+        assert registry().counter(name).value == before + 1
+
+
+class TestSnapshotDelta:
+    def test_counters_subtract_and_unmoved_drop(self):
+        reg = MetricsRegistry()
+        reg.counter("moves").inc(2)
+        reg.counter("static").inc(5)
+        before = reg.snapshot()
+        reg.counter("moves").inc(3)
+        delta = snapshot_delta(before, reg.snapshot())
+        assert delta["counters"] == {"moves": 3}
+
+    def test_new_instruments_appear_in_full(self):
+        reg = MetricsRegistry()
+        before = reg.snapshot()
+        reg.counter("fresh").inc(4)
+        delta = snapshot_delta(before, reg.snapshot())
+        assert delta["counters"]["fresh"] == 4
+
+    def test_histogram_delta_has_count_and_moments(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1.0)
+        before = reg.snapshot()
+        reg.histogram("h").observe(3.0)
+        reg.histogram("h").observe(5.0)
+        delta = snapshot_delta(before, reg.snapshot())
+        h = delta["histograms"]["h"]
+        assert h["count"] == 2
+        assert h["total"] == pytest.approx(8.0)
+        assert h["mean"] == pytest.approx(4.0)
+
+
+class TestRuntimeCounterViews:
+    """The historical ad-hoc counters are live views onto the registry."""
+
+    def test_sparselu_counts_through_registry(self):
+        from repro.linalg import sparselu
+
+        sparselu.reset_factorization_count()
+        sparselu.reset_refactorization_count()
+        import scipy.sparse as sp
+
+        matrix = sp.csc_matrix(sp.eye(4) * 2.0)
+        solver = sparselu.SparseLU(matrix)
+        solver.refactor(np.full(matrix.nnz, 3.0))
+        assert sparselu.factorization_count() == 1
+        assert sparselu.refactorization_count() == 1
+        from repro.obs import metrics as obs_metrics
+
+        assert obs_metrics.counter("linalg.sparselu.factorizations").value >= 1
+        assert obs_metrics.counter("linalg.sparselu.refactorizations").value >= 1
+
+    def test_batch_densification_counts_through_registry(self):
+        from repro.circuits import rcnet_a
+        from repro.runtime import batch
+
+        batch.reset_densification_count()
+        parametric = rcnet_a()
+        batch.batch_instantiate(parametric, np.zeros((2, parametric.num_parameters)))
+        assert batch.densification_count() >= 1
+        from repro.obs import metrics as obs_metrics
+
+        assert (
+            obs_metrics.counter("runtime.batch.densifications").value
+            == batch.densification_count()
+        )

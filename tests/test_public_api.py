@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.core",
     "repro.analysis",
+    "repro.obs",
     "repro.runtime",
 ]
 
@@ -139,7 +140,7 @@ class TestApiSnapshot:
         study_methods = [
             "scenarios", "sweep", "transient", "poles", "sensitivities",
             "executor", "memory_budget", "chunk", "cached", "reduced",
-            "progress", "plan", "run",
+            "progress", "trace", "metrics", "plan", "run",
         ]
         for method in study_methods:
             assert callable(getattr(engine.Study, method)), f"Study.{method} missing"
@@ -161,8 +162,8 @@ class TestCliModule:
         from repro.cli import build_parser
 
         parser = build_parser()
-        # All seven subcommands registered.
+        # All eight subcommands registered.
         text = parser.format_help()
         for command in ("info", "reduce", "sweep", "poles", "montecarlo",
-                        "batch", "transient"):
+                        "batch", "transient", "trace"):
             assert command in text
