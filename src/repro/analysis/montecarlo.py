@@ -102,7 +102,11 @@ def monte_carlo_pole_study(
     resume: bool = False,
     chunk_size: Optional[int] = None,
     trace=None,
-) -> MonteCarloResult:
+    work: bool = False,
+    ttl: float = 30.0,
+    poll: float = 0.2,
+    worker: Optional[str] = None,
+) -> Optional[MonteCarloResult]:
     """Run the Figs. 5-6 protocol.
 
     The reduced model is instantiated for all instances in one batched
@@ -147,7 +151,25 @@ def monte_carlo_pole_study(
         ``emit(record)`` method, or a sequence of either -- applied to
         both internal studies via :meth:`Study.trace`, so one merged
         trace covers the full-model and reduced-model phases.
+    work, ttl, poll, worker:
+        ``work=True`` runs both pole studies through the lease-based
+        work-stealing drain (:meth:`Study.work`) instead of
+        :meth:`Study.run`: any number of processes given the same
+        declaration and store cooperate until the sign-off drains
+        (``ttl``/``poll``/``worker`` pass through to the scheduler).
+        Requires ``store``; mutually exclusive with ``shard`` and
+        ``resume``.  Every participating worker blocks until both
+        sides drain and returns the same merged result, bit-identical
+        to a one-shot run.
     """
+    if work:
+        if store is None:
+            raise ValueError("work=True requires store=...")
+        if shard is not None or resume:
+            raise ValueError(
+                "work=True is mutually exclusive with shard/resume: workers "
+                "claim chunks dynamically"
+            )
     if samples is None:
         samples = sample_parameters(
             num_instances, full_model.num_parameters, three_sigma=three_sigma, seed=seed
@@ -189,8 +211,12 @@ def monte_carlo_pole_study(
         phase runs first), so on a resumed sign-off the side that never
         reached its first checkpoint simply runs fresh against the
         store -- strictness for the sign-off as a whole is enforced by
-        the manifest pre-check above.
+        the manifest pre-check above.  Work-stealing mode drains each
+        side cooperatively instead; every worker blocks until the side
+        is complete, so both branches return a full merged study.
         """
+        if work:
+            return _durable(study).work(ttl=ttl, poll=poll, worker=worker)
         try:
             return _durable(study).run()
         except NothingToResumeError:

@@ -13,6 +13,7 @@ python -m repro transient  netlist.sp --plan corners --waveform ramp --rise-time
 python -m repro batch      netlist.sp --chunk 8 --store run1 --shard 1/2
 python -m repro batch      netlist.sp --chunk 8 --store run1 --resume
 python -m repro batch      netlist.sp --chunk 8 --trace run1.trace --progress
+python -m repro work batch netlist.sp --chunk 8 --store run1 --worker-id w1
 python -m repro trace summarize run1.trace
 ```
 
@@ -31,8 +32,15 @@ commands are durable on request: ``--store DIR`` checkpoints every
 chunk to a :class:`~repro.runtime.store.StudyStore`, ``--shard I/N``
 (1-based) runs one slice of the chunk grid, and ``--resume`` reuses
 and merges existing checkpoints -- bit-identically to a one-shot run.
-Store misuse (invalid shard spec, missing/corrupt manifest, unwritable
-store directory) exits with code 2 and a one-line diagnostic.
+``work {batch,transient,montecarlo}`` is the dynamic counterpart of
+``--shard``: every worker process gets the identical study declaration
+plus the same ``--store DIR`` and claims chunks through lease files
+(:mod:`repro.runtime.scheduler`); dead workers' leases expire after
+``--ttl`` and are stolen, and each surviving worker prints the merged
+result once the store drains -- bit-identical to a one-shot run.
+Store misuse (invalid shard spec, bad worker id or ttl/poll value,
+missing/corrupt manifest, unwritable store directory) exits with
+code 2 and a one-line diagnostic.
 All three study commands are observable on request: ``--trace FILE``
 appends a JSONL span trace (``repro-trace/v1``) of the run, and
 ``--progress`` prints a uniform chunk progress line to stderr (both
@@ -186,6 +194,22 @@ def _obs_sinks(args, label):
     return sinks
 
 
+def _print_montecarlo_study(args, parametric, model, study) -> int:
+    """Report a finished Monte Carlo study; shared with ``work``."""
+    print(f"full order:     {parametric.order}")
+    print(f"reduced order:  {model.size}")
+    print(f"parameters:     {parametric.num_parameters}")
+    print(f"instances:      {study.num_instances}")
+    print(f"pole compares:  {study.total_poles}")
+    print(f"max pole error: {study.max_error:.6e}")
+    print(f"mean pole error:{study.pole_errors.mean():.6e}")
+    counts, edges = study.histogram(bins=args.bins)
+    print("bin_lo_pct,bin_hi_pct,count")
+    for i, count in enumerate(counts):
+        print(f"{edges[i]:.6e},{edges[i + 1]:.6e},{int(count)}")
+    return 0 if study.max_error < args.tolerance else 2
+
+
 def _cmd_montecarlo(args) -> int:
     from repro.analysis.montecarlo import monte_carlo_pole_study
 
@@ -209,18 +233,7 @@ def _cmd_montecarlo(args) -> int:
     banner = _store_banner(args)
     if banner:
         print(banner)
-    print(f"full order:     {parametric.order}")
-    print(f"reduced order:  {model.size}")
-    print(f"parameters:     {parametric.num_parameters}")
-    print(f"instances:      {study.num_instances}")
-    print(f"pole compares:  {study.total_poles}")
-    print(f"max pole error: {study.max_error:.6e}")
-    print(f"mean pole error:{study.pole_errors.mean():.6e}")
-    counts, edges = study.histogram(bins=args.bins)
-    print("bin_lo_pct,bin_hi_pct,count")
-    for i, count in enumerate(counts):
-        print(f"{edges[i]:.6e},{edges[i + 1]:.6e},{int(count)}")
-    return 0 if study.max_error < args.tolerance else 2
+    return _print_montecarlo_study(args, parametric, model, study)
 
 
 def _make_plan(args):
@@ -289,7 +302,16 @@ def _store_banner(args) -> Optional[str]:
     return line
 
 
-def _cmd_batch(args) -> int:
+def _build_batch_engine(args):
+    """``(engine, model, plan, frequencies)`` for the batch workload.
+
+    The engine carries the study declaration plus chunking and
+    observability, but not yet the store wiring -- ``batch`` applies
+    ``--store/--shard/--resume`` while ``work batch`` attaches the
+    (required) shared store for the drain.  Splitting here keeps the
+    declared workload -- and therefore the study manifest key -- one
+    definition for both commands.
+    """
     from repro.runtime import Study
 
     parametric = _load_parametric(args)
@@ -303,15 +325,15 @@ def _cmd_batch(args) -> int:
         raise ValueError(f"--input {args.input} out of range (model has {num_inputs} inputs)")
     frequencies = np.logspace(np.log10(args.fmin), np.log10(args.fmax), args.points)
     engine = _apply_obs(
-        _apply_store(
-            _apply_chunking(Study(model).scenarios(plan).sweep(frequencies), args),
-            args,
-        ),
+        _apply_chunking(Study(model).scenarios(plan).sweep(frequencies), args),
         args,
         "batch",
     )
-    execution = engine.plan()
-    study = engine.run()
+    return engine, model, plan, frequencies
+
+
+def _print_batch_study(args, model, plan, frequencies, execution, study) -> int:
+    """Envelope CSV + headers for a finished batch study."""
     low, mean, high = study.magnitude_envelope(
         output_index=args.output, input_index=args.input
     )
@@ -327,6 +349,14 @@ def _cmd_batch(args) -> int:
     for i, f in enumerate(frequencies):
         print(f"{f:.6e},{low[i]:.6e},{mean[i]:.6e},{high[i]:.6e}")
     return 0
+
+
+def _cmd_batch(args) -> int:
+    engine, model, plan, frequencies = _build_batch_engine(args)
+    engine = _apply_store(engine, args)
+    execution = engine.plan()
+    study = engine.run()
+    return _print_batch_study(args, model, plan, frequencies, execution, study)
 
 
 def _parse_pwl(text: str):
@@ -362,7 +392,13 @@ def _make_waveform(args):
     raise ValueError(f"unknown waveform {args.waveform!r}")
 
 
-def _cmd_transient(args) -> int:
+def _build_transient_engine(args):
+    """``(engine, model, plan, waveform)`` for the transient workload.
+
+    Same store-free split as :func:`_build_batch_engine`: shared by
+    ``transient`` (which wires ``--store/--shard/--resume``) and
+    ``work transient`` (which attaches the shared drain store).
+    """
     from repro.runtime import Study
 
     parametric = _load_parametric(args)
@@ -382,28 +418,28 @@ def _cmd_transient(args) -> int:
         raise ValueError("threshold must be in (0, 1)")
     waveform = _make_waveform(args)
     engine = _apply_obs(
-        _apply_store(
-            _apply_chunking(
-                Study(model)
-                .scenarios(plan)
-                .transient(
-                    waveform,
-                    t_final=args.t_final,
-                    num_steps=args.steps,
-                    method=args.method,
-                    delay_threshold=args.threshold,
-                    output_index=args.output,
-                    reference=args.delay_reference,
-                ),
-                args,
+        _apply_chunking(
+            Study(model)
+            .scenarios(plan)
+            .transient(
+                waveform,
+                t_final=args.t_final,
+                num_steps=args.steps,
+                method=args.method,
+                delay_threshold=args.threshold,
+                output_index=args.output,
+                reference=args.delay_reference,
             ),
             args,
         ),
         args,
         "transient",
     )
-    execution = engine.plan()
-    study = engine.run()
+    return engine, model, plan, waveform
+
+
+def _print_transient_study(args, model, plan, waveform, execution, study) -> int:
+    """Envelope CSV + delay summary for a finished transient study."""
     print(f"# plan: {plan!r}")
     print(f"# route: {execution.route} [{execution.kernel}]  "
           f"peak: ~{execution.estimated_peak_bytes / 2**20:.1f} MiB")
@@ -432,6 +468,96 @@ def _cmd_transient(args) -> int:
     for j, t in enumerate(study.time):
         print(f"{t:.6e},{low[j]:.6e},{mean[j]:.6e},{high[j]:.6e}")
     return 0
+
+
+def _cmd_transient(args) -> int:
+    engine, model, plan, waveform = _build_transient_engine(args)
+    engine = _apply_store(engine, args)
+    execution = engine.plan()
+    study = engine.run()
+    return _print_transient_study(args, model, plan, waveform, execution, study)
+
+
+def _work_options(args):
+    """Validated ``(ttl, poll, worker, max_chunks)`` for a work command.
+
+    All four arrive as raw strings so malformed values take the
+    :class:`StoreError` exit-2 one-liner path (like ``--shard``), not
+    an argparse usage dump or a traceback.
+    """
+    from repro.runtime import parse_worker_id
+    from repro.runtime.store import parse_positive
+
+    ttl = parse_positive(args.ttl, "--ttl")
+    poll = parse_positive(args.poll, "--poll")
+    worker = parse_worker_id(args.worker_id) if args.worker_id else None
+    max_chunks = (
+        parse_positive(args.max_chunks, "--max-chunks", kind=int)
+        if getattr(args, "max_chunks", None) is not None
+        else None
+    )
+    return ttl, poll, worker, max_chunks
+
+
+def _print_drain_report(engine, worker) -> None:
+    """One ``# worker:`` line summarizing what this process drained."""
+    report = engine.drain_report()
+    print(f"# worker: {worker or 'auto'}  computed: {len(report.computed)} "
+          f"chunk(s)  stolen: {len(report.stolen)}  waits: {report.waits}")
+
+
+def _cmd_work_batch(args) -> int:
+    ttl, poll, worker, max_chunks = _work_options(args)
+    engine, model, plan, frequencies = _build_batch_engine(args)
+    engine = engine.store(args.store)
+    execution = engine.plan()
+    study = engine.work(ttl=ttl, poll=poll, worker=worker, max_chunks=max_chunks)
+    _print_drain_report(engine, worker)
+    if study is None:
+        print("# stopped at --max-chunks before the study drained; "
+              "no merged result")
+        return 0
+    return _print_batch_study(args, model, plan, frequencies, execution, study)
+
+
+def _cmd_work_transient(args) -> int:
+    ttl, poll, worker, max_chunks = _work_options(args)
+    engine, model, plan, waveform = _build_transient_engine(args)
+    engine = engine.store(args.store)
+    execution = engine.plan()
+    study = engine.work(ttl=ttl, poll=poll, worker=worker, max_chunks=max_chunks)
+    _print_drain_report(engine, worker)
+    if study is None:
+        print("# stopped at --max-chunks before the study drained; "
+              "no merged result")
+        return 0
+    return _print_transient_study(args, model, plan, waveform, execution, study)
+
+
+def _cmd_work_montecarlo(args) -> int:
+    from repro.analysis.montecarlo import monte_carlo_pole_study
+
+    ttl, poll, worker, _ = _work_options(args)
+    parametric = _load_parametric(args)
+    model = _reduce_parametric(parametric, args)
+    study = monte_carlo_pole_study(
+        parametric,
+        model,
+        num_instances=args.instances,
+        num_poles=args.poles,
+        three_sigma=args.sigma,
+        seed=args.seed,
+        executor=args.jobs,
+        store=args.store,
+        chunk_size=args.chunk,
+        trace=_obs_sinks(args, "montecarlo") or None,
+        work=True,
+        ttl=ttl,
+        poll=poll,
+        worker=worker,
+    )
+    print(f"# store: {args.store}  worker: {worker or 'auto'}")
+    return _print_montecarlo_study(args, parametric, model, study)
 
 
 def _cmd_trace_summarize(args) -> int:
@@ -516,6 +642,102 @@ def _add_parametric_arguments(subparser) -> None:
                            help="content-addressed macromodel cache directory")
 
 
+def _add_montecarlo_arguments(subparser) -> None:
+    """The montecarlo study declaration (shared with ``work``)."""
+    _add_parametric_arguments(subparser)
+    _add_obs_arguments(subparser)
+    subparser.add_argument("--chunk", type=int, default=None,
+                           help="checkpoint unit for --store: instances per "
+                                "persisted pole-study chunk")
+    subparser.add_argument("--instances", type=int, default=200)
+    subparser.add_argument("--poles", type=int, default=5,
+                           help="dominant poles compared per instance")
+    subparser.add_argument("--sigma", type=float, default=0.3,
+                           help="3-sigma range of the parameter distribution")
+    subparser.add_argument("--seed", type=int, default=0, help="sampling seed")
+    subparser.add_argument("--bins", type=int, default=10, help="histogram bins")
+    subparser.add_argument("--jobs", type=_executor_spec, default=None,
+                           help="full-solve backend: a worker count, 'serial', "
+                                "'thread', 'process', or 'shared' "
+                                "(shared-memory sample channel)")
+    subparser.add_argument("--tolerance", type=float, default=1e-2,
+                           help="exit nonzero if the worst pole error exceeds this")
+
+
+def _add_batch_arguments(subparser) -> None:
+    """The batch study declaration (shared with ``work``)."""
+    _add_parametric_arguments(subparser)
+    _add_plan_arguments(subparser)
+    _add_obs_arguments(subparser)
+    subparser.add_argument("--fmin", type=float, default=1e7)
+    subparser.add_argument("--fmax", type=float, default=1e10)
+    subparser.add_argument("--points", type=int, default=30)
+    subparser.add_argument("--output", type=int, default=0)
+    subparser.add_argument("--input", type=int, default=0)
+
+
+def _add_transient_arguments(subparser) -> None:
+    """The transient study declaration (shared with ``work``)."""
+    _add_parametric_arguments(subparser)
+    _add_plan_arguments(subparser)
+    _add_obs_arguments(subparser)
+    subparser.add_argument("--waveform", choices=("step", "ramp", "pwl", "sine"),
+                           default="step", help="input stimulus plan")
+    subparser.add_argument("--amplitude", type=float, default=1.0,
+                           help="stimulus amplitude")
+    subparser.add_argument("--rise-time", type=float, default=1e-10,
+                           help="ramp waveform rise time (seconds)")
+    subparser.add_argument("--frequency", type=float, default=1e9,
+                           help="sine waveform frequency (Hz)")
+    subparser.add_argument("--pwl", default="0:0,1e-9:1",
+                           help="PWL breakpoints as t1:v1,t2:v2,...")
+    subparser.add_argument("--t-final", type=float, default=None,
+                           help="horizon (default: 8 nominal time constants)")
+    subparser.add_argument("--steps", type=int, default=200,
+                           help="number of timesteps")
+    subparser.add_argument("--method",
+                           choices=("trapezoidal", "backward_euler"),
+                           default="trapezoidal")
+    subparser.add_argument("--threshold", type=float, default=0.5,
+                           help="delay threshold (fraction of the reference level)")
+    subparser.add_argument("--delay-reference", choices=("steady", "peak"),
+                           default="steady",
+                           help="100%% level: DC steady state (settling "
+                                "stimuli) or per-instance peak (pulses)")
+    subparser.add_argument("--output", type=int, default=0)
+    subparser.add_argument("--input", type=int, default=0)
+
+
+def _add_work_arguments(subparser, max_chunks: bool = True) -> None:
+    """Lease-scheduler options for the ``work`` subcommands.
+
+    Numeric values stay strings here; the handlers validate them with
+    :func:`~repro.runtime.store.parse_positive` so misuse exits 2 with
+    a one-line diagnostic.  ``--shard``/``--resume`` do not exist in
+    work mode (chunks are claimed dynamically) but downstream helpers
+    read them, so they are pinned to their inert defaults.
+    """
+    subparser.add_argument("--store", required=True, metavar="DIR",
+                           help="shared study store to drain; every worker "
+                                "must be given the same declaration and DIR")
+    subparser.add_argument("--ttl", default="30", metavar="SECONDS",
+                           help="lease time-to-live: an untouched claim older "
+                                "than this is presumed dead and stolen "
+                                "(heartbeats refresh it at TTL/4)")
+    subparser.add_argument("--poll", default="0.2", metavar="SECONDS",
+                           help="idle re-scan interval while other workers "
+                                "hold the remaining chunks")
+    subparser.add_argument("--worker-id", default=None, metavar="ID",
+                           help="stable worker name for manifests and chunk "
+                                "files (default: host-pid-random)")
+    if max_chunks:
+        subparser.add_argument("--max-chunks", default=None, metavar="N",
+                               help="exit after claiming N chunks, leaving "
+                                    "the rest to other workers (no merged "
+                                    "result unless the store drained)")
+    subparser.set_defaults(shard=None, resume=False)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -564,74 +786,56 @@ def build_parser() -> argparse.ArgumentParser:
     mc_cmd = commands.add_parser(
         "montecarlo", help="Monte Carlo pole-accuracy study (batched runtime)"
     )
-    _add_parametric_arguments(mc_cmd)
+    _add_montecarlo_arguments(mc_cmd)
     _add_store_arguments(mc_cmd)
-    _add_obs_arguments(mc_cmd)
-    mc_cmd.add_argument("--chunk", type=int, default=None,
-                        help="checkpoint unit for --store: instances per "
-                             "persisted pole-study chunk")
-    mc_cmd.add_argument("--instances", type=int, default=200)
-    mc_cmd.add_argument("--poles", type=int, default=5,
-                        help="dominant poles compared per instance")
-    mc_cmd.add_argument("--sigma", type=float, default=0.3,
-                        help="3-sigma range of the parameter distribution")
-    mc_cmd.add_argument("--seed", type=int, default=0, help="sampling seed")
-    mc_cmd.add_argument("--bins", type=int, default=10, help="histogram bins")
-    mc_cmd.add_argument("--jobs", type=_executor_spec, default=None,
-                        help="full-solve backend: a worker count, 'serial', "
-                             "'thread', 'process', or 'shared' "
-                             "(shared-memory sample channel)")
-    mc_cmd.add_argument("--tolerance", type=float, default=1e-2,
-                        help="exit nonzero if the worst pole error exceeds this")
     mc_cmd.set_defaults(func=_cmd_montecarlo)
 
     batch_cmd = commands.add_parser(
         "batch", help="batched scenario frequency-envelope CSV"
     )
-    _add_parametric_arguments(batch_cmd)
-    _add_plan_arguments(batch_cmd)
+    _add_batch_arguments(batch_cmd)
     _add_store_arguments(batch_cmd)
-    _add_obs_arguments(batch_cmd)
-    batch_cmd.add_argument("--fmin", type=float, default=1e7)
-    batch_cmd.add_argument("--fmax", type=float, default=1e10)
-    batch_cmd.add_argument("--points", type=int, default=30)
-    batch_cmd.add_argument("--output", type=int, default=0)
-    batch_cmd.add_argument("--input", type=int, default=0)
     batch_cmd.set_defaults(func=_cmd_batch)
 
     transient_cmd = commands.add_parser(
         "transient", help="batched time-domain scenario-envelope CSV"
     )
-    _add_parametric_arguments(transient_cmd)
-    _add_plan_arguments(transient_cmd)
+    _add_transient_arguments(transient_cmd)
     _add_store_arguments(transient_cmd)
-    _add_obs_arguments(transient_cmd)
-    transient_cmd.add_argument("--waveform", choices=("step", "ramp", "pwl", "sine"),
-                               default="step", help="input stimulus plan")
-    transient_cmd.add_argument("--amplitude", type=float, default=1.0,
-                               help="stimulus amplitude")
-    transient_cmd.add_argument("--rise-time", type=float, default=1e-10,
-                               help="ramp waveform rise time (seconds)")
-    transient_cmd.add_argument("--frequency", type=float, default=1e9,
-                               help="sine waveform frequency (Hz)")
-    transient_cmd.add_argument("--pwl", default="0:0,1e-9:1",
-                               help="PWL breakpoints as t1:v1,t2:v2,...")
-    transient_cmd.add_argument("--t-final", type=float, default=None,
-                               help="horizon (default: 8 nominal time constants)")
-    transient_cmd.add_argument("--steps", type=int, default=200,
-                               help="number of timesteps")
-    transient_cmd.add_argument("--method",
-                               choices=("trapezoidal", "backward_euler"),
-                               default="trapezoidal")
-    transient_cmd.add_argument("--threshold", type=float, default=0.5,
-                               help="delay threshold (fraction of the reference level)")
-    transient_cmd.add_argument("--delay-reference", choices=("steady", "peak"),
-                               default="steady",
-                               help="100%% level: DC steady state (settling "
-                                    "stimuli) or per-instance peak (pulses)")
-    transient_cmd.add_argument("--output", type=int, default=0)
-    transient_cmd.add_argument("--input", type=int, default=0)
     transient_cmd.set_defaults(func=_cmd_transient)
+
+    work_cmd = commands.add_parser(
+        "work",
+        help="lease-based worker: cooperatively drain a shared --store",
+        description="Run one work-stealing worker for a study. Every "
+                    "worker gets the identical study declaration plus the "
+                    "same --store DIR; chunks are claimed through lease "
+                    "files, dead workers' leases expire and are stolen, "
+                    "and each worker prints the merged result once the "
+                    "store drains (bit-identical to a one-shot run).",
+    )
+    work_actions = work_cmd.add_subparsers(dest="work_command", required=True)
+
+    work_batch = work_actions.add_parser(
+        "batch", help="drain a batch frequency-envelope study"
+    )
+    _add_batch_arguments(work_batch)
+    _add_work_arguments(work_batch)
+    work_batch.set_defaults(func=_cmd_work_batch)
+
+    work_transient = work_actions.add_parser(
+        "transient", help="drain a transient scenario-envelope study"
+    )
+    _add_transient_arguments(work_transient)
+    _add_work_arguments(work_transient)
+    work_transient.set_defaults(func=_cmd_work_transient)
+
+    work_mc = work_actions.add_parser(
+        "montecarlo", help="drain a Monte Carlo pole-accuracy sign-off"
+    )
+    _add_montecarlo_arguments(work_mc)
+    _add_work_arguments(work_mc, max_chunks=False)
+    work_mc.set_defaults(func=_cmd_work_montecarlo)
 
     trace_cmd = commands.add_parser(
         "trace", help="inspect JSONL trace files (repro-trace/v1)"

@@ -38,40 +38,55 @@ class JsonlSink:
 
     The file is opened lazily on the first record (so configuring a
     trace path never creates empty files for runs that emit nothing)
-    and a ``meta`` header line is written first.  Append mode makes one
-    file safe to reuse across sequential runs; concurrent shards should
-    write separate files and merge with :func:`read_trace`.
+    and a ``meta`` header line is written first.
+
+    Appends are **line-atomic across processes**: the file descriptor
+    is opened with ``O_APPEND`` and every record goes down as a single
+    ``os.write`` of one pre-joined line, so several workers tracing to
+    the same file can never interleave mid-record.  (The previous
+    buffered-text implementation could tear lines under concurrency;
+    :func:`read_trace` silently drops unparsable lines, so the tear
+    cost real lineage, not just cosmetics.)  Kernel-level appends also
+    mean there is no userspace buffer to flush -- a SIGKILL loses
+    nothing already emitted.
     """
 
     def __init__(self, path):
         self.path = os.fspath(path)
-        self._file = None
+        self._fd = None
 
     def _open(self):
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        self._file = open(self.path, "a", encoding="utf-8")
+        self._fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
         header = {
             "type": "meta",
             "format": TRACE_FORMAT,
             "pid": os.getpid(),
             "created": time.time(),
         }
-        self._file.write(encode_record(header) + "\n")
+        self._write_line(header)
+
+    def _write_line(self, record):
+        data = (encode_record(record) + "\n").encode("utf-8")
+        # One write() per line: with O_APPEND the kernel serializes the
+        # offset update and the data, which is the whole atomicity story.
+        os.write(self._fd, data)
 
     def emit(self, record):
-        """Append one record, flushing so kills lose at most one line."""
-        if self._file is None:
+        """Append one record as a single atomic write."""
+        if self._fd is None:
             self._open()
-        self._file.write(encode_record(record) + "\n")
-        self._file.flush()
+        self._write_line(record)
 
     def close(self):
-        """Close the underlying file (idempotent)."""
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        """Close the underlying file descriptor (idempotent)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __enter__(self):
         return self
@@ -222,21 +237,36 @@ def summarize_trace(records):
 def chunk_lineage(records):
     """Merge trace records into one per-chunk lineage, sorted by index.
 
-    Joins each ``study.chunk`` span with its child ``store.save`` /
-    ``store.load`` span (same parentage), yielding one dict per chunk::
+    Joins each ``study.chunk`` / ``scheduler.chunk`` span with its
+    child ``store.save`` / ``store.load`` span (same parentage),
+    yielding one dict per chunk span::
 
         {"index", "lo", "hi", "instances", "sha256", "source",
-         "pid", "shard", "wall_seconds"}
+         "pid", "shard", "worker", "stolen", "wall_seconds"}
 
     ``source`` is ``"computed"`` (saved this run), ``"resumed"``
     (loaded from a checkpoint), or ``"volatile"`` (no store attached).
-    Records may come from several shards' trace files concatenated
-    together; span ids are globally unique so the join is unambiguous.
-    The ``sha256`` values are exactly the ones the StudyStore manifest
-    records, which is what lets a lineage be verified bit-for-bit.
+    ``worker`` and ``stolen`` come from work-stealing drains
+    (``scheduler.chunk`` spans; ``None``/``False`` elsewhere).
+    ``scheduler.chunk`` spans carry only ``index`` -- their ``lo`` /
+    ``hi`` / ``instances`` are filled from the joined ``store.save``
+    child.  Note that a worker which drains a study and then merges it
+    reports the same index twice: once as a ``scheduler.chunk`` entry
+    (source ``"computed"``) and once as a ``study.chunk`` entry from
+    the fold (source ``"resumed"``).
+
+    Records may come from several shards' or workers' trace files
+    concatenated together; span ids are globally unique so the join is
+    unambiguous.  The ``sha256`` values are exactly the ones the
+    StudyStore manifest records, which is what lets a lineage be
+    verified bit-for-bit.
     """
     spans = _spans(records)
-    chunks = {s["span_id"]: s for s in spans if s["name"] == "study.chunk"}
+    chunks = {
+        s["span_id"]: s
+        for s in spans
+        if s["name"] in ("study.chunk", "scheduler.chunk")
+    }
     store_by_parent = {}
     for record in spans:
         if record["name"] in ("store.save", "store.load"):
@@ -256,14 +286,24 @@ def chunk_lineage(records):
             "source": "volatile",
             "pid": chunk["pid"],
             "shard": attrs.get("shard"),
+            "worker": attrs.get("worker"),
+            "stolen": bool(attrs.get("stolen", False)),
             "wall_seconds": chunk["wall_seconds"],
         }
         store_span = store_by_parent.get(span_id)
         if store_span is not None:
-            entry["sha256"] = store_span["attrs"].get("sha256")
+            store_attrs = store_span["attrs"]
+            entry["sha256"] = store_attrs.get("sha256")
             entry["source"] = (
                 "computed" if store_span["name"] == "store.save" else "resumed"
             )
+            for field in ("lo", "hi"):
+                if entry[field] is None:
+                    entry[field] = store_attrs.get(field)
+            if entry["instances"] is None and None not in (
+                entry["lo"], entry["hi"]
+            ):
+                entry["instances"] = entry["hi"] - entry["lo"]
         lineage.append(entry)
     lineage.sort(key=lambda entry: (entry["index"] is None, entry["index"]))
     return lineage

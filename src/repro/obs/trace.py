@@ -48,6 +48,7 @@ __all__ = [
     "current_span",
     "emit_record",
     "enabled",
+    "event",
     "remove_sink",
     "span",
     "unwrap_results",
@@ -209,6 +210,32 @@ def span(name, **attrs):
 def current_span():
     """The innermost active :class:`Span` in this context, or ``None``."""
     return _ACTIVE.get()
+
+
+def event(name, **attrs):
+    """Emit a point-in-time record (a zero-duration span).
+
+    For moments rather than regions -- a lease claimed, stolen, or
+    expired -- where opening a context manager would be noise.  The
+    record shares the span schema (``wall_seconds`` = 0.0, parented to
+    the active span) so :func:`~repro.obs.export.read_trace` and
+    lineage joins handle it without a second code path.  Free when
+    tracing is off.
+    """
+    if not enabled():
+        return
+    active = _ACTIVE.get()
+    _emit({
+        "type": "span",
+        "name": name,
+        "span_id": _next_id(),
+        "parent_id": active.span_id if active is not None else None,
+        "pid": os.getpid(),
+        "t_start": time.time(),
+        "wall_seconds": 0.0,
+        "cpu_seconds": 0.0,
+        "attrs": attrs,
+    })
 
 
 def annotate(**attrs):

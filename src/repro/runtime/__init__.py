@@ -57,6 +57,11 @@ that reuse is made fast and declarative:
   resumes (``Study.store/.shard/.resume``) and merges bit-identically
   to an uninterrupted run -- with per-chunk checksums so persisted
   results stay independently re-checkable.
+- :mod:`repro.runtime.scheduler` -- lease-based work-stealing over a
+  shared store directory: atomic claim files, observer-side TTL expiry
+  with heartbeats, and a drain loop (``Study.work``) that lets any
+  number of heterogeneous workers finish one study together, with
+  every chunk's SHA-256 verified before the fold.
 - :mod:`repro.runtime.executor` -- serial, thread, chunked
   multiprocessing, and shared-memory backends behind one
   ordered-``map`` interface for the embarrassingly-parallel full-model
@@ -99,6 +104,14 @@ from repro.runtime.executor import (
     executor_map_array,
     resolve_executor,
     resolve_owned_executor,
+)
+from repro.runtime.scheduler import (
+    DrainReport,
+    Lease,
+    LeaseBoard,
+    default_worker_id,
+    drain_chunks,
+    parse_worker_id,
 )
 from repro.runtime.store import (
     NothingToResumeError,
@@ -148,9 +161,12 @@ from repro.runtime.transient import (
 __all__ = [
     "BatchTransientResult",
     "CornerPlan",
+    "DrainReport",
     "ExecutionPlan",
     "GridPlan",
     "InputWaveform",
+    "Lease",
+    "LeaseBoard",
     "ModelCache",
     "MonteCarloPlan",
     "NothingToResumeError",
@@ -185,8 +201,11 @@ __all__ = [
     "batch_transfer_sensitivities",
     "batch_transient_study",
     "default_horizon",
+    "default_worker_id",
+    "drain_chunks",
     "executor_map_array",
     "parse_shard",
+    "parse_worker_id",
     "reducer_fingerprint",
     "resolve_executor",
     "resolve_owned_executor",

@@ -83,6 +83,12 @@ from repro.runtime.executor import (
     resolve_owned_executor,
 )
 from repro.runtime.scenarios import ScenarioPlan, StepInput
+from repro.runtime.scheduler import (
+    LeaseBoard,
+    default_worker_id,
+    drain_chunks,
+    parse_worker_id,
+)
 from repro.runtime.sparse import shared_pattern_family, supports_sparse_batching
 from repro.runtime.store import StudyStore, study_fingerprint
 from repro.runtime.stream import (
@@ -91,6 +97,8 @@ from repro.runtime.stream import (
     _owned_chunks,
     _stream_sweep_study,
     _stream_transient_study,
+    _sweep_chunk_payload,
+    _transient_chunk_payload,
     sweep_chunk_bytes,
     transient_chunk_bytes,
 )
@@ -290,6 +298,11 @@ class Study:
         self._store: Optional[StudyStore] = None
         self._shard: Optional[Tuple[int, int]] = None
         self._resume = False
+        # (worker_id, lenient) context for _open_checkpoint; work() sets
+        # it around the drain and merge phases, run() alone leaves the
+        # strict no-worker default.
+        self._worker_ctx: Tuple[Optional[str], bool] = (None, False)
+        self._last_drain = None
         self._progress: Optional[ProgressCallback] = None
         self._trace_sinks: List = []
         self._last_metrics: dict = {}
@@ -933,17 +946,278 @@ class Study:
             for sink in owned_sinks:
                 sink.close()
 
+    def work(
+        self,
+        store=None,
+        ttl: float = 30.0,
+        poll: float = 0.2,
+        worker: Optional[str] = None,
+        max_chunks: Optional[int] = None,
+        board: Optional[LeaseBoard] = None,
+    ):
+        """Work-steal this study's chunks from a shared store, then merge.
+
+        The dynamic counterpart of :meth:`shard`: instead of owning a
+        static slice of the chunk grid, this process claims unfinished
+        chunks one at a time through lease files in the store directory
+        (:mod:`repro.runtime.scheduler`), so any number of
+        heterogeneous workers running the same declaration against the
+        same store finish the study together -- a dead worker's leases
+        expire and are stolen, a slow one simply takes fewer chunks.
+        Checkpoints go to this worker's own manifest and
+        worker-suffixed chunk files, so racing workers never write the
+        same file.
+
+        When the drain finds every chunk checkpointed it merges through
+        the ordinary :meth:`run` path -- each chunk's SHA-256 verified
+        against its manifest before folding, corrupt copies re-queued
+        and recomputed -- and returns the route's canonical result
+        object, **bit-identical** to a one-shot run.  When
+        ``max_chunks`` stopped this worker early the study is someone
+        else's to finish and ``None`` is returned;
+        :meth:`drain_report` tells either way what this worker did.
+
+        Parameters
+        ----------
+        store:
+            Store directory (or :class:`StudyStore`); optional if
+            :meth:`store` was already declared.
+        ttl:
+            Lease time-to-live in seconds (see
+            :class:`~repro.runtime.scheduler.LeaseBoard`).
+        poll:
+            Seconds between store re-scans while every remaining chunk
+            is claimed by another worker.
+        worker:
+            Explicit worker id (filename-safe; validated); default is a
+            fresh ``host-pid-random`` id.
+        max_chunks:
+            Stop after computing this many chunks (chaos drills).
+        board:
+            Inject a preconfigured
+            :class:`~repro.runtime.scheduler.LeaseBoard` (tests use a
+            fake clock); default builds one from ``ttl``.
+        """
+        if store is not None:
+            self.store(store)
+        if self._store is None:
+            raise ValueError(
+                "work() requires a store: pass a directory or call .store(...)"
+            )
+        if self._shard is not None:
+            raise ValueError(
+                "work() and shard() are mutually exclusive: workers claim "
+                "chunks dynamically instead of owning a static slice"
+            )
+        worker_id = (
+            parse_worker_id(worker) if worker is not None else default_worker_id()
+        )
+        sinks, owned_sinks = self._resolve_trace_sinks()
+        for sink in sinks:
+            obs_trace.add_sink(sink)
+        try:
+            with obs_trace.span("study.work", worker=worker_id) as root:
+                plan = self.plan()
+                target = self._resolve_target()
+                samples = self._samples()
+                config = self._workload_config(plan.workload, target)
+                fingerprint = study_fingerprint(
+                    target, plan.workload, samples, config
+                )
+                root.set(
+                    route=plan.route,
+                    workload=plan.workload,
+                    num_chunks=plan.num_chunks,
+                    study_key=fingerprint["key"],
+                    store=plan.store,
+                )
+                checkpoint = self._store.checkpoint(
+                    fingerprint,
+                    chunk_size=plan.chunk_size,
+                    num_chunks=plan.num_chunks,
+                    num_samples=plan.num_samples,
+                    worker=worker_id,
+                    context={
+                        "route": plan.route,
+                        "kernel": plan.kernel,
+                        "workload": plan.workload,
+                        "executor": plan.executor,
+                        "worker": worker_id,
+                    },
+                )
+                lease_board = board if board is not None else LeaseBoard(
+                    self._store, fingerprint["key"], worker=worker_id, ttl=ttl
+                )
+                compute, cleanup = self._chunk_compute(
+                    plan, target, samples, checkpoint
+                )
+                try:
+                    report = drain_chunks(
+                        checkpoint, compute, lease_board,
+                        poll=poll, max_chunks=max_chunks,
+                    )
+                finally:
+                    cleanup()
+                self._last_drain = report
+                root.set(
+                    drained=report.drained,
+                    computed=len(report.computed),
+                    stolen=len(report.stolen),
+                    waits=report.waits,
+                )
+        finally:
+            for sink in sinks:
+                obs_trace.remove_sink(sink)
+            for sink in owned_sinks:
+                sink.close()
+        if not report.drained:
+            return None
+        # Merge through the ordinary run() path: every chunk is loaded
+        # with its recorded SHA-256 verified and folded in global chunk
+        # order.  Lenient mode turns a chunk whose every copy fails
+        # verification into an inline recompute (the drivers' own
+        # payload-is-None branch) instead of a fatal StoreError.
+        self._worker_ctx = (worker_id, True)
+        try:
+            return self.run()
+        finally:
+            self._worker_ctx = (None, False)
+
+    def drain_report(self):
+        """The :class:`~repro.runtime.scheduler.DrainReport` of the most
+        recent :meth:`work` call (``None`` before the first)."""
+        return self._last_drain
+
+    def _chunk_compute(self, plan: ExecutionPlan, target, samples, checkpoint):
+        """``(compute, cleanup)`` for the work-stealing drain loop.
+
+        ``compute(index)`` evaluates chunk ``index`` through the same
+        payload definition the streaming drivers use and checkpoints it
+        under this worker's manifest; ``cleanup()`` releases any owned
+        executor held across the drain.
+        """
+        workload = plan.workload
+        chunk = plan.chunk_size
+        total = plan.num_samples
+
+        def bounds(index: int) -> Tuple[int, int]:
+            lo = index * chunk
+            return lo, min(lo + chunk, total)
+
+        def no_cleanup():
+            return None
+
+        cleanup = no_cleanup
+        if workload in ("sweep", "sweep+poles"):
+            dense = supports_batching(target)
+            family = None if dense else shared_pattern_family(target)
+
+            def payload_fn(block):
+                return _sweep_chunk_payload(
+                    target, family, self._frequencies, block,
+                    num_poles=self._num_poles,
+                    keep_poles=dense and self._num_poles is not None,
+                    keep_responses=self._keep_responses,
+                )
+
+        elif workload == "transient":
+            options = self._resolved_transient_options(target)
+
+            def payload_fn(block):
+                return _transient_chunk_payload(
+                    target, block,
+                    waveform=options["waveform"],
+                    t_final=options["t_final"],
+                    num_steps=options["num_steps"],
+                    method=options["method"],
+                    delay_threshold=options["delay_threshold"],
+                    slew_bounds=options["slew_bounds"],
+                    output_index=options["output_index"],
+                    reference=options["reference"],
+                    keep_outputs=options["keep_outputs"],
+                )
+
+        elif workload == "poles":
+            eval_block, backend, owned = self._pole_eval_block(plan.route, target)
+            # One owned pool serves every chunk this worker claims
+            # (including stolen ones) and is joined by cleanup().
+            entered = owned and hasattr(backend, "__enter__")
+            if entered:
+                backend.__enter__()
+
+            def payload_fn(block):
+                return _pack_pole_sets(eval_block(block))
+
+            def cleanup():
+                if entered:
+                    backend.close()
+
+        else:
+            raise ValueError(
+                f"work() does not support the {workload!r} workload"
+            )
+
+        def compute(index: int) -> None:
+            lo, hi = bounds(index)
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+            checkpoint.save(
+                index, lo, hi, payload_fn(samples[lo:hi]),
+                telemetry=_chunk_telemetry(wall0, cpu0, hi - lo),
+            )
+            _observe_chunk(wall0, cpu0, hi - lo)
+
+        return compute, cleanup
+
+    def _resolved_transient_options(self, target) -> dict:
+        """Transient options with the waveform/horizon defaults realized.
+
+        Resolved before fingerprinting so a resumed (or work-stolen)
+        study keys on the waveform and horizon it actually ran with.
+        """
+        options = dict(self._transient_options)
+        if options["waveform"] is None:
+            options["waveform"] = StepInput()
+        if options["t_final"] is None:
+            options["t_final"] = default_horizon(target)
+        return options
+
+    def _workload_config(self, workload: str, target) -> dict:
+        """The workload's canonical option record -- the ``config``
+        component of the study fingerprint.  One definition shared by
+        :meth:`run` and :meth:`work`, so a worker draining a study and
+        a one-shot run of the same declaration land on the same
+        manifest key."""
+        if workload in ("sweep", "sweep+poles"):
+            return {
+                "frequencies": array_fingerprint(self._frequencies),
+                "num_poles": self._num_poles,
+                "keep_responses": self._keep_responses,
+            }
+        if workload == "transient":
+            options = self._resolved_transient_options(target)
+            return {
+                "waveform": repr(options["waveform"]),
+                "t_final": float(options["t_final"]),
+                "num_steps": int(options["num_steps"]),
+                "method": options["method"],
+                "delay_threshold": float(options["delay_threshold"]),
+                "slew_bounds": [float(b) for b in options["slew_bounds"]],
+                "output_index": int(options["output_index"]),
+                "reference": options["reference"],
+                "keep_outputs": bool(options["keep_outputs"]),
+            }
+        if workload == "poles":
+            return {"num_poles": self._num_poles}
+        raise ValueError(f"workload {workload!r} has no durable config record")
+
     def _execute(self, plan: ExecutionPlan):
         workload = plan.workload
         target = self._resolve_target()
         samples = self._samples()
 
         if workload in ("sweep", "sweep+poles"):
-            config = {
-                "frequencies": array_fingerprint(self._frequencies),
-                "num_poles": self._num_poles,
-                "keep_responses": self._keep_responses,
-            }
+            config = self._workload_config(workload, target)
             result = _stream_sweep_study(
                 target,
                 self._frequencies,
@@ -958,24 +1232,8 @@ class Study:
             result.plan = self._scenario_plan()
             return result
         if workload == "transient":
-            options = dict(self._transient_options)
-            # Resolve the defaults before fingerprinting so a resumed
-            # study keys on the waveform/horizon it actually ran with.
-            if options["waveform"] is None:
-                options["waveform"] = StepInput()
-            if options["t_final"] is None:
-                options["t_final"] = default_horizon(target)
-            config = {
-                "waveform": repr(options["waveform"]),
-                "t_final": float(options["t_final"]),
-                "num_steps": int(options["num_steps"]),
-                "method": options["method"],
-                "delay_threshold": float(options["delay_threshold"]),
-                "slew_bounds": [float(b) for b in options["slew_bounds"]],
-                "output_index": int(options["output_index"]),
-                "reference": options["reference"],
-                "keep_outputs": bool(options["keep_outputs"]),
-            }
+            options = self._resolved_transient_options(target)
+            config = self._workload_config(workload, target)
             result = _stream_transient_study(
                 target,
                 samples,
@@ -1007,6 +1265,7 @@ class Study:
         # Stamp the durable identity onto the enclosing study.run span,
         # so a trace line can be joined back to its manifest by key.
         obs_trace.annotate(study_key=fingerprint["key"])
+        worker, lenient = self._worker_ctx
         return self._store.checkpoint(
             fingerprint,
             chunk_size=plan.chunk_size,
@@ -1014,6 +1273,8 @@ class Study:
             num_samples=plan.num_samples,
             shard=self._shard,
             resume=self._resume,
+            worker=worker,
+            lenient=lenient,
             context={
                 "route": plan.route,
                 "kernel": plan.kernel,
@@ -1026,13 +1287,17 @@ class Study:
         """``(executor, owned)``: engine-built executors get closed."""
         return resolve_owned_executor(self._executor_spec)
 
-    def _run_poles(self, plan: ExecutionPlan, target, samples) -> PoleStudy:
+    def _pole_eval_block(self, route: str, target):
+        """``(eval_block, backend, owned)`` for a pole-study route.
+
+        One factory shared by :meth:`_run_poles` and the work-stealing
+        drain (:meth:`work`), so both compute a chunk's pole sets
+        through the identical kernel path.
+        """
         num_poles = self._num_poles
         from repro.analysis.poles import dominant_poles
 
-        if plan.route == "dense-batch":
-            backend, owned = None, False
-
+        if route == "dense-batch":
             def eval_block(block):
                 g, c = batch_instantiate(target, block, exact=True)
                 return [
@@ -1040,23 +1305,28 @@ class Study:
                     for system in systems_from_stacks(target, g, c)
                 ]
 
+            return eval_block, None, False
+        if supports_sparse_batching(target):
+            task = functools.partial(
+                _pole_task_family, shared_pattern_family(target), num_poles
+            )
         else:
-            if supports_sparse_batching(target):
-                task = functools.partial(
-                    _pole_task_family, shared_pattern_family(target), num_poles
-                )
-            else:
-                task = functools.partial(_pole_task_model, target, num_poles)
-            backend, owned = self._owned_executor()
+            task = functools.partial(_pole_task_model, target, num_poles)
+        backend, owned = self._owned_executor()
 
-            def eval_block(block):
-                # wrap_task/unwrap_results ship worker-raised spans back
-                # with each result and re-parent them onto the chunk
-                # span active here; with tracing off both are identity.
-                return obs_trace.unwrap_results(
-                    executor_map_array(backend, obs_trace.wrap_task(task), block)
-                )
+        def eval_block(block):
+            # wrap_task/unwrap_results ship worker-raised spans back
+            # with each result and re-parent them onto the chunk
+            # span active here; with tracing off both are identity.
+            return obs_trace.unwrap_results(
+                executor_map_array(backend, obs_trace.wrap_task(task), block)
+            )
 
+        return eval_block, backend, owned
+
+    def _run_poles(self, plan: ExecutionPlan, target, samples) -> PoleStudy:
+        num_poles = self._num_poles
+        eval_block, backend, owned = self._pole_eval_block(plan.route, target)
         checkpoint = self._open_checkpoint(
             plan, target, samples, {"num_poles": num_poles}
         )

@@ -91,9 +91,15 @@ class _PooledExecutor:
     Subclasses implement :meth:`_make_pool`.  Outside a context the
     pool is ephemeral per call; between ``__enter__`` and ``close``
     one persistent pool is reused and shut down deterministically.
+    Contexts nest: each ``__enter__`` increments a depth counter and
+    each ``close`` decrements it, so the pool (and its warm workers)
+    survives until the *outermost* scope exits -- the work-stealing
+    drain loop holds one pool across every chunk it claims while the
+    per-chunk compute path enters and exits the same executor.
     """
 
     _pool = None
+    _depth = 0
 
     def _make_pool(self):
         raise NotImplementedError
@@ -106,7 +112,11 @@ class _PooledExecutor:
             return body(pool)
 
     def close(self) -> None:
-        """Shut down the persistent pool (joining its workers), if any."""
+        """Leave one pool scope; the outermost exit joins the workers."""
+        if self._depth > 1:
+            self._depth -= 1
+            return
+        self._depth = 0
         pool = self._pool
         self._pool = None
         if pool is not None:
@@ -115,6 +125,8 @@ class _PooledExecutor:
     def __enter__(self):
         if self._pool is None:
             self._pool = self._make_pool()
+            self._depth = 0
+        self._depth += 1
         return self
 
     def __exit__(self, *exc_info) -> bool:

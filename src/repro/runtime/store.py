@@ -41,6 +41,26 @@ manifest, so ``n`` machines can share one directory (or their
 manifests can be copied together afterwards).  A resumed run with no
 shard declared merges every shard's records into the one result set.
 
+Work-stealing workers (:mod:`repro.runtime.scheduler`) relax the
+static ownership: each worker writes its *own* manifest
+(``manifest-<key16>.worker-<id>.json``) and worker-suffixed chunk
+archives (``chunk-00007.w-<id>.npz``), so two workers that race on the
+same chunk never write the same file and every manifest stays
+single-writer.  Duplicate records for one chunk index are equivalent
+by construction (the kernels are deterministic), and readers keep
+every record as an alternate: a checksum-mismatched archive falls back
+to another worker's copy, and -- in the scheduler's *lenient* mode --
+a chunk whose every copy fails verification is simply re-queued
+(recomputed) instead of raising a fatal :class:`StoreError`.  Both
+manifest flavors share one schema, so pre-scheduler readers merge
+worker manifests transparently.
+
+Atomic writes are crash-durable: scratch files are flushed and
+``fsync``\\ ed before the ``os.replace`` rename, and the containing
+directory is synced after it, so a power cut right after a rename can
+not surface a truncated checkpoint that passes the rename but fails
+its checksum on resume.
+
 All persistence failures raise :class:`StoreError` -- one exception
 type the CLI maps to exit code 2 with a one-line diagnostic.
 """
@@ -53,7 +73,7 @@ import json
 import os
 import re
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -65,6 +85,7 @@ MANIFEST_FORMAT = "repro-study-store/v1"
 
 _CHUNKS_SAVED = obs_metrics.counter("store.chunks_saved")
 _CHUNKS_LOADED = obs_metrics.counter("store.chunks_loaded")
+_CHUNKS_REQUEUED = obs_metrics.counter("store.chunks_requeued")
 _BYTES_WRITTEN = obs_metrics.counter("store.bytes_written")
 _BYTES_READ = obs_metrics.counter("store.bytes_read")
 
@@ -97,10 +118,14 @@ def parse_shard(text: str) -> Tuple[int, int]:
 
     Returns the 0-based ``(index, of)`` pair the engine's
     :meth:`~repro.runtime.engine.Study.shard` expects; raises
-    :class:`StoreError` for malformed or out-of-range specs (e.g. the
-    classic ``3/2``).
+    :class:`StoreError` for malformed or out-of-range specs -- the
+    classic ``3/2``, but also ``0/2``, ``1/0``, signed forms like
+    ``+1/2``, and non-ASCII digits -- so the CLI always exits with its
+    one-line diagnostic, never a traceback.  Surrounding whitespace is
+    tolerated (shell quoting artifacts), whitespace *inside* a number
+    is not.
     """
-    match = re.fullmatch(r"\s*(\d+)\s*/\s*(\d+)\s*", text or "")
+    match = re.fullmatch(r"\s*(\d+)\s*/\s*(\d+)\s*", text or "", flags=re.ASCII)
     if match is None:
         raise StoreError(
             f"invalid shard spec {text!r}: expected I/N (e.g. --shard 1/2)"
@@ -111,6 +136,25 @@ def parse_shard(text: str) -> Tuple[int, int]:
             f"invalid shard spec {text!r}: need 1 <= I <= N, got I={index} N={of}"
         )
     return index - 1, of
+
+
+def parse_positive(text, flag: str, kind=float):
+    """Parse a strictly positive CLI number (``--ttl``, ``--poll``, ...).
+
+    Same contract as :func:`parse_shard`: malformed or out-of-range
+    values raise :class:`StoreError`, which the CLI maps to exit code 2
+    with a one-line diagnostic instead of a traceback.
+    """
+    try:
+        value = kind(str(text).strip())
+    except (TypeError, ValueError):
+        raise StoreError(
+            f"invalid {flag} {text!r}: expected a positive "
+            f"{'integer' if kind is int else 'number'}"
+        ) from None
+    if not value > 0:
+        raise StoreError(f"invalid {flag} {text!r}: must be > 0")
+    return value
 
 
 def study_fingerprint(target, workload: str, samples, config: dict) -> Dict[str, str]:
@@ -147,6 +191,50 @@ def _sha256_file(path: Path) -> str:
     return digest.hexdigest()
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory's entry table to disk, where the platform can.
+
+    After ``os.replace`` the *rename itself* lives in the directory, not
+    the file: without this sync a power cut can roll the rename back and
+    resurrect the old (or no) entry.  Platforms without ``O_DIRECTORY``
+    (e.g. Windows) or that refuse to fsync a directory fd simply skip --
+    the rename is still atomic, just not power-cut-durable.
+    """
+    flag = getattr(os, "O_DIRECTORY", None)
+    if flag is None:
+        return
+    try:
+        fd = os.open(directory, os.O_RDONLY | flag)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _durable_replace(scratch: Path, path: Path, data: bytes) -> None:
+    """Write ``data`` to ``scratch``, fsync it, rename over ``path``.
+
+    The fsync *before* the rename is the load-bearing half of the
+    atomic-write idiom ``os.replace`` alone does not provide: without
+    it, a crash shortly after the rename can surface a fully named but
+    truncated (even empty) file -- it passed the rename "atomicity" yet
+    fails its checksum on resume with a confusing corruption error.
+    The directory sync afterwards makes the rename itself survive a
+    power cut.  Callers hold responsibility for cleaning up ``scratch``
+    on failure (the rename consumes it on success).
+    """
+    with open(scratch, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(scratch, path)
+    _fsync_directory(path.parent)
+
+
 class StudyStore:
     """Directory-backed persistence for study results and checkpoints.
 
@@ -181,21 +269,45 @@ class StudyStore:
     def _key_prefix(self, key: str) -> str:
         return key[:_KEY_PREFIX]
 
-    def manifest_path(self, key: str, shard: Optional[Tuple[int, int]] = None) -> Path:
-        """Manifest location for ``key`` (and shard, when sharded)."""
+    def manifest_path(
+        self,
+        key: str,
+        shard: Optional[Tuple[int, int]] = None,
+        worker: Optional[str] = None,
+    ) -> Path:
+        """Manifest location for ``key`` (and shard or worker, if any).
+
+        A work-stealing worker writes ``manifest-<key16>.worker-<id>.json``
+        so every manifest file has exactly one writer; ``shard`` and
+        ``worker`` are mutually exclusive by construction (the scheduler
+        forbids combining them).
+        """
         stem = f"manifest-{self._key_prefix(key)}"
         if shard is not None:
             index, of = shard
             stem += f".shard{index + 1:02d}of{of:02d}"
+        if worker is not None:
+            stem += f".worker-{worker}"
         return self.directory / f"{stem}.json"
 
     def manifest_paths(self, key: str):
-        """Every existing manifest file for ``key`` (all shards), sorted."""
+        """Every existing manifest file for ``key`` (all shards and
+        workers), sorted -- the glob predates the scheduler, so readers
+        from before worker manifests existed merge them transparently."""
         return sorted(self.directory.glob(f"manifest-{self._key_prefix(key)}*.json"))
 
-    def chunk_path(self, key: str, index: int) -> Path:
-        """On-disk location of checkpoint unit ``index`` for ``key``."""
-        return self.directory / "chunks" / self._key_prefix(key) / f"chunk-{index:05d}.npz"
+    def chunk_path(self, key: str, index: int, worker: Optional[str] = None) -> Path:
+        """On-disk location of checkpoint unit ``index`` for ``key``.
+
+        Worker archives carry a ``.w-<id>`` suffix: npz (zip) bytes
+        embed timestamps, so two workers saving the *same* chunk produce
+        different bytes -- distinct filenames keep each archive
+        single-writer and its manifest SHA-256 stable.
+        """
+        name = f"chunk-{index:05d}"
+        if worker is not None:
+            name += f".w-{worker}"
+        return self.directory / "chunks" / self._key_prefix(key) / f"{name}.npz"
 
     # -- manifests -----------------------------------------------------
 
@@ -243,13 +355,27 @@ class StudyStore:
         """All parsed manifests for ``key`` (raises on corruption)."""
         return [self._read_manifest(path) for path in self.manifest_paths(key)]
 
-    def completed_chunks(self, key: str) -> Dict[int, dict]:
-        """Merged ``{chunk_index: record}`` across every shard manifest."""
-        completed: Dict[int, dict] = {}
+    def chunk_records(self, key: str) -> Dict[int, List[dict]]:
+        """``{chunk_index: [record, ...]}`` across every manifest.
+
+        Two workers that race on one chunk each record their own copy;
+        the copies are equivalent by construction (deterministic
+        kernels), so readers treat later ones as *alternates* to fall
+        back to when the first archive fails verification.  Order is
+        deterministic: sorted manifest filename, then manifest order.
+        """
+        records: Dict[int, List[dict]] = {}
         for manifest in self.load_manifests(key):
             for index, record in manifest.get("chunks", {}).items():
-                completed[int(index)] = record
-        return completed
+                records.setdefault(int(index), []).append(record)
+        return records
+
+    def completed_chunks(self, key: str) -> Dict[int, dict]:
+        """Merged ``{chunk_index: record}`` across every shard manifest."""
+        return {
+            index: alternates[0]
+            for index, alternates in self.chunk_records(key).items()
+        }
 
     def checkpoint(
         self,
@@ -260,6 +386,8 @@ class StudyStore:
         shard: Optional[Tuple[int, int]] = None,
         resume: bool = False,
         context: Optional[dict] = None,
+        worker: Optional[str] = None,
+        lenient: bool = False,
     ) -> "StudyCheckpoint":
         """Open the checkpoint for one study run, validating any history.
 
@@ -271,6 +399,13 @@ class StudyStore:
         manifest to exist.  ``context`` (e.g. the engine's route /
         kernel / executor choice) is recorded verbatim in the
         manifest's telemetry block.
+
+        ``worker`` names a work-stealing worker: its saves go to a
+        worker-suffixed manifest and worker-suffixed chunk archives (see
+        the module docstring).  ``lenient`` turns load-time verification
+        failures into re-queues (``load`` returns ``None`` after trying
+        every alternate copy) instead of fatal errors -- the scheduler's
+        merge mode, where a corrupt chunk is simply recomputed.
         """
         key = fingerprint["key"]
         layout = {
@@ -298,7 +433,8 @@ class StudyStore:
                     "re-run with the original chunk size or use a fresh store"
                 )
         return StudyCheckpoint(
-            self, key, fingerprint, layout, shard=shard, context=context
+            self, key, fingerprint, layout, shard=shard, context=context,
+            worker=worker, lenient=lenient,
         )
 
     def __repr__(self) -> str:
@@ -315,15 +451,23 @@ class StudyCheckpoint:
     by its shard), keeping concurrent shard writers independent.
     """
 
-    def __init__(self, store, key, fingerprint, layout, shard=None, context=None):
+    def __init__(
+        self, store, key, fingerprint, layout, shard=None, context=None,
+        worker=None, lenient=False,
+    ):
         self.store = store
         self.key = key
         self.fingerprint = fingerprint
         self.layout = layout
         self.shard = shard
         self.context = context
-        self.completed = store.completed_chunks(key)
-        own = store.manifest_path(key, shard)
+        self.worker = worker
+        self.lenient = lenient
+        self._alternates = store.chunk_records(key)
+        self.completed = {
+            index: records[0] for index, records in self._alternates.items()
+        }
+        own = store.manifest_path(key, shard, worker)
         self._own_records: Dict[int, dict] = {}
         if own.exists():
             manifest = store._read_manifest(own)
@@ -340,41 +484,80 @@ class StudyCheckpoint:
         """How many chunk checkpoints exist across all shards."""
         return len(self.completed)
 
+    def refresh(self) -> set:
+        """Re-scan the store's manifests and return the completed index set.
+
+        Work-stealing workers call this between chunks: other workers'
+        manifests grow concurrently, and a chunk someone else finished
+        need not be claimed (or, if stolen mid-write, recomputed).
+        """
+        self._alternates = self.store.chunk_records(self.key)
+        for index, records in self._alternates.items():
+            self.completed.setdefault(index, records[0])
+        return set(self.completed)
+
+    def _verified_payload(self, index: int, record: dict):
+        """Load and verify one record; return ``(payload, error)``."""
+        path = self.store.directory / record["file"]
+        if not path.exists():
+            return None, StoreError(
+                f"chunk {index} of study {self.key[:12]}... is recorded in the "
+                f"manifest but its archive {record['file']!r} is missing"
+            )
+        actual = _sha256_file(path)
+        if actual != record["sha256"]:
+            return None, StoreError(
+                f"chunk {index} archive {record['file']!r} fails its recorded "
+                f"checksum (manifest {record['sha256'][:12]}..., file "
+                f"{actual[:12]}...); the store is corrupt"
+            )
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        return (payload, actual, path.stat().st_size), None
+
     def load(self, index: int) -> Optional[Dict[str, np.ndarray]]:
         """The persisted payload of chunk ``index``, or ``None``.
 
         Verifies the manifest's recorded SHA-256 against the archive
-        bytes before deserializing -- a checksum mismatch or missing
-        file raises :class:`StoreError` rather than poisoning a merged
-        result.
+        bytes before deserializing.  When several workers recorded the
+        same chunk, a failing copy falls back to the next alternate.
+        If every copy fails: a *strict* checkpoint raises
+        :class:`StoreError` (a resumed run must not silently recompute
+        what the store claims to hold), while a *lenient* one
+        (``lenient=True``, the scheduler's merge mode) drops the chunk
+        from ``completed`` and returns ``None`` so the caller re-queues
+        it -- corruption costs a recompute, not the study.
         """
-        record = self.completed.get(index)
-        if record is None:
+        records = self._alternates.get(index) or (
+            [self.completed[index]] if index in self.completed else []
+        )
+        if not records:
             return None
-        path = self.store.directory / record["file"]
         with obs_trace.span(
-            "store.load", index=index, file=record["file"]
+            "store.load", index=index, file=records[0]["file"]
         ) as load_span:
-            if not path.exists():
-                raise StoreError(
-                    f"chunk {index} of study {self.key[:12]}... is recorded in the "
-                    f"manifest but its archive {record['file']!r} is missing"
-                )
-            actual = _sha256_file(path)
-            if actual != record["sha256"]:
-                raise StoreError(
-                    f"chunk {index} archive {record['file']!r} fails its recorded "
-                    f"checksum (manifest {record['sha256'][:12]}..., file "
-                    f"{actual[:12]}...); the store is corrupt"
-                )
-            with np.load(path) as archive:
-                payload = {name: archive[name] for name in archive.files}
-            size = path.stat().st_size
-            self.loaded_chunks += 1
-            _CHUNKS_LOADED.inc()
-            _BYTES_READ.inc(size)
-            load_span.set(sha256=actual, bytes=size)
-        return payload
+            first_error = None
+            for record in records:
+                loaded, error = self._verified_payload(index, record)
+                if error is None:
+                    payload, actual, size = loaded
+                    self.loaded_chunks += 1
+                    _CHUNKS_LOADED.inc()
+                    _BYTES_READ.inc(size)
+                    load_span.set(
+                        sha256=actual, bytes=size, file=record["file"]
+                    )
+                    return payload
+                first_error = first_error or error
+            if not self.lenient:
+                raise first_error
+            # Every copy is corrupt or missing: forget the chunk so the
+            # drain loop claims and recomputes it.
+            self.completed.pop(index, None)
+            self._alternates.pop(index, None)
+            _CHUNKS_REQUEUED.inc()
+            load_span.set(requeued=True, error=str(first_error))
+        return None
 
     def save(
         self,
@@ -401,13 +584,12 @@ class StudyCheckpoint:
             buffer = io.BytesIO()
             np.savez(buffer, **{k: v for k, v in payload.items() if v is not None})
             data = buffer.getvalue()
-            path = self.store.chunk_path(self.key, index)
+            path = self.store.chunk_path(self.key, index, self.worker)
             try:
                 path.parent.mkdir(parents=True, exist_ok=True)
                 scratch = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
                 try:
-                    scratch.write_bytes(data)
-                    os.replace(scratch, path)
+                    _durable_replace(scratch, path, data)
                 finally:
                     scratch.unlink(missing_ok=True)
             except OSError as exc:
@@ -423,8 +605,11 @@ class StudyCheckpoint:
             }
             if telemetry is not None:
                 record["telemetry"] = telemetry
+            if self.worker is not None:
+                record["worker"] = self.worker
             self._own_records[index] = record
             self.completed[index] = record
+            self._alternates.setdefault(index, []).insert(0, record)
             self.saved_chunks += 1
             self.bytes_written += len(data)
             _CHUNKS_SAVED.inc()
@@ -444,6 +629,7 @@ class StudyCheckpoint:
             "fingerprint": self.fingerprint,
             "layout": self.layout,
             "shard": None if self.shard is None else list(self.shard),
+            "worker": self.worker,
             "chunks": records,
             # Run telemetry (see README, "Store layout and manifest
             # schema"): how the most
@@ -465,12 +651,14 @@ class StudyCheckpoint:
                 ),
             },
         }
-        path = self.store.manifest_path(self.key, self.shard)
+        path = self.store.manifest_path(self.key, self.shard, self.worker)
         scratch = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
             try:
-                scratch.write_text(json.dumps(manifest, indent=1, sort_keys=True))
-                os.replace(scratch, path)
+                _durable_replace(
+                    scratch, path,
+                    json.dumps(manifest, indent=1, sort_keys=True).encode(),
+                )
             finally:
                 scratch.unlink(missing_ok=True)
         except OSError as exc:

@@ -190,6 +190,89 @@ def _observe_chunk(wall0: float, cpu0: float, instances: int) -> None:
     _CHUNK_CPU.observe(time.process_time() - cpu0)
 
 
+def _sweep_chunk_payload(
+    model,
+    family,
+    freqs: np.ndarray,
+    block: np.ndarray,
+    num_poles: Optional[int] = None,
+    keep_poles: bool = False,
+    keep_responses: bool = False,
+) -> dict:
+    """One sweep chunk's persistable payload (the checkpoint unit).
+
+    The single definition of what a sweep chunk *is*, shared by the
+    streaming driver and the work-stealing drain loop
+    (:meth:`repro.runtime.engine.Study.work`) -- both paths therefore
+    checkpoint byte-identical arrays for the same chunk.  ``family`` is
+    the shared sparsity pattern for sparse targets, ``None`` for dense.
+    """
+    if family is None:
+        responses, poles = _sweep_study(
+            model, freqs, block,
+            num_poles=(num_poles if num_poles is not None else 1),
+        )
+    else:
+        responses = family.frequency_response(freqs, block)
+        poles = None
+    magnitudes = np.abs(responses)
+    payload = {
+        "env_min": magnitudes.min(axis=0),
+        "env_max": magnitudes.max(axis=0),
+        "env_sum": magnitudes.sum(axis=0),
+    }
+    if keep_poles:
+        payload["poles"] = poles
+    if keep_responses:
+        payload["responses"] = responses
+    return payload
+
+
+def _transient_chunk_payload(
+    model,
+    block: np.ndarray,
+    waveform,
+    t_final: float,
+    num_steps: int,
+    method: str,
+    delay_threshold: float,
+    slew_bounds: Tuple[float, float],
+    output_index: int,
+    reference: str,
+    keep_outputs: bool = False,
+) -> dict:
+    """One transient chunk's persistable payload (the checkpoint unit).
+
+    Counterpart of :func:`_sweep_chunk_payload` for the time-domain
+    driver; same sharing contract.
+    """
+    study = _transient_study(
+        model, block,
+        waveform=waveform, t_final=t_final, num_steps=num_steps, method=method,
+    )
+    outputs = study.result.outputs
+    payload = {
+        "env_min": outputs.min(axis=0),
+        "env_max": outputs.max(axis=0),
+        "env_sum": outputs.sum(axis=0),
+        "delays": study.delays(
+            threshold=delay_threshold,
+            output_index=output_index,
+            reference=reference,
+        ),
+        "slews": study.slews(
+            low=slew_bounds[0],
+            high=slew_bounds[1],
+            output_index=output_index,
+            reference=reference,
+        ),
+        "steady_states": study.steady_states,
+    }
+    if keep_outputs:
+        payload["outputs"] = outputs
+    return payload
+
+
 class _EnvelopeAccumulator:
     """Running per-position min / sum / max over the instance axis."""
 
@@ -368,25 +451,12 @@ def _stream_sweep_study(
             payload = checkpoint.load(index) if checkpoint is not None else None
             loaded = payload is not None
             if payload is None:
-                block = samples[lo:hi]
-                if dense:
-                    responses, poles = _sweep_study(
-                        model, freqs, block,
-                        num_poles=(num_poles if num_poles is not None else 1),
-                    )
-                else:
-                    responses = family.frequency_response(freqs, block)
-                    poles = None
-                magnitudes = np.abs(responses)
-                payload = {
-                    "env_min": magnitudes.min(axis=0),
-                    "env_max": magnitudes.max(axis=0),
-                    "env_sum": magnitudes.sum(axis=0),
-                }
-                if pole_blocks is not None:
-                    payload["poles"] = poles
-                if response_blocks is not None:
-                    payload["responses"] = responses
+                payload = _sweep_chunk_payload(
+                    model, family, freqs, samples[lo:hi],
+                    num_poles=num_poles,
+                    keep_poles=pole_blocks is not None,
+                    keep_responses=response_blocks is not None,
+                )
                 if checkpoint is not None:
                     checkpoint.save(
                         index, lo, hi, payload,
@@ -588,34 +658,14 @@ def _stream_transient_study(
             payload = checkpoint.load(index) if checkpoint is not None else None
             loaded = payload is not None
             if payload is None:
-                study = _transient_study(
-                    model,
-                    samples[lo:hi],
-                    waveform=waveform,
-                    t_final=t_final,
-                    num_steps=num_steps,
-                    method=method,
+                payload = _transient_chunk_payload(
+                    model, samples[lo:hi],
+                    waveform=waveform, t_final=t_final,
+                    num_steps=num_steps, method=method,
+                    delay_threshold=delay_threshold, slew_bounds=slew_bounds,
+                    output_index=output_index, reference=reference,
+                    keep_outputs=output_blocks is not None,
                 )
-                outputs = study.result.outputs
-                payload = {
-                    "env_min": outputs.min(axis=0),
-                    "env_max": outputs.max(axis=0),
-                    "env_sum": outputs.sum(axis=0),
-                    "delays": study.delays(
-                        threshold=delay_threshold,
-                        output_index=output_index,
-                        reference=reference,
-                    ),
-                    "slews": study.slews(
-                        low=slew_bounds[0],
-                        high=slew_bounds[1],
-                        output_index=output_index,
-                        reference=reference,
-                    ),
-                    "steady_states": study.steady_states,
-                }
-                if output_blocks is not None:
-                    payload["outputs"] = outputs
                 if checkpoint is not None:
                     checkpoint.save(
                         index, lo, hi, payload,

@@ -539,6 +539,98 @@ class TestDurableStore:
         assert args.store == "d" and args.shard == "1/2" and args.resume
 
 
+class TestWorkCommand:
+    BATCH = ["--plan", "montecarlo", "--instances", "8", "--moments", "3",
+             "--points", "4", "--chunk", "2"]
+
+    @staticmethod
+    def _csv(text):
+        return [line for line in text.splitlines() if not line.startswith("#")]
+
+    def test_single_worker_drains_and_matches_one_shot_csv(
+        self, netlist_file, tmp_path, capsys
+    ):
+        assert main(["batch", netlist_file, *self.BATCH]) == 0
+        one_shot = capsys.readouterr().out
+        store = str(tmp_path / "store")
+        argv = ["work", "batch", netlist_file, *self.BATCH, "--store", store,
+                "--worker-id", "w1"]
+        assert main(argv) == 0
+        worked = capsys.readouterr().out
+        assert "# worker: w1" in worked
+        assert self._csv(worked) == self._csv(one_shot)
+        assert list((tmp_path / "store").glob("manifest-*.worker-w1.json"))
+        # A latecomer finds the store drained and prints the same CSV.
+        assert main(["work", "batch", netlist_file, *self.BATCH,
+                     "--store", store, "--worker-id", "w2"]) == 0
+        late = capsys.readouterr().out
+        assert "computed: 0" in late
+        assert self._csv(late) == self._csv(one_shot)
+
+    def test_max_chunks_splits_work_between_workers(
+        self, netlist_file, tmp_path, capsys
+    ):
+        assert main(["batch", netlist_file, *self.BATCH]) == 0
+        one_shot = capsys.readouterr().out
+        store = str(tmp_path / "store")
+        base = ["work", "batch", netlist_file, *self.BATCH, "--store", store]
+        assert main(base + ["--worker-id", "w1", "--max-chunks", "2"]) == 0
+        partial = capsys.readouterr().out
+        assert "computed: 2" in partial
+        assert "no merged result" in partial
+        assert self._csv(partial) == []  # stopped early: no CSV
+        assert main(base + ["--worker-id", "w2"]) == 0
+        finished = capsys.readouterr().out
+        assert "computed: 2" in finished
+        assert self._csv(finished) == self._csv(one_shot)
+
+    def test_work_transient_matches_one_shot_csv(
+        self, netlist_file, tmp_path, capsys
+    ):
+        argv = [netlist_file, "--plan", "montecarlo", "--instances", "6",
+                "--moments", "3", "--steps", "10", "--chunk", "2"]
+        assert main(["transient", *argv]) == 0
+        one_shot = capsys.readouterr().out
+        assert main(["work", "transient", *argv,
+                     "--store", str(tmp_path / "store")]) == 0
+        worked = capsys.readouterr().out
+        assert self._csv(worked) == self._csv(one_shot)
+
+    def test_work_montecarlo_matches_one_shot_output(
+        self, netlist_file, tmp_path, capsys
+    ):
+        argv = [netlist_file, "--instances", "6", "--moments", "3",
+                "--poles", "2", "--tolerance", "1.0"]
+        assert main(["montecarlo", *argv]) == 0
+        one_shot = capsys.readouterr().out
+        assert main(["work", "montecarlo", *argv, "--chunk", "2",
+                     "--store", str(tmp_path / "store")]) == 0
+        worked = capsys.readouterr().out
+        assert self._csv(worked) == self._csv(one_shot)
+
+    @pytest.mark.parametrize("flag,value,message", [
+        ("--ttl", "soon", "invalid --ttl"),
+        ("--ttl", "0", "must be > 0"),
+        ("--poll", "-1", "must be > 0"),
+        ("--max-chunks", "2.5", "invalid --max-chunks"),
+        ("--worker-id", "no spaces", "invalid worker id"),
+    ])
+    def test_bad_work_flags_exit_2_with_one_line(
+        self, netlist_file, tmp_path, capsys, flag, value, message
+    ):
+        code = main(["work", "batch", netlist_file, *self.BATCH,
+                     "--store", str(tmp_path / "store"), flag, value])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert message in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_work_requires_store_flag(self, netlist_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["work", "batch", netlist_file, *self.BATCH])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

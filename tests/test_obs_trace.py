@@ -228,6 +228,87 @@ class TestStoreTelemetry:
         assert all(e["sha256"] for e in lineage)
 
 
+class TestWorkTracing:
+    def test_event_records_are_zero_duration_spans(self):
+        sink = MemorySink()
+        obs_trace.add_sink(sink)
+        try:
+            with obs_trace.span("parent"):
+                obs_trace.event("lease.claim", index=3, worker="w1")
+        finally:
+            obs_trace.remove_sink(sink)
+        (event,) = _spans(sink.records, "lease.claim")
+        assert event["wall_seconds"] == 0.0
+        assert event["attrs"] == {"index": 3, "worker": "w1"}
+        (parent,) = _spans(sink.records, "parent")
+        assert event["parent_id"] == parent["span_id"]
+
+    def test_event_is_free_when_tracing_is_off(self):
+        assert obs_trace.event("lease.claim", index=0) is None
+
+    def test_work_trace_carries_leases_and_worker_lineage(
+        self, model, samples, tmp_path
+    ):
+        sink = MemorySink()
+        (
+            Study(model)
+            .scenarios(samples)
+            .sweep(FREQUENCIES)
+            .chunk(4)
+            .store(tmp_path / "store")
+            .trace(sink)
+            .work(worker="w1")
+        )
+        records = sink.records
+        assert len(_spans(records, "lease.claim")) == 2
+        assert _spans(records, "study.work")
+        lineage = chunk_lineage(records)
+        # Each index appears twice: the drain's scheduler.chunk entry
+        # (computed by w1) and the merge's study.chunk entry (resumed).
+        drained = [e for e in lineage if e["worker"] == "w1"]
+        merged = [e for e in lineage if e["worker"] is None]
+        assert [e["index"] for e in drained] == [0, 1]
+        assert [e["index"] for e in merged] == [0, 1]
+        assert all(e["source"] == "computed" for e in drained)
+        assert all(e["source"] == "resumed" for e in merged)
+        assert all(not e["stolen"] for e in lineage)
+        # scheduler.chunk spans carry no lo/hi -- lineage fills them
+        # (and the sha) from the joined store.save child.
+        for entry in drained:
+            assert entry["lo"] is not None and entry["hi"] is not None
+            assert entry["instances"] == entry["hi"] - entry["lo"]
+            assert entry["sha256"]
+
+    def test_stolen_chunks_are_flagged_in_lineage(self, tmp_path):
+        from repro.runtime.scheduler import LeaseBoard, drain_chunks
+
+        store = StudyStore(tmp_path)
+        key = "ee" * 32
+        fingerprint = {"target": "t", "samples": "s", "workload": "sweep",
+                       "config": "c", "key": key}
+        checkpoint = store.checkpoint(
+            fingerprint, chunk_size=1, num_chunks=2, num_samples=2,
+            worker="thief",
+        )
+        LeaseBoard(store, key, worker="ghost").try_claim(0)  # abandoned
+        clock = iter([0.0, 100.0, 200.0, 300.0]).__next__
+        board = LeaseBoard(store, key, worker="thief", ttl=10.0, clock=clock)
+        sink = MemorySink()
+        obs_trace.add_sink(sink)
+        try:
+            drain_chunks(
+                checkpoint,
+                lambda i: checkpoint.save(i, i, i + 1, {"v": np.zeros(1)}),
+                board, poll=0.01, sleep=lambda _: None,
+            )
+        finally:
+            obs_trace.remove_sink(sink)
+        assert _spans(sink.records, "lease.steal")
+        lineage = chunk_lineage(sink.records)
+        stolen = {e["index"]: e["stolen"] for e in lineage}
+        assert stolen[0] is True and stolen[1] is False
+
+
 class TestExporters:
     def test_jsonl_sink_is_lazy_and_appendable(self, tmp_path):
         path = tmp_path / "lazy.trace"
@@ -239,6 +320,69 @@ class TestExporters:
             again.emit({"type": "span", "name": "b"})
         records = read_trace(path)
         assert [r["type"] for r in records] == ["meta", "span", "meta", "span"]
+
+    def test_concurrent_processes_never_tear_lines(self, tmp_path):
+        """Workers trace to one file; O_APPEND keeps every line whole.
+
+        Two processes hammer the same sink with ~1 KB records; every
+        line of the result must parse, and every record must arrive
+        exactly once.  (The old buffered-text sink tore lines here.)
+        """
+        import subprocess
+        import sys
+
+        path = tmp_path / "shared.trace"
+        script = (
+            "import sys\n"
+            "from repro.obs import JsonlSink\n"
+            "tag, path = sys.argv[1], sys.argv[2]\n"
+            "with JsonlSink(path) as sink:\n"
+            "    for i in range(200):\n"
+            "        sink.emit({'type': 'span', 'name': f'{tag}-{i}',\n"
+            "                   'pad': 'x' * 1000})\n"
+        )
+        workers = [
+            subprocess.Popen([sys.executable, "-c", script, tag, str(path)])
+            for tag in ("a", "b")
+        ]
+        for proc in workers:
+            assert proc.wait() == 0
+        raw_lines = path.read_text().strip().splitlines()
+        parsed = [json.loads(line) for line in raw_lines]  # no torn lines
+        names = [r["name"] for r in parsed if r["type"] == "span"]
+        assert len(raw_lines) == 402  # 2 meta headers + 400 records
+        assert sorted(names) == sorted(
+            f"{tag}-{i}" for tag in ("a", "b") for i in range(200)
+        )
+
+    def test_sigkilled_writer_loses_nothing_already_emitted(self, tmp_path):
+        """No userspace buffer: records emitted before a SIGKILL are on
+        disk even though close() never ran."""
+        import signal
+        import subprocess
+        import sys
+
+        path = tmp_path / "killed.trace"
+        script = (
+            "import os, sys\n"
+            "from repro.obs import JsonlSink\n"
+            "sink = JsonlSink(sys.argv[1])\n"
+            "for i in range(50):\n"
+            "    sink.emit({'type': 'span', 'name': f'n-{i}'})\n"
+            "print('ready', flush=True)\n"
+            "import time; time.sleep(30)\n"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(path)],
+            stdout=subprocess.PIPE, text=True,
+        )
+        assert proc.stdout.readline().strip() == "ready"
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        records = read_trace(path)
+        assert [r["name"] for r in records if r["type"] == "span"] == [
+            f"n-{i}" for i in range(50)
+        ]
 
     def test_read_trace_skips_torn_lines(self, tmp_path):
         path = tmp_path / "torn.trace"

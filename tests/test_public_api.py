@@ -88,8 +88,9 @@ ROOT_ALL_SNAPSHOT = [
 ]
 
 RUNTIME_ALL_SNAPSHOT = [
-    "BatchTransientResult", "CornerPlan", "ExecutionPlan", "GridPlan",
-    "InputWaveform", "ModelCache", "MonteCarloPlan",
+    "BatchTransientResult", "CornerPlan", "DrainReport", "ExecutionPlan",
+    "GridPlan",
+    "InputWaveform", "Lease", "LeaseBoard", "ModelCache", "MonteCarloPlan",
     "NothingToResumeError", "PWLInput",
     "PoleStudy", "ProcessExecutor", "RampInput", "ScenarioPlan",
     "ScenarioSweep", "SensitivityStudy", "SerialExecutor",
@@ -101,8 +102,9 @@ RUNTIME_ALL_SNAPSHOT = [
     "batch_instantiate", "batch_poles", "batch_simulate_transient",
     "batch_step_responses", "batch_sweep_study", "batch_transfer",
     "batch_transfer_sensitivities", "batch_transient_study",
-    "default_horizon", "executor_map_array", "parse_shard",
-    "reducer_fingerprint",
+    "default_horizon", "default_worker_id", "drain_chunks",
+    "executor_map_array", "parse_shard",
+    "parse_worker_id", "reducer_fingerprint",
     "resolve_executor", "resolve_owned_executor",
     "run_frequency_scenarios",
     "shared_pattern_family", "sparse_batch_frequency_response",
@@ -140,7 +142,8 @@ class TestApiSnapshot:
         study_methods = [
             "scenarios", "sweep", "transient", "poles", "sensitivities",
             "executor", "memory_budget", "chunk", "cached", "reduced",
-            "progress", "trace", "metrics", "plan", "run",
+            "progress", "trace", "metrics", "plan", "run", "work",
+            "drain_report",
         ]
         for method in study_methods:
             assert callable(getattr(engine.Study, method)), f"Study.{method} missing"
@@ -162,8 +165,8 @@ class TestCliModule:
         from repro.cli import build_parser
 
         parser = build_parser()
-        # All eight subcommands registered.
+        # All nine subcommands registered.
         text = parser.format_help()
         for command in ("info", "reduce", "sweep", "poles", "montecarlo",
-                        "batch", "transient", "trace"):
+                        "batch", "transient", "work", "trace"):
             assert command in text

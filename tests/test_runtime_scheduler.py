@@ -1,0 +1,280 @@
+"""The lease scheduler: claims, heartbeats, expiry, stealing, draining.
+
+Lease expiry is judged observer-side on a monotonic clock, so every
+timing-sensitive test here runs on an injected fake clock -- no sleeps,
+no flakes.  The drain loop's sleep is injected the same way.  The
+multi-process chaos case (SIGKILL a worker mid-study) lives in
+``scripts/ci_chaos_workers.py``; these tests pin the protocol itself.
+"""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.runtime import StudyStore, default_worker_id, drain_chunks, parse_worker_id
+from repro.runtime.scheduler import CLAIM_FORMAT, LeaseBoard
+from repro.runtime.store import StoreError
+
+KEY = "ab" * 32  # any 64-hex study key; claims live under claims/<key16>
+FINGERPRINT = {
+    "target": "t0", "samples": "s0", "workload": "sweep", "config": "c0",
+    "key": KEY,
+}
+NUM_CHUNKS = 4
+CHUNK = 2
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def store(tmp_path):
+    return StudyStore(tmp_path)
+
+
+def _checkpoint(store, worker=None):
+    return store.checkpoint(
+        FINGERPRINT, chunk_size=CHUNK, num_chunks=NUM_CHUNKS,
+        num_samples=NUM_CHUNKS * CHUNK, worker=worker,
+    )
+
+
+def _board(store, worker, ttl=10.0, clock=None):
+    return LeaseBoard(store, KEY, worker=worker, ttl=ttl,
+                      clock=clock or FakeClock())
+
+
+def _compute_into(checkpoint):
+    """A chunk compute that checkpoints a recognizable payload."""
+
+    def compute(index):
+        lo = index * CHUNK
+        checkpoint.save(index, lo, lo + CHUNK,
+                        {"value": np.full(CHUNK, float(index))})
+
+    return compute
+
+
+def _dead_pid():
+    """A pid guaranteed to be dead: a just-reaped child's."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestWorkerIds:
+    def test_default_ids_are_unique_and_valid(self):
+        ids = {default_worker_id() for _ in range(8)}
+        assert len(ids) == 8
+        for worker_id in ids:
+            assert parse_worker_id(worker_id) == worker_id
+
+    @pytest.mark.parametrize("text", ["w1", "host-3.local_9", "A", "a" * 64])
+    def test_valid_ids_round_trip(self, text):
+        assert parse_worker_id(text) == text
+
+    @pytest.mark.parametrize(
+        "text", ["", "a b", ".hidden", "-lead", "a/b", "a" * 65, "wörker"]
+    )
+    def test_invalid_ids_raise_store_error(self, text):
+        with pytest.raises(StoreError, match="invalid worker id"):
+            parse_worker_id(text)
+
+
+class TestLeaseLifecycle:
+    def test_claim_writes_an_atomic_claim_file(self, store):
+        board = _board(store, "w1")
+        lease = board.try_claim(3)
+        assert lease is not None and lease.index == 3 and not lease.stolen
+        record = json.loads(board.claim_path(3).read_text())
+        assert record["format"] == CLAIM_FORMAT
+        assert record["worker"] == "w1"
+        assert record["token"] == lease.token
+        assert record["beats"] == 0
+
+    def test_held_chunk_cannot_be_claimed(self, store):
+        _board(store, "w1").try_claim(0)
+        assert _board(store, "w2").try_claim(0) is None
+
+    def test_release_removes_own_claim_and_is_idempotent(self, store):
+        board = _board(store, "w1")
+        lease = board.try_claim(0)
+        board.release(lease)
+        assert not board.claim_path(0).exists()
+        board.release(lease)  # second release: no-op, no raise
+
+    def test_heartbeat_advances_the_claim_identity(self, store):
+        board = _board(store, "w1")
+        lease = board.try_claim(0)
+        board.heartbeat(lease)
+        record = json.loads(board.claim_path(0).read_text())
+        assert record["beats"] == 1 and record["token"] == lease.token
+
+    def test_expiry_needs_a_full_unchanged_ttl_on_the_observer_clock(
+        self, store
+    ):
+        owner = _board(store, "owner", ttl=10.0)
+        lease = owner.try_claim(0)
+        clock = FakeClock()
+        thief = _board(store, "thief", ttl=10.0, clock=clock)
+        # First sight only starts the watch -- a claim written long ago
+        # still gets a fresh TTL from this observer.
+        assert thief.try_claim(0) is None
+        clock.advance(9.0)
+        assert thief.try_claim(0) is None  # 9s unchanged: within TTL
+        owner.heartbeat(lease)
+        clock.advance(9.0)
+        assert thief.try_claim(0) is None  # identity changed: watch reset
+        clock.advance(9.0)
+        assert thief.try_claim(0) is None  # 9s since the heartbeat
+        clock.advance(2.0)
+        stolen = thief.try_claim(0)  # 11s unchanged: expired
+        assert stolen is not None and stolen.stolen
+
+    def test_release_leaves_a_stolen_claim_to_its_new_owner(self, store):
+        owner = _board(store, "owner", ttl=10.0)
+        lease = owner.try_claim(0)
+        clock = FakeClock()
+        thief = _board(store, "thief", ttl=10.0, clock=clock)
+        assert thief.try_claim(0) is None
+        clock.advance(11.0)
+        stolen = thief.try_claim(0)
+        owner.release(lease)  # token no longer matches: must not unlink
+        record = json.loads(owner.claim_path(0).read_text())
+        assert record["worker"] == "thief" and record["token"] == stolen.token
+
+    def test_dead_pid_on_this_host_expires_immediately(self, store):
+        board = _board(store, "thief", ttl=1e9)
+        ghost = {
+            "format": CLAIM_FORMAT, "index": 0, "worker": "ghost",
+            "pid": _dead_pid(), "host": board.host, "token": "gone",
+            "beats": 0, "wall_time": 0.0,
+        }
+        board.claim_path(0).write_text(json.dumps(ghost))
+        lease = board.try_claim(0)  # no TTL wait, no clock advance
+        assert lease is not None and lease.stolen
+
+    def test_foreign_host_claims_wait_out_the_ttl(self, store):
+        clock = FakeClock()
+        board = _board(store, "thief", ttl=10.0, clock=clock)
+        ghost = {
+            "format": CLAIM_FORMAT, "index": 0, "worker": "ghost",
+            "pid": _dead_pid(), "host": "somewhere-else", "token": "far",
+            "beats": 0, "wall_time": 0.0,
+        }
+        board.claim_path(0).write_text(json.dumps(ghost))
+        assert board.try_claim(0) is None  # liveness unknowable off-host
+        clock.advance(11.0)
+        lease = board.try_claim(0)
+        assert lease is not None and lease.stolen
+
+    def test_corrupt_claim_is_stolen_immediately(self, store):
+        board = _board(store, "w1")
+        board.claim_path(0).write_text("{ torn write")
+        lease = board.try_claim(0)
+        assert lease is not None and lease.stolen
+
+    def test_sustain_heartbeats_while_the_body_runs(self, store):
+        import time
+
+        board = _board(store, "w1", ttl=0.08)  # beat interval: 20ms
+        lease = board.try_claim(0)
+        with board.sustain(lease):
+            time.sleep(0.1)
+        record = json.loads(board.claim_path(0).read_text())
+        assert record["beats"] >= 1
+
+
+class TestDrainChunks:
+    def test_single_worker_drains_every_chunk(self, store):
+        checkpoint = _checkpoint(store, worker="w1")
+        report = drain_chunks(
+            checkpoint, _compute_into(checkpoint), _board(store, "w1")
+        )
+        assert report.drained
+        assert report.computed == list(range(NUM_CHUNKS))
+        assert report.stolen == [] and report.waits == 0
+        assert checkpoint.refresh() == set(range(NUM_CHUNKS))
+        assert not any(store.directory.glob("claims/*/*.claim"))
+
+    def test_max_chunks_stops_early_without_draining(self, store):
+        checkpoint = _checkpoint(store, worker="w1")
+        report = drain_chunks(
+            checkpoint, _compute_into(checkpoint), _board(store, "w1"),
+            max_chunks=2,
+        )
+        assert not report.drained
+        assert report.computed == [0, 1]
+
+    def test_two_workers_drain_disjoint_chunks(self, store):
+        first = _checkpoint(store, worker="w1")
+        drain_chunks(first, _compute_into(first), _board(store, "w1"),
+                     max_chunks=2)
+        second = _checkpoint(store, worker="w2")
+        report = drain_chunks(second, _compute_into(second),
+                              _board(store, "w2"))
+        assert report.drained and report.computed == [2, 3]
+        records = store.chunk_records(KEY)
+        assert set(records) == set(range(NUM_CHUNKS))
+        owners = {index: records[index][0]["worker"] for index in records}
+        assert owners == {0: "w1", 1: "w1", 2: "w2", 3: "w2"}
+
+    def test_drain_waits_then_steals_an_abandoned_lease(self, store):
+        _board(store, "owner").try_claim(0)  # claimed, never computed
+        clock = FakeClock()
+        sleeps = []
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            clock.advance(11.0)
+
+        checkpoint = _checkpoint(store, worker="thief")
+        report = drain_chunks(
+            checkpoint, _compute_into(checkpoint),
+            _board(store, "thief", ttl=10.0, clock=clock),
+            poll=0.5, sleep=fake_sleep,
+        )
+        assert report.drained
+        assert sorted(report.computed) == list(range(NUM_CHUNKS))
+        assert report.stolen == [0]
+        assert report.waits == len(sleeps) >= 1
+        assert all(s == 0.5 for s in sleeps)
+
+    def test_chunk_finished_during_steal_window_is_not_recomputed(self, store):
+        """A stolen lease whose chunk already landed is dropped, not rerun."""
+        rival = _checkpoint(store, worker="rival")
+        board = _board(store, "thief")
+        original = board.try_claim
+
+        def racy_claim(index):
+            lease = original(index)
+            if lease is not None and index == 0:
+                # The "previous owner" finishes right after we claim.
+                _compute_into(rival)(0)
+            return lease
+
+        board.try_claim = racy_claim
+        checkpoint = _checkpoint(store, worker="thief")
+        computed = []
+
+        def compute(index):
+            computed.append(index)
+            _compute_into(checkpoint)(index)
+
+        report = drain_chunks(checkpoint, compute, board)
+        assert report.drained
+        assert 0 not in computed and 0 not in report.computed
+        assert store.chunk_records(KEY)[0][0]["worker"] == "rival"

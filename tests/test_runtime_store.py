@@ -59,10 +59,51 @@ class TestParseShard:
     def test_valid(self, text, expected):
         assert parse_shard(text) == expected
 
-    @pytest.mark.parametrize("text", ["3/2", "0/2", "2", "a/b", "", "1/0", "-1/2"])
+    @pytest.mark.parametrize("text", [
+        "3/2", "0/2", "2", "a/b", "", "1/0", "-1/2",
+        # Every malformed spec must be the one-line StoreError, never a
+        # traceback: signs, embedded whitespace, non-ASCII digits,
+        # partial numbers -- the full CLI exit-2 contract.
+        "+1/2", "1/+2", "1.0/2", "1/2.0", "1 2/3", "1/2 3", "1//2",
+        "/2", "1/", "/", "١/٢", "1/٢", "0x1/2", "1e0/2", None,
+    ])
     def test_invalid(self, text):
         with pytest.raises(StoreError, match="invalid shard spec"):
             parse_shard(text)
+
+    @pytest.mark.parametrize("text", ["9/2", "100/4"])
+    def test_index_beyond_count_is_invalid(self, text):
+        with pytest.raises(StoreError, match="invalid shard spec"):
+            parse_shard(text)
+
+
+class TestParsePositive:
+    def test_parses_floats_and_ints(self):
+        from repro.runtime.store import parse_positive
+
+        assert parse_positive("2.5", "--ttl") == 2.5
+        assert parse_positive(" 30 ", "--ttl") == 30.0
+        assert parse_positive("3", "--max-chunks", kind=int) == 3
+
+    @pytest.mark.parametrize("text", ["nope", "", None, "1j", "0x3"])
+    def test_unparsable_values_raise(self, text):
+        from repro.runtime.store import parse_positive
+
+        with pytest.raises(StoreError, match="expected a positive"):
+            parse_positive(text, "--ttl")
+
+    @pytest.mark.parametrize("text", ["0", "-1", "-0.5"])
+    def test_non_positive_values_raise(self, text):
+        from repro.runtime.store import parse_positive
+
+        with pytest.raises(StoreError, match="must be > 0"):
+            parse_positive(text, "--poll")
+
+    def test_integer_kind_rejects_fractions(self):
+        from repro.runtime.store import parse_positive
+
+        with pytest.raises(StoreError, match="positive integer"):
+            parse_positive("1.5", "--max-chunks", kind=int)
 
 
 class TestFingerprints:
@@ -345,3 +386,111 @@ class TestPoleCheckpoints:
         assert execution.num_chunks == 3
         assert execution.chunk_size == 2
         assert any("checkpoint unit" in note for note in execution.notes)
+
+
+_SYNTHETIC_KEY = "cd" * 32
+_SYNTHETIC_FINGERPRINT = {
+    "target": "t", "samples": "s", "workload": "sweep", "config": "c",
+    "key": _SYNTHETIC_KEY,
+}
+
+
+def _worker_checkpoint(store, worker=None, lenient=False):
+    return store.checkpoint(
+        _SYNTHETIC_FINGERPRINT, chunk_size=2, num_chunks=3, num_samples=6,
+        worker=worker, lenient=lenient,
+    )
+
+
+class TestWorkerCheckpoints:
+    def test_worker_files_are_suffixed_and_single_writer(self, tmp_path):
+        store = StudyStore(tmp_path)
+        checkpoint = _worker_checkpoint(store, worker="w7")
+        checkpoint.save(1, 2, 4, {"value": np.arange(2.0)})
+        manifest = tmp_path / f"manifest-{_SYNTHETIC_KEY[:16]}.worker-w7.json"
+        assert manifest.exists()
+        assert json.loads(manifest.read_text())["worker"] == "w7"
+        chunk = tmp_path / "chunks" / _SYNTHETIC_KEY[:16] / "chunk-00001.w-w7.npz"
+        assert chunk.exists()
+        record = store.chunk_records(_SYNTHETIC_KEY)[1][0]
+        assert record["worker"] == "w7"
+        # The durable-replace protocol never leaves scratch files behind.
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_alternates_keep_every_workers_copy_in_stable_order(self, tmp_path):
+        store = StudyStore(tmp_path)
+        for worker in ("zeta", "alpha"):
+            checkpoint = _worker_checkpoint(store, worker=worker)
+            checkpoint.save(0, 0, 2, {"value": np.full(2, ord(worker[0]))})
+        records = store.chunk_records(_SYNTHETIC_KEY)[0]
+        assert [r["worker"] for r in records] == ["alpha", "zeta"]
+        # completed picks the first alternate -- deterministic, so every
+        # merger folds the same bytes regardless of who merges.
+        merged = _worker_checkpoint(store)
+        assert merged.completed[0]["worker"] == "alpha"
+
+    def test_refresh_sees_other_workers_manifests_grow(self, tmp_path):
+        store = StudyStore(tmp_path)
+        mine = _worker_checkpoint(store, worker="mine")
+        assert mine.refresh() == set()
+        other = _worker_checkpoint(store, worker="other")
+        other.save(2, 4, 6, {"value": np.zeros(2)})
+        assert mine.refresh() == {2}
+        assert mine.completed[2]["worker"] == "other"
+
+    def test_lenient_load_requeues_a_corrupt_chunk(self, tmp_path):
+        store = StudyStore(tmp_path)
+        writer = _worker_checkpoint(store, worker="w1")
+        writer.save(0, 0, 2, {"value": np.arange(2.0)})
+        (tmp_path / "chunks" / _SYNTHETIC_KEY[:16]
+         / "chunk-00000.w-w1.npz").write_bytes(b"rotten")
+        strict = _worker_checkpoint(store)
+        with pytest.raises(StoreError, match="checksum"):
+            strict.load(0)
+        lenient = _worker_checkpoint(store, lenient=True)
+        assert lenient.load(0) is None  # re-queued, not fatal
+        assert 0 not in lenient.completed
+
+    def test_lenient_load_falls_back_to_a_healthy_alternate(self, tmp_path):
+        store = StudyStore(tmp_path)
+        payload = {"value": np.arange(2.0)}
+        for worker in ("w1", "w2"):
+            _worker_checkpoint(store, worker=worker).save(0, 0, 2, payload)
+        (tmp_path / "chunks" / _SYNTHETIC_KEY[:16]
+         / "chunk-00000.w-w1.npz").write_bytes(b"rotten")
+        lenient = _worker_checkpoint(store, lenient=True)
+        loaded = lenient.load(0)
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded["value"], payload["value"])
+
+    def test_work_drains_and_merges_bit_identical(self, tmp_path, model, plan):
+        reference = _sweep(model, plan).run()
+        merged = _sweep(model, plan).store(tmp_path).work(worker="solo")
+        np.testing.assert_array_equal(merged.responses, reference.responses)
+        np.testing.assert_array_equal(merged.poles, reference.poles)
+        np.testing.assert_array_equal(merged.envelope_mean, reference.envelope_mean)
+        assert any(tmp_path.glob("manifest-*.worker-solo.json"))
+
+    def test_work_recomputes_a_corrupt_chunk_instead_of_failing(
+        self, tmp_path, model, plan
+    ):
+        """The scheduler's merge is lenient: strict resume refuses a
+        checksum mismatch, a worker re-queues and recomputes it."""
+        reference = _sweep(model, plan).run()
+        _sweep(model, plan).store(tmp_path).run()
+        chunk = sorted((tmp_path / "chunks").rglob("chunk-*.npz"))[1]
+        chunk.write_bytes(b"rotten")
+        with pytest.raises(StoreError, match="checksum"):
+            _sweep(model, plan).store(tmp_path).resume().run()
+        merged = _sweep(model, plan).store(tmp_path).work(worker="fixer")
+        np.testing.assert_array_equal(merged.responses, reference.responses)
+        np.testing.assert_array_equal(merged.envelope_mean, reference.envelope_mean)
+
+    def test_work_refuses_a_sharded_declaration(self, tmp_path, model, plan):
+        study = _sweep(model, plan).store(tmp_path).shard(0, 2)
+        with pytest.raises(ValueError, match="shard"):
+            study.work()
+
+    def test_work_requires_a_store(self, model, plan):
+        with pytest.raises(ValueError, match="store"):
+            _sweep(model, plan).work()
