@@ -2,9 +2,12 @@
 
 The ``Study`` engine is the one front door of the runtime; its value
 is routing, not speed.  This benchmark proves the front door is free:
-planning + dispatch must cost < 5% on top of calling the routed kernel
+planning + dispatch must cost < 1% on top of calling the routed kernel
 directly, on a 64-instance RCNetA Monte Carlo sweep (the acceptance
-workload of the runtime subsystem).
+workload of the runtime subsystem).  Repeat dispatch hits the
+process-global plan cache (every repetition builds a fresh ``Study``,
+exactly the Monte Carlo driver pattern), so the planner's routing work
+is paid once and amortized to a fingerprint lookup.
 
 - direct:  the internal streaming driver the engine's dense-batch
   sweep route delegates to, called with precomputed samples -- i.e.
@@ -37,7 +40,7 @@ NUM_POLES = 5
 FREQUENCIES = np.logspace(7, 10, 6 if SMOKE else 120)
 REPEATS = 3 if SMOKE else 30
 SEED = 2005
-OVERHEAD_BUDGET = 0.05
+OVERHEAD_BUDGET = 0.01
 
 
 def _interleaved_best(fn_a, fn_b, repeats):
@@ -119,7 +122,8 @@ def test_engine_dispatch_overhead(report, rcneta):
     })
 
     if not SMOKE:
-        # The front door must be free: < 5% routing overhead.
+        # The front door must be free: < 1% routing overhead on
+        # repeat dispatch (plan-cache hit path).
         assert overhead < OVERHEAD_BUDGET, (
             f"engine dispatch overhead {overhead * 100:.2f}% exceeds "
             f"{OVERHEAD_BUDGET * 100:.0f}%"

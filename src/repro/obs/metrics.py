@@ -10,6 +10,13 @@ them in place -- because call sites keep module-level references.  All
 instruments are best-effort under free threading: increments are plain
 attribute updates guarded by the GIL, which is the same contract the
 ad-hoc counters they replaced had.
+
+Counters the performance tiers move, beyond the store/cache/scheduler
+instruments: ``engine.plan_cache.hits`` / ``engine.plan_cache.misses``
+(process-global :meth:`Study.plan` memoization),
+``runtime.lowrank.ensembles`` (sweeps served by the low-rank update
+solver), and ``runtime.batch.eig_fallbacks`` (instances the response
+guard or float32 screen re-solved at full precision).
 """
 
 from __future__ import annotations

@@ -35,6 +35,13 @@ that reuse is made fast and declarative:
   :class:`StepInput` / :class:`RampInput` / :class:`PWLInput` /
   :class:`SineInput` that drive both the batched kernels and the
   scalar reference loop from one object.
+- :mod:`repro.runtime.lowrank` -- the low-rank update fast path: when
+  a model's parameter sensitivities are genuinely low-rank
+  (:func:`detect_lowrank_structure`), one nominal eigendecomposition
+  plus small Woodbury correction blocks replaces the per-instance
+  dense eigensolves of the sweep kernel
+  (:class:`LowRankEnsembleSolver`); the :class:`Study` planner routes
+  to it automatically on a flop-count comparison.
 - :mod:`repro.runtime.sparse` -- the *full-order* counterpart: every
   matrix of a variational system shares one union sparsity pattern, so
   :class:`SparsePatternFamily` instantiates whole sample batches as
@@ -95,6 +102,11 @@ from repro.runtime.engine import (
     PoleStudy,
     SensitivityStudy,
     Study,
+)
+from repro.runtime.lowrank import (
+    LowRankEnsembleSolver,
+    detect_lowrank_structure,
+    lowrank_solver,
 )
 from repro.runtime.executor import (
     ProcessExecutor,
@@ -167,6 +179,7 @@ __all__ = [
     "InputWaveform",
     "Lease",
     "LeaseBoard",
+    "LowRankEnsembleSolver",
     "ModelCache",
     "MonteCarloPlan",
     "NothingToResumeError",
@@ -202,8 +215,10 @@ __all__ = [
     "batch_transient_study",
     "default_horizon",
     "default_worker_id",
+    "detect_lowrank_structure",
     "drain_chunks",
     "executor_map_array",
+    "lowrank_solver",
     "parse_shard",
     "parse_worker_id",
     "reducer_fingerprint",

@@ -228,6 +228,28 @@ def batch_transfer(model, s: complex, samples) -> np.ndarray:
     return _transfer_from_stacks(model, g, c, s)
 
 
+def _pencil_time_scales(g: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Per-instance power-of-two ``alpha`` with ``|C|*alpha ~ |G|``.
+
+    SI-unit circuit pencils have ``|C|/|G| ~ RC ~ 1e-13``, which puts
+    ``G^{-1}C`` *below* single-precision LAPACK's safe-scaling
+    threshold (``sqrt(smallest normal)/eps ~ 9e-13``) -- float32
+    ``geev`` can silently mis-scale such matrices.  Substituting
+    ``C' = alpha*C`` moves the pencil's dynamic range to O(1);
+    eigenvalues of the scaled ``G^{-1}C'`` divided by ``alpha`` (and
+    poles of the scaled pencil times ``alpha``) recover the original
+    spectrum.  A power-of-two ``alpha`` makes both the scaling and the
+    un-scaling bit-lossless, so only the float32 screening paths use
+    it -- the float64 reference paths stay untouched.
+    """
+    g_norm = np.abs(g).max(axis=(1, 2))
+    c_norm = np.abs(c).max(axis=(1, 2))
+    with np.errstate(all="ignore"):
+        exponent = np.round(np.log2(g_norm / c_norm))
+    exponent = np.where(np.isfinite(exponent), exponent, 0.0)
+    return np.exp2(exponent)
+
+
 def _eig_response_factors(model, g: np.ndarray, c: np.ndarray):
     """Per-instance spectral factors for rational transfer evaluation.
 
@@ -240,14 +262,19 @@ def _eig_response_factors(model, g: np.ndarray, c: np.ndarray):
     so the ``O(q^3)`` factorization cost is paid once per instance
     instead of once per (instance, frequency) pair.  Returns
     ``(eigenvalues, L^T V, V^{-1} G^{-1} B)``.
+
+    Precision follows the stacks: float64 input runs the historical
+    complex128 path bit-for-bit, float32 input stays in
+    float32/complex64 throughout (the screening tier's fast pass).
     """
-    b = _dense(model.nominal.B).astype(np.complex128)
-    l_mat = _dense(model.nominal.L)
+    complex_dtype = np.result_type(g.dtype, np.complex64)
+    b = _dense(model.nominal.B).astype(complex_dtype)
+    l_mat = _dense(model.nominal.L).astype(g.dtype, copy=False)
     a = np.linalg.solve(g, c)
     eigenvalues, v = np.linalg.eig(a)
     lt_v = l_mat.T @ v
     g_inv_b = np.linalg.solve(
-        g.astype(np.complex128), np.broadcast_to(b, (g.shape[0],) + b.shape)
+        g.astype(complex_dtype), np.broadcast_to(b, (g.shape[0],) + b.shape)
     )
     w = np.linalg.solve(v, g_inv_b)
     return eigenvalues, lt_v, w
@@ -283,16 +310,68 @@ def _eig_responses(eigenvalues, lt_v, w, freqs: np.ndarray) -> np.ndarray:
     num_samples, q = eigenvalues.shape
     num_outputs = lt_v.shape[1]
     num_inputs = w.shape[2]
-    s = 2j * np.pi * freqs
+    # Stay in the factors' precision: complex128 factors keep the
+    # historical bit-identical arithmetic, complex64 factors (screening
+    # tier) must not be silently promoted by a complex128 grid.
+    complex_dtype = np.result_type(eigenvalues.dtype, np.complex64)
+    s = (2j * np.pi * freqs).astype(complex_dtype)
     if num_samples <= _GRID_MAX_SAMPLES and freqs.size >= _GRID_MIN_FREQS:
         reciprocal = 1.0 / (1.0 + s[None, :, None] * eigenvalues[:, None, :])
         residues = lt_v.transpose(0, 2, 1)[:, :, :, None] * w[:, :, None, :]
         out = reciprocal @ residues.reshape(num_samples, q, num_outputs * num_inputs)
         return out.reshape(num_samples, freqs.size, num_outputs, num_inputs)
-    out = np.empty((num_samples, freqs.size, num_outputs, num_inputs), dtype=complex)
+    out = np.empty((num_samples, freqs.size, num_outputs, num_inputs), dtype=complex_dtype)
     for j in range(freqs.size):
         out[:, j] = lt_v @ (w / (1.0 + s[j] * eigenvalues)[:, :, None])
     return out
+
+
+# The eig kernel's accuracy hinges on the conditioning of each
+# instance's eigenvector basis, which nothing upstream guarantees.  One
+# probe frequency per sweep is re-evaluated through the exact pencil
+# solve; instances whose rational responses disagree beyond the
+# tolerance are recomputed entirely via solves (counted in
+# ``runtime.batch.eig_fallbacks``).  Thresholds are strictly
+# per-instance -- no batch-global scale -- so chunked streaming flags
+# exactly what one-shot evaluation flags (the bit-determinism contract).
+_GUARD_RTOL = 1e-6
+_SCREEN_RTOL = 1e-4
+_EIG_FALLBACKS = obs_metrics.counter("runtime.batch.eig_fallbacks")
+
+
+def _solve_responses(model, g: np.ndarray, c: np.ndarray, freqs: np.ndarray) -> np.ndarray:
+    """Exact per-frequency pencil-solve responses for a (sub)stack."""
+    out = np.empty(
+        (g.shape[0], freqs.size, model.nominal.L.shape[1], model.nominal.B.shape[1]),
+        dtype=complex,
+    )
+    for j, f in enumerate(freqs):
+        out[:, j] = _transfer_from_stacks(model, g, c, 2j * np.pi * f)
+    return out
+
+
+def _response_guard_flags(
+    model, g, c, responses: np.ndarray, freqs: np.ndarray, rtol: float
+) -> np.ndarray:
+    """Per-instance accuracy flags for rational (eig-path) responses.
+
+    Compares the probe frequency (middle of the grid) against a
+    complex128 pencil solve of the same stacks.  The tolerance scales
+    with that instance's own response magnitude only, never with the
+    rest of the batch, so the flag vector is invariant to chunking.
+    Non-finite rows are always flagged.
+    """
+    probe = freqs.size // 2
+    reference = _transfer_from_stacks(model, g, c, 2j * np.pi * freqs[probe])
+    diff = np.abs(responses[:, probe] - reference).max(axis=(1, 2))
+    # Probe-local scale only: folding in the rest of the grid would let
+    # wildly wrong values at other frequencies inflate the tolerance
+    # and mask a bad probe (the ill-conditioned-basis failure mode).
+    scale = np.abs(reference).max(axis=(1, 2))
+    with np.errstate(invalid="ignore"):
+        flags = diff > rtol * scale
+    flags |= ~np.isfinite(responses).all(axis=(1, 2, 3))
+    return flags
 
 
 def batch_frequency_response(
@@ -365,7 +444,20 @@ def batch_poles(model, samples, num: Optional[int] = None) -> np.ndarray:
     call pair.  Returns a complex array of shape ``(m, k)`` where ``k``
     is ``num`` (when given) or the largest finite-pole count; rows with
     fewer finite poles are padded with ``nan``.
+
+    ``num`` is passed all the way down: when the model's sensitivities
+    are detected as low rank, the per-instance ``G_k^{-1} C_k`` solves
+    are replaced by rank-``rho`` dominant-block corrections of the
+    nominal operator (:mod:`repro.runtime.lowrank`), and the truncated
+    result is by construction the leading block of the full-ordering
+    result -- pinned by a regression test.
     """
+    # Imported lazily: repro.runtime.lowrank builds on this module.
+    from repro.runtime.lowrank import lowrank_solver
+
+    solver = lowrank_solver(model) if supports_batching(model) else None
+    if solver is not None:
+        return _poles_from_eigenvalues(solver.instance_eigenvalues(samples), num)
     g, c = batch_instantiate(model, samples)
     a = np.linalg.solve(g, c)
     return _poles_from_eigenvalues(np.linalg.eigvals(a), num)
@@ -376,7 +468,8 @@ def _sweep_study(
     frequencies: Sequence[float],
     samples,
     num_poles: Optional[int] = 5,
-) -> Tuple[np.ndarray, np.ndarray]:
+    want_poles: bool = True,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     """Frequency responses *and* dominant poles from one factorization.
 
     The canonical Monte Carlo workload evaluates both the response
@@ -384,7 +477,15 @@ def _sweep_study(
     eigendecomposition per instance serves both quantities: the
     eigenvalues give the poles, the eigenvectors give the rational form
     of ``H``.  Returns ``(responses, poles)`` with shapes
-    ``(m, n_f, m_out, m_in)`` and ``(m, num_poles)``.
+    ``(m, n_f, m_out, m_in)`` and ``(m, num_poles)``; with
+    ``want_poles=False`` the pole extraction is skipped and ``poles``
+    is ``None``.
+
+    Instances whose eigenvector basis is too ill conditioned for the
+    rational form (checked against an exact probe solve) are recomputed
+    through per-frequency pencil solves instead of silently returning
+    inaccurate responses; each fallback increments the
+    ``runtime.batch.eig_fallbacks`` counter.
 
     This is the engine-internal kernel behind the dense sweep routes of
     :class:`repro.runtime.engine.Study`; the historical public name
@@ -394,7 +495,83 @@ def _sweep_study(
     g, c = batch_instantiate(model, samples, exact=False)
     eigenvalues, lt_v, w = _eig_response_factors(model, g, c)
     responses = _eig_responses(eigenvalues, lt_v, w, freqs)
+    if freqs.size:
+        flags = _response_guard_flags(model, g, c, responses, freqs, _GUARD_RTOL)
+        if flags.any():
+            _EIG_FALLBACKS.inc(int(flags.sum()))
+            responses[flags] = _solve_responses(model, g[flags], c[flags], freqs)
+    if not want_poles:
+        return responses, None
     return responses, _poles_from_eigenvalues(eigenvalues, num_poles)
+
+
+def _screen_sweep_study(
+    model,
+    frequencies: Sequence[float],
+    samples,
+    num_poles: Optional[int] = 5,
+    want_poles: bool = True,
+) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+    """Float32 screening sweep: fast single-precision pass + re-verify.
+
+    Runs the eig sweep kernel entirely in float32/complex64 (the
+    eigendecomposition, the dominant cost, runs roughly twice as fast
+    in single precision), then checks every instance against an exact
+    complex128 probe solve.  Instances whose single-precision responses
+    disagree beyond ``_SCREEN_RTOL`` -- or are non-finite -- are
+    recomputed in full float64 precision (responses through exact
+    per-frequency solves, poles through the float64
+    eigendecomposition).
+
+    Returns ``(responses, poles, verified)`` where ``verified[k]`` is
+    ``True`` exactly when instance ``k`` was re-verified in float64;
+    unflagged instances carry screened single-precision values and
+    ``verified[k] = False``.  Flags are per-instance only, so chunked
+    streaming screens identically to one-shot evaluation.
+    """
+    freqs = np.asarray(frequencies, dtype=float)
+    g, c = batch_instantiate(model, samples, exact=False)
+    alpha = _pencil_time_scales(g, c)
+    g32 = g.astype(np.float32)
+    c32 = (c * alpha[:, None, None]).astype(np.float32)
+    eigenvalues, lt_v, w = _eig_response_factors(model, g32, c32)
+    # Scaling C scaled the eigenvalues of G^{-1}C by alpha (eigenvectors
+    # and therefore lt_v/w are unchanged); undo it losslessly here so
+    # everything downstream sees the original spectrum.
+    eigenvalues = eigenvalues / alpha[:, None].astype(eigenvalues.real.dtype)
+    responses = _eig_responses(eigenvalues, lt_v, w, freqs).astype(np.complex128)
+    if freqs.size:
+        flags = _response_guard_flags(model, g, c, responses, freqs, _SCREEN_RTOL)
+    else:
+        flags = ~np.isfinite(eigenvalues).all(axis=1)
+    poles = None
+    if want_poles:
+        poles = _poles_from_eigenvalues(eigenvalues.astype(np.complex128), num_poles)
+        flags = flags | ~np.isfinite(poles).any(axis=1)
+    if flags.any():
+        _EIG_FALLBACKS.inc(int(flags.sum()))
+        if freqs.size:
+            responses[flags] = _solve_responses(model, g[flags], c[flags], freqs)
+        if want_poles:
+            a64 = np.linalg.solve(g[flags], c[flags])
+            sub = _poles_from_eigenvalues(np.linalg.eigvals(a64), num_poles)
+            if sub.shape[1] < poles.shape[1]:
+                pad = np.full(
+                    (sub.shape[0], poles.shape[1] - sub.shape[1]),
+                    np.nan + 1j * np.nan,
+                    dtype=complex,
+                )
+                sub = np.concatenate([sub, pad], axis=1)
+            elif sub.shape[1] > poles.shape[1]:
+                grown = np.full(
+                    (poles.shape[0], sub.shape[1]),
+                    np.nan + 1j * np.nan,
+                    dtype=complex,
+                )
+                grown[:, : poles.shape[1]] = poles
+                poles = grown
+            poles[flags] = sub
+    return responses, poles, flags.copy()
 
 
 def batch_sweep_study(

@@ -90,7 +90,8 @@ ROOT_ALL_SNAPSHOT = [
 RUNTIME_ALL_SNAPSHOT = [
     "BatchTransientResult", "CornerPlan", "DrainReport", "ExecutionPlan",
     "GridPlan",
-    "InputWaveform", "Lease", "LeaseBoard", "ModelCache", "MonteCarloPlan",
+    "InputWaveform", "Lease", "LeaseBoard", "LowRankEnsembleSolver",
+    "ModelCache", "MonteCarloPlan",
     "NothingToResumeError", "PWLInput",
     "PoleStudy", "ProcessExecutor", "RampInput", "ScenarioPlan",
     "ScenarioSweep", "SensitivityStudy", "SerialExecutor",
@@ -102,8 +103,9 @@ RUNTIME_ALL_SNAPSHOT = [
     "batch_instantiate", "batch_poles", "batch_simulate_transient",
     "batch_step_responses", "batch_sweep_study", "batch_transfer",
     "batch_transfer_sensitivities", "batch_transient_study",
-    "default_horizon", "default_worker_id", "drain_chunks",
-    "executor_map_array", "parse_shard",
+    "default_horizon", "default_worker_id", "detect_lowrank_structure",
+    "drain_chunks",
+    "executor_map_array", "lowrank_solver", "parse_shard",
     "parse_worker_id", "reducer_fingerprint",
     "resolve_executor", "resolve_owned_executor",
     "run_frequency_scenarios",
