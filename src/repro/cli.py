@@ -15,6 +15,9 @@ python -m repro batch      netlist.sp --chunk 8 --store run1 --resume
 python -m repro batch      netlist.sp --chunk 8 --trace run1.trace --progress
 python -m repro work batch netlist.sp --chunk 8 --store run1 --worker-id w1
 python -m repro trace summarize run1.trace
+python -m repro serve run1 --port 8787 --memory-budget 100000000
+python -m repro submit http://127.0.0.1:8787 job.json --watch
+python -m repro jobs http://127.0.0.1:8787
 ```
 
 The ``info``/``reduce``/``sweep``/``poles`` commands operate on plain
@@ -54,6 +57,12 @@ sparse full models through the shared-pattern runtime.  ``transient``
 simulates the whole scenario ensemble through the batched time-domain
 kernels and prints the waveform envelope plus a threshold-delay
 summary.
+``serve`` runs the :mod:`repro.serve` study service over a store;
+``submit`` posts a JSON job document (the same declaration schema as
+the study commands, fully defaulted) and prints the canonical result
+bytes, and ``jobs`` lists a service's jobs.  An identical
+re-submission -- even from a different client -- is served from the
+content-addressed result index without recomputation.
 """
 
 from __future__ import annotations
@@ -241,18 +250,12 @@ def _cmd_montecarlo(args) -> int:
 
 
 def _make_plan(args):
-    from repro.runtime import CornerPlan, GridPlan, MonteCarloPlan
+    from repro.serve.protocol import build_plan
 
-    if args.plan == "montecarlo":
-        return MonteCarloPlan(
-            num_instances=args.instances, three_sigma=args.sigma, seed=args.seed
-        )
-    if args.plan == "corners":
-        return CornerPlan(magnitude=args.magnitude)
-    if args.plan == "grid":
-        axis = np.linspace(-args.magnitude, args.magnitude, args.grid_points)
-        return GridPlan(axis_values=tuple(axis))
-    raise ValueError(f"unknown plan {args.plan!r}")
+    return build_plan(
+        args.plan, instances=args.instances, sigma=args.sigma,
+        seed=args.seed, magnitude=args.magnitude, points=args.grid_points,
+    )
 
 
 def _apply_chunking(study, args):
@@ -379,21 +382,13 @@ def _parse_pwl(text: str):
 
 def _make_waveform(args):
     """Realize the ``--waveform`` options as an InputWaveform plan."""
-    from repro.runtime import PWLInput, RampInput, SineInput, StepInput
+    from repro.serve.protocol import build_waveform
 
-    if args.waveform == "step":
-        return StepInput(amplitude=args.amplitude, input_index=args.input)
-    if args.waveform == "ramp":
-        return RampInput(
-            rise_time=args.rise_time, amplitude=args.amplitude, input_index=args.input
-        )
-    if args.waveform == "sine":
-        return SineInput(
-            frequency=args.frequency, amplitude=args.amplitude, input_index=args.input
-        )
-    if args.waveform == "pwl":
-        return PWLInput(points=_parse_pwl(args.pwl), input_index=args.input)
-    raise ValueError(f"unknown waveform {args.waveform!r}")
+    return build_waveform(
+        args.waveform, amplitude=args.amplitude, rise_time=args.rise_time,
+        frequency=args.frequency, points=_parse_pwl(args.pwl),
+        input_index=args.input,
+    )
 
 
 def _build_transient_engine(args):
@@ -503,11 +498,19 @@ def _work_options(args):
     return ttl, poll, worker, max_chunks
 
 
-def _print_drain_report(engine, worker) -> None:
+#: Exit status for a worker that contributed chunks but left before the
+#: study drained (``--max-chunks``).  Distinct from success (0) and the
+#: declaration/store error codes (1/2) so orchestration scripts can
+#: tell "done, result printed" from "partial shift, relaunch me".
+EXIT_WORK_INCOMPLETE = 3
+
+
+def _print_drain_report(engine, worker, drained: bool) -> None:
     """One ``# worker:`` line summarizing what this process drained."""
     report = engine.drain_report()
     print(f"# worker: {worker or 'auto'}  computed: {len(report.computed)} "
-          f"chunk(s)  stolen: {len(report.stolen)}  waits: {report.waits}")
+          f"chunk(s)  stolen: {len(report.stolen)}  waits: {report.waits}  "
+          f"drained: {'yes' if drained else 'no'}")
 
 
 def _cmd_work_batch(args) -> int:
@@ -516,11 +519,11 @@ def _cmd_work_batch(args) -> int:
     engine = engine.store(args.store)
     execution = engine.plan()
     study = engine.work(ttl=ttl, poll=poll, worker=worker, max_chunks=max_chunks)
-    _print_drain_report(engine, worker)
+    _print_drain_report(engine, worker, drained=study is not None)
     if study is None:
         print("# stopped at --max-chunks before the study drained; "
-              "no merged result")
-        return 0
+              "contributed and exited -- no merged result")
+        return EXIT_WORK_INCOMPLETE
     return _print_batch_study(args, model, plan, frequencies, execution, study)
 
 
@@ -530,11 +533,11 @@ def _cmd_work_transient(args) -> int:
     engine = engine.store(args.store)
     execution = engine.plan()
     study = engine.work(ttl=ttl, poll=poll, worker=worker, max_chunks=max_chunks)
-    _print_drain_report(engine, worker)
+    _print_drain_report(engine, worker, drained=study is not None)
     if study is None:
         print("# stopped at --max-chunks before the study drained; "
-              "no merged result")
-        return 0
+              "contributed and exited -- no merged result")
+        return EXIT_WORK_INCOMPLETE
     return _print_transient_study(args, model, plan, waveform, execution, study)
 
 
@@ -572,6 +575,79 @@ def _cmd_trace_summarize(args) -> int:
     for path in args.trace_file:
         records.extend(read_trace(path))
     print(summarize_trace(records))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.runtime.cache import ModelCache
+    from repro.serve.server import run as serve_run
+
+    cache = ModelCache(args.cache) if args.cache else None
+    serve_run(
+        args.store, host=args.host, port=args.port,
+        memory_budget=args.memory_budget, pool_size=args.pool_size,
+        model_cache=cache, ttl=args.ttl, poll=args.poll,
+    )
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.serve.client import ServeClient, ServeClientError
+
+    if args.jobfile == "-":
+        payload = sys.stdin.read()
+    else:
+        with open(args.jobfile) as handle:
+            payload = handle.read()
+    client = ServeClient(args.url, timeout=args.timeout)
+    try:
+        job = client.submit(json.loads(payload))
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.status == 413 and "peak_bytes" in exc.body:
+            print(f"# planned peak: {exc.body['peak_bytes']} bytes  "
+                  f"budget: {exc.body['memory_budget']} bytes",
+                  file=sys.stderr)
+        return 1
+    print(f"# job: {job['id']}  state: {job['state']}  "
+          f"cached: {'yes' if job['cached'] else 'no'}", file=sys.stderr)
+    if args.no_wait:
+        print(json.dumps(job, sort_keys=True, indent=1))
+        return 0
+    if args.watch and not job["cached"]:
+        for event in client.events(job["id"]):
+            print(json.dumps(event, sort_keys=True), file=sys.stderr)
+    final = client.wait(job["id"], timeout=args.timeout)
+    if final["state"] != "done":
+        print(f"error: job {job['id']} {final['state']}: {final['error']}",
+              file=sys.stderr)
+        return 1
+    sys.stdout.write(client.result_bytes(job["id"]).decode())
+    sys.stdout.write("\n")
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    import json
+
+    from repro.serve.client import ServeClient, ServeClientError
+
+    client = ServeClient(args.url)
+    try:
+        if args.job:
+            print(json.dumps(client.job(args.job), sort_keys=True, indent=1))
+        else:
+            jobs = client.jobs()
+            for job in jobs:
+                cached = " (cached)" if job["cached"] else ""
+                print(f"{job['id']}  {job['state']}{cached}")
+            if not jobs:
+                print("# no jobs")
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -846,6 +922,64 @@ def build_parser() -> argparse.ArgumentParser:
     _add_montecarlo_arguments(work_mc)
     _add_work_arguments(work_mc, max_chunks=False)
     work_mc.set_defaults(func=_cmd_work_montecarlo)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run the async study service (HTTP job queue over a store)",
+        description="Serve studies over HTTP: POST job documents to "
+                    "/jobs, stream NDJSON progress from /jobs/{id}/events, "
+                    "fetch canonical result bytes from /jobs/{id}/result. "
+                    "Jobs are admitted against --memory-budget using the "
+                    "plan's peak-bytes estimate and content-addressed by "
+                    "study fingerprint: an identical re-submission is "
+                    "served from the store without recomputation.",
+    )
+    serve_cmd.add_argument("store", metavar="DIR",
+                           help="study store directory (checkpoints, "
+                                "manifests, and the result index)")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8787,
+                           help="listen port (0 picks an ephemeral port)")
+    serve_cmd.add_argument("--memory-budget", type=int, default=None,
+                           help="admission bound in bytes: jobs whose "
+                                "planned peak exceeds this are rejected "
+                                "with the estimate in the error body")
+    serve_cmd.add_argument("--pool-size", type=int, default=2,
+                           help="worker threads draining the job queue")
+    serve_cmd.add_argument("--cache", default=None, metavar="DIR",
+                           help="content-addressed macromodel cache "
+                                "shared across submissions")
+    serve_cmd.add_argument("--ttl", type=float, default=30.0,
+                           help="chunk lease time-to-live for multi-worker "
+                                "jobs (seconds)")
+    serve_cmd.add_argument("--poll", type=float, default=0.05,
+                           help="lease re-scan interval (seconds)")
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    submit_cmd = commands.add_parser(
+        "submit", help="submit a job document to a study service"
+    )
+    submit_cmd.add_argument("url", help="service base URL, e.g. "
+                                        "http://127.0.0.1:8787")
+    submit_cmd.add_argument("jobfile",
+                            help="JSON job document ('-' reads stdin)")
+    submit_cmd.add_argument("--watch", action="store_true",
+                            help="stream NDJSON progress events to stderr "
+                                 "while the job runs")
+    submit_cmd.add_argument("--no-wait", action="store_true",
+                            help="print the job status document and exit "
+                                 "without waiting for the result")
+    submit_cmd.add_argument("--timeout", type=float, default=600.0,
+                            help="seconds to wait for completion")
+    submit_cmd.set_defaults(func=_cmd_submit)
+
+    jobs_cmd = commands.add_parser(
+        "jobs", help="list a study service's jobs (or one job's status)"
+    )
+    jobs_cmd.add_argument("url", help="service base URL")
+    jobs_cmd.add_argument("--job", default=None, metavar="ID",
+                          help="print one job's full status document")
+    jobs_cmd.set_defaults(func=_cmd_jobs)
 
     trace_cmd = commands.add_parser(
         "trace", help="inspect JSONL trace files (repro-trace/v1)"

@@ -11,7 +11,10 @@ into:
 - :mod:`repro.obs.export`   -- JSONL trace files, ``repro trace
   summarize`` reports, and per-chunk lineage merging;
 - :mod:`repro.obs.progress` -- a uniform progress line driven by
-  ``study.chunk`` span events.
+  ``study.chunk`` span events;
+- :mod:`repro.obs.bridge`   -- a span→event sink that feeds chunk and
+  checkpoint spans to consumer callbacks (the NDJSON progress streams
+  of :mod:`repro.serve`).
 
 Tracing is off until a sink is installed -- the instrumented hot paths
 then cost one truthiness check (enforced by
@@ -42,6 +45,7 @@ from repro.obs.metrics import (
     histogram,
     registry,
 )
+from repro.obs.bridge import SpanEventBridge
 from repro.obs.progress import ProgressReporter
 from repro.obs.trace import (
     MemorySink,
@@ -63,6 +67,7 @@ __all__ = [
     "MemorySink",
     "MetricsRegistry",
     "ProgressReporter",
+    "SpanEventBridge",
     "TRACE_FORMAT",
     "add_sink",
     "annotate",

@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import functools
 import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -115,8 +116,13 @@ ProgressCallback = Callable[[int, int], None]
 # of building a fresh Study per batch -- becomes a dict hit instead of
 # re-hashing and re-routing; the ``engine.plan_cache.*`` counters make
 # the behaviour observable.  ExecutionPlan is frozen, so sharing one
-# instance across studies is safe.
+# instance across studies is safe.  Server worker threads plan
+# concurrently, so every read-modify-write of the OrderedDict happens
+# under _PLAN_CACHE_LOCK; plan *construction* stays outside the lock
+# (it can run reductions), accepting an occasional duplicate build
+# over holding the lock through LAPACK calls.
 _PLAN_CACHE: "OrderedDict[tuple, ExecutionPlan]" = OrderedDict()
+_PLAN_CACHE_LOCK = threading.Lock()
 _PLAN_CACHE_LIMIT = 512
 _PLAN_CACHE_HITS = obs_metrics.counter("engine.plan_cache.hits")
 _PLAN_CACHE_MISSES = obs_metrics.counter("engine.plan_cache.misses")
@@ -836,22 +842,24 @@ class Study:
             return self._plan_cache
         key = self._plan_cache_key()
         if key is not None:
-            cached = _PLAN_CACHE.get(key)
-            if cached is not None:
-                _PLAN_CACHE_HITS.inc()
-                _PLAN_CACHE.move_to_end(key)
-                self._plan_cache = cached
-                return cached
-            _PLAN_CACHE_MISSES.inc()
+            with _PLAN_CACHE_LOCK:
+                cached = _PLAN_CACHE.get(key)
+                if cached is not None:
+                    _PLAN_CACHE_HITS.inc()
+                    _PLAN_CACHE.move_to_end(key)
+                    self._plan_cache = cached
+                    return cached
+                _PLAN_CACHE_MISSES.inc()
         with obs_trace.span("study.plan") as plan_span:
             self._plan_cache = self._build_plan()
             plan_span.set(
                 route=self._plan_cache.route, kernel=self._plan_cache.kernel
             )
         if key is not None:
-            _PLAN_CACHE[key] = self._plan_cache
-            while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
-                _PLAN_CACHE.popitem(last=False)
+            with _PLAN_CACHE_LOCK:
+                _PLAN_CACHE[key] = self._plan_cache
+                while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
+                    _PLAN_CACHE.popitem(last=False)
         return self._plan_cache
 
     def _plan_cache_key(self) -> Optional[tuple]:
@@ -1309,6 +1317,24 @@ class Study:
         """The :class:`~repro.runtime.scheduler.DrainReport` of the most
         recent :meth:`work` call (``None`` before the first)."""
         return self._last_drain
+
+    def fingerprint(self) -> dict:
+        """The study's durable content fingerprint, without running it.
+
+        The same :func:`~repro.runtime.store.study_fingerprint` record
+        :meth:`run` and :meth:`work` key their manifests by -- target
+        content hash, sample-matrix hash, workload name, canonical
+        config -- plus the combined ``key``.  Servers use this for
+        content-addressed result lookup (an identical declaration from
+        a different client lands on the same key) and clients use it to
+        re-verify what a server computed.  Only durable workloads have
+        a fingerprint; ``sensitivities`` raises ``ValueError``.
+        """
+        plan = self.plan()
+        target = self._resolve_target()
+        samples = self._samples()
+        config = self._workload_config(plan.workload, target)
+        return study_fingerprint(target, plan.workload, samples, config)
 
     def _chunk_compute(self, plan: ExecutionPlan, target, samples, checkpoint):
         """``(compute, cleanup)`` for the work-stealing drain loop.

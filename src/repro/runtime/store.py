@@ -377,6 +377,45 @@ class StudyStore:
             for index, alternates in self.chunk_records(key).items()
         }
 
+    def study_complete(self, key: str) -> bool:
+        """Whether every chunk of study ``key`` is checkpointed here.
+
+        The content-addressed result lookup the serving layer leans on:
+        a study whose manifests (across all shards and workers) cover
+        the full chunk grid can be merged without recomputing anything,
+        so an identical re-submission is answerable from the store.
+        ``False`` when no manifest exists yet.
+        """
+        manifests = self.load_manifests(key)
+        if not manifests:
+            return False
+        num_chunks = manifests[0].get("layout", {}).get("num_chunks")
+        if not isinstance(num_chunks, int):
+            return False
+        return len(self.completed_chunks(key)) >= num_chunks
+
+    def lineage(self, key: str) -> List[dict]:
+        """Per-chunk provenance records for study ``key``, chunk order.
+
+        One record per completed chunk -- ``{"index", "lo", "hi",
+        "sha256", "file", "worker"}`` -- drawn from the first (winning)
+        alternate of each chunk, which is exactly the copy a merge
+        loads first.  This is the PCN-style lineage a served result
+        carries so clients can independently re-verify the bytes behind
+        every row.
+        """
+        return [
+            {
+                "index": index,
+                "lo": record["lo"],
+                "hi": record["hi"],
+                "sha256": record["sha256"],
+                "file": record["file"],
+                "worker": record.get("worker"),
+            }
+            for index, record in sorted(self.completed_chunks(key).items())
+        ]
+
     def checkpoint(
         self,
         fingerprint: Dict[str, str],

@@ -1,0 +1,54 @@
+"""repro.serve -- an async study service in front of the Study engine.
+
+Pure stdlib (asyncio + http): clients POST a job document -- netlist,
+scenario plan, and workload in the same declaration schema the CLI
+builders use -- and get back a job id.  A supervisor admits jobs
+against a configurable memory budget using each plan's
+``estimated_peak_bytes``, a pool of worker threads drains the queue
+through the shared :class:`~repro.runtime.store.StudyStore`, and
+results are content-addressed by study fingerprint: re-submitting an
+identical study (even from a different client) is served byte-identical
+from the result index without recomputation.  Progress streams as
+NDJSON events bridged from ``repro.obs`` chunk spans.
+
+Pieces:
+
+- :mod:`repro.serve.protocol` -- job schema, validation, realization
+- :mod:`repro.serve.jobs` -- job records, lifecycle, event logs
+- :mod:`repro.serve.supervisor` -- admission, queue, worker pool,
+  result rendering and the content-addressed result index
+- :mod:`repro.serve.server` -- the asyncio HTTP front end
+- :mod:`repro.serve.client` -- thin ``http.client`` client
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.jobs import Job, JobRegistry
+from repro.serve.protocol import (
+    JobSpec,
+    ProtocolError,
+    RealizedJob,
+    build_plan,
+    build_waveform,
+    parse_job,
+    realize,
+)
+from repro.serve.server import StudyServer, run
+from repro.serve.supervisor import AdmissionError, StudySupervisor
+
+__all__ = [
+    "AdmissionError",
+    "Job",
+    "JobRegistry",
+    "JobSpec",
+    "ProtocolError",
+    "RealizedJob",
+    "ServeClient",
+    "ServeClientError",
+    "StudyServer",
+    "StudySupervisor",
+    "build_plan",
+    "build_waveform",
+    "parse_job",
+    "realize",
+    "run",
+]

@@ -1,0 +1,166 @@
+"""Thin stdlib client for the study service.
+
+``http.client`` only -- usable from scripts, tests, and the ``repro
+submit`` / ``repro jobs`` CLI commands without any dependency beyond
+the standard library.  Every method raises :class:`ServeClientError`
+with the server's one-line diagnostic on a non-2xx response, carrying
+the HTTP status on ``.status`` (and, for admission rejections, the
+server's error document on ``.body``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Iterator, Optional
+from urllib.parse import urlsplit
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """A non-2xx response from the study service."""
+
+    def __init__(self, status: int, message: str, body: Optional[dict] = None):
+        self.status = status
+        self.body = body or {}
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServeClient:
+    """Client for one study-service base URL (e.g. ``http://host:8787``)."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0):
+        parts = urlsplit(base_url if "//" in base_url
+                         else f"http://{base_url}")
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parts.scheme!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[bytes] = None):
+        connection = HTTPConnection(self.host, self.port,
+                                    timeout=self.timeout)
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        return connection, connection.getresponse()
+
+    def _json(self, method: str, path: str, body: Optional[bytes] = None,
+              ok=(200, 202)):
+        connection, response = self._request(method, path, body)
+        try:
+            data = response.read()
+        finally:
+            connection.close()
+        try:
+            document = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            document = {"error": data.decode("utf-8", errors="replace")}
+        if response.status not in ok:
+            raise ServeClientError(
+                response.status,
+                document.get("error", "request failed"),
+                body=document,
+            )
+        return response.status, document
+
+    # -- API -----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """The service document (store path, budget, job count)."""
+        return self._json("GET", "/healthz")[1]
+
+    def metrics(self) -> dict:
+        """The server's metrics-registry snapshot."""
+        return self._json("GET", "/metrics")[1]
+
+    def submit(self, job) -> dict:
+        """Submit a job document (dict or JSON text).
+
+        Returns the job's status document; ``cached`` is ``True`` when
+        the response was served from the content-addressed result index
+        (the job is already ``done``).  Admission rejections raise
+        :class:`ServeClientError` with ``status == 413`` and the
+        ``peak_bytes`` estimate in ``.body``.
+        """
+        data = job if isinstance(job, (bytes, bytearray)) else json.dumps(
+            job if isinstance(job, dict) else json.loads(job)
+        ).encode()
+        return self._json("POST", "/jobs", body=data)[1]["job"]
+
+    def jobs(self) -> list:
+        """Status documents for every job the server knows."""
+        return self._json("GET", "/jobs")[1]["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """One job's status document."""
+        return self._json("GET", f"/jobs/{job_id}")[1]["job"]
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The canonical result document, byte-exact.
+
+        The bytes are what the server persisted in its result index --
+        identical for every client that submits the same study.
+        """
+        connection, response = self._request(
+            "GET", f"/jobs/{job_id}/result"
+        )
+        try:
+            data = response.read()
+        finally:
+            connection.close()
+        if response.status != 200:
+            try:
+                document = json.loads(data)
+            except json.JSONDecodeError:
+                document = {}
+            raise ServeClientError(
+                response.status, document.get("error", "no result"),
+                body=document,
+            )
+        return data
+
+    def result(self, job_id: str) -> dict:
+        """The parsed result document (see :meth:`result_bytes`)."""
+        return json.loads(self.result_bytes(job_id))
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Follow the job's NDJSON progress stream until it ends."""
+        connection, response = self._request(
+            "GET", f"/jobs/{job_id}/events"
+        )
+        try:
+            if response.status != 200:
+                data = response.read()
+                try:
+                    document = json.loads(data)
+                except json.JSONDecodeError:
+                    document = {}
+                raise ServeClientError(
+                    response.status, document.get("error", "no stream"),
+                    body=document,
+                )
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll: float = 0.1) -> dict:
+        """Poll until the job reaches a final state; return its status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed", "rejected"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout}s"
+                )
+            time.sleep(poll)

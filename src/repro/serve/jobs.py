@@ -1,0 +1,176 @@
+"""Job records and the registry the service front ends share.
+
+A :class:`Job` is the unit of bookkeeping between submission and
+response: lifecycle state, the study fingerprints it is content-
+addressed by, the admission figure, an append-only event log fed by the
+:class:`~repro.obs.bridge.SpanEventBridge`, and -- once finished -- the
+rendered result bytes.  All mutation goes through the job's lock, so
+supervisor worker threads and asyncio readers never race.
+
+Lifecycle::
+
+    queued -> running -> done
+                      -> failed
+    (rejected)                    # never enqueued: admission or protocol
+
+``cached`` jobs jump straight to ``done`` at submission time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+__all__ = ["Job", "JobRegistry", "STATES"]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+REJECTED = "rejected"
+STATES = (QUEUED, RUNNING, DONE, FAILED, REJECTED)
+TERMINAL = (DONE, FAILED, REJECTED)
+
+#: Per-job event-log bound: enough for tens of thousands of chunk
+#: completions; beyond it the oldest events drop and ``events_dropped``
+#: counts them, so a runaway study cannot exhaust server memory.
+MAX_EVENTS = 10_000
+
+
+class Job:
+    """One submitted study job and everything a client may ask about it."""
+
+    def __init__(self, job_id: str, key: str, spec: dict,
+                 study_keys: Optional[List[str]] = None,
+                 fingerprints: Optional[List[dict]] = None,
+                 peak_bytes: Optional[int] = None,
+                 workers: int = 1):
+        self.id = job_id
+        self.key = key
+        self.spec = spec
+        self.study_keys = list(study_keys or [])
+        self.fingerprints = list(fingerprints or [])
+        self.peak_bytes = peak_bytes
+        self.workers = workers
+        self.state = QUEUED
+        self.cached = False
+        self.error: Optional[str] = None
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.result_bytes: Optional[bytes] = None
+        self.events: List[dict] = []
+        self.events_dropped = 0
+        self._event_base = 0  # index of events[0] in the full log
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self.state = RUNNING
+            self.started = time.time()
+        self.add_event({"event": "job.state", "state": RUNNING})
+
+    def mark_done(self, result_bytes: bytes, cached: bool = False) -> None:
+        with self._lock:
+            self.result_bytes = result_bytes
+            self.cached = cached
+            self.state = DONE
+            self.finished = time.time()
+        self.add_event({"event": "job.state", "state": DONE,
+                        "cached": cached})
+
+    def mark_failed(self, error: str) -> None:
+        with self._lock:
+            self.error = error
+            self.state = FAILED
+            self.finished = time.time()
+        self.add_event({"event": "job.state", "state": FAILED,
+                        "error": error})
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job has reached a final state."""
+        return self.state in TERMINAL
+
+    # -- event log -----------------------------------------------------
+
+    def add_event(self, event: dict) -> None:
+        """Append one event (bridge callback and lifecycle marks)."""
+        with self._lock:
+            self.events.append({"job": self.id, **event})
+            overflow = len(self.events) - MAX_EVENTS
+            if overflow > 0:
+                del self.events[:overflow]
+                self._event_base += overflow
+                self.events_dropped += overflow
+
+    def events_since(self, cursor: int):
+        """``(events, next_cursor)`` for the log tail past ``cursor``.
+
+        ``cursor`` counts over the *full* log, so a reader that fell
+        behind a trimmed window silently skips the dropped range
+        instead of re-reading trimmed-in-place entries.
+        """
+        with self._lock:
+            offset = max(cursor - self._event_base, 0)
+            tail = list(self.events[offset:])
+            return tail, self._event_base + len(self.events)
+
+    # -- views ---------------------------------------------------------
+
+    def describe(self) -> dict:
+        """The status document ``GET /jobs/{id}`` returns."""
+        with self._lock:
+            return {
+                "id": self.id,
+                "key": self.key,
+                "state": self.state,
+                "cached": self.cached,
+                "error": self.error,
+                "created": self.created,
+                "started": self.started,
+                "finished": self.finished,
+                "peak_bytes": self.peak_bytes,
+                "workers": self.workers,
+                "study_keys": list(self.study_keys),
+                "fingerprints": list(self.fingerprints),
+                "events": self._event_base + len(self.events),
+                "events_dropped": self.events_dropped,
+            }
+
+
+class JobRegistry:
+    """Thread-safe id->Job map with stable submission order."""
+
+    def __init__(self):
+        self._jobs = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    def new_id(self, key: str) -> str:
+        """A fresh job id: submission ordinal + content-key prefix."""
+        with self._lock:
+            self._counter += 1
+            return f"job-{self._counter:06d}-{key[:8]}"
+
+    def add(self, job: Job) -> Job:
+        with self._lock:
+            self._jobs[job.id] = job
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list(self) -> List[dict]:
+        """Status documents for every known job, submission order."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        return [job.describe() for job in jobs]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

@@ -1,0 +1,459 @@
+"""Admission, queueing, and the worker pool behind the study service.
+
+The supervisor is the synchronous core the asyncio front end
+(:mod:`repro.serve.server`) delegates to:
+
+- :meth:`StudySupervisor.submit` parses and realizes a declaration,
+  admits it against the configured memory budget using the plan's
+  ``estimated_peak_bytes``, and either rejects it, serves it from the
+  content-addressed result index, or enqueues it;
+- a pool of worker threads drains the queue, running each job through
+  ``Study.store()`` (one worker) or a cooperating group of
+  ``Study.work()`` drains (``workers > 1`` in the declaration) against
+  the shared :class:`~repro.runtime.store.StudyStore`;
+- every finished job's response document is rendered to canonical JSON
+  bytes and persisted under ``<store>/results/``, so an identical
+  re-submission -- same netlist, plan, workload, from any client -- is
+  served byte-identically with zero recomputation, carrying the same
+  study fingerprints and per-chunk SHA-256 lineage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import queue
+import threading
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.obs import SpanEventBridge
+from repro.obs import metrics as obs_metrics
+from repro.runtime import ModelCache, StudyStore
+from repro.serve.jobs import Job, JobRegistry
+from repro.serve.protocol import ProtocolError, RealizedJob, parse_job, realize
+
+__all__ = ["AdmissionError", "StudySupervisor"]
+
+_SUBMITTED = obs_metrics.counter("serve.jobs_submitted")
+_CACHED = obs_metrics.counter("serve.jobs_cached")
+_REJECTED = obs_metrics.counter("serve.jobs_rejected")
+_COMPLETED = obs_metrics.counter("serve.jobs_completed")
+_FAILED = obs_metrics.counter("serve.jobs_failed")
+
+
+class AdmissionError(RuntimeError):
+    """A job whose planned peak memory exceeds the configured budget.
+
+    Carries the numbers the error body must surface: the plan's
+    ``estimated_peak_bytes`` and the budget it failed against.
+    """
+
+    def __init__(self, peak_bytes: int, budget: int):
+        self.peak_bytes = int(peak_bytes)
+        self.budget = int(budget)
+        super().__init__(
+            f"job rejected at admission: planned peak "
+            f"{self.peak_bytes} bytes exceeds the server memory budget "
+            f"{self.budget} bytes (shrink the study or raise --memory-budget)"
+        )
+
+
+class StudySupervisor:
+    """Job queue + admission control + worker pool over one StudyStore.
+
+    Parameters
+    ----------
+    store:
+        Directory or :class:`~repro.runtime.store.StudyStore` every job
+        checkpoints through (and the content-addressed result index
+        lives under ``<store>/results/``).
+    memory_budget:
+        Optional admission bound in bytes: a job whose worst study plan
+        estimates a higher peak is rejected up front with the estimate
+        in the error.  ``None`` admits everything.
+    pool_size:
+        Worker threads draining the queue (jobs run concurrently up to
+        this count; each job may additionally declare ``workers`` > 1
+        to co-drain its own chunks).
+    model_cache:
+        Optional directory or :class:`~repro.runtime.ModelCache` for
+        the reduction step; bounded caches
+        (``ModelCache(..., max_entries=...)``) are recommended for
+        long-running services.
+    ttl, poll:
+        Lease scheduler knobs for multi-worker jobs (see
+        :meth:`~repro.runtime.engine.Study.work`).
+    """
+
+    def __init__(self, store, memory_budget: Optional[int] = None,
+                 pool_size: int = 2, model_cache=None,
+                 ttl: float = 30.0, poll: float = 0.05):
+        self.store = store if isinstance(store, StudyStore) else \
+            StudyStore(store)
+        self.memory_budget = memory_budget
+        self.pool_size = max(int(pool_size), 1)
+        if model_cache is None or isinstance(model_cache, ModelCache):
+            self.model_cache = model_cache
+        else:
+            self.model_cache = ModelCache(model_cache)
+        self.ttl = ttl
+        self.poll = poll
+        self.registry = JobRegistry()
+        self.results_dir = self.store.directory / "results"
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._threads = []
+        self._started = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "StudySupervisor":
+        """Start the worker pool (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            for i in range(self.pool_size):
+                thread = threading.Thread(
+                    target=self._worker_loop, name=f"serve-worker-{i}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool after in-flight jobs finish."""
+        with self._lock:
+            if not self._started:
+                return
+            threads, self._threads = self._threads, []
+            self._started = False
+        for _ in threads:
+            self._queue.put(None)
+        if wait:
+            for thread in threads:
+                thread.join()
+
+    # -- submission ----------------------------------------------------
+
+    def job_key(self, realized: RealizedJob) -> str:
+        """Content key of a job: its study keys + rendering options.
+
+        The study fingerprints cover the netlist, samples, and workload
+        physics; the workload options additionally pin the rendering
+        knobs (which output/input the envelope reads, histogram bins)
+        so two jobs are byte-compatible iff their responses are.
+        """
+        record = {
+            "study_keys": realized.study_keys,
+            "workload": {
+                "kind": realized.spec.workload_kind,
+                **realized.spec.workload_options,
+            },
+        }
+        return hashlib.sha256(
+            json.dumps(record, sort_keys=True, default=repr).encode()
+        ).hexdigest()
+
+    def result_path(self, key: str) -> Path:
+        """Canonical result-index location for job content key ``key``."""
+        return self.results_dir / f"result-{key[:16]}.json"
+
+    def submit(self, payload) -> Job:
+        """Parse, realize, admit, and route one job document.
+
+        Returns the :class:`~repro.serve.jobs.Job` in one of three
+        states: ``done`` (served from the result index), ``queued``
+        (admitted and enqueued), or ``rejected`` (admission failure --
+        the job's ``error`` carries the peak-bytes estimate).  Protocol
+        errors raise :class:`~repro.serve.protocol.ProtocolError`
+        before any job is registered.
+        """
+        spec = parse_job(payload)
+        realized = realize(spec, self.model_cache)
+        key = self.job_key(realized)
+        job = Job(
+            self.registry.new_id(key), key, spec.canonical(),
+            study_keys=realized.study_keys,
+            fingerprints=realized.fingerprints,
+            peak_bytes=realized.peak_bytes,
+            workers=spec.workers,
+        )
+        _SUBMITTED.inc()
+
+        if self.memory_budget is not None \
+                and realized.peak_bytes > self.memory_budget:
+            error = AdmissionError(realized.peak_bytes, self.memory_budget)
+            job.state = "rejected"
+            job.error = str(error)
+            self.registry.add(job)
+            _REJECTED.inc()
+            return job
+
+        cached = self._load_result(key)
+        if cached is not None:
+            self.registry.add(job)
+            job.mark_done(cached, cached=True)
+            _CACHED.inc()
+            return job
+
+        job._realized = realized
+        self.registry.add(job)
+        job.add_event({"event": "job.state", "state": "queued"})
+        self.start()
+        self._queue.put(job)
+        return job
+
+    def _load_result(self, key: str) -> Optional[bytes]:
+        path = self.result_path(key)
+        try:
+            return path.read_bytes() if path.exists() else None
+        except OSError:
+            return None
+
+    # -- execution -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            try:
+                self._run_job(job)
+            except Exception as exc:  # noqa: BLE001 - job isolation
+                job.mark_failed(f"{type(exc).__name__}: {exc}")
+                _FAILED.inc()
+            finally:
+                self._queue.task_done()
+
+    def _run_job(self, job: Job) -> None:
+        realized: RealizedJob = job._realized
+        job.mark_running()
+        bridge = SpanEventBridge(job.add_event)
+        try:
+            if realized.spec.workload_kind == "montecarlo":
+                result = self._run_montecarlo(job, realized, bridge)
+                payload = _render_montecarlo(result, realized)
+            else:
+                study = self._run_engine_sides(job, realized, bridge)
+                payload = _render_study(study, realized)
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            job.mark_failed(f"{type(exc).__name__}: {exc}")
+            _FAILED.inc()
+            return
+        document = {
+            "job": {"key": job.key, "spec": job.spec},
+            "provenance": {
+                "fingerprints": job.fingerprints,
+                "lineage": {
+                    key: self.store.lineage(key) for key in job.study_keys
+                },
+            },
+            "result": payload,
+        }
+        data = json.dumps(
+            document, sort_keys=True, indent=1, default=_json_default
+        ).encode()
+        self._store_result(job.key, data)
+        job.mark_done(data, cached=False)
+        _COMPLETED.inc()
+
+    def _run_engine_sides(self, job: Job, realized: RealizedJob, bridge):
+        """Drain each engine side; return the last side's merged study."""
+        study = None
+        for label, factory in realized.studies.items():
+            if job.workers <= 1:
+                study = factory().trace(bridge).store(self.store).run()
+            else:
+                study = self._co_drain(
+                    lambda worker, factory=factory: factory()
+                    .trace(bridge)
+                    .work(store=self.store, ttl=self.ttl, poll=self.poll,
+                          worker=worker),
+                    job,
+                )
+        return study
+
+    def _run_montecarlo(self, job: Job, realized: RealizedJob, bridge):
+        """The full-vs-reduced pole sign-off, through the shared store."""
+        from repro.analysis.montecarlo import monte_carlo_pole_study
+
+        options = realized.spec.workload_options
+        kwargs = dict(
+            num_instances=realized.samples.shape[0],
+            num_poles=options["poles"],
+            samples=realized.samples,
+            executor=options["jobs"],
+            store=self.store,
+            chunk_size=realized.spec.chunk,
+            trace=bridge,
+            precision=realized.spec.precision,
+        )
+        if job.workers <= 1:
+            return monte_carlo_pole_study(
+                realized.parametric, realized.model, **kwargs
+            )
+        return self._co_drain(
+            lambda worker: monte_carlo_pole_study(
+                realized.parametric, realized.model,
+                work=True, ttl=self.ttl, poll=self.poll, worker=worker,
+                **kwargs,
+            ),
+            job,
+        )
+
+    def _co_drain(self, run_one, job: Job):
+        """``job.workers`` cooperating drains of one study; first result.
+
+        Every participant blocks until the store drains and returns the
+        same merged result (bit-identical by the scheduler contract), so
+        any non-``None`` return serves.  A worker that raises fails the
+        job (the first exception propagates after every thread joins).
+        """
+        results = [None] * job.workers
+        errors = []
+
+        def participant(slot):
+            try:
+                results[slot] = run_one(f"{job.id}-w{slot}")
+            except Exception as exc:  # noqa: BLE001 - propagated below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=participant, args=(slot,),
+                name=f"{job.id}-drain-{slot}", daemon=True,
+            )
+            for slot in range(job.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        merged = [result for result in results if result is not None]
+        if not merged:
+            raise RuntimeError("no worker produced a merged result")
+        return merged[0]
+
+    def _store_result(self, key: str, data: bytes) -> None:
+        path = self.result_path(key)
+        scratch = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            scratch.write_bytes(data)
+            os.replace(scratch, path)
+        finally:
+            scratch.unlink(missing_ok=True)
+
+    # -- views ---------------------------------------------------------
+
+    def describe(self) -> dict:
+        """The service document ``GET /healthz`` returns."""
+        return {
+            "ok": True,
+            "store": str(self.store.directory),
+            "memory_budget": self.memory_budget,
+            "pool_size": self.pool_size,
+            "jobs": len(self.registry),
+        }
+
+
+def _json_default(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return repr(value)
+
+
+def _finite_list(array) -> list:
+    """Float list with NaN/Inf mapped to None (strict-JSON safe)."""
+    return [
+        float(x) if np.isfinite(x) else None for x in np.asarray(array).ravel()
+    ]
+
+
+def _render_study(study, realized: RealizedJob) -> dict:
+    """Workload-specific result payload for the engine workloads."""
+    kind = realized.spec.workload_kind
+    options = realized.spec.workload_options
+    if kind == "sweep":
+        low, mean, high = study.magnitude_envelope(
+            output_index=options["output"], input_index=options["input"]
+        )
+        return {
+            "workload": "sweep",
+            "num_samples": int(study.num_samples),
+            "num_chunks": int(study.num_chunks),
+            "frequencies_hz": _finite_list(study.frequencies),
+            "min_magnitude": _finite_list(low),
+            "mean_magnitude": _finite_list(mean),
+            "max_magnitude": _finite_list(high),
+        }
+    if kind == "transient":
+        low, mean, high = study.output_envelope(
+            output_index=options["output"]
+        )
+        delays = np.asarray(study.delays, dtype=float)
+        crossed = delays[np.isfinite(delays)]
+        return {
+            "workload": "transient",
+            "num_samples": int(study.num_samples),
+            "num_chunks": int(study.num_chunks),
+            "time_s": _finite_list(study.time),
+            "min_output": _finite_list(low),
+            "mean_output": _finite_list(mean),
+            "max_output": _finite_list(high),
+            "delays_s": _finite_list(delays),
+            "delay_summary": {
+                "crossed": int(crossed.size),
+                "of": int(delays.size),
+                "min": float(crossed.min()) if crossed.size else None,
+                "mean": float(crossed.mean()) if crossed.size else None,
+                "max": float(crossed.max()) if crossed.size else None,
+            },
+        }
+    # poles: the nan-padded (m, num_poles) stack (ragged rows padded)
+    poles = np.asarray(study.poles)
+    return {
+        "workload": "poles",
+        "num_samples": int(poles.shape[0]),
+        "num_poles": int(poles.shape[1]),
+        "poles": [
+            [
+                None if not np.isfinite(p) else
+                {"re": float(p.real), "im": float(p.imag)}
+                for p in row
+            ]
+            for row in poles
+        ],
+    }
+
+
+def _render_montecarlo(result, realized: RealizedJob) -> dict:
+    """Result payload for the pole-accuracy sign-off workload."""
+    counts, edges = result.histogram(
+        bins=realized.spec.workload_options["bins"]
+    )
+    verified = result.verified
+    return {
+        "workload": "montecarlo",
+        "num_instances": int(result.num_instances),
+        "total_poles": int(result.total_poles),
+        "max_error": float(result.max_error),
+        "mean_error": float(result.pole_errors.mean()),
+        "histogram": {
+            "bin_edges_pct": _finite_list(edges),
+            "counts": [int(c) for c in counts],
+        },
+        "verified": None if verified is None else int(verified.sum()),
+    }

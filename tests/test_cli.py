@@ -593,15 +593,32 @@ class TestWorkCommand:
         one_shot = capsys.readouterr().out
         store = str(tmp_path / "store")
         base = ["work", "batch", netlist_file, *self.BATCH, "--store", store]
-        assert main(base + ["--worker-id", "w1", "--max-chunks", "2"]) == 0
+        # Contributed-and-exited is a distinct status: the caller must
+        # relaunch a worker to finish the study, so exit is 3, not 0.
+        assert main(base + ["--worker-id", "w1", "--max-chunks", "2"]) == 3
         partial = capsys.readouterr().out
         assert "computed: 2" in partial
+        assert "drained: no" in partial
         assert "no merged result" in partial
         assert self._csv(partial) == []  # stopped early: no CSV
         assert main(base + ["--worker-id", "w2"]) == 0
         finished = capsys.readouterr().out
         assert "computed: 2" in finished
+        assert "drained: yes" in finished
         assert self._csv(finished) == self._csv(one_shot)
+
+    def test_work_transient_max_chunks_exits_3(
+        self, netlist_file, tmp_path, capsys
+    ):
+        argv = [netlist_file, "--plan", "montecarlo", "--instances", "6",
+                "--moments", "3", "--steps", "10", "--chunk", "2"]
+        store = str(tmp_path / "store")
+        assert main(["work", "transient", *argv, "--store", store,
+                     "--max-chunks", "1"]) == 3
+        partial = capsys.readouterr().out
+        assert "drained: no" in partial
+        assert main(["work", "transient", *argv, "--store", store]) == 0
+        assert "drained: yes" in capsys.readouterr().out
 
     def test_work_transient_matches_one_shot_csv(
         self, netlist_file, tmp_path, capsys
@@ -668,3 +685,113 @@ class TestParser:
         assert "montecarlo" in text
         assert "batch" in text
         assert "transient" in text
+
+
+class TestServeCommands:
+    """The service-facing commands: serve / submit / jobs."""
+
+    JOB = {
+        "moments": 3,
+        "plan": {"kind": "montecarlo", "instances": 4, "seed": 7},
+        "workload": {"kind": "sweep", "points": 5},
+        "chunk": 2,
+    }
+
+    @pytest.fixture
+    def service_url(self, tmp_path):
+        import asyncio
+        import threading
+
+        from repro.serve import StudyServer, StudySupervisor
+
+        supervisor = StudySupervisor(tmp_path / "store", pool_size=1)
+        server = StudyServer(supervisor, port=0)
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def _serve():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=_serve, daemon=True)
+        thread.start()
+        assert started.wait(10.0)
+        yield server.url
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10.0)
+        supervisor.shutdown(wait=True)
+        loop.close()
+
+    def _job_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps({"netlist": NETLIST, **self.JOB}))
+        return str(path)
+
+    def test_submit_prints_result_document(self, service_url, tmp_path,
+                                           capsys):
+        import json
+
+        assert main(["submit", service_url,
+                     self._job_file(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        document = json.loads(captured.out)
+        assert document["result"]["workload"] == "sweep"
+        assert "# job:" in captured.err
+
+    def test_submit_twice_reports_cached(self, service_url, tmp_path,
+                                         capsys):
+        job_file = self._job_file(tmp_path)
+        assert main(["submit", service_url, job_file]) == 0
+        first = capsys.readouterr()
+        assert "cached: no" in first.err
+        assert main(["submit", service_url, job_file]) == 0
+        second = capsys.readouterr()
+        assert "cached: yes" in second.err
+        assert second.out == first.out  # byte-identical response
+
+    def test_submit_watch_streams_events(self, service_url, tmp_path,
+                                         capsys):
+        assert main(["submit", service_url, self._job_file(tmp_path),
+                     "--watch"]) == 0
+        captured = capsys.readouterr()
+        assert '"study.chunk"' in captured.err
+
+    def test_submit_no_wait_prints_status(self, service_url, tmp_path,
+                                          capsys):
+        import json
+
+        assert main(["submit", service_url, self._job_file(tmp_path),
+                     "--no-wait"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["state"] in ("queued", "running", "done")
+
+    def test_submit_malformed_job_exits_1(self, service_url, tmp_path,
+                                          capsys):
+        import json
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"netlist": NETLIST}))
+        assert main(["submit", service_url, str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_connection_refused_exits_1(self, tmp_path, capsys):
+        assert main(["submit", "http://127.0.0.1:9",
+                     self._job_file(tmp_path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_jobs_lists_and_inspects(self, service_url, tmp_path, capsys):
+        assert main(["jobs", service_url]) == 0
+        assert "# no jobs" in capsys.readouterr().out
+        assert main(["submit", service_url,
+                     self._job_file(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["jobs", service_url]) == 0
+        listing = capsys.readouterr().out
+        assert "done" in listing
+        job_id = listing.split()[0]
+        assert main(["jobs", service_url, "--job", job_id]) == 0
+        assert f'"id": "{job_id}"' in capsys.readouterr().out

@@ -1,0 +1,135 @@
+"""Thread-safety hammer for the process-global plan cache.
+
+The ``repro.serve`` worker pool plans studies from concurrent threads,
+so the ``_PLAN_CACHE`` OrderedDict in :mod:`repro.runtime.engine` is
+hit with interleaved get / move_to_end / insert / popitem sequences.
+These tests drive that interleaving hard and assert the cache neither
+corrupts nor miscounts.
+"""
+
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.circuits import rcnet_a
+from repro.core import LowRankReducer
+from repro.obs import metrics as obs_metrics
+from repro.runtime import Study
+from repro.runtime import engine as engine_module
+
+THREADS = 8
+ROUNDS = 30
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LowRankReducer(num_moments=3, rank=1).reduce(rcnet_a())
+
+
+def _declarations(model, count):
+    """``count`` distinct cacheable declarations (unique sample plans)."""
+    from repro.runtime import MonteCarloPlan
+
+    freqs = np.logspace(7, 10, 7)
+    return [
+        lambda seed=seed: (
+            Study(model)
+            .scenarios(MonteCarloPlan(num_instances=4, seed=seed))
+            .sweep(freqs)
+        )
+        for seed in range(count)
+    ]
+
+
+def _hammer(model, num_declarations, monkeypatch=None, limit=None):
+    """Run THREADS threads planning mixed declarations; return telemetry."""
+    if limit is not None:
+        monkeypatch.setattr(engine_module, "_PLAN_CACHE_LIMIT", limit)
+    declarations = _declarations(model, num_declarations)
+    # Warm nothing: start from a clean cache so hit/miss accounting is
+    # exact for this run.
+    with engine_module._PLAN_CACHE_LOCK:
+        engine_module._PLAN_CACHE.clear()
+    hits = obs_metrics.counter("engine.plan_cache.hits")
+    misses = obs_metrics.counter("engine.plan_cache.misses")
+    h0, m0 = hits.value, misses.value
+
+    plans = [[] for _ in range(THREADS)]
+    errors = []
+    barrier = threading.Barrier(THREADS)
+
+    def worker(slot):
+        rng = random.Random(slot)
+        order = [
+            declaration
+            for _ in range(ROUNDS)
+            for declaration in rng.sample(declarations, len(declarations))
+        ]
+        barrier.wait()
+        try:
+            for declaration in order:
+                plans[slot].append(declaration().plan())
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,)) for slot in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors, errors
+    total_calls = THREADS * ROUNDS * num_declarations
+    return {
+        "plans": plans,
+        "hits": hits.value - h0,
+        "misses": misses.value - m0,
+        "total_calls": total_calls,
+    }
+
+
+class TestPlanCacheThreadSafety:
+    def test_counters_sum_to_calls_and_no_corruption(self, model):
+        telemetry = _hammer(model, num_declarations=6)
+        # Every plan() call is tallied exactly once: a hit or a miss.
+        assert telemetry["hits"] + telemetry["misses"] == telemetry["total_calls"]
+        # At least one miss per declaration; duplicate builds (two
+        # threads racing the same cold key) are allowed, a stale or
+        # lost entry is not: misses stay far below total calls.
+        assert telemetry["misses"] >= 6
+        assert telemetry["hits"] > 0
+        # The OrderedDict survived: iterable, consistent, within limit.
+        with engine_module._PLAN_CACHE_LOCK:
+            keys = list(engine_module._PLAN_CACHE)
+            assert len(keys) == len(set(keys))
+            assert len(keys) <= engine_module._PLAN_CACHE_LIMIT
+            for key in keys:
+                assert engine_module._PLAN_CACHE[key] is not None
+
+    def test_same_declaration_yields_equivalent_plans(self, model):
+        telemetry = _hammer(model, num_declarations=3)
+        # Group each thread's plans by fingerprint of the declaration
+        # they came from: within a group every plan must be routed
+        # identically (duplicate builds produce equal, not divergent,
+        # plans).
+        by_key = {}
+        for plan_list in telemetry["plans"]:
+            for plan in plan_list:
+                signature = (plan.num_samples, plan.route, plan.kernel,
+                             plan.num_chunks, plan.estimated_peak_bytes)
+                by_key.setdefault(plan.num_samples, set()).add(signature)
+        for signatures in by_key.values():
+            assert len(signatures) == 1
+
+    def test_eviction_churn_under_tiny_limit(self, model, monkeypatch):
+        """Concurrent insert/popitem churn with limit << working set."""
+        telemetry = _hammer(
+            model, num_declarations=6, monkeypatch=monkeypatch, limit=2
+        )
+        assert telemetry["hits"] + telemetry["misses"] == telemetry["total_calls"]
+        with engine_module._PLAN_CACHE_LOCK:
+            assert len(engine_module._PLAN_CACHE) <= 2

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.obs",
     "repro.runtime",
+    "repro.serve",
 ]
 
 
@@ -167,8 +168,9 @@ class TestCliModule:
         from repro.cli import build_parser
 
         parser = build_parser()
-        # All nine subcommands registered.
+        # All twelve subcommands registered.
         text = parser.format_help()
         for command in ("info", "reduce", "sweep", "poles", "montecarlo",
-                        "batch", "transient", "work", "trace"):
+                        "batch", "transient", "work", "trace", "serve",
+                        "submit", "jobs"):
             assert command in text

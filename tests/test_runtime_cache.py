@@ -162,3 +162,95 @@ class TestModelCache:
         cache.get_or_reduce(parametric, LowRankReducer(num_moments=2, rank=1))
         assert cache.clear() == 1
         assert len(cache) == 0
+
+
+class TestCacheBounds:
+    """LRU entry/byte caps for long-running (server) processes."""
+
+    @staticmethod
+    def _age(cache, key, seconds_ago):
+        """Backdate an entry's mtime so LRU order is deterministic."""
+        import os
+        import time
+
+        stamp = time.time() - seconds_ago
+        os.utime(cache.path_for(key), (stamp, stamp))
+
+    def _fill(self, cache, parametric, moments):
+        keys = []
+        for i, m in enumerate(moments):
+            reducer = LowRankReducer(num_moments=m, rank=1)
+            cache.get_or_reduce(parametric, reducer)
+            keys.append(cache.key(parametric, reducer))
+            self._age(cache, keys[-1], seconds_ago=100 - 10 * i)
+        return keys
+
+    def test_unbounded_by_default(self, parametric, tmp_path):
+        cache = ModelCache(tmp_path)
+        self._fill(cache, parametric, [2, 3, 4, 5])
+        assert len(cache) == 4
+        assert cache.evictions == 0
+
+    def test_entry_cap_evicts_least_recently_used(self, parametric, tmp_path):
+        from repro.obs import metrics as obs_metrics
+
+        before = obs_metrics.registry().snapshot()["counters"].get(
+            "cache.evictions", 0
+        )
+        cache = ModelCache(tmp_path, max_entries=2)
+        keys = self._fill(cache, parametric, [2, 3, 4])
+        assert len(cache) == 2
+        assert not cache.path_for(keys[0]).exists()  # oldest evicted
+        assert cache.path_for(keys[1]).exists()
+        assert cache.path_for(keys[2]).exists()
+        assert cache.evictions == 1
+        after = obs_metrics.registry().snapshot()["counters"]["cache.evictions"]
+        assert after - before == 1
+
+    def test_load_refreshes_recency(self, parametric, tmp_path):
+        cache = ModelCache(tmp_path, max_entries=2)
+        reducers = [LowRankReducer(num_moments=m, rank=1) for m in (2, 3)]
+        keys = []
+        for i, reducer in enumerate(reducers):
+            cache.get_or_reduce(parametric, reducer)
+            keys.append(cache.key(parametric, reducer))
+            self._age(cache, keys[-1], seconds_ago=100 - 10 * i)
+        # Touch the oldest entry: a hit refreshes its mtime, so the
+        # *other* entry is now the LRU victim.
+        assert cache.load(keys[0]) is not None
+        third = LowRankReducer(num_moments=4, rank=1)
+        cache.get_or_reduce(parametric, third)
+        assert cache.path_for(keys[0]).exists()
+        assert not cache.path_for(keys[1]).exists()
+
+    def test_byte_cap_evicts_until_under_budget(self, parametric, tmp_path):
+        probe = ModelCache(tmp_path / "probe")
+        probe_keys = self._fill(probe, parametric, [2, 3, 4])
+        # Budget holds exactly the two most recent entries.
+        budget = sum(
+            probe.path_for(k).stat().st_size for k in probe_keys[1:]
+        )
+        cache = ModelCache(tmp_path / "bounded", max_bytes=budget)
+        keys = self._fill(cache, parametric, [2, 3, 4])
+        assert len(cache) == 2
+        assert not cache.path_for(keys[0]).exists()
+        assert cache.evictions == 1
+
+    def test_newest_entry_never_evicted(self, parametric, tmp_path):
+        """Even an over-budget store keeps what it just wrote."""
+        cache = ModelCache(tmp_path, max_bytes=1)
+        reducer = LowRankReducer(num_moments=2, rank=1)
+        cache.get_or_reduce(parametric, reducer)
+        assert cache.path_for(cache.key(parametric, reducer)).exists()
+        assert cache.evictions == 0
+
+    def test_invalid_caps_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            ModelCache(tmp_path, max_entries=0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            ModelCache(tmp_path, max_bytes=0)
+
+    def test_repr_reports_evictions(self, parametric, tmp_path):
+        cache = ModelCache(tmp_path, max_entries=1)
+        self._fill(cache, parametric, [2, 3])
+        assert "evictions=1" in repr(cache)

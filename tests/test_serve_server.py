@@ -1,0 +1,186 @@
+"""End-to-end tests for the HTTP front end and the stdlib client."""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServeClient, ServeClientError, StudyServer
+from repro.serve.supervisor import StudySupervisor
+
+NETLIST = """
+.title serve-server-demo
+Rdrv n0 0 10
+C0 n0 0 0.02p
+R1 n0 n1 25
+C1 n1 0 0.02p
+R2 n1 n2 25
+C2 n2 0 0.02p
+R3 n2 n3 25
+C3 n3 0 0.02p
+.port in n0
+"""
+
+
+def _job(**overrides):
+    document = {
+        "netlist": NETLIST,
+        "moments": 3,
+        "plan": {"kind": "montecarlo", "instances": 4, "seed": 7},
+        "workload": {"kind": "sweep", "points": 5},
+        "chunk": 2,
+    }
+    document.update(overrides)
+    return document
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live server on an ephemeral port, with its client."""
+    supervisor = StudySupervisor(tmp_path / "store", pool_size=2)
+    server = StudyServer(supervisor, port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def _serve():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=_serve, daemon=True)
+    thread.start()
+    assert started.wait(10.0), "server failed to start"
+    yield ServeClient(server.url, timeout=60.0), supervisor
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10.0)
+    supervisor.shutdown(wait=True)
+    loop.close()
+
+
+class TestLifecycle:
+    def test_healthz_and_metrics(self, service):
+        client, supervisor = service
+        health = client.healthz()
+        assert health["ok"] is True
+        assert health["store"] == str(supervisor.store.directory)
+        assert "counters" in client.metrics()
+
+    def test_submit_wait_result(self, service):
+        client, _ = service
+        job = client.submit(_job())
+        assert job["state"] in ("queued", "running", "done")
+        final = client.wait(job["id"], timeout=60.0)
+        assert final["state"] == "done", final["error"]
+        document = client.result(job["id"])
+        assert document["result"]["workload"] == "sweep"
+        assert document["provenance"]["fingerprints"]
+
+    def test_cached_resubmission_over_http(self, service):
+        client, _ = service
+        first = client.submit(_job())
+        client.wait(first["id"], timeout=60.0)
+        bytes_one = client.result_bytes(first["id"])
+
+        second = client.submit(_job())
+        assert second["state"] == "done"
+        assert second["cached"] is True
+        assert client.result_bytes(second["id"]) == bytes_one
+
+    def test_event_stream_replays_and_terminates(self, service):
+        client, _ = service
+        job = client.submit(_job())
+        client.wait(job["id"], timeout=60.0)
+        events = list(client.events(job["id"]))
+        assert events
+        names = [event["event"] for event in events]
+        assert "study.chunk" in names
+        assert names[-1] == "job.state"
+        assert events[-1]["state"] == "done"
+
+    def test_jobs_listing(self, service):
+        client, _ = service
+        submitted = client.submit(_job())
+        listed = client.jobs()
+        assert submitted["id"] in [job["id"] for job in listed]
+        assert client.job(submitted["id"])["key"] == submitted["key"]
+
+
+class TestErrors:
+    def test_malformed_job_is_400(self, service):
+        client, _ = service
+        with pytest.raises(ServeClientError) as info:
+            client.submit({"netlist": NETLIST})
+        assert info.value.status == 400
+        assert "plan" in str(info.value)
+
+    def test_over_budget_is_413_with_estimate(self, service):
+        client, supervisor = service
+        supervisor.memory_budget = 16
+        try:
+            with pytest.raises(ServeClientError) as info:
+                client.submit(_job())
+        finally:
+            supervisor.memory_budget = None
+        assert info.value.status == 413
+        assert info.value.body["peak_bytes"] > 16
+        assert info.value.body["memory_budget"] == 16
+        assert "rejected at admission" in str(info.value)
+
+    def test_unknown_job_is_404(self, service):
+        client, _ = service
+        with pytest.raises(ServeClientError) as info:
+            client.job("job-zzz")
+        assert info.value.status == 404
+
+    def test_unknown_route_is_404(self, service):
+        client, _ = service
+        with pytest.raises(ServeClientError) as info:
+            client._json("GET", "/nope")
+        assert info.value.status == 404
+
+    def test_result_before_done_is_409(self, service):
+        client, supervisor = service
+        spec = _job(workload={"kind": "sweep", "points": 6})
+        # Hold the queue so the job stays queued while we probe.
+        gate = threading.Event()
+        supervisor.start()
+        for _ in range(supervisor.pool_size):
+            supervisor._queue.put(_Blocker(gate))
+        try:
+            job = client.submit(spec)
+            if job["state"] != "done":  # not served from cache
+                with pytest.raises(ServeClientError) as info:
+                    client.result_bytes(job["id"])
+                assert info.value.status == 409
+        finally:
+            gate.set()
+        client.wait(job["id"], timeout=60.0)
+
+    def test_method_not_allowed_is_405(self, service):
+        client, _ = service
+        with pytest.raises(ServeClientError) as info:
+            client._json("DELETE", "/jobs")
+        assert info.value.status == 405
+
+
+class _Blocker:
+    """A queue entry that parks one worker until the gate opens."""
+
+    def __init__(self, gate):
+        self._gate = gate
+        self.workers = 1
+
+    def mark_failed(self, error):
+        pass
+
+    @property
+    def _realized(self):
+        self._gate.wait(30.0)
+
+        class _Spec:
+            workload_kind = "sweep"
+
+        raise RuntimeError("blocker drained")
