@@ -1,0 +1,340 @@
+#!/usr/bin/env python
+"""CI warehouse drill: kill a worker mid-drain, ingest, aggregate exactly.
+
+The warehouse's operational contract is not "one tidy run converts to
+Parquet" (the unit and property tests cover that in-process) but "a
+store assembled the ugly way -- two work-stealing workers, one of them
+SIGKILLed mid-drain, the study finished by theft and later resumed --
+still ingests into one coherent dataset whose aggregates equal the
+in-RAM result bit for bit".  This script drills exactly that:
+
+1. start two worker processes draining one 60-instance transient
+   Monte Carlo study (chunk 3, so 20 claim units) through a shared
+   ``StudyStore``,
+2. SIGKILL one worker after it has checkpointed at least one chunk
+   while the study is provably not drained (SIGSTOP first, re-check,
+   then SIGKILL -- so the drain cannot complete between the check and
+   the kill),
+3. wait for the survivor: it must steal the dead worker's work, drain
+   the store, and exit 0 with the merged result,
+4. ingest the store through the ``repro query ingest`` CLI -- the
+   dataset must carry BOTH workers' shard partitions, the victim's
+   partial manifest included, with zero chunks skipped,
+5. resume the same study in-process with the ``warehouse`` directive
+   attached: the completion ingest must skip every chunk and add zero
+   rows (structural idempotency across CLI and directive ingests),
+6. aggregate with duckdb when installed (the stream engine otherwise):
+   yield fraction, p99, and the full metric column must equal the
+   in-RAM merged result exactly -- float64 bit equality, no tolerance
+   -- and the ``repro query`` CLI must print the same numbers,
+7. re-verify every provenance row's ``chunk_sha256`` against the store
+   manifests and require both workers in the row attribution.
+
+Exit code 0 means the drill passed.  CI uploads the Parquet dataset,
+worker manifests, and logs as artifacts so a failure can be debugged
+from the provenance records.
+
+Usage:  python scripts/ci_warehouse.py [--workdir DIR]
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+# Small chunks + many instances = 20 claim units, so the kill always
+# lands while plenty of work remains for the survivor to steal.
+INSTANCES = 60
+CHUNK = 3
+NUM_CHUNKS = INSTANCES // CHUNK
+STEPS = 40
+VICTIM = "w1"
+SURVIVOR = "w2"
+
+
+def build_study():
+    """The one study declaration every role shares.
+
+    Workers and the resume run construct the study from this single
+    function, so the fingerprint is identical by construction -- the
+    drill tests the warehouse, not netlist-argument replication.
+    """
+    from repro import (
+        LowRankReducer,
+        MonteCarloPlan,
+        Study,
+        rc_tree,
+        with_random_variations,
+    )
+
+    parametric = with_random_variations(rc_tree(30, seed=5), 2, seed=7)
+    model = LowRankReducer(num_moments=3, rank=1).reduce(parametric)
+    return (
+        Study(model)
+        .scenarios(MonteCarloPlan(num_instances=INSTANCES, seed=11))
+        .transient(num_steps=STEPS)
+        .chunk(CHUNK)
+    )
+
+
+def run_worker(store: pathlib.Path, worker_id: str) -> int:
+    study = build_study().store(store)
+    result = study.work(ttl=2.0, poll=0.05, worker=worker_id)
+    report = study.drain_report()
+    print(
+        f"# worker {worker_id}: drained={report.drained} "
+        f"computed={len(report.computed)} stolen={len(report.stolen)}"
+    )
+    return 0 if result is not None else 3
+
+
+def cli_environment():
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + environment["PYTHONPATH"]
+        if environment.get("PYTHONPATH")
+        else ""
+    )
+    return environment
+
+
+def run_cli(arguments, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *arguments],
+        env=cli_environment(), text=True, **kwargs,
+    )
+
+
+def spawn_worker(store: pathlib.Path, worker_id: str, log_path: pathlib.Path):
+    handle = open(log_path, "w")
+    process = subprocess.Popen(
+        [sys.executable, str(pathlib.Path(__file__).resolve()),
+         "--role", "worker", "--store", str(store), "--worker-id", worker_id],
+        env=cli_environment(), stdout=handle, stderr=subprocess.STDOUT,
+    )
+    process._log_handle = handle  # closed with the process
+    return process
+
+
+def worker_chunks(store: pathlib.Path, worker_id: str):
+    """Chunk indexes recorded by one worker's manifest(s)."""
+    indexes = set()
+    for path in store.glob(f"manifest-*.worker-{worker_id}.json"):
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        indexes.update(int(index) for index in manifest.get("chunks", {}))
+    return indexes
+
+
+def fail(message: str, *logs: pathlib.Path):
+    print(f"FAIL: {message}")
+    for log in logs:
+        if log.exists():
+            print(f"--- {log.name} ---")
+            print(log.read_text())
+    sys.exit(1)
+
+
+def kill_mid_drain(store: pathlib.Path, process, log: pathlib.Path):
+    """SIGKILL the victim once it has checkpointed but before drain."""
+    deadline = time.monotonic() + 180.0
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            fail("victim exited before the kill landed", log)
+        victim = worker_chunks(store, VICTIM)
+        done = victim | worker_chunks(store, SURVIVOR)
+        if victim and len(done) < NUM_CHUNKS:
+            # Freeze, re-check under the freeze, then kill: the study
+            # cannot drain between the check and the SIGKILL.
+            os.kill(process.pid, signal.SIGSTOP)
+            victim = worker_chunks(store, VICTIM)
+            done = victim | worker_chunks(store, SURVIVOR)
+            if victim and len(done) < NUM_CHUNKS:
+                os.kill(process.pid, signal.SIGKILL)
+                process.wait(timeout=30.0)
+                print(
+                    f"killed {VICTIM} with {len(victim)} chunk(s) saved, "
+                    f"{NUM_CHUNKS - len(done)} still pending"
+                )
+                return victim
+            os.kill(process.pid, signal.SIGCONT)
+        time.sleep(0.02)
+    fail("timed out waiting for a mid-drain kill window", log)
+
+
+def run_driver(workdir: pathlib.Path) -> int:
+    import numpy as np
+
+    from repro import StudyStore
+    from repro.warehouse import QueryEngine, have_duckdb, have_pyarrow
+
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    workdir.mkdir(parents=True)
+    store = workdir / "store"
+    wh = workdir / "wh"
+    logs = {
+        worker: workdir / f"worker-{worker}.log"
+        for worker in (VICTIM, SURVIVOR)
+    }
+
+    # -- 1/2: two workers, one SIGKILLed mid-drain ---------------------
+    processes = {
+        worker: spawn_worker(store, worker, logs[worker])
+        for worker in (VICTIM, SURVIVOR)
+    }
+    try:
+        victim_chunks = kill_mid_drain(
+            store, processes[VICTIM], logs[VICTIM]
+        )
+        # -- 3: the survivor must steal the rest and drain -------------
+        survivor = processes[SURVIVOR]
+        try:
+            returncode = survivor.wait(timeout=600.0)
+        except subprocess.TimeoutExpired:
+            survivor.kill()
+            fail("survivor did not drain the store", logs[SURVIVOR])
+        if returncode != 0:
+            fail(f"survivor exited {returncode}, wanted a full drain",
+                 logs[SURVIVOR])
+    finally:
+        for process in processes.values():
+            if process.poll() is None:
+                process.kill()
+            process._log_handle.close()
+    survivor_chunks = worker_chunks(store, SURVIVOR)
+    if not victim_chunks or not survivor_chunks:
+        fail(f"both workers must checkpoint: victim={sorted(victim_chunks)} "
+             f"survivor={sorted(survivor_chunks)}", *logs.values())
+    if victim_chunks | survivor_chunks != set(range(NUM_CHUNKS)):
+        fail("worker manifests do not cover the study", *logs.values())
+    print(f"survivor drained: victim saved {len(victim_chunks)} chunk(s), "
+          f"survivor {len(survivor_chunks)}")
+
+    # -- 4: CLI ingest -- both workers' shards, nothing skipped --------
+    ingest = run_cli(["query", "ingest", str(wh), str(store)],
+                     capture_output=True)
+    (workdir / "ingest.log").write_text(ingest.stdout + ingest.stderr)
+    if ingest.returncode != 0:
+        fail(f"repro query ingest exited {ingest.returncode}",
+             workdir / "ingest.log")
+    if f"chunks:  {NUM_CHUNKS} ingested, 0 skipped" not in ingest.stdout:
+        fail(f"expected {NUM_CHUNKS} chunks ingested, got:\n{ingest.stdout}")
+    print(ingest.stdout.splitlines()[0])
+
+    store_handle = StudyStore(store)
+    keys = store_handle.study_keys()
+    if len(keys) != 1:
+        fail(f"expected one study in the store, found {keys}")
+    key = keys[0]
+    shards = sorted(
+        path.name for path in (wh / f"key16={key[:16]}").glob("shard=*")
+    )
+    if shards != [f"shard=w-{VICTIM}", f"shard=w-{SURVIVOR}"]:
+        fail(f"dataset must carry both workers' partitions, got {shards}")
+    print(f"dataset partitions: {', '.join(shards)}")
+
+    # -- 5: resume with the directive -- idempotent re-ingest ----------
+    study = build_study().store(store).warehouse(wh)
+    result = study.run()
+    report = study.warehouse_report()
+    if report.chunks != 0 or report.rows_added != 0:
+        fail(f"resume re-ingest must be a no-op, got {report}")
+    if report.skipped != NUM_CHUNKS:
+        fail(f"resume must skip all {NUM_CHUNKS} chunks, got {report}")
+    if len(result.delays) != INSTANCES:
+        fail(f"merged result has {len(result.delays)} instances")
+    print(f"resume re-ingest: 0 chunks converted, {report.skipped} skipped")
+
+    # -- 6: exact aggregation against the in-RAM result ----------------
+    engine_name = "duckdb" if have_duckdb() else "stream"
+    engine = QueryEngine(wh, engine=engine_name)
+    # Dataset order follows the shard partitions (the victim's chunks
+    # sort before the survivor's), so compare the column as a multiset
+    # and then pin every value to its instance via the outlier rows.
+    values = engine.metric_values("delay")
+    if not np.array_equal(np.sort(values), np.sort(result.delays)):
+        fail(f"{engine_name} metric column differs from the in-RAM delays")
+    for row in engine.outliers("delay", k=INSTANCES):
+        if row["delay"] != result.delays[row["instance"]]:
+            fail(f"instance {row['instance']} delay differs from the "
+                 f"in-RAM result: {row['delay']!r}")
+
+    limit = float(np.median(result.delays))
+    yielded = engine.yield_fraction("delay", limit)
+    passed = int(np.count_nonzero(result.delays <= limit))
+    if (yielded["passed"], yielded["total"]) != (passed, INSTANCES):
+        fail(f"yield mismatch: {yielded} vs {passed}/{INSTANCES}")
+
+    p99 = engine.percentile("delay", 99.0)
+    reference = float(np.percentile(result.delays, 99.0))
+    if p99["value"] != reference:  # bitwise, not a tolerance
+        fail(f"p99 mismatch: {p99['value']!r} != {reference!r}")
+    print(f"{engine_name} aggregates match in-RAM result exactly "
+          f"(yield {yielded['passed']}/{yielded['total']}, "
+          f"p99 {p99['value']:.6e}s)")
+
+    cli_yield = run_cli(
+        ["query", "yield", str(wh), "--metric", "delay",
+         "--limit", repr(limit), "--engine", engine_name],
+        capture_output=True,
+    )
+    if cli_yield.returncode != 0:
+        fail(f"repro query yield exited {cli_yield.returncode}:\n"
+             f"{cli_yield.stderr}")
+    document = json.loads(cli_yield.stdout)
+    if (document["passed"], document["total"]) != (passed, INSTANCES):
+        fail(f"CLI yield mismatch: {document}")
+    print(f"repro query yield agrees: {document['passed']}/"
+          f"{document['total']}")
+
+    # -- 7: provenance -- sha256 per row, both workers attributed ------
+    manifest_shas = {
+        record["index"]: record["sha256"]
+        for record in store_handle.lineage(key)
+    }
+    rows = engine.provenance()
+    if len(rows) != NUM_CHUNKS:
+        fail(f"expected {NUM_CHUNKS} provenance rows, got {len(rows)}")
+    for row in rows:
+        if row["chunk_sha256"] != manifest_shas[row["chunk"]]:
+            fail(f"chunk {row['chunk']} provenance sha mismatch")
+    workers = {row["worker"] for row in rows}
+    if workers != {VICTIM, SURVIVOR}:
+        fail(f"provenance must attribute both workers, got {workers}")
+    print(f"provenance verified: {len(rows)} chunks match the store "
+          f"manifests, workers {sorted(workers)}")
+
+    backend = "parquet" if have_pyarrow() else "native (.npz)"
+    print(f"PASS: warehouse drill complete "
+          f"(backend: {backend}, engine: {engine_name})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default="ci-warehouse",
+                        type=pathlib.Path)
+    parser.add_argument("--role", choices=("driver", "worker"),
+                        default="driver", help=argparse.SUPPRESS)
+    parser.add_argument("--store", type=pathlib.Path,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--worker-id", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.role == "worker":
+        return run_worker(args.store, args.worker_id)
+    return run_driver(args.workdir.resolve())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

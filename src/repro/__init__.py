@@ -26,6 +26,9 @@ Package map
   engine (one front door routing to batched, sparse shared-pattern,
   streamed, and executor-parallel kernels), scenario plans, the
   content-addressed model cache, and parallel executors.
+- :mod:`repro.warehouse` -- the analytics tier: partitioned columnar
+  datasets ingested from StudyStore checkpoints (idempotent,
+  provenance-carrying) and exact out-of-core aggregation over them.
 - :mod:`repro.linalg` -- shared numerical kernels.
 
 See the repository-root ``README.md`` for installation, CLI usage, and
@@ -102,6 +105,7 @@ from repro.runtime import (
     stream_sweep_study,
     stream_transient_study,
 )
+from repro.warehouse import Warehouse, WarehouseError
 
 __version__ = "0.1.0"
 
@@ -132,6 +136,8 @@ __all__ = [
     "Study",
     "StudyStore",
     "ThreadExecutor",
+    "Warehouse",
+    "WarehouseError",
     "__version__",
     "assemble",
     "batch_frequency_response",

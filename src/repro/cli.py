@@ -15,9 +15,12 @@ python -m repro batch      netlist.sp --chunk 8 --store run1 --resume
 python -m repro batch      netlist.sp --chunk 8 --trace run1.trace --progress
 python -m repro work batch netlist.sp --chunk 8 --store run1 --worker-id w1
 python -m repro trace summarize run1.trace
-python -m repro serve run1 --port 8787 --memory-budget 100000000
+python -m repro serve run1 --port 8787 --memory-budget 100000000 --warehouse wh
 python -m repro submit http://127.0.0.1:8787 job.json --watch
 python -m repro jobs http://127.0.0.1:8787
+python -m repro query ingest wh run1
+python -m repro query percentile wh --metric delay --q 99
+python -m repro query outliers wh --metric delay -k 5
 ```
 
 The ``info``/``reduce``/``sweep``/``poles`` commands operate on plain
@@ -63,6 +66,15 @@ the study commands, fully defaulted) and prints the canonical result
 bytes, and ``jobs`` lists a service's jobs.  An identical
 re-submission -- even from a different client -- is served from the
 content-addressed result index without recomputation.
+``query`` is the columnar warehouse tier (:mod:`repro.warehouse`):
+``query ingest`` converts a store's chunk checkpoints into a
+partitioned dataset (idempotently -- re-ingest adds zero rows), and
+``query studies`` / ``yield`` / ``percentile`` / ``outliers`` run
+exact out-of-core aggregations over it (duckdb or polars when the
+optional extras are installed, a streamed numpy engine always).
+Warehouse misuse (missing optional dependency, unreadable dataset,
+over-budget partition) exits 2 with a one-line diagnostic, like any
+store error.
 """
 
 from __future__ import annotations
@@ -587,6 +599,7 @@ def _cmd_serve(args) -> int:
         args.store, host=args.host, port=args.port,
         memory_budget=args.memory_budget, pool_size=args.pool_size,
         model_cache=cache, ttl=args.ttl, poll=args.poll,
+        warehouse=args.warehouse,
     )
     return 0
 
@@ -648,6 +661,73 @@ def _cmd_jobs(args) -> int:
     except ServeClientError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _query_engine(args):
+    from repro.warehouse import QueryEngine
+
+    return QueryEngine(
+        args.warehouse, engine=args.engine,
+        memory_budget=args.memory_budget,
+    )
+
+
+def _cmd_query_ingest(args) -> int:
+    from repro.warehouse import Warehouse
+
+    warehouse = Warehouse(args.warehouse, backend=args.backend)
+    report = warehouse.ingest_store(args.store, key=args.key)
+    print(f"# warehouse: {args.warehouse}  backend: {warehouse.backend.name}")
+    print(f"studies: {', '.join(report.studies) if report.studies else '-'}")
+    print(f"chunks:  {report.chunks} ingested, {report.skipped} skipped "
+          f"(already warehoused)")
+    for name in sorted(report.rows):
+        print(f"rows[{name}]: {report.rows[name]}")
+    print(f"bytes:   {report.bytes_written}")
+    return 0
+
+
+def _cmd_query_studies(args) -> int:
+    studies = _query_engine(args).studies()
+    for record in studies:
+        layout = record.get("layout") or {}
+        print(f"{record['key16']}  workload: {record.get('workload')}  "
+              f"samples: {layout.get('num_samples')}  "
+              f"chunks: {layout.get('num_chunks')}")
+    if not studies:
+        print("# no studies")
+    return 0
+
+
+def _cmd_query_yield(args) -> int:
+    import json
+
+    result = _query_engine(args).yield_fraction(
+        args.metric, args.limit, study=args.study, table=args.table
+    )
+    print(json.dumps(result, sort_keys=True, indent=1))
+    return 0
+
+
+def _cmd_query_percentile(args) -> int:
+    import json
+
+    result = _query_engine(args).percentile(
+        args.metric, args.q, study=args.study, table=args.table
+    )
+    print(json.dumps(result, sort_keys=True, indent=1))
+    return 0
+
+
+def _cmd_query_outliers(args) -> int:
+    import json
+
+    rows = _query_engine(args).outliers(
+        args.metric, k=args.k, study=args.study,
+        largest=not args.smallest, table=args.table,
+    )
+    print(json.dumps(rows, sort_keys=True, indent=1))
     return 0
 
 
@@ -954,6 +1034,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "jobs (seconds)")
     serve_cmd.add_argument("--poll", type=float, default=0.05,
                            help="lease re-scan interval (seconds)")
+    serve_cmd.add_argument("--warehouse", default=None, metavar="DIR",
+                           help="columnar warehouse: every completed job's "
+                                "chunk checkpoints are ingested into DIR "
+                                "(idempotent; query with 'repro query')")
     serve_cmd.set_defaults(func=_cmd_serve)
 
     submit_cmd = commands.add_parser(
@@ -980,6 +1064,96 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_cmd.add_argument("--job", default=None, metavar="ID",
                           help="print one job's full status document")
     jobs_cmd.set_defaults(func=_cmd_jobs)
+
+    query_cmd = commands.add_parser(
+        "query",
+        help="columnar warehouse: ingest checkpoints, aggregate out-of-core",
+        description="Ingest StudyStore chunk checkpoints into a "
+                    "partitioned columnar dataset and run exact "
+                    "aggregations over it without loading whole studies "
+                    "into RAM. Ingest is idempotent (re-ingest adds zero "
+                    "rows) and every row carries provenance columns "
+                    "(chunk SHA-256, worker, computed/resumed/stolen "
+                    "source) verifiable against the store manifests. "
+                    "Parquet + duckdb/polars are optional extras; without "
+                    "them a native .npz backend and a streamed numpy "
+                    "engine keep everything working.",
+    )
+    query_actions = query_cmd.add_subparsers(dest="query_command",
+                                             required=True)
+
+    def _add_query_common(sub, metric: bool) -> None:
+        sub.add_argument("warehouse", metavar="DIR",
+                         help="warehouse dataset directory")
+        sub.add_argument("--engine",
+                         choices=("auto", "stream", "duckdb", "polars"),
+                         default="auto",
+                         help="aggregation engine (auto prefers duckdb, "
+                              "then polars, then the streamed numpy "
+                              "engine)")
+        sub.add_argument("--memory-budget", type=int, default=None,
+                         help="bound in bytes on the column bytes "
+                              "materialized from any single partition "
+                              "file (stream engine)")
+        sub.add_argument("--study", default=None, metavar="KEY16",
+                         help="restrict to one study (key16 prefix)")
+        if metric:
+            sub.add_argument("--metric", required=True,
+                             help="metric column, e.g. delay, slew, "
+                                  "num_poles, p_<name>")
+            sub.add_argument("--table", default="instances",
+                             help="table to aggregate (default: instances)")
+
+    query_ingest = query_actions.add_parser(
+        "ingest", help="convert a store's checkpoints into the dataset"
+    )
+    query_ingest.add_argument("warehouse", metavar="DIR",
+                              help="warehouse dataset directory")
+    query_ingest.add_argument("store", metavar="STORE",
+                              help="study store to ingest from")
+    query_ingest.add_argument("--key", default=None,
+                              help="one study key (full or prefix; "
+                                   "default: every study in the store)")
+    query_ingest.add_argument("--backend",
+                              choices=("auto", "parquet", "native"),
+                              default="auto",
+                              help="table format (auto: parquet when "
+                                   "pyarrow is installed, else native "
+                                   ".npz)")
+    query_ingest.set_defaults(func=_cmd_query_ingest)
+
+    query_studies = query_actions.add_parser(
+        "studies", help="list the dataset's studies"
+    )
+    _add_query_common(query_studies, metric=False)
+    query_studies.set_defaults(func=_cmd_query_studies)
+
+    query_yield = query_actions.add_parser(
+        "yield", help="fraction of instances passing metric <= limit"
+    )
+    _add_query_common(query_yield, metric=True)
+    query_yield.add_argument("--limit", type=float, required=True,
+                             help="pass/fail limit (NaN metrics fail)")
+    query_yield.set_defaults(func=_cmd_query_yield)
+
+    query_percentile = query_actions.add_parser(
+        "percentile", help="exact percentile of a metric column"
+    )
+    _add_query_common(query_percentile, metric=True)
+    query_percentile.add_argument("--q", type=float, default=99.0,
+                                  help="percentile in [0, 100]")
+    query_percentile.set_defaults(func=_cmd_query_percentile)
+
+    query_outliers = query_actions.add_parser(
+        "outliers", help="most extreme instances with full provenance"
+    )
+    _add_query_common(query_outliers, metric=True)
+    query_outliers.add_argument("-k", type=int, default=10,
+                                help="how many rows")
+    query_outliers.add_argument("--smallest", action="store_true",
+                                help="rank smallest-first instead of "
+                                     "largest-first")
+    query_outliers.set_defaults(func=_cmd_query_outliers)
 
     trace_cmd = commands.add_parser(
         "trace", help="inspect JSONL trace files (repro-trace/v1)"

@@ -32,6 +32,7 @@ from repro.obs.export import (
     TRACE_FORMAT,
     JsonlSink,
     chunk_lineage,
+    lineage_sources,
     read_trace,
     summarize_trace,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "enabled",
     "gauge",
     "histogram",
+    "lineage_sources",
     "read_trace",
     "registry",
     "remove_sink",

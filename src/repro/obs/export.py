@@ -26,6 +26,7 @@ __all__ = [
     "JsonlSink",
     "TRACE_FORMAT",
     "chunk_lineage",
+    "lineage_sources",
     "read_trace",
     "summarize_trace",
 ]
@@ -307,3 +308,28 @@ def chunk_lineage(records):
         lineage.append(entry)
     lineage.sort(key=lambda entry: (entry["index"] is None, entry["index"]))
     return lineage
+
+
+def lineage_sources(lineage):
+    """Collapse :func:`chunk_lineage` entries to one attribution per chunk.
+
+    Returns ``{chunk_index: {"source", "worker"}}`` where ``source`` is
+    ``"stolen"`` / ``"computed"`` / ``"resumed"`` / ``"volatile"``.  A
+    chunk that appears several times (a worker drain records it as
+    computed, the subsequent merge fold as resumed) keeps the most
+    informative attribution: stolen > computed > resumed > volatile --
+    how the work actually got done beats how it was later folded.  This
+    is the shape the warehouse ingest layer consumes for its ``source``
+    provenance column.
+    """
+    rank = {"stolen": 3, "computed": 2, "resumed": 1, "volatile": 0}
+    sources = {}
+    for entry in lineage:
+        index = entry.get("index")
+        if index is None:
+            continue
+        source = "stolen" if entry.get("stolen") else entry.get("source", "volatile")
+        current = sources.get(index)
+        if current is None or rank.get(source, 0) > rank.get(current["source"], 0):
+            sources[index] = {"source": source, "worker": entry.get("worker")}
+    return sources

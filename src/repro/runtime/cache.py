@@ -178,9 +178,15 @@ class ModelCache:
     entries after each :meth:`store` -- recency is tracked through the
     archive mtime, which :meth:`load` refreshes on every hit, so the
     ordering survives process restarts and is shared between processes
-    pointing at the same directory.  Evictions are tallied on the
-    process-wide ``cache.evictions`` / ``cache.evicted_bytes``
-    counters, mirroring the ``engine.plan_cache.*`` pattern.
+    pointing at the same directory.  Filesystem mtimes can be coarse
+    (classically one second), which would let a just-hit entry *tie*
+    with the genuinely oldest one and be evicted by name order; an
+    in-process monotonic touch counter breaks exactly those ties, so
+    within one process recency is exact regardless of timestamp
+    granularity (across processes the mtime remains the shared
+    truth).  Evictions are tallied on the process-wide
+    ``cache.evictions`` / ``cache.evicted_bytes`` counters, mirroring
+    the ``engine.plan_cache.*`` pattern.
 
     The ``hits``/``misses`` counters make cache behaviour observable in
     tests and CLI summaries.
@@ -198,6 +204,9 @@ class ModelCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # name -> monotonic touch ordinal; tie-break for coarse mtimes.
+        self._recency = {}
+        self._touch_counter = 0
 
     def key(self, parametric, reducer) -> str:
         """Content key for (system, reducer): hash of both fingerprints."""
@@ -228,6 +237,7 @@ class ModelCache:
             os.utime(path)  # refresh LRU recency for the eviction scan
         except OSError:
             pass
+        self._touch(path)
         return model
 
     def store(self, key: str, model: ParametricReducedModel) -> Path:
@@ -245,11 +255,31 @@ class ModelCache:
             os.replace(scratch, path)
         finally:
             scratch.unlink(missing_ok=True)
+        self._touch(path)
         self._evict(keep=path)
         return path
 
+    def _touch(self, path: Path) -> None:
+        """Record an in-process recency ordinal for ``path``."""
+        self._touch_counter += 1
+        self._recency[path.name] = self._touch_counter
+
+    @staticmethod
+    def _entry_mtime(stat) -> float:
+        """The recency timestamp of one archive (tests monkeypatch this
+        to model coarse-granularity filesystems)."""
+        return stat.st_mtime
+
     def _entries(self):
-        """(mtime, size, path) for every committed archive, oldest first."""
+        """(mtime, size, path) for every committed archive, oldest first.
+
+        Ordering is ``(mtime, in-process touch ordinal, name)``: the
+        mtime is the cross-process truth, but on filesystems with
+        coarse timestamps a just-touched entry can share its mtime with
+        the oldest one -- the touch ordinal settles exactly those ties
+        (an entry never touched by this process ranks oldest within its
+        mtime bucket, which is the conservative choice).
+        """
         records = []
         for entry in self.directory.glob("*.npz"):
             if entry.name.startswith("."):
@@ -258,8 +288,14 @@ class ModelCache:
                 stat = entry.stat()
             except OSError:
                 continue
-            records.append((stat.st_mtime, stat.st_size, entry))
-        records.sort(key=lambda record: (record[0], record[2].name))
+            records.append((self._entry_mtime(stat), stat.st_size, entry))
+        records.sort(
+            key=lambda record: (
+                record[0],
+                self._recency.get(record[2].name, 0),
+                record[2].name,
+            )
+        )
         return records
 
     def _evict(self, keep: Path) -> None:
@@ -286,6 +322,7 @@ class ModelCache:
                 entry.unlink()
             except OSError:
                 continue
+            self._recency.pop(entry.name, None)
             count -= 1
             total -= size
             self.evictions += 1

@@ -392,6 +392,8 @@ class Study:
         # it around the drain and merge phases, run() alone leaves the
         # strict no-worker default.
         self._worker_ctx: Tuple[Optional[str], bool] = (None, False)
+        self._warehouse: Optional[Tuple[object, object]] = None
+        self._last_warehouse = None
         self._last_drain = None
         self._progress: Optional[ProgressCallback] = None
         self._trace_sinks: List = []
@@ -563,6 +565,35 @@ class Study:
         """
         self._store = store if isinstance(store, StudyStore) else StudyStore(store)
         return self._invalidate()
+
+    def warehouse(self, directory, backend: str = "auto") -> "Study":
+        """Ingest this study's checkpoints into a columnar warehouse.
+
+        After each successful :meth:`run` (including the merge phase of
+        :meth:`work`), every durable chunk the store holds for this
+        study is converted into partitioned column tables under
+        ``directory`` (see :class:`repro.warehouse.Warehouse`), with
+        per-instance parameter columns from the realized sample matrix
+        and ``source`` provenance (``computed`` / ``resumed`` /
+        ``stolen``) attributed from this run's own trace spans.  Ingest
+        is idempotent -- chunks already warehoused (by a previous run,
+        a concurrent drainer, or the serve supervisor) are skipped --
+        and :meth:`warehouse_report` tells what the last run added.
+
+        Requires :meth:`store`; like :meth:`trace`, the directive
+        observes the run without affecting any numeric result.
+        ``directory`` may also be an existing
+        :class:`~repro.warehouse.Warehouse` (then ``backend`` is
+        ignored).
+        """
+        self._warehouse = (directory, backend)
+        return self
+
+    def warehouse_report(self):
+        """The :class:`~repro.warehouse.IngestReport` of the most recent
+        :meth:`run` with a :meth:`warehouse` declared (``None`` before
+        the first)."""
+        return self._last_warehouse
 
     def shard(self, index: int, of: int) -> "Study":
         """Restrict this run to its slice of the global chunk grid.
@@ -1144,12 +1175,31 @@ class Study:
         delta the run produced.  Neither affects any numeric result.
         """
         sinks, owned_sinks = self._resolve_trace_sinks()
+        lineage_sink = None
+        if self._warehouse is not None:
+            # A private in-memory sink captures this run's chunk spans so
+            # the post-run ingest can attribute each chunk's source
+            # (computed / resumed / stolen) instead of the flat "stored"
+            # a bare manifest walk would yield.
+            lineage_sink = obs_trace.MemorySink()
+            sinks = sinks + [lineage_sink]
         for sink in sinks:
             obs_trace.add_sink(sink)
         try:
             before = obs_metrics.registry().snapshot()
             with obs_trace.span("study.run") as root:
                 plan = self.plan()
+                if self._warehouse is not None:
+                    if plan.workload == "sensitivities":
+                        raise ValueError(
+                            "warehouse(...) cannot ingest a sensitivities "
+                            "study: the workload has no durable checkpoints"
+                        )
+                    if self._store is None:
+                        raise ValueError(
+                            "warehouse(...) requires store(...): the "
+                            "warehouse ingests durable chunk checkpoints"
+                        )
                 root.set(
                     route=plan.route,
                     kernel=plan.kernel,
@@ -1162,6 +1212,8 @@ class Study:
                     shard=None if plan.shard is None else list(plan.shard),
                 )
                 result = self._execute(plan)
+            if lineage_sink is not None:
+                self._ingest_warehouse(plan, lineage_sink)
             self._last_metrics = obs_metrics.snapshot_delta(
                 before, obs_metrics.registry().snapshot()
             )
@@ -1335,6 +1387,38 @@ class Study:
         samples = self._samples()
         config = self._workload_config(plan.workload, target)
         return study_fingerprint(target, plan.workload, samples, config)
+
+    def _ingest_warehouse(self, plan: ExecutionPlan, lineage_sink):
+        """Post-run hook of the :meth:`warehouse` directive.
+
+        Joins the run's captured chunk spans into per-chunk source
+        attribution, then ingests this study's checkpoints from the
+        store.  Errors propagate as the directive's failure -- the
+        study result is already computed by this point, but an
+        explicitly requested warehouse that cannot be written is not
+        something to swallow.  The warehouse package is imported lazily
+        so studies without the directive never touch it.
+        """
+        from repro.obs.export import chunk_lineage, lineage_sources
+        from repro.warehouse import Warehouse
+
+        directory, backend = self._warehouse
+        target = self._resolve_target()
+        samples = self._samples()
+        config = self._workload_config(plan.workload, target)
+        fingerprint = study_fingerprint(target, plan.workload, samples, config)
+        warehouse = (
+            directory if isinstance(directory, Warehouse)
+            else Warehouse(directory, backend=backend)
+        )
+        self._last_warehouse = warehouse.ingest_store(
+            self._store,
+            key=fingerprint["key"],
+            samples=samples,
+            parameter_names=getattr(target, "parameter_names", None),
+            lineage=lineage_sources(chunk_lineage(lineage_sink.records)),
+        )
+        return self._last_warehouse
 
     def _chunk_compute(self, plan: ExecutionPlan, target, samples, checkpoint):
         """``(compute, cleanup)`` for the work-stealing drain loop.

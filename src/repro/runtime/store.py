@@ -191,6 +191,33 @@ def _sha256_file(path: Path) -> str:
     return digest.hexdigest()
 
 
+def _verified_chunk_payload(directory: Path, key: str, index: int, record: dict):
+    """Load one chunk record's archive, verifying its recorded SHA-256.
+
+    Returns ``((payload, sha256, size), None)`` on success or
+    ``(None, StoreError)`` when the archive is missing or fails its
+    checksum -- shared by :meth:`StudyCheckpoint.load` (resume path)
+    and :meth:`StudyStore.iter_chunks` (warehouse ingest), so both
+    enforce the identical verify-before-deserialize contract.
+    """
+    path = directory / record["file"]
+    if not path.exists():
+        return None, StoreError(
+            f"chunk {index} of study {key[:12]}... is recorded in the "
+            f"manifest but its archive {record['file']!r} is missing"
+        )
+    actual = _sha256_file(path)
+    if actual != record["sha256"]:
+        return None, StoreError(
+            f"chunk {index} archive {record['file']!r} fails its recorded "
+            f"checksum (manifest {record['sha256'][:12]}..., file "
+            f"{actual[:12]}...); the store is corrupt"
+        )
+    with np.load(path) as archive:
+        payload = {name: archive[name] for name in archive.files}
+    return (payload, actual, path.stat().st_size), None
+
+
 def _fsync_directory(directory: Path) -> None:
     """Flush a directory's entry table to disk, where the platform can.
 
@@ -355,6 +382,21 @@ class StudyStore:
         """All parsed manifests for ``key`` (raises on corruption)."""
         return [self._read_manifest(path) for path in self.manifest_paths(key)]
 
+    def study_keys(self) -> List[str]:
+        """Every full study key with a manifest in this store.
+
+        Scans all manifest files (every shard and worker flavor) in
+        sorted filename order and returns the unique ``study_key``
+        values, order-preserving -- the enumeration the warehouse
+        ingest layer walks when no explicit key is given.
+        """
+        keys: List[str] = []
+        for path in sorted(self.directory.glob("manifest-*.json")):
+            key = self._read_manifest(path).get("study_key")
+            if isinstance(key, str) and key not in keys:
+                keys.append(key)
+        return keys
+
     def chunk_records(self, key: str) -> Dict[int, List[dict]]:
         """``{chunk_index: [record, ...]}`` across every manifest.
 
@@ -415,6 +457,46 @@ class StudyStore:
             }
             for index, record in sorted(self.completed_chunks(key).items())
         ]
+
+    def iter_chunks(self, key: str):
+        """Yield ``(record, payload)`` per completed chunk, index order.
+
+        Each yielded record is an annotated *copy* of the winning
+        manifest record: ``"index"`` (int), the originating manifest's
+        ``"shard"`` (``None`` or ``[index, of]``) and ``"worker"`` are
+        attached so consumers (warehouse ingest) know where a chunk
+        came from without re-walking manifests.  Every payload is
+        verified against its recorded SHA-256 before being yielded;
+        when several workers recorded one chunk, a failing copy falls
+        back to the next alternate (same winning order as
+        :meth:`completed_chunks`), and a chunk whose every copy fails
+        raises the first :class:`StoreError`.
+        """
+        alternates: Dict[int, List[dict]] = {}
+        for manifest in self.load_manifests(key):
+            shard = manifest.get("shard")
+            worker = manifest.get("worker")
+            for index, record in manifest.get("chunks", {}).items():
+                annotated = dict(record)
+                annotated["index"] = int(index)
+                annotated["shard"] = shard
+                annotated.setdefault("worker", worker)
+                alternates.setdefault(int(index), []).append(annotated)
+        for index in sorted(alternates):
+            first_error = None
+            for record in alternates[index]:
+                loaded, error = _verified_chunk_payload(
+                    self.directory, key, index, record
+                )
+                if error is None:
+                    payload, _, size = loaded
+                    _CHUNKS_LOADED.inc()
+                    _BYTES_READ.inc(size)
+                    yield record, payload
+                    break
+                first_error = first_error or error
+            else:
+                raise first_error
 
     def checkpoint(
         self,
@@ -537,22 +619,9 @@ class StudyCheckpoint:
 
     def _verified_payload(self, index: int, record: dict):
         """Load and verify one record; return ``(payload, error)``."""
-        path = self.store.directory / record["file"]
-        if not path.exists():
-            return None, StoreError(
-                f"chunk {index} of study {self.key[:12]}... is recorded in the "
-                f"manifest but its archive {record['file']!r} is missing"
-            )
-        actual = _sha256_file(path)
-        if actual != record["sha256"]:
-            return None, StoreError(
-                f"chunk {index} archive {record['file']!r} fails its recorded "
-                f"checksum (manifest {record['sha256'][:12]}..., file "
-                f"{actual[:12]}...); the store is corrupt"
-            )
-        with np.load(path) as archive:
-            payload = {name: archive[name] for name in archive.files}
-        return (payload, actual, path.stat().st_size), None
+        return _verified_chunk_payload(
+            self.store.directory, self.key, index, record
+        )
 
     def load(self, index: int) -> Optional[Dict[str, np.ndarray]]:
         """The persisted payload of chunk ``index``, or ``None``.

@@ -128,8 +128,16 @@ class ServeClient:
         """The parsed result document (see :meth:`result_bytes`)."""
         return json.loads(self.result_bytes(job_id))
 
-    def events(self, job_id: str) -> Iterator[dict]:
-        """Follow the job's NDJSON progress stream until it ends."""
+    def events(self, job_id: str, on_truncated=None) -> Iterator[dict]:
+        """Follow the job's NDJSON progress stream until it ends.
+
+        When the consumer's cursor falls behind the server's bounded
+        event window, the server injects an ``events.truncated`` marker
+        carrying how many events were dropped; ``on_truncated(dropped)``
+        (when given) is called as the marker arrives, and the marker is
+        yielded like any other event so plain iteration also sees the
+        gap.
+        """
         connection, response = self._request(
             "GET", f"/jobs/{job_id}/events"
         )
@@ -146,8 +154,13 @@ class ServeClient:
                 )
             for raw in response:
                 line = raw.strip()
-                if line:
-                    yield json.loads(line)
+                if not line:
+                    continue
+                event = json.loads(line)
+                if event.get("event") == "events.truncated" \
+                        and on_truncated is not None:
+                    on_truncated(int(event.get("dropped", 0)))
+                yield event
         finally:
             connection.close()
 

@@ -110,13 +110,26 @@ class Job:
     def events_since(self, cursor: int):
         """``(events, next_cursor)`` for the log tail past ``cursor``.
 
-        ``cursor`` counts over the *full* log, so a reader that fell
-        behind a trimmed window silently skips the dropped range
-        instead of re-reading trimmed-in-place entries.
+        ``cursor`` counts over the *full* log.  A reader whose cursor
+        fell behind the bounded window's eviction horizon gets an
+        explicit ``events.truncated`` marker first -- carrying how many
+        events were dropped and the cursor the stream resumes from --
+        instead of the gap being silently skipped (a progress consumer
+        must be able to tell "nothing happened" from "I missed 4,000
+        chunk events").  The marker is synthesized per read, not
+        stored, so it never occupies (or overflows) the window itself.
         """
         with self._lock:
-            offset = max(cursor - self._event_base, 0)
+            dropped = self._event_base - cursor
+            offset = max(-dropped, 0)
             tail = list(self.events[offset:])
+            if dropped > 0:
+                tail.insert(0, {
+                    "job": self.id,
+                    "event": "events.truncated",
+                    "dropped": dropped,
+                    "next": self._event_base,
+                })
             return tail, self._event_base + len(self.events)
 
     # -- views ---------------------------------------------------------

@@ -268,17 +268,19 @@ class StudyServer:
 def run(store, host: str = "127.0.0.1", port: int = 8787,
         memory_budget: Optional[int] = None, pool_size: int = 2,
         model_cache=None, ttl: float = 30.0, poll: float = 0.05,
-        announce=print) -> None:
+        warehouse=None, announce=print) -> None:
     """Build a supervisor + server and serve until interrupted.
 
     The blocking convenience entry the ``repro serve`` CLI command
     wraps; ``announce`` receives one line with the bound URL once the
     socket is listening (tests and scripts parse it to discover an
-    ephemeral port).
+    ephemeral port).  ``warehouse`` optionally names a columnar
+    warehouse directory every completed job's checkpoints are ingested
+    into (see :class:`~repro.serve.supervisor.StudySupervisor`).
     """
     supervisor = StudySupervisor(
         store, memory_budget=memory_budget, pool_size=pool_size,
-        model_cache=model_cache, ttl=ttl, poll=poll,
+        model_cache=model_cache, ttl=ttl, poll=poll, warehouse=warehouse,
     )
     server = StudyServer(supervisor, host=host, port=port)
 

@@ -30,7 +30,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.obs import SpanEventBridge
+from repro.obs import MemorySink, SpanEventBridge, chunk_lineage, lineage_sources
 from repro.obs import metrics as obs_metrics
 from repro.runtime import ModelCache, StudyStore
 from repro.serve.jobs import Job, JobRegistry
@@ -87,11 +87,22 @@ class StudySupervisor:
     ttl, poll:
         Lease scheduler knobs for multi-worker jobs (see
         :meth:`~repro.runtime.engine.Study.work`).
+    warehouse:
+        Optional directory or :class:`~repro.warehouse.Warehouse`:
+        every completed job's chunk checkpoints are ingested into this
+        columnar dataset (idempotently -- a warehouse shared with
+        ``repro work`` drainers or a study's own
+        :meth:`~repro.runtime.engine.Study.warehouse` directive never
+        duplicates rows), with source attribution from the job's own
+        spans.  An ingest failure is reported as a ``warehouse.error``
+        job event, never as a job failure -- the result document is
+        already durable by then.
     """
 
     def __init__(self, store, memory_budget: Optional[int] = None,
                  pool_size: int = 2, model_cache=None,
-                 ttl: float = 30.0, poll: float = 0.05):
+                 ttl: float = 30.0, poll: float = 0.05,
+                 warehouse=None):
         self.store = store if isinstance(store, StudyStore) else \
             StudyStore(store)
         self.memory_budget = memory_budget
@@ -102,6 +113,15 @@ class StudySupervisor:
             self.model_cache = ModelCache(model_cache)
         self.ttl = ttl
         self.poll = poll
+        if warehouse is None:
+            self.warehouse = None
+        else:
+            from repro.warehouse import Warehouse
+
+            self.warehouse = (
+                warehouse if isinstance(warehouse, Warehouse)
+                else Warehouse(warehouse)
+            )
         self.registry = JobRegistry()
         self.results_dir = self.store.directory / "results"
         self.results_dir.mkdir(parents=True, exist_ok=True)
@@ -235,13 +255,21 @@ class StudySupervisor:
     def _run_job(self, job: Job) -> None:
         realized: RealizedJob = job._realized
         job.mark_running()
-        bridge = SpanEventBridge(job.add_event)
+        # The bridge streams span events to the job's NDJSON log; the
+        # memory sink (warehouse mode only) keeps the raw span records
+        # the post-completion ingest joins into per-chunk source
+        # attribution.
+        sinks = [SpanEventBridge(job.add_event)]
+        lineage_sink = None
+        if self.warehouse is not None:
+            lineage_sink = MemorySink()
+            sinks.append(lineage_sink)
         try:
             if realized.spec.workload_kind == "montecarlo":
-                result = self._run_montecarlo(job, realized, bridge)
+                result = self._run_montecarlo(job, realized, sinks)
                 payload = _render_montecarlo(result, realized)
             else:
-                study = self._run_engine_sides(job, realized, bridge)
+                study = self._run_engine_sides(job, realized, sinks)
                 payload = _render_study(study, realized)
         except Exception as exc:  # noqa: BLE001 - report, don't die
             job.mark_failed(f"{type(exc).__name__}: {exc}")
@@ -261,26 +289,70 @@ class StudySupervisor:
             document, sort_keys=True, indent=1, default=_json_default
         ).encode()
         self._store_result(job.key, data)
+        self._ingest_job(job, realized, lineage_sink)
         job.mark_done(data, cached=False)
         _COMPLETED.inc()
 
-    def _run_engine_sides(self, job: Job, realized: RealizedJob, bridge):
+    def _ingest_job(self, job: Job, realized: RealizedJob,
+                    lineage_sink) -> None:
+        """Warehouse hook: ingest a completed job's chunk checkpoints.
+
+        Best-effort by design: the result document is already persisted
+        and served, so an ingest failure degrades to a
+        ``warehouse.error`` job event (and the next completed job -- or
+        a ``repro query ingest`` -- retries idempotently) instead of
+        failing a job whose numbers are done.
+        """
+        if self.warehouse is None:
+            return
+        try:
+            lineage = lineage_sources(chunk_lineage(lineage_sink.records))
+            report = None
+            for key in job.study_keys:
+                partial = self.warehouse.ingest_store(
+                    self.store, key=key,
+                    samples=realized.samples,
+                    parameter_names=getattr(
+                        realized.parametric, "parameter_names", None
+                    ),
+                    lineage=lineage,
+                )
+                report = partial if report is None else report.merge(partial)
+            job.add_event({
+                "event": "warehouse.ingest",
+                "studies": list(report.studies),
+                "chunks": report.chunks,
+                "skipped": report.skipped,
+                "rows": report.rows_added,
+            })
+        except Exception as exc:  # noqa: BLE001 - never fail the job
+            job.add_event({
+                "event": "warehouse.error",
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+
+    def _run_engine_sides(self, job: Job, realized: RealizedJob, sinks):
         """Drain each engine side; return the last side's merged study."""
+
+        def traced(study):
+            for sink in sinks:
+                study = study.trace(sink)
+            return study
+
         study = None
         for label, factory in realized.studies.items():
             if job.workers <= 1:
-                study = factory().trace(bridge).store(self.store).run()
+                study = traced(factory()).store(self.store).run()
             else:
                 study = self._co_drain(
-                    lambda worker, factory=factory: factory()
-                    .trace(bridge)
+                    lambda worker, factory=factory: traced(factory())
                     .work(store=self.store, ttl=self.ttl, poll=self.poll,
                           worker=worker),
                     job,
                 )
         return study
 
-    def _run_montecarlo(self, job: Job, realized: RealizedJob, bridge):
+    def _run_montecarlo(self, job: Job, realized: RealizedJob, sinks):
         """The full-vs-reduced pole sign-off, through the shared store."""
         from repro.analysis.montecarlo import monte_carlo_pole_study
 
@@ -292,7 +364,7 @@ class StudySupervisor:
             executor=options["jobs"],
             store=self.store,
             chunk_size=realized.spec.chunk,
-            trace=bridge,
+            trace=sinks,
             precision=realized.spec.precision,
         )
         if job.workers <= 1:
@@ -344,13 +416,44 @@ class StudySupervisor:
         return merged[0]
 
     def _store_result(self, key: str, data: bytes) -> None:
+        """Persist one rendered result document, durably and race-safely.
+
+        Two hazards the old plain-write version had:
+
+        - the scratch name was pid-only, so two *worker threads* of one
+          supervisor finishing identical jobs concurrently could write
+          the same scratch file and race the replace -- the thread id
+          joins the scratch name so every writer owns its scratch;
+        - no fsync before the rename, so a crash right after could
+          surface a truncated index entry that poisons every future
+          identical submission (the index is trusted byte-for-byte).
+
+        The write goes through the store's ``_durable_replace`` idiom
+        and is then read back and parsed: a torn or unparsable index
+        entry raises :class:`~repro.runtime.store.StoreError`
+        immediately (failing this job loudly) instead of being served
+        to the next client.  A well-formed file with *different* bytes
+        is accepted -- two racing writers of one key render equivalent
+        documents, and last-writer-wins keeps the file consistent.
+        """
+        from repro.runtime.store import StoreError, _durable_replace
+
         path = self.result_path(key)
-        scratch = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        scratch = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
         try:
-            scratch.write_bytes(data)
-            os.replace(scratch, path)
-        finally:
-            scratch.unlink(missing_ok=True)
+            try:
+                _durable_replace(scratch, path, data)
+            finally:
+                scratch.unlink(missing_ok=True)
+            written = path.read_bytes()
+            json.loads(written.decode())
+        except (OSError, ValueError) as exc:
+            raise StoreError(
+                f"result index entry {str(path)!r} failed its write-back "
+                f"check: {exc}"
+            ) from None
 
     # -- views ---------------------------------------------------------
 

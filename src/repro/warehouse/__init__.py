@@ -1,0 +1,49 @@
+"""Columnar result warehouse: partitioned datasets from StudyStores.
+
+The warehouse tier turns durable chunk checkpoints into partitioned
+columnar datasets (``key16=<study>/shard=<origin>/chunk=<index>/``)
+that analytics can query out-of-core, without reloading whole studies
+into RAM.  Ingest is idempotent and content-addressed (re-ingesting a
+chunk is a structural no-op), every row carries provenance columns
+(chunk SHA-256, worker, computed/resumed/stolen source), and
+aggregations are exact -- bitwise equal to the same reduction of the
+in-RAM study arrays.
+
+Parquet output and the duckdb/polars query engines are optional
+extras; without them the dependency-free native ``.npz`` backend and
+the streamed numpy query engine keep every feature working.
+
+Entry points: :class:`Warehouse` (ingest), :class:`QueryEngine`
+(aggregation), ``repro query`` (CLI), and the
+:meth:`Study.warehouse() <repro.runtime.engine.Study.warehouse>`
+directive (ingest on run completion with live lineage attribution).
+"""
+
+from repro.warehouse.backend import (
+    NativeBackend,
+    ParquetBackend,
+    WarehouseError,
+    backend_for_file,
+    have_duckdb,
+    have_polars,
+    have_pyarrow,
+    resolve_backend,
+)
+from repro.warehouse.ingest import IngestReport, Warehouse
+from repro.warehouse.query import QueryEngine
+from repro.warehouse.schema import chunk_tables
+
+__all__ = [
+    "IngestReport",
+    "NativeBackend",
+    "ParquetBackend",
+    "QueryEngine",
+    "Warehouse",
+    "WarehouseError",
+    "backend_for_file",
+    "chunk_tables",
+    "have_duckdb",
+    "have_polars",
+    "have_pyarrow",
+    "resolve_backend",
+]

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.obs",
     "repro.runtime",
     "repro.serve",
+    "repro.warehouse",
 ]
 
 
@@ -71,7 +72,7 @@ ROOT_ALL_SNAPSHOT = [
     "ProcessExecutor", "RampInput", "SerialExecutor",
     "SharedMemoryExecutor", "SineInput", "SinglePointReducer",
     "SparsePatternFamily", "StepInput", "StoreError", "Study",
-    "StudyStore", "ThreadExecutor",
+    "StudyStore", "ThreadExecutor", "Warehouse", "WarehouseError",
     "__version__", "assemble", "batch_frequency_response",
     "batch_instantiate", "batch_poles", "batch_simulate_transient",
     "batch_transfer", "batch_transient_study", "clock_tree",
@@ -146,7 +147,7 @@ class TestApiSnapshot:
             "scenarios", "sweep", "transient", "poles", "sensitivities",
             "executor", "memory_budget", "chunk", "cached", "reduced",
             "progress", "trace", "metrics", "plan", "run", "work",
-            "drain_report",
+            "drain_report", "warehouse", "warehouse_report",
         ]
         for method in study_methods:
             assert callable(getattr(engine.Study, method)), f"Study.{method} missing"
@@ -168,9 +169,9 @@ class TestCliModule:
         from repro.cli import build_parser
 
         parser = build_parser()
-        # All twelve subcommands registered.
+        # All thirteen subcommands registered.
         text = parser.format_help()
         for command in ("info", "reduce", "sweep", "poles", "montecarlo",
                         "batch", "transient", "work", "trace", "serve",
-                        "submit", "jobs"):
+                        "submit", "jobs", "query"):
             assert command in text

@@ -254,3 +254,58 @@ class TestCacheBounds:
         cache = ModelCache(tmp_path, max_entries=1)
         self._fill(cache, parametric, [2, 3])
         assert "evictions=1" in repr(cache)
+
+
+class TestCoarseMtimeTieBreak:
+    """Regression: LRU recency rode entirely on filesystem mtimes.
+
+    On filesystems with coarse (e.g. one-second) timestamp granularity,
+    an ``os.utime`` refresh can land on the *same* stamp as the oldest
+    entry's, tying them -- and the tie used to resolve by filename, so a
+    just-hit entry could be evicted ahead of entries untouched for far
+    longer.  The in-process touch counter must break such ties by true
+    access order.  ``_entry_mtime`` is monkeypatched to a constant to
+    model the worst case: every stamp identical.
+    """
+
+    def test_just_hit_entry_survives_tied_mtimes(self, parametric, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setattr(ModelCache, "_entry_mtime",
+                            staticmethod(lambda stat: 1234.5))
+        cache = ModelCache(tmp_path, max_entries=2)
+        reducers = [LowRankReducer(num_moments=m, rank=1) for m in (2, 3)]
+        keys = []
+        for reducer in reducers:
+            cache.get_or_reduce(parametric, reducer)
+            keys.append(cache.key(parametric, reducer))
+        # Hit the lexicographically-smallest key -- exactly the entry a
+        # filename tie-break would pick as the victim -- so only the
+        # recency counter can save it.
+        hit, other = min(keys), max(keys)
+        assert cache.load(hit) is not None
+        cache.get_or_reduce(parametric, LowRankReducer(num_moments=4, rank=1))
+        assert cache.path_for(hit).exists(), \
+            "just-hit entry evicted on an mtime tie"
+        assert not cache.path_for(other).exists()
+        assert cache.evictions == 1
+
+    def test_untouched_entries_rank_oldest_in_tie(self, parametric, tmp_path,
+                                                  monkeypatch):
+        """An entry present on disk but never touched by this process
+        (e.g. written by a previous run) loses ties against anything the
+        live process has accessed -- the conservative choice."""
+        monkeypatch.setattr(ModelCache, "_entry_mtime",
+                            staticmethod(lambda stat: 99.0))
+        seed = ModelCache(tmp_path)
+        stale_reducer = LowRankReducer(num_moments=2, rank=1)
+        seed.get_or_reduce(parametric, stale_reducer)
+        stale_key = seed.key(parametric, stale_reducer)
+        # Fresh process view over the same directory: no recency record
+        # for the pre-existing entry.
+        cache = ModelCache(tmp_path, max_entries=2)
+        live_reducer = LowRankReducer(num_moments=3, rank=1)
+        cache.get_or_reduce(parametric, live_reducer)
+        live_key = cache.key(parametric, live_reducer)
+        cache.get_or_reduce(parametric, LowRankReducer(num_moments=4, rank=1))
+        assert not cache.path_for(stale_key).exists()
+        assert cache.path_for(live_key).exists()

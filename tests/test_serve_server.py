@@ -107,6 +107,27 @@ class TestLifecycle:
         assert submitted["id"] in [job["id"] for job in listed]
         assert client.job(submitted["id"])["key"] == submitted["key"]
 
+    def test_event_stream_surfaces_truncation(self, service):
+        """A consumer joining after the bounded log overflowed must see
+        the explicit ``events.truncated`` marker, streamed like any
+        other event, and ``ServeClient.events`` must surface the drop
+        count through ``on_truncated``."""
+        from repro.serve.jobs import MAX_EVENTS
+
+        client, supervisor = service
+        job = client.submit(_job())
+        client.wait(job["id"], timeout=60.0)
+        record = supervisor.registry.get(job["id"])
+        overflow = 150
+        for i in range(MAX_EVENTS + overflow):
+            record.add_event({"event": "tick", "i": i})
+        drops = []
+        events = list(client.events(job["id"], on_truncated=drops.append))
+        assert events[0]["event"] == "events.truncated"
+        assert events[0]["dropped"] == events[0]["next"] > 0
+        assert drops == [events[0]["dropped"]]
+        assert len(events) == MAX_EVENTS + 1  # window + the marker
+
 
 class TestErrors:
     def test_malformed_job_is_400(self, service):

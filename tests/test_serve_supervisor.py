@@ -1,6 +1,7 @@
 """Tests for the study-service supervisor: admission, cache, provenance."""
 
 import json
+import threading
 import time
 
 import pytest
@@ -234,3 +235,104 @@ class TestWorkloads:
             for records in lineage.values() for record in records
         }
         assert workers  # at least one attributed drain participant
+
+
+class TestResultIndexDurability:
+    """Regression: the result index write had a pid-only scratch name,
+    so two supervisor *threads* finishing identical jobs concurrently
+    shared one scratch file and could race ``os.replace`` into a torn
+    index entry -- which the cache then trusts byte-for-byte forever."""
+
+    DOCUMENT = json.dumps(
+        {"result": {"workload": "sweep", "values": list(range(200))},
+         "provenance": {"fingerprints": []}},
+        sort_keys=True,
+    ).encode()
+
+    def test_concurrent_identical_writes_leave_one_clean_file(
+            self, supervisor):
+        key = "ab" * 32
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def hammer():
+            try:
+                barrier.wait(timeout=10.0)
+                for _ in range(100):
+                    supervisor._store_result(key, self.DOCUMENT)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors, errors
+        matches = [
+            path for path in supervisor.results_dir.iterdir()
+            if key[:16] in path.name
+        ]
+        assert matches == [supervisor.result_path(key)]
+        assert matches[0].read_bytes() == self.DOCUMENT  # byte-identical
+        # No scratch debris: every writer cleaned its own tmp file.
+        stray = [path.name for path in supervisor.results_dir.iterdir()
+                 if path.name.startswith(".")]
+        assert stray == []
+
+    def test_torn_entry_fails_loudly_not_silently(self, supervisor):
+        from repro.runtime.store import StoreError
+
+        with pytest.raises(StoreError, match="write-back check"):
+            supervisor._store_result("cd" * 32, b'{"result": trunca')
+
+
+class TestEventLogTruncation:
+    """Regression: a cursor older than the bounded log's eviction
+    horizon silently skipped the dropped events -- a progress consumer
+    could not tell "nothing happened" from "I missed 4,000 chunks"."""
+
+    def _overflowed_job(self, extra=250):
+        from repro.serve.jobs import MAX_EVENTS, Job
+
+        job = Job("job-trunc", "0" * 64, {})
+        for i in range(MAX_EVENTS + extra):
+            job.add_event({"event": "tick", "i": i})
+        return job, extra
+
+    def test_stale_cursor_gets_explicit_marker(self):
+        job, dropped = self._overflowed_job()
+        events, cursor = job.events_since(0)
+        marker = events[0]
+        assert marker["event"] == "events.truncated"
+        assert marker["dropped"] == dropped
+        assert marker["next"] == dropped
+        assert marker["job"] == job.id
+        # The stream resumes exactly at the horizon, nothing re-skipped.
+        assert events[1]["i"] == dropped
+        assert events[-1]["i"] == cursor - 1
+
+    def test_marker_is_synthesized_not_stored(self):
+        from repro.serve.jobs import MAX_EVENTS
+
+        job, dropped = self._overflowed_job()
+        job.events_since(0)
+        job.events_since(0)  # repeated stale reads never mutate the log
+        assert len(job.events) == MAX_EVENTS
+        assert all(event["event"] == "tick" for event in job.events)
+
+    def test_cursor_at_or_past_horizon_sees_no_marker(self):
+        job, dropped = self._overflowed_job()
+        at_horizon, _ = job.events_since(dropped)
+        assert at_horizon[0]["i"] == dropped
+        assert all(e["event"] != "events.truncated" for e in at_horizon)
+        tail, cursor = job.events_since(cursor=dropped + 9_000)
+        assert all(e["event"] != "events.truncated" for e in tail)
+        # A caught-up reader gets an empty delta, not a marker.
+        assert job.events_since(cursor)[0] == []
+
+    def test_dropped_count_reflected_in_describe(self):
+        job, dropped = self._overflowed_job()
+        described = job.describe()
+        assert described["events_dropped"] == dropped
+        assert described["events"] == dropped + len(job.events)
